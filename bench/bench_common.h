@@ -1,0 +1,80 @@
+// Shared plumbing for the table/figure reproduction binaries: common
+// flags, dataset iteration, ranked-graph preparation, and coverage math.
+//
+// Every binary runs with NO arguments using the tier-0 datasets at scale
+// 1.0 (a few minutes total) and exposes flags to reproduce larger
+// settings:
+//   --tier N     also run datasets of tier <= N (1..3; big = slow)
+//   --scale X    multiply stand-in vertex counts
+//   --queries N  query-workload size
+//   --budget S   per-method time budget in seconds (0 = unlimited)
+//   --data_dir D directory with real "<name>.txt" edge lists (optional)
+//   --datasets a,b,c   explicit dataset list (overrides --tier)
+
+#ifndef HOPDB_BENCH_BENCH_COMMON_H_
+#define HOPDB_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/datasets.h"
+#include "eval/table.h"
+#include "eval/workload.h"
+#include "graph/ranking.h"
+#include "labeling/builder.h"
+#include "util/cli.h"
+#include "util/status.h"
+
+namespace hopdb {
+namespace bench {
+
+struct BenchEnv {
+  CliFlags flags;
+  int tier = 0;
+  double scale = 1.0;
+  size_t queries = 10000;
+  double budget_seconds = 60.0;
+  std::string data_dir;
+  std::vector<std::string> dataset_filter;
+};
+
+/// Defines the common flags, parses argv, handles --help (returns false
+/// to exit), and fills the env.
+bool InitBenchEnv(int argc, char** argv, const std::string& description,
+                  BenchEnv* env);
+
+/// Datasets selected by the env (tier filter or explicit list).
+std::vector<DatasetSpec> SelectDatasets(const BenchEnv& env);
+
+/// A dataset loaded and rank-relabeled, ready for any builder.
+struct PreparedGraph {
+  DatasetSpec spec;
+  CsrGraph ranked;
+  uint64_t graph_paper_bytes = 0;
+  uint32_t max_degree = 0;
+};
+
+Result<PreparedGraph> PrepareDataset(const DatasetSpec& spec,
+                                     const BenchEnv& env);
+
+/// Entry-coverage CDF: fraction[i] = share of all label entries whose
+/// pivot rank is < checkpoints[i] (as an absolute vertex count).
+std::vector<double> PivotCoverage(const std::vector<uint64_t>& per_pivot,
+                                  const std::vector<VertexId>& checkpoints);
+
+/// Smallest percentage of top-ranked vertices covering `target` share of
+/// entries (Table 7's last three columns).
+double PercentForCoverage(const std::vector<uint64_t>& per_pivot,
+                          double target);
+
+/// "12.3" style MB rendering of the paper's byte accounting.
+std::string Mb(uint64_t bytes);
+
+/// Seconds with adaptive precision, or the DNF dash on error.
+std::string SecondsOrDash(const Status& status, double seconds);
+
+}  // namespace bench
+}  // namespace hopdb
+
+#endif  // HOPDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,87 @@
+// Table 8 reproduction: indexing time and iteration counts for pure
+// Hop-Doubling, pure Hop-Stepping, and the Hybrid default.
+//
+// Expected shape vs the paper: Doubling explodes (DNF via candidate cap /
+// budget) or trails badly on the bigger graphs because early iterations
+// multiply candidate volume; Stepping finishes everywhere but needs more
+// iterations on high-diameter graphs; Hybrid ties or wins everywhere.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+namespace hopdb {
+namespace bench {
+namespace {
+
+struct StrategyResult {
+  Status status = Status::OK();
+  double seconds = 0;
+  uint32_t iterations = 0;
+};
+
+StrategyResult RunStrategy(const CsrGraph& g, BuildMode mode,
+                           double budget) {
+  BuildOptions opts;
+  opts.mode = mode;
+  opts.time_budget_seconds = budget;
+  // The paper's doubling DNFs are candidate explosions; cap the volume so
+  // the bench fails fast instead of swapping.
+  opts.max_candidates_per_iteration = 300'000'000;
+  StrategyResult r;
+  auto out = BuildHopLabeling(g, opts);
+  r.status = out.status();
+  if (out.ok()) {
+    r.seconds = out->stats.total_seconds;
+    r.iterations = out->stats.num_rule_iterations;
+  }
+  return r;
+}
+
+std::string Iters(const StrategyResult& r) {
+  return r.status.ok() ? std::to_string(r.iterations) : AsciiTable::Dash();
+}
+
+int Run(int argc, char** argv) {
+  BenchEnv env;
+  if (!InitBenchEnv(argc, argv,
+                    "table8_strategies: Table 8 — Hop-Doubling vs "
+                    "Hop-Stepping vs Hybrid",
+                    &env)) {
+    return 0;
+  }
+  std::printf("Table 8: comparing Hop-Doubling, Hop-Stepping, and Hybrid\n\n");
+  AsciiTable table({"Graph", "time s Double", "time s Step", "time s Hybrid",
+                    "iters Double", "iters Step", "iters Hybrid"});
+  for (const DatasetSpec& spec : SelectDatasets(env)) {
+    auto prepared = PrepareDataset(spec, env);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "skip %s: %s\n", spec.name.c_str(),
+                   prepared.status().ToString().c_str());
+      continue;
+    }
+    const CsrGraph& g = prepared->ranked;
+    StrategyResult dbl = RunStrategy(g, BuildMode::kHopDoubling,
+                                     env.budget_seconds);
+    StrategyResult step = RunStrategy(g, BuildMode::kHopStepping,
+                                      env.budget_seconds);
+    StrategyResult hybrid = RunStrategy(g, BuildMode::kHybrid,
+                                        env.budget_seconds);
+    table.AddRow({spec.name, SecondsOrDash(dbl.status, dbl.seconds),
+                  SecondsOrDash(step.status, step.seconds),
+                  SecondsOrDash(hybrid.status, hybrid.seconds), Iters(dbl),
+                  Iters(step), Iters(hybrid)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check vs paper: Hybrid <= Step <= Double in time (Double\n"
+      "DNFs on large inputs); Hybrid needs no more iterations than Step.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hopdb
+
+int main(int argc, char** argv) { return hopdb::bench::Run(argc, argv); }

@@ -1,0 +1,101 @@
+// General (non-scale-free) graphs, Section 7: degree ranking is useless
+// on road-like networks — there are no hubs — but the algorithms accept
+// any total order. This example builds a weighted grid "road network"
+// and compares degree ranking against a simple betweenness-flavoured
+// custom order (distance-to-center heuristic): the custom order produces
+// a markedly smaller index, illustrating why Section 7 says a good
+// general-graph ranking "should hit a large number of shortest paths".
+//
+//   $ ./road_general [--rows 40] [--cols 40] [--seed 5]
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "gen/small_graphs.h"
+#include "gen/weights.h"
+#include "hopdb.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace hopdb;
+  CliFlags flags;
+  flags.Define("rows", "40", "grid rows");
+  flags.Define("cols", "40", "grid columns");
+  flags.Define("seed", "5", "weight seed");
+  flags.Parse(argc, argv).CheckOK();
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("road_general").c_str());
+    return 0;
+  }
+  const VertexId rows = static_cast<VertexId>(flags.GetUint("rows"));
+  const VertexId cols = static_cast<VertexId>(flags.GetUint("cols"));
+
+  EdgeList road = GridGraph(rows, cols);
+  AssignUniformWeights(&road, 1, 20, flags.GetUint("seed"));
+  std::printf("road network: %u intersections, %zu road segments "
+              "(weighted grid)\n\n", road.num_vertices(), road.num_edges());
+
+  auto report = [](const char* name, const HopDbIndex& index,
+                   double seconds) {
+    std::printf("  %-28s %8.1f entries/vertex  %10s  built in %s\n", name,
+                index.AvgLabelSize(),
+                HumanBytes(index.PaperSizeBytes()).c_str(),
+                HumanDuration(seconds).c_str());
+  };
+
+  // --- degree ranking (the paper's scale-free default) flounders: every
+  // interior intersection has degree 4.
+  {
+    Stopwatch watch;
+    auto index = HopDbIndex::Build(road);
+    index.status().CheckOK();
+    report("degree ranking", *index, watch.Seconds());
+  }
+
+  // --- custom order: center-out. Central vertices hit many shortest
+  // paths on a grid, so rank them highest (Section 7's guidance).
+  {
+    HopDbOptions opts;
+    opts.ranking = HopDbOptions::Ranking::kCustom;
+    std::vector<VertexId> order(road.num_vertices());
+    std::iota(order.begin(), order.end(), 0u);
+    auto centrality = [&](VertexId v) {
+      // Negated product of distances to the four borders — high in the
+      // middle, zero at the boundary.
+      int64_t r = v / cols, c = v % cols;
+      int64_t dr = std::min<int64_t>(r, rows - 1 - r) + 1;
+      int64_t dc = std::min<int64_t>(c, cols - 1 - c) + 1;
+      return dr * dc;
+    };
+    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      int64_t ca = centrality(a), cb = centrality(b);
+      if (ca != cb) return ca > cb;
+      return a < b;
+    });
+    opts.custom_order = order;
+    Stopwatch watch;
+    auto index = HopDbIndex::Build(road, opts);
+    index.status().CheckOK();
+    report("center-out custom ranking", *index, watch.Seconds());
+
+    // The index answers routing queries exactly.
+    VertexId nw = 0;                        // north-west corner
+    VertexId se = rows * cols - 1;          // south-east corner
+    VertexId center = (rows / 2) * cols + cols / 2;
+    std::printf("\n  travel cost NW->SE: %u\n", index->Query(nw, se));
+    std::printf("  travel cost NW->center: %u, center->SE: %u\n",
+                index->Query(nw, center), index->Query(center, se));
+    std::printf(
+        "  (triangle inequality check: %u <= %u)\n", index->Query(nw, se),
+        index->Query(nw, center) + index->Query(center, se));
+  }
+
+  std::printf(
+      "\nTakeaway (Section 7): the algorithms work with any total order;\n"
+      "on graphs without hubs, the ordering choice drives the index size.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Social-network analytics on top of HopDb: closeness centrality and
+// k-hop reach for a scale-free "who-follows-whom" community — the kind
+// of workload the paper's introduction motivates (network analysis,
+// locating influential users).
+//
+// Millions of distance queries against one prebuilt index replace
+// per-query BFS: this program issues |candidates| x |samples| queries
+// through the label index in milliseconds.
+//
+//   $ ./social_influence [--users 30000] [--avg_friends 8] [--seed 1]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "gen/glp.h"
+#include "graph/stats.h"
+#include "hopdb.h"
+#include "util/cli.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace hopdb;
+  CliFlags flags;
+  flags.Define("users", "30000", "number of users in the simulated network");
+  flags.Define("avg_friends", "8", "average friendships per user");
+  flags.Define("seed", "1", "generator seed");
+  flags.Parse(argc, argv).CheckOK();
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("social_influence").c_str());
+    return 0;
+  }
+
+  // --- simulate the social network (GLP: the paper's scale-free model).
+  GlpOptions glp;
+  glp.num_vertices = static_cast<VertexId>(flags.GetUint("users"));
+  glp.target_avg_degree = flags.GetDouble("avg_friends");
+  glp.seed = flags.GetUint("seed");
+  auto edges = GenerateGlp(glp);
+  edges.status().CheckOK();
+  auto graph = CsrGraph::FromEdgeList(*edges);
+  graph.status().CheckOK();
+  GraphStats stats = ComputeGraphStats(*graph);
+  std::printf("network: %s\n", stats.ToString().c_str());
+
+  // --- build the distance index once.
+  Stopwatch build_watch;
+  auto index = HopDbIndex::Build(*graph);
+  index.status().CheckOK();
+  std::printf("index built in %s (%.1f entries/user, %s)\n\n",
+              HumanDuration(build_watch.Seconds()).c_str(),
+              index->AvgLabelSize(),
+              HumanBytes(index->PaperSizeBytes()).c_str());
+
+  // --- closeness centrality of the 12 highest-degree users, estimated
+  //     over a fixed random sample of targets (pure index queries).
+  std::vector<VertexId> candidates(graph->num_vertices());
+  for (VertexId v = 0; v < graph->num_vertices(); ++v) candidates[v] = v;
+  std::sort(candidates.begin(), candidates.end(), [&](VertexId a, VertexId b) {
+    return graph->Degree(a) > graph->Degree(b);
+  });
+  candidates.resize(12);
+
+  const size_t kSamples = 2000;
+  Rng rng(7);
+  std::vector<VertexId> sample;
+  for (size_t i = 0; i < kSamples; ++i) {
+    sample.push_back(static_cast<VertexId>(rng.Below(graph->num_vertices())));
+  }
+
+  Stopwatch query_watch;
+  std::printf("closeness centrality of the top-degree users "
+              "(%zu samples each):\n", kSamples);
+  std::printf("  %-8s %-8s %-10s %-10s\n", "user", "degree", "closeness",
+              "reach<=2");
+  for (VertexId user : candidates) {
+    double sum = 0;
+    uint64_t reached = 0, within2 = 0;
+    for (VertexId target : sample) {
+      Distance d = index->Query(user, target);
+      if (d == kInfDistance) continue;
+      sum += d;
+      ++reached;
+      if (d <= 2) ++within2;
+    }
+    double closeness = reached == 0 ? 0 : static_cast<double>(reached) / sum;
+    std::printf("  %-8u %-8u %-10.4f %5.1f%%\n", user, graph->Degree(user),
+                closeness,
+                100.0 * static_cast<double>(within2) / kSamples);
+  }
+  double total_queries =
+      static_cast<double>(candidates.size()) * static_cast<double>(kSamples);
+  std::printf("\n%savg %.2fus per distance query (%.0f queries)\n",
+              "", query_watch.Seconds() * 1e6 / total_queries,
+              total_queries);
+  std::printf(
+      "\nThe hub users reach most of the network within 2 hops — the\n"
+      "hitting-set property (paper Section 2.2) that makes the index "
+      "small.\n");
+  return 0;
+}

@@ -1,0 +1,195 @@
+#include "baselines/hcl.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "baselines/pll.h"
+#include "graph/transform.h"
+#include "search/dijkstra.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace hopdb {
+
+namespace {
+
+/// Search from `source` that records distances to core vertices but never
+/// expands through them ("core-free" access search). With forward=false
+/// arcs are traversed backwards. Appends (core, dist) pairs to `out`.
+void CoreFreeSearch(const CsrGraph& g, VertexId source, uint32_t core_size,
+                    bool forward, std::vector<Distance>* dist,
+                    std::vector<VertexId>* touched, LabelVector* out) {
+  touched->clear();
+  (*dist)[source] = 0;
+  touched->push_back(source);
+
+  auto expand = [&](VertexId u) {
+    // Core vertices are frontier terminals: record, do not expand
+    // (unless the core vertex is the source itself).
+    return u == source || u >= core_size;
+  };
+
+  if (!g.weighted()) {
+    std::vector<VertexId> queue{source};
+    size_t head = 0;
+    while (head < queue.size()) {
+      VertexId u = queue[head++];
+      if (!expand(u)) continue;
+      Distance d = (*dist)[u];
+      auto arcs = forward ? g.OutArcs(u) : g.InArcs(u);
+      for (const Arc& a : arcs) {
+        if ((*dist)[a.to] != kInfDistance) continue;
+        (*dist)[a.to] = d + 1;
+        touched->push_back(a.to);
+        queue.push_back(a.to);
+      }
+    }
+  } else {
+    struct Item {
+      Distance dist;
+      VertexId vertex;
+      bool operator>(const Item& o) const { return dist > o.dist; }
+    };
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.push({0, source});
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d != (*dist)[u]) continue;
+      if (!expand(u)) continue;
+      auto arcs = forward ? g.OutArcs(u) : g.InArcs(u);
+      for (const Arc& a : arcs) {
+        Distance nd = SaturatingAdd(d, a.weight);
+        if (nd < (*dist)[a.to]) {
+          if ((*dist)[a.to] == kInfDistance) touched->push_back(a.to);
+          (*dist)[a.to] = nd;
+          heap.push({nd, a.to});
+        }
+      }
+    }
+  }
+
+  out->clear();
+  for (VertexId v : *touched) {
+    if (v < core_size && v != source) out->push_back({v, (*dist)[v]});
+  }
+  std::sort(out->begin(), out->end(),
+            [](const LabelEntry& a, const LabelEntry& b) {
+              return a.pivot < b.pivot;
+            });
+  for (VertexId v : *touched) (*dist)[v] = kInfDistance;
+}
+
+}  // namespace
+
+Distance HclIndex::Query(VertexId s, VertexId t) const {
+  if (s == t) return 0;
+  Distance best = kInfDistance;
+
+  // Local (highway-avoiding) part.
+  if (s >= core_size_ && t >= core_size_) {
+    best = local_.Query(s - core_size_, t - core_size_);
+  }
+
+  // Highway part: d(s,a) + D[a][b] + d(b,t) with implicit (v,0) access
+  // entries for core endpoints.
+  const LabelEntry self_s{s, 0};
+  const LabelEntry self_t{t, 0};
+  std::span<const LabelEntry> as =
+      s < core_size_ ? std::span<const LabelEntry>(&self_s, 1)
+                     : std::span<const LabelEntry>(aout_[s]);
+  std::span<const LabelEntry> bt =
+      t < core_size_ ? std::span<const LabelEntry>(&self_t, 1)
+                     : std::span<const LabelEntry>(
+                           directed_ ? ain_[t] : aout_[t]);
+  for (const LabelEntry& ea : as) {
+    for (const LabelEntry& eb : bt) {
+      Distance mid = CoreDistance(ea.pivot, eb.pivot);
+      Distance total =
+          SaturatingAdd(SaturatingAdd(ea.dist, mid), eb.dist);
+      if (total < best) best = total;
+    }
+  }
+  return best;
+}
+
+uint64_t HclIndex::PaperSizeBytes() const {
+  uint64_t bytes = static_cast<uint64_t>(core_size_) * core_size_ * 1ull;
+  for (const auto& l : aout_) bytes += l.size() * 5ull;
+  for (const auto& l : ain_) bytes += l.size() * 5ull;
+  bytes += local_.PaperSizeBytes();
+  return bytes;
+}
+
+Result<HclOutput> BuildHcl(const CsrGraph& ranked_graph,
+                           const HclOptions& options) {
+  Stopwatch watch;
+  Deadline deadline(options.time_budget_seconds);
+  const CsrGraph& g = ranked_graph;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  HclIndex index;
+  index.directed_ = g.directed();
+  uint32_t k = options.core_size;
+  if (k == 0) k = std::max<uint32_t>(1, std::min<uint32_t>(256, n / 16));
+  k = std::min<uint32_t>(k, n);
+  index.core_size_ = k;
+
+  // --- K x K exact core distance table (full-graph searches).
+  index.core_table_.assign(static_cast<size_t>(k) * k, kInfDistance);
+  {
+    std::vector<Distance> dist;
+    for (VertexId a = 0; a < k; ++a) {
+      if (deadline.Exceeded()) {
+        return Status::DeadlineExceeded("HCL core table over budget");
+      }
+      dist = ExactDistances(g, a);
+      for (VertexId b = 0; b < k; ++b) {
+        index.core_table_[static_cast<size_t>(a) * k + b] = dist[b];
+      }
+    }
+  }
+
+  // --- Access labels by core-free searches.
+  index.aout_.assign(n, {});
+  if (g.directed()) index.ain_.assign(n, {});
+  {
+    std::vector<Distance> dist(n, kInfDistance);
+    std::vector<VertexId> touched;
+    for (VertexId v = k; v < n; ++v) {
+      if (deadline.Exceeded()) {
+        return Status::DeadlineExceeded("HCL access labels over budget");
+      }
+      CoreFreeSearch(g, v, k, /*forward=*/true, &dist, &touched,
+                     &index.aout_[v]);
+      if (g.directed()) {
+        CoreFreeSearch(g, v, k, /*forward=*/false, &dist, &touched,
+                       &index.ain_[v]);
+      }
+    }
+  }
+
+  // --- Local PLL index over the core-removed subgraph. Vertex v >= k
+  // maps to local id v - k; the id order (== rank order) is preserved, so
+  // the subgraph is already rank-relabeled for PLL.
+  {
+    EdgeList all = g.ToEdgeList();
+    std::vector<bool> keep(n, false);
+    for (VertexId v = k; v < n; ++v) keep[v] = true;
+    EdgeList local_edges = InducedSubgraph(all, keep);
+    HOPDB_ASSIGN_OR_RETURN(CsrGraph local_graph,
+                           CsrGraph::FromEdgeList(local_edges));
+    PllOptions pll_opts;
+    pll_opts.time_budget_seconds = deadline.RemainingSeconds() > 1e17
+                                       ? 0
+                                       : deadline.RemainingSeconds();
+    HOPDB_ASSIGN_OR_RETURN(PllOutput pll, BuildPll(local_graph, pll_opts));
+    index.local_ = std::move(pll.index);
+  }
+
+  HclOutput out{std::move(index), watch.Seconds()};
+  return out;
+}
+
+}  // namespace hopdb

@@ -1,0 +1,156 @@
+#include "baselines/pll.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace hopdb {
+
+namespace {
+
+/// Shared state for the pruned searches. Labels grow in pivot order, so
+/// appending keeps every label vector sorted — the canonical-order trick
+/// that makes PLL queries cheap during construction.
+class PllBuilder {
+ public:
+  PllBuilder(const CsrGraph& g, const PllOptions& opts)
+      : g_(g),
+        opts_(opts),
+        directed_(g.directed()),
+        deadline_(opts.time_budget_seconds),
+        out_(g.num_vertices()),
+        in_(directed_ ? g.num_vertices() : 0),
+        dist_(g.num_vertices(), kInfDistance) {}
+
+  Result<PllOutput> Run() {
+    Stopwatch watch;
+    const VertexId n = g_.num_vertices();
+    for (VertexId k = 0; k < n; ++k) {
+      if (deadline_.Exceeded()) {
+        return Status::DeadlineExceeded("PLL over time budget at vertex " +
+                                        std::to_string(k));
+      }
+      // Forward search from k labels Lin of reached vertices; backward
+      // search labels Lout. Undirected graphs need one search only.
+      PrunedSearch(k, /*forward=*/true);
+      ++searches_;
+      if (directed_) {
+        PrunedSearch(k, /*forward=*/false);
+        ++searches_;
+      }
+    }
+    PllOutput out{TwoHopIndex(std::move(out_), std::move(in_), directed_),
+                  watch.Seconds(), searches_};
+    return out;
+  }
+
+ private:
+  /// Query with the current (partial) index: dist(k ⇝ u) for forward
+  /// searches, dist(u ⇝ k) for backward ones.
+  Distance IndexQuery(VertexId k, VertexId u, bool forward) {
+    if (!directed_) {
+      return QueryLabelHalves(out_[k], out_[u], k, u);
+    }
+    return forward ? QueryLabelHalves(out_[k], in_[u], k, u)
+                   : QueryLabelHalves(out_[u], in_[k], u, k);
+  }
+
+  void AddLabel(VertexId k, VertexId u, Distance d, bool forward) {
+    if (u == k) return;  // trivial entries are implicit
+    // Pivot ids only grow, so push_back keeps the vector sorted.
+    if (!directed_) {
+      out_[u].push_back({k, d});
+    } else if (forward) {
+      in_[u].push_back({k, d});
+    } else {
+      out_[u].push_back({k, d});
+    }
+  }
+
+  void PrunedSearch(VertexId k, bool forward) {
+    if (g_.weighted()) {
+      PrunedDijkstra(k, forward);
+    } else {
+      PrunedBfs(k, forward);
+    }
+  }
+
+  void PrunedBfs(VertexId k, bool forward) {
+    queue_.clear();
+    queue_.push_back(k);
+    dist_[k] = 0;
+    touched_.clear();
+    touched_.push_back(k);
+    size_t head = 0;
+    while (head < queue_.size()) {
+      VertexId u = queue_[head++];
+      Distance d = dist_[u];
+      // Prune: the current index already certifies a path of length <= d
+      // through an earlier (higher-ranked) pivot.
+      if (u != k && IndexQuery(k, u, forward) <= d) continue;
+      AddLabel(k, u, d, forward);
+      auto arcs = forward ? g_.OutArcs(u) : g_.InArcs(u);
+      for (const Arc& a : arcs) {
+        if (dist_[a.to] != kInfDistance) continue;
+        dist_[a.to] = d + 1;
+        queue_.push_back(a.to);
+        touched_.push_back(a.to);
+      }
+    }
+    for (VertexId v : touched_) dist_[v] = kInfDistance;
+  }
+
+  void PrunedDijkstra(VertexId k, bool forward) {
+    struct Item {
+      Distance dist;
+      VertexId vertex;
+      bool operator>(const Item& o) const { return dist > o.dist; }
+    };
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    dist_[k] = 0;
+    touched_.clear();
+    touched_.push_back(k);
+    heap.push({0, k});
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d != dist_[u]) continue;  // stale
+      if (u != k && IndexQuery(k, u, forward) <= d) continue;  // pruned
+      AddLabel(k, u, d, forward);
+      auto arcs = forward ? g_.OutArcs(u) : g_.InArcs(u);
+      for (const Arc& a : arcs) {
+        Distance nd = SaturatingAdd(d, a.weight);
+        if (nd < dist_[a.to]) {
+          if (dist_[a.to] == kInfDistance) touched_.push_back(a.to);
+          dist_[a.to] = nd;
+          heap.push({nd, a.to});
+        }
+      }
+    }
+    for (VertexId v : touched_) dist_[v] = kInfDistance;
+  }
+
+  const CsrGraph& g_;
+  PllOptions opts_;
+  bool directed_;
+  Deadline deadline_;
+  std::vector<LabelVector> out_;
+  std::vector<LabelVector> in_;
+  std::vector<Distance> dist_;
+  std::vector<VertexId> queue_;
+  std::vector<VertexId> touched_;
+  uint64_t searches_ = 0;
+};
+
+}  // namespace
+
+Result<PllOutput> BuildPll(const CsrGraph& ranked_graph,
+                           const PllOptions& options) {
+  PllBuilder builder(ranked_graph, options);
+  return builder.Run();
+}
+
+}  // namespace hopdb

@@ -1,0 +1,43 @@
+// Pruned Landmark Labeling (Akiba, Iwata, Yoshida, SIGMOD 2013) — the
+// paper's main in-memory competitor (Table 6).
+//
+// Vertices are processed in rank order (internal id order on a
+// rank-relabeled graph). For each vertex vk a pruned BFS (Dijkstra when
+// weighted) runs forward and backward; a reached vertex u at distance d
+// is labeled with pivot vk unless the current index already certifies
+// dist <= d, in which case the search is cut at u. This produces the
+// canonical labeling for the given order. PLL's limitation — the reason
+// the paper's HopDb exists — is that the whole index must live in RAM
+// during construction and every vertex runs a full graph search.
+//
+// The output is the same TwoHopIndex type HopDb produces, so Table 6's
+// query-time comparison isolates label quality.
+
+#ifndef HOPDB_BASELINES_PLL_H_
+#define HOPDB_BASELINES_PLL_H_
+
+#include "graph/csr_graph.h"
+#include "labeling/two_hop_index.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+struct PllOptions {
+  /// Wall-clock budget; 0 disables (DNF -> Status::DeadlineExceeded).
+  double time_budget_seconds = 0;
+};
+
+struct PllOutput {
+  TwoHopIndex index;
+  double seconds = 0;
+  uint64_t searches = 0;  // BFS/Dijkstra runs performed
+};
+
+/// Builds the canonical PLL index for `ranked_graph` (internal id ==
+/// rank; see RelabelByRank).
+Result<PllOutput> BuildPll(const CsrGraph& ranked_graph,
+                           const PllOptions& options = {});
+
+}  // namespace hopdb
+
+#endif  // HOPDB_BASELINES_PLL_H_

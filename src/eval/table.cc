@@ -1,0 +1,68 @@
+#include "eval/table.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace hopdb {
+
+namespace {
+/// Display width in terminal cells; counts UTF-8 code points (the em dash
+/// used for DNF is 3 bytes but 1 column).
+size_t DisplayWidth(const std::string& s) {
+  size_t w = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++w;  // count non-continuation bytes
+  }
+  return w;
+}
+
+std::string Pad(const std::string& s, size_t width, bool left_align) {
+  size_t w = DisplayWidth(s);
+  if (w >= width) return s;
+  std::string pad(width - w, ' ');
+  return left_align ? s + pad : pad + s;
+}
+}  // namespace
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  HOPDB_CHECK_EQ(cells.size(), headers_.size())
+      << "row width does not match header";
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = DisplayWidth(headers_[c]);
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], DisplayWidth(row[c]));
+    }
+  }
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += Pad(row[c], widths[c], /*left_align=*/c == 0);
+    }
+    out += "\n";
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void AsciiTable::Print() const { std::fputs(Render().c_str(), stdout); }
+
+}  // namespace hopdb

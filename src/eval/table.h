@@ -1,0 +1,34 @@
+// Fixed-width ASCII table rendering for the benchmark binaries, so the
+// harness output reads like the paper's tables (with "—" for DNF).
+
+#ifndef HOPDB_EVAL_TABLE_H_
+#define HOPDB_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace hopdb {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column-wise alignment (first column left, rest right).
+  std::string Render() const;
+
+  /// Convenience: renders straight to stdout.
+  void Print() const;
+
+  /// The paper's DNF marker.
+  static const char* Dash() { return "—"; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_EVAL_TABLE_H_

@@ -1,0 +1,35 @@
+#include "eval/verify.h"
+
+#include "search/dijkstra.h"
+#include "util/random.h"
+
+namespace hopdb {
+
+Status VerifyExactDistances(
+    const CsrGraph& graph,
+    const std::function<Distance(VertexId, VertexId)>& query,
+    const VerifyOptions& options) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return Status::OK();
+  Rng rng(options.seed);
+  const bool exhaustive = n <= options.sample_sources;
+  const uint32_t sources = exhaustive ? n : options.sample_sources;
+  for (uint32_t i = 0; i < sources; ++i) {
+    VertexId s = exhaustive ? i : static_cast<VertexId>(rng.Below(n));
+    std::vector<Distance> truth = ExactDistances(graph, s);
+    for (VertexId t = 0; t < n; ++t) {
+      Distance got = query(s, t);
+      if (got != truth[t]) {
+        return Status::Internal(
+            "distance mismatch for (" + std::to_string(s) + ", " +
+            std::to_string(t) + "): got " +
+            (got == kInfDistance ? "inf" : std::to_string(got)) +
+            ", want " +
+            (truth[t] == kInfDistance ? "inf" : std::to_string(truth[t])));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hopdb

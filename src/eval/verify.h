@@ -1,0 +1,33 @@
+// Exactness verification against BFS/Dijkstra ground truth — the safety
+// net every index implementation is held to in tests and (sampled) in the
+// benchmark harness.
+
+#ifndef HOPDB_EVAL_VERIFY_H_
+#define HOPDB_EVAL_VERIFY_H_
+
+#include <functional>
+#include <string>
+
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+struct VerifyOptions {
+  /// Sources checked exhaustively against all targets; graphs with fewer
+  /// vertices are checked from every source.
+  uint32_t sample_sources = 16;
+  uint64_t seed = 7;
+};
+
+/// Compares `query` (over ORIGINAL vertex ids of `graph`) against exact
+/// single-source distances from sampled sources. Returns the first
+/// mismatch as an error status.
+Status VerifyExactDistances(
+    const CsrGraph& graph,
+    const std::function<Distance(VertexId, VertexId)>& query,
+    const VerifyOptions& options = {});
+
+}  // namespace hopdb
+
+#endif  // HOPDB_EVAL_VERIFY_H_

@@ -1,0 +1,37 @@
+#include "eval/workload.h"
+
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace hopdb {
+
+std::vector<QueryPair> RandomPairs(VertexId n, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryPair> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.push_back({static_cast<VertexId>(rng.Below(n)),
+                     static_cast<VertexId>(rng.Below(n))});
+  }
+  return pairs;
+}
+
+QueryTiming TimeQueries(
+    const std::vector<QueryPair>& pairs,
+    const std::function<Distance(VertexId, VertexId)>& query) {
+  QueryTiming timing;
+  timing.queries = pairs.size();
+  Stopwatch watch;
+  uint64_t checksum = 0;
+  for (const QueryPair& p : pairs) {
+    Distance d = query(p.s, p.t);
+    if (d != kInfDistance) checksum += d;
+  }
+  timing.total_seconds = watch.Seconds();
+  timing.checksum = checksum;
+  timing.avg_micros =
+      pairs.empty() ? 0 : timing.total_seconds * 1e6 / pairs.size();
+  return timing;
+}
+
+}  // namespace hopdb

@@ -1,0 +1,39 @@
+// Query workload generation and timing helpers shared by Table 6 and the
+// microbenchmarks.
+
+#ifndef HOPDB_EVAL_WORKLOAD_H_
+#define HOPDB_EVAL_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace hopdb {
+
+struct QueryPair {
+  VertexId s;
+  VertexId t;
+};
+
+/// Uniform random (s, t) pairs over [0, n) (the paper's query workload).
+std::vector<QueryPair> RandomPairs(VertexId n, size_t count, uint64_t seed);
+
+/// Timing summary of one query workload.
+struct QueryTiming {
+  double total_seconds = 0;
+  double avg_micros = 0;
+  uint64_t queries = 0;
+  /// Sum of returned distances (defeats dead-code elimination and gives a
+  /// cheap cross-method consistency check).
+  uint64_t checksum = 0;
+};
+
+/// Runs `query` over all pairs and measures aggregate wall time.
+QueryTiming TimeQueries(const std::vector<QueryPair>& pairs,
+                        const std::function<Distance(VertexId, VertexId)>& query);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_EVAL_WORKLOAD_H_

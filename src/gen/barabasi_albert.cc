@@ -1,0 +1,41 @@
+#include "gen/barabasi_albert.h"
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace hopdb {
+
+Result<EdgeList> GenerateBarabasiAlbert(const BaOptions& options) {
+  const uint32_t m = options.edges_per_vertex;
+  if (m < 1) return Status::InvalidArgument("BA requires m >= 1");
+  if (options.num_vertices < m + 1) {
+    return Status::InvalidArgument("BA requires |V| > m");
+  }
+  Rng rng(options.seed);
+  EdgeList edges(options.num_vertices, /*directed=*/false);
+  // Endpoint array: uniform draws are degree-proportional draws.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2ull * m * options.num_vertices);
+
+  // Seed: star over the first m+1 vertices.
+  for (VertexId v = 1; v <= m; ++v) {
+    edges.Add(0, v);
+    endpoints.push_back(0);
+    endpoints.push_back(v);
+  }
+  for (VertexId v = m + 1; v < options.num_vertices; ++v) {
+    for (uint32_t i = 0; i < m; ++i) {
+      VertexId target = endpoints[rng.Below(endpoints.size())];
+      if (target == v) continue;
+      edges.Add(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  edges.set_num_vertices(options.num_vertices);
+  edges.Normalize();
+  return edges;
+}
+
+}  // namespace hopdb

@@ -1,0 +1,25 @@
+// Barabási–Albert preferential attachment (the BA model the paper's
+// scale-free analysis builds on; GLP generalizes it). Used in tests and
+// as an alternative synthetic source.
+
+#ifndef HOPDB_GEN_BARABASI_ALBERT_H_
+#define HOPDB_GEN_BARABASI_ALBERT_H_
+
+#include "graph/edge_list.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+struct BaOptions {
+  VertexId num_vertices = 10000;
+  /// Edges attached by each arriving vertex.
+  uint32_t edges_per_vertex = 2;
+  uint64_t seed = 1;
+};
+
+/// Generates an undirected, unweighted BA graph (exponent α = 3).
+Result<EdgeList> GenerateBarabasiAlbert(const BaOptions& options);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_GEN_BARABASI_ALBERT_H_

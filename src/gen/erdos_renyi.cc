@@ -1,0 +1,25 @@
+#include "gen/erdos_renyi.h"
+
+#include "util/random.h"
+
+namespace hopdb {
+
+Result<EdgeList> GenerateErdosRenyi(const ErOptions& options) {
+  if (options.num_vertices < 2) {
+    return Status::InvalidArgument("ER requires |V| >= 2");
+  }
+  Rng rng(options.seed);
+  EdgeList edges(options.num_vertices, options.directed);
+  edges.mutable_edges().reserve(options.num_edges);
+  for (uint64_t i = 0; i < options.num_edges; ++i) {
+    VertexId a = static_cast<VertexId>(rng.Below(options.num_vertices));
+    VertexId b = static_cast<VertexId>(rng.Below(options.num_vertices));
+    if (a == b) continue;
+    edges.Add(a, b);
+  }
+  edges.set_num_vertices(options.num_vertices);
+  edges.Normalize();
+  return edges;
+}
+
+}  // namespace hopdb

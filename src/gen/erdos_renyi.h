@@ -1,0 +1,26 @@
+// Erdős–Rényi G(n, M) random graphs. Not scale-free — used by tests and
+// the "general graphs" pathway (Section 7) to exercise the algorithms
+// outside their assumption envelope.
+
+#ifndef HOPDB_GEN_ERDOS_RENYI_H_
+#define HOPDB_GEN_ERDOS_RENYI_H_
+
+#include "graph/edge_list.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+struct ErOptions {
+  VertexId num_vertices = 1000;
+  uint64_t num_edges = 3000;
+  bool directed = false;
+  uint64_t seed = 1;
+};
+
+/// Samples edges uniformly at random (with replacement, then dedup — the
+/// realized edge count can be slightly below num_edges on dense settings).
+Result<EdgeList> GenerateErdosRenyi(const ErOptions& options);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_GEN_ERDOS_RENYI_H_

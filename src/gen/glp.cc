@@ -1,0 +1,131 @@
+#include "gen/glp.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace hopdb {
+
+namespace {
+
+/// Preferential sampler: maintains an endpoint array where vertex v
+/// appears deg(v) times; sampling uniformly from it is sampling ∝ deg(v).
+/// The GLP shift P(v) ∝ (deg(v) - beta) is realized by rejection:
+/// accept a degree-proportional draw v with probability
+/// (deg(v) - beta)/deg(v) = 1 - beta/deg(v) >= 1 - beta > 0.
+class PreferentialSampler {
+ public:
+  explicit PreferentialSampler(double beta) : beta_(beta) {}
+
+  void AddEndpoint(VertexId v, std::vector<uint32_t>* degree) {
+    endpoints_.push_back(v);
+    (*degree)[v]++;
+  }
+
+  VertexId Sample(const std::vector<uint32_t>& degree, Rng* rng) const {
+    HOPDB_DCHECK(!endpoints_.empty());
+    for (;;) {
+      VertexId v = endpoints_[rng->Below(endpoints_.size())];
+      double d = static_cast<double>(degree[v]);
+      if (beta_ <= 0 || rng->NextDouble() < 1.0 - beta_ / d) return v;
+    }
+  }
+
+ private:
+  double beta_;
+  std::vector<VertexId> endpoints_;
+};
+
+}  // namespace
+
+Result<EdgeList> GenerateGlp(const GlpOptions& options) {
+  if (options.m0 < 2) {
+    return Status::InvalidArgument("GLP requires m0 >= 2");
+  }
+  if (options.num_vertices < options.m0) {
+    return Status::InvalidArgument("GLP requires |V| >= m0");
+  }
+  if (options.beta >= 1.0) {
+    return Status::InvalidArgument("GLP requires beta < 1");
+  }
+  if (options.p < 0.0 || options.p >= 1.0) {
+    return Status::InvalidArgument("GLP requires 0 <= p < 1");
+  }
+
+  double m = options.m;
+  if (options.target_avg_degree > 0) {
+    // |E| ≈ m0-1 + m*T where T ≈ (|V|-m0)/(1-p) steps total, so
+    // |E|/|V| ≈ m/(1-p) for large graphs.
+    m = options.target_avg_degree * (1.0 - options.p);
+  }
+  if (m < 1.0) m = 1.0;
+
+  Rng rng(options.seed);
+  EdgeList edges(options.num_vertices, /*directed=*/false);
+  std::vector<uint32_t> degree(options.num_vertices, 0);
+  PreferentialSampler sampler(options.beta);
+
+  // Seed: a chain of m0 vertices (connected, every degree >= 1).
+  VertexId next_vertex = options.m0;
+  for (VertexId v = 0; v + 1 < options.m0; ++v) {
+    edges.Add(v, v + 1);
+    sampler.AddEndpoint(v, &degree);
+    sampler.AddEndpoint(v + 1, &degree);
+  }
+
+  auto draw_m = [&]() -> uint32_t {
+    double frac = m - std::floor(m);
+    uint32_t base = static_cast<uint32_t>(std::floor(m));
+    return base + (rng.NextDouble() < frac ? 1 : 0);
+  };
+
+  while (next_vertex < options.num_vertices) {
+    if (rng.NextDouble() < options.p) {
+      // Add edges between existing vertices.
+      uint32_t batch = draw_m();
+      for (uint32_t i = 0; i < batch; ++i) {
+        VertexId a = sampler.Sample(degree, &rng);
+        VertexId b = sampler.Sample(degree, &rng);
+        if (a == b) continue;  // skip; Normalize() also drops any dups
+        edges.Add(a, b);
+        sampler.AddEndpoint(a, &degree);
+        sampler.AddEndpoint(b, &degree);
+      }
+    } else {
+      // Add one new vertex with m edges to existing vertices.
+      VertexId v = next_vertex++;
+      uint32_t batch = std::max<uint32_t>(1, draw_m());
+      for (uint32_t i = 0; i < batch; ++i) {
+        VertexId b = sampler.Sample(degree, &rng);
+        if (b == v) continue;
+        edges.Add(v, b);
+        sampler.AddEndpoint(v, &degree);
+        sampler.AddEndpoint(b, &degree);
+      }
+    }
+  }
+
+  edges.set_num_vertices(options.num_vertices);
+  edges.Normalize();
+  return edges;
+}
+
+Result<EdgeList> GenerateDirectedGlp(const GlpOptions& options,
+                                     double reciprocal) {
+  HOPDB_ASSIGN_OR_RETURN(EdgeList undirected, GenerateGlp(options));
+  Rng rng(DeriveSeed(options.seed, /*stream=*/77));
+  EdgeList out(undirected.num_vertices(), /*directed=*/true);
+  for (const Edge& e : undirected.edges()) {
+    VertexId a = e.src, b = e.dst;
+    if (rng.Chance(0.5)) std::swap(a, b);
+    out.Add(a, b, e.weight);
+    if (rng.Chance(reciprocal)) out.Add(b, a, e.weight);
+  }
+  out.set_num_vertices(undirected.num_vertices());
+  out.Normalize();
+  return out;
+}
+
+}  // namespace hopdb

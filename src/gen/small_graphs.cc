@@ -1,0 +1,107 @@
+#include "gen/small_graphs.h"
+
+namespace hopdb {
+
+EdgeList RoadGraphGR() {
+  // Figure 1: a road system. a=0, b=1, c=2, d=3, e=4.
+  // Edge set reconstructed from Table 1's distances: (c,2) in L(a) means
+  // dist(a,c)=2 (so c hangs off b) and (d,2) in L(e) means dist(e,d)=2
+  // (so d and e are both leaves of the hub a, with no d-e edge).
+  EdgeList g(5, /*directed=*/false);
+  g.Add(0, 1);  // a-b
+  g.Add(1, 2);  // b-c
+  g.Add(0, 3);  // a-d
+  g.Add(0, 4);  // a-e
+  g.Normalize();
+  return g;
+}
+
+EdgeList StarGraphGS() {
+  // Figure 2: star with center a=0 and leaves b..f = 1..5.
+  return StarGraph(5);
+}
+
+EdgeList PaperExampleGraph() {
+  // Figure 3(a), reconstructed from the initialization entries of Figure 5
+  // (every distance-1 label entry is an edge) and verified against
+  // Examples 1-3:
+  //   * iteration 1 derives (2->1,2) from (2->3,1)+(3->1,1),
+  //     (4->3,2) from 4->5->3, (3->2,2) from 3->7->2, (5->1,2) from
+  //     5->3->1, (3->0,2) from 3->1->0, (2->7,2) from 2->3->7;
+  //   * iteration 2 derives (4->2,4), (5->2,3), (5->0,3);
+  //   * total degrees 5,4,4,4,3,2,2,2 are non-increasing, matching the
+  //     paper's rank-labeled ids.
+  EdgeList g(8, /*directed=*/true);
+  g.Add(0, 1);
+  g.Add(1, 0);
+  g.Add(2, 0);
+  g.Add(2, 3);
+  g.Add(2, 6);
+  g.Add(0, 6);
+  g.Add(3, 1);
+  g.Add(3, 7);
+  g.Add(4, 0);
+  g.Add(4, 1);
+  g.Add(4, 5);
+  g.Add(5, 3);
+  g.Add(7, 2);
+  g.Normalize();
+  return g;
+}
+
+EdgeList PathGraph(VertexId n, bool directed) {
+  EdgeList g(n, directed);
+  for (VertexId v = 0; v + 1 < n; ++v) g.Add(v, v + 1);
+  g.Normalize();
+  return g;
+}
+
+EdgeList CycleGraph(VertexId n, bool directed) {
+  EdgeList g(n, directed);
+  for (VertexId v = 0; v < n; ++v) g.Add(v, (v + 1) % n);
+  g.Normalize();
+  return g;
+}
+
+EdgeList StarGraph(VertexId leaves) {
+  EdgeList g(leaves + 1, /*directed=*/false);
+  for (VertexId v = 1; v <= leaves; ++v) g.Add(0, v);
+  g.Normalize();
+  return g;
+}
+
+EdgeList GridGraph(VertexId rows, VertexId cols) {
+  EdgeList g(rows * cols, /*directed=*/false);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.Add(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.Add(id(r, c), id(r + 1, c));
+    }
+  }
+  g.Normalize();
+  return g;
+}
+
+EdgeList CompleteGraph(VertexId n) {
+  EdgeList g(n, /*directed=*/false);
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = a + 1; b < n; ++b) g.Add(a, b);
+  }
+  g.Normalize();
+  return g;
+}
+
+EdgeList TwoTriangles() {
+  EdgeList g(6, /*directed=*/false);
+  g.Add(0, 1);
+  g.Add(1, 2);
+  g.Add(2, 0);
+  g.Add(3, 4);
+  g.Add(4, 5);
+  g.Add(5, 3);
+  g.Normalize();
+  return g;
+}
+
+}  // namespace hopdb

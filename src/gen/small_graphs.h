@@ -1,0 +1,48 @@
+// Deterministic fixture graphs: the paper's worked examples (Figures 1-3)
+// plus standard shapes (path, cycle, star, grid, complete) used across the
+// test suite and the "general graphs" example.
+
+#ifndef HOPDB_GEN_SMALL_GRAPHS_H_
+#define HOPDB_GEN_SMALL_GRAPHS_H_
+
+#include "graph/edge_list.h"
+
+namespace hopdb {
+
+/// Figure 1's road graph GR: undirected; a-b-c / a-d / a-e / e-d path
+/// structure. Vertex ids: a=0, b=1, c=2, d=3, e=4.
+/// Edges: a-b, b-c, a-d, a-e, e-d.
+EdgeList RoadGraphGR();
+
+/// Figure 2's star graph GS: center a=0 with leaves b..f = 1..5.
+EdgeList StarGraphGS();
+
+/// Figure 3(a)'s 8-vertex example graph G, already labeled by rank
+/// (vertex 0 = highest degree), directed. Edge set reconstructed from
+/// Example 1 and the label tables of Figure 5:
+///   0->1, 1->0, 2->0, 0->6, 2->6, 2->3 (wait: 3 has in-label (2,1)),
+/// see small_graphs.cc for the derivation.
+EdgeList PaperExampleGraph();
+
+/// Path 0-1-2-...-(n-1).
+EdgeList PathGraph(VertexId n, bool directed = false);
+
+/// Cycle over n vertices.
+EdgeList CycleGraph(VertexId n, bool directed = false);
+
+/// Star with `leaves` leaves; center is vertex 0.
+EdgeList StarGraph(VertexId leaves);
+
+/// rows x cols grid, 4-neighbor connectivity — a road-network-like
+/// general graph with no high-degree hubs (Section 7's hard case).
+EdgeList GridGraph(VertexId rows, VertexId cols);
+
+/// Complete graph K_n.
+EdgeList CompleteGraph(VertexId n);
+
+/// Two disconnected triangles (0,1,2) and (3,4,5): unreachable pairs.
+EdgeList TwoTriangles();
+
+}  // namespace hopdb
+
+#endif  // HOPDB_GEN_SMALL_GRAPHS_H_

@@ -1,0 +1,41 @@
+#include "gen/weights.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace hopdb {
+
+void AssignUniformWeights(EdgeList* edges, Distance min_w, Distance max_w,
+                          uint64_t seed) {
+  HOPDB_CHECK_GE(min_w, 1u);
+  HOPDB_CHECK_GE(max_w, min_w);
+  Rng rng(seed);
+  for (Edge& e : edges->mutable_edges()) {
+    e.weight = static_cast<Distance>(rng.Uniform(min_w, max_w));
+  }
+  edges->set_weighted(max_w > 1);
+}
+
+void AssignRatingWeights(EdgeList* edges, Distance max_w, uint64_t seed) {
+  HOPDB_CHECK_GE(max_w, 1u);
+  Rng rng(seed);
+  // Cumulative distribution of P(w) ∝ 1/w.
+  std::vector<double> cdf(max_w);
+  double total = 0;
+  for (Distance w = 1; w <= max_w; ++w) {
+    total += 1.0 / w;
+    cdf[w - 1] = total;
+  }
+  for (Edge& e : edges->mutable_edges()) {
+    double x = rng.NextDouble() * total;
+    Distance w = 1;
+    while (w < max_w && cdf[w - 1] < x) ++w;
+    e.weight = w;
+  }
+  edges->set_weighted(max_w > 1);
+}
+
+}  // namespace hopdb

@@ -1,0 +1,21 @@
+// Edge-weight assignment for weighted-graph experiments (the paper's
+// amaRating/epinRating/movRating/bookRating rows use weighted graphs).
+
+#ifndef HOPDB_GEN_WEIGHTS_H_
+#define HOPDB_GEN_WEIGHTS_H_
+
+#include "graph/edge_list.h"
+
+namespace hopdb {
+
+/// Overwrites every edge weight with a uniform draw from [min_w, max_w].
+void AssignUniformWeights(EdgeList* edges, Distance min_w, Distance max_w,
+                          uint64_t seed);
+
+/// Rating-like weights: small integers skewed toward the low end
+/// (P(w) ∝ 1/w over [1, max_w]), echoing rating-scale networks.
+void AssignRatingWeights(EdgeList* edges, Distance max_w, uint64_t seed);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_GEN_WEIGHTS_H_

@@ -1,0 +1,61 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+namespace hopdb {
+
+void EdgeList::Add(VertexId src, VertexId dst, Distance weight) {
+  edges_.emplace_back(src, dst, weight);
+  VertexId hi = std::max(src, dst);
+  if (hi >= num_vertices_) num_vertices_ = hi + 1;
+  if (weight != 1) weighted_ = true;
+}
+
+void EdgeList::Normalize() {
+  // Canonicalize undirected edges so {u,v} and {v,u} dedup together.
+  if (!directed_) {
+    for (Edge& e : edges_) {
+      if (e.src > e.dst) std::swap(e.src, e.dst);
+    }
+  }
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.weight < b.weight;
+  });
+  size_t out = 0;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    if (e.src == e.dst) continue;  // self-loop
+    if (out > 0 && edges_[out - 1].src == e.src &&
+        edges_[out - 1].dst == e.dst) {
+      continue;  // parallel edge; the sort put the lightest first
+    }
+    edges_[out++] = e;
+  }
+  edges_.resize(out);
+}
+
+Status EdgeList::Validate() const {
+  for (const Edge& e : edges_) {
+    if (e.src >= num_vertices_ || e.dst >= num_vertices_) {
+      return Status::InvalidArgument(
+          "edge endpoint out of range: " + std::to_string(e.src) + "->" +
+          std::to_string(e.dst) + " with |V|=" + std::to_string(num_vertices_));
+    }
+    if (e.weight == 0 || e.weight == kInfDistance) {
+      return Status::InvalidArgument("edge weight must be in [1, inf)");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t EdgeList::SizeBytes(bool paper_accounting) const {
+  if (paper_accounting) {
+    // The paper uses a 32-bit integer per endpoint and an 8-bit distance.
+    return edges_.size() * (4ULL + 4ULL + 1ULL);
+  }
+  return edges_.size() * sizeof(Edge);
+}
+
+}  // namespace hopdb

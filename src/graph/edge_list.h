@@ -1,0 +1,62 @@
+// EdgeList: the mutable, order-insensitive graph representation used while
+// loading or generating a graph, before it is frozen into a CsrGraph.
+
+#ifndef HOPDB_GRAPH_EDGE_LIST_H_
+#define HOPDB_GRAPH_EDGE_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+/// A bag of directed edges plus graph-level metadata. For undirected
+/// graphs, each undirected edge {u, v} is stored once (in either
+/// orientation); CsrGraph materializes both arcs.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  EdgeList(VertexId num_vertices, bool directed)
+      : num_vertices_(num_vertices), directed_(directed) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  bool directed() const { return directed_; }
+  bool weighted() const { return weighted_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& mutable_edges() { return edges_; }
+
+  void set_num_vertices(VertexId n) { num_vertices_ = n; }
+  void set_directed(bool d) { directed_ = d; }
+  void set_weighted(bool w) { weighted_ = w; }
+
+  /// Appends an edge; grows num_vertices to cover both endpoints.
+  void Add(VertexId src, VertexId dst, Distance weight = 1);
+
+  /// Drops self-loops and collapses parallel edges keeping the minimum
+  /// weight (for undirected graphs {u,v} and {v,u} are the same edge).
+  /// Index construction assumes a simple graph; loaders call this.
+  void Normalize();
+
+  /// Validates that all endpoints are < num_vertices and weights are
+  /// positive and finite.
+  Status Validate() const;
+
+  /// Total in-memory footprint of the edge array (for "|G| MB" columns;
+  /// matches the paper's 2x32-bit vertex + 8-bit weight accounting when
+  /// `paper_accounting` is true).
+  uint64_t SizeBytes(bool paper_accounting = false) const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  bool directed_ = true;
+  bool weighted_ = false;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_GRAPH_EDGE_LIST_H_

@@ -1,0 +1,154 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "util/serde.h"
+#include "util/string_util.h"
+
+namespace hopdb {
+
+namespace {
+constexpr char kMagic[4] = {'H', 'G', 'R', '1'};
+
+/// Splits a line into up to 3 whitespace-separated numeric fields.
+/// Returns the number of fields found, or -1 on malformed content.
+int SplitFields(const std::string& line, uint64_t fields[3]) {
+  int count = 0;
+  size_t i = 0;
+  const size_t n = line.size();
+  while (i < n) {
+    while (i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
+      ++i;
+    }
+    if (i >= n) break;
+    if (count == 3) return -1;  // too many fields
+    uint64_t v = 0;
+    bool any = false;
+    while (i < n && line[i] >= '0' && line[i] <= '9') {
+      v = v * 10 + static_cast<uint64_t>(line[i] - '0');
+      any = true;
+      ++i;
+    }
+    if (!any) return -1;  // non-numeric field
+    fields[count++] = v;
+  }
+  return count;
+}
+}  // namespace
+
+Result<EdgeList> ParseTextEdgeList(const std::string& text,
+                                   const TextGraphOptions& options) {
+  EdgeList out(0, options.directed);
+  std::unordered_map<uint64_t, VertexId> remap;
+  auto map_id = [&](uint64_t raw) -> VertexId {
+    if (!options.compact_ids) return static_cast<VertexId>(raw);
+    auto [it, inserted] =
+        remap.try_emplace(raw, static_cast<VertexId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    std::string trimmed = TrimString(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
+    uint64_t f[3];
+    int nf = SplitFields(trimmed, f);
+    if (nf < 2) {
+      return Status::InvalidArgument("malformed edge at line " +
+                                     std::to_string(line_no) + ": " + trimmed);
+    }
+    Distance w = 1;
+    if (nf == 3 && options.read_weights) {
+      if (f[2] == 0 || f[2] >= kInfDistance) {
+        return Status::InvalidArgument("bad weight at line " +
+                                       std::to_string(line_no));
+      }
+      w = static_cast<Distance>(f[2]);
+    }
+    out.Add(map_id(f[0]), map_id(f[1]), w);
+  }
+  out.Normalize();
+  return out;
+}
+
+Result<EdgeList> ReadTextEdgeList(const std::string& path,
+                                  const TextGraphOptions& options) {
+  std::string text;
+  HOPDB_RETURN_NOT_OK(ReadFileToString(path, &text));
+  return ParseTextEdgeList(text, options);
+}
+
+Status WriteTextEdgeList(const EdgeList& edges, const std::string& path) {
+  std::string out;
+  out.reserve(edges.num_edges() * 16);
+  out += "# hopdb edge list |V|=" + std::to_string(edges.num_vertices()) +
+         " |E|=" + std::to_string(edges.num_edges()) +
+         (edges.directed() ? " directed" : " undirected") + "\n";
+  char buf[64];
+  for (const Edge& e : edges.edges()) {
+    if (edges.weighted()) {
+      std::snprintf(buf, sizeof(buf), "%u %u %u\n", e.src, e.dst, e.weight);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%u %u\n", e.src, e.dst);
+    }
+    out += buf;
+  }
+  return WriteStringToFile(path, out);
+}
+
+Status WriteBinaryGraph(const EdgeList& edges, const std::string& path) {
+  std::string out;
+  out.reserve(20 + edges.num_edges() * 12);
+  out.append(kMagic, 4);
+  uint32_t flags = (edges.directed() ? 1u : 0u) | (edges.weighted() ? 2u : 0u);
+  PutU32(&out, flags);
+  PutU32(&out, edges.num_vertices());
+  PutU64(&out, edges.num_edges());
+  for (const Edge& e : edges.edges()) {
+    PutU32(&out, e.src);
+    PutU32(&out, e.dst);
+    if (edges.weighted()) PutU32(&out, e.weight);
+  }
+  return WriteStringToFile(path, out);
+}
+
+Result<EdgeList> ReadBinaryGraph(const std::string& path) {
+  std::string data;
+  HOPDB_RETURN_NOT_OK(ReadFileToString(path, &data));
+  ByteReader reader(data);
+  char magic[4];
+  HOPDB_RETURN_NOT_OK(reader.ReadBytes(magic, 4));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a HGR1 graph file: " + path);
+  }
+  uint32_t flags = 0, nv = 0;
+  uint64_t ne = 0;
+  HOPDB_RETURN_NOT_OK(reader.ReadU32(&flags));
+  HOPDB_RETURN_NOT_OK(reader.ReadU32(&nv));
+  HOPDB_RETURN_NOT_OK(reader.ReadU64(&ne));
+  const bool directed = (flags & 1u) != 0;
+  const bool weighted = (flags & 2u) != 0;
+  EdgeList out(nv, directed);
+  out.set_weighted(weighted);
+  out.mutable_edges().reserve(ne);
+  for (uint64_t i = 0; i < ne; ++i) {
+    uint32_t s = 0, d = 0, w = 1;
+    HOPDB_RETURN_NOT_OK(reader.ReadU32(&s));
+    HOPDB_RETURN_NOT_OK(reader.ReadU32(&d));
+    if (weighted) HOPDB_RETURN_NOT_OK(reader.ReadU32(&w));
+    out.mutable_edges().emplace_back(s, d, w);
+  }
+  out.set_num_vertices(nv);
+  HOPDB_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+}  // namespace hopdb

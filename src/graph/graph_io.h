@@ -1,0 +1,48 @@
+// Graph loading and saving.
+//
+// Two formats:
+//  * Text edge lists ("u v" or "u v w" per line, '#'/'%' comments), the
+//    format SNAP and KONECT distribute — so real datasets drop in directly
+//    when available.
+//  * A little-endian binary format (HGR1) for fast reload of generated
+//    stand-in datasets.
+
+#ifndef HOPDB_GRAPH_GRAPH_IO_H_
+#define HOPDB_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/edge_list.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+struct TextGraphOptions {
+  bool directed = true;
+  /// When false, a third column (weight) is ignored and all weights are 1.
+  bool read_weights = true;
+  /// Vertex ids in the file may be arbitrary (non-contiguous); when true
+  /// they are compacted to 0..n-1 in first-appearance order.
+  bool compact_ids = true;
+};
+
+/// Parses a text edge list. Lines starting with '#' or '%' are comments.
+Result<EdgeList> ReadTextEdgeList(const std::string& path,
+                                  const TextGraphOptions& options);
+
+/// Parses a text edge list from an in-memory string (used by tests).
+Result<EdgeList> ParseTextEdgeList(const std::string& text,
+                                   const TextGraphOptions& options);
+
+/// Writes "u v w" lines (w omitted for unweighted graphs).
+Status WriteTextEdgeList(const EdgeList& edges, const std::string& path);
+
+/// Binary format:
+///   magic "HGR1" | u32 flags (bit0 directed, bit1 weighted) |
+///   u32 num_vertices | u64 num_edges | edges (u32 src, u32 dst[, u32 w])
+Status WriteBinaryGraph(const EdgeList& edges, const std::string& path);
+Result<EdgeList> ReadBinaryGraph(const std::string& path);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,374 @@
+#include "graph/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/ranking.h"
+#include "util/random.h"
+
+namespace hopdb {
+
+namespace {
+
+/// Sorts 0..n-1 by non-increasing key, ties toward smaller original id
+/// (the same determinism rule ComputeRanking uses).
+template <typename Key>
+std::vector<VertexId> OrderByKeyDesc(VertexId n, const std::vector<Key>& key) {
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (key[a] != key[b]) return key[a] > key[b];
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<VertexId> NeighborhoodDegreeOrder(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  // Key: degree first, then the sum of neighbor degrees as tiebreak —
+  // packed into one comparable pair.
+  std::vector<std::pair<uint64_t, uint64_t>> key(n);
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t ndeg = 0;
+    for (const Arc& a : g.OutArcs(v)) ndeg += g.Degree(a.to);
+    if (g.directed()) {
+      for (const Arc& a : g.InArcs(v)) ndeg += g.Degree(a.to);
+    }
+    key[v] = {g.Degree(v), ndeg};
+  }
+  return OrderByKeyDesc(n, key);
+}
+
+std::vector<VertexId> RandomOrder(const CsrGraph& g, uint64_t seed) {
+  std::vector<VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(DeriveSeed(seed, /*stream=*/0x02de));
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Below(i)]);
+  }
+  return order;
+}
+
+}  // namespace
+
+const char* OrderStrategyName(OrderStrategy strategy) {
+  switch (strategy) {
+    case OrderStrategy::kDegree:
+      return "degree";
+    case OrderStrategy::kInOutProduct:
+      return "inout-product";
+    case OrderStrategy::kNeighborhoodDegree:
+      return "neighborhood-degree";
+    case OrderStrategy::kDegeneracy:
+      return "degeneracy";
+    case OrderStrategy::kSampledBetweenness:
+      return "sampled-betweenness";
+    case OrderStrategy::kSeparator:
+      return "separator";
+    case OrderStrategy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::vector<VertexId> DegeneracyPeelOrder(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> deg(n);
+  uint32_t max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = g.Degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // Bucket queue with lazy (stale-entry) deletion: every degree decrement
+  // pushes a fresh entry; pops discard entries whose recorded degree no
+  // longer matches.
+  std::vector<std::vector<VertexId>> buckets(max_deg + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+
+  std::vector<VertexId> peel;
+  peel.reserve(n);
+  std::vector<bool> peeled(n, false);
+  uint32_t cur = 0;
+  while (peel.size() < static_cast<size_t>(n)) {
+    while (cur <= max_deg && buckets[cur].empty()) ++cur;
+    if (cur > max_deg) break;  // unreachable for consistent degrees
+    const VertexId v = buckets[cur].back();
+    buckets[cur].pop_back();
+    if (peeled[v] || deg[v] != cur) continue;  // stale entry
+    peeled[v] = true;
+    peel.push_back(v);
+    auto relax = [&](VertexId w) {
+      if (peeled[w] || deg[w] == 0) return;
+      --deg[w];
+      buckets[deg[w]].push_back(w);
+      if (deg[w] < cur) cur = deg[w];
+    };
+    for (const Arc& a : g.OutArcs(v)) relax(a.to);
+    if (g.directed()) {
+      for (const Arc& a : g.InArcs(v)) relax(a.to);
+    }
+  }
+  return peel;
+}
+
+std::vector<double> SampledBetweenness(const CsrGraph& g,
+                                       uint32_t num_samples, uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> bc(n, 0.0);
+  if (n == 0) return bc;
+
+  // Sample sources without replacement (partial Fisher-Yates).
+  std::vector<VertexId> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  Rng rng(DeriveSeed(seed, /*stream=*/0xbc));
+  const uint32_t samples = std::min<uint32_t>(num_samples, n);
+  for (uint32_t i = 0; i < samples; ++i) {
+    std::swap(pool[i], pool[i + rng.Below(n - i)]);
+  }
+
+  // Brandes (2001) on the hop metric, one BFS per sampled source;
+  // dependency accumulation scans in-arcs to find BFS-tree predecessors
+  // instead of materializing predecessor lists.
+  std::vector<Distance> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<VertexId> stack;
+  stack.reserve(n);
+  for (uint32_t i = 0; i < samples; ++i) {
+    const VertexId s = pool[i];
+    std::fill(dist.begin(), dist.end(), kInfDistance);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    stack.clear();
+
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    size_t head = 0;
+    stack.push_back(s);
+    while (head < stack.size()) {
+      const VertexId v = stack[head++];
+      for (const Arc& a : g.OutArcs(v)) {
+        if (dist[a.to] == kInfDistance) {
+          dist[a.to] = dist[v] + 1;
+          stack.push_back(a.to);
+        }
+        if (dist[a.to] == dist[v] + 1) sigma[a.to] += sigma[v];
+      }
+    }
+    for (size_t j = stack.size(); j-- > 1;) {  // skip s itself (j == 0)
+      const VertexId v = stack[j];
+      for (const Arc& a : g.InArcs(v)) {
+        const VertexId w = a.to;
+        if (dist[w] != kInfDistance && dist[w] + 1 == dist[v]) {
+          delta[w] += sigma[w] / sigma[v] * (1.0 + delta[v]);
+        }
+      }
+      bc[v] += delta[v];
+    }
+  }
+  return bc;
+}
+
+std::vector<uint32_t> SeparatorLevels(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  // Level of each vertex; initialized to the deepest level so isolated
+  // leftovers sort last.
+  std::vector<uint32_t> level(n, UINT32_MAX);
+  if (n == 0) return level;
+
+  // Undirected-view BFS restricted to a subset, via an epoch-stamped
+  // membership mark (no per-recursion allocation).
+  std::vector<uint32_t> member_epoch(n, 0), visit_epoch(n, 0);
+  std::vector<Distance> dist(n, 0);
+  std::vector<VertexId> queue;
+  uint32_t epoch = 0;
+
+  auto for_each_neighbor = [&](VertexId v, auto&& fn) {
+    for (const Arc& a : g.OutArcs(v)) fn(a.to);
+    if (g.directed()) {
+      for (const Arc& a : g.InArcs(v)) fn(a.to);
+    }
+  };
+
+  /// BFS over the members from `source`; fills dist/visit stamps and
+  /// returns the last vertex settled (an approximate eccentricity peak).
+  auto bfs = [&](VertexId source, uint32_t members) -> VertexId {
+    queue.clear();
+    queue.push_back(source);
+    visit_epoch[source] = epoch;
+    dist[source] = 0;
+    size_t head = 0;
+    VertexId last = source;
+    while (head < queue.size()) {
+      const VertexId v = queue[head++];
+      last = v;
+      for_each_neighbor(v, [&](VertexId w) {
+        if (member_epoch[w] == members && visit_epoch[w] != epoch) {
+          visit_epoch[w] = epoch;
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+      });
+    }
+    return last;
+  };
+
+  // Iterative recursion over (subset, depth) work items.
+  struct WorkItem {
+    std::vector<VertexId> subset;
+    uint32_t depth;
+  };
+  std::vector<WorkItem> stack;
+  {
+    std::vector<VertexId> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    stack.push_back({std::move(all), 0});
+  }
+  constexpr size_t kBaseCase = 8;
+  constexpr uint32_t kMaxDepth = 64;
+
+  std::vector<Distance> dist_u(n);
+  while (!stack.empty()) {
+    WorkItem item = std::move(stack.back());
+    stack.pop_back();
+    std::vector<VertexId>& subset = item.subset;
+    if (subset.size() <= kBaseCase || item.depth >= kMaxDepth) {
+      for (const VertexId v : subset) level[v] = item.depth;
+      continue;
+    }
+
+    // Stamp membership for this subset.
+    ++epoch;
+    const uint32_t members = epoch;
+    for (const VertexId v : subset) member_epoch[v] = members;
+
+    // The subset may be disconnected (separator removal splits it):
+    // peel one connected piece at a time; pieces other than the first
+    // are pushed back as separate work at the same depth.
+    ++epoch;
+    const VertexId far_u = bfs(subset[0], members);
+    std::vector<VertexId> piece;
+    for (const VertexId v : subset) {
+      if (visit_epoch[v] == epoch) piece.push_back(v);
+    }
+    if (piece.size() < subset.size()) {
+      std::vector<VertexId> rest;
+      rest.reserve(subset.size() - piece.size());
+      for (const VertexId v : subset) {
+        if (visit_epoch[v] != epoch) rest.push_back(v);
+      }
+      stack.push_back({std::move(rest), item.depth});
+      if (piece.size() <= kBaseCase) {
+        for (const VertexId v : piece) level[v] = item.depth;
+        continue;
+      }
+      // Restrict membership to the connected piece.
+      ++epoch;
+      for (const VertexId v : piece) member_epoch[v] = epoch;
+    }
+    const uint32_t piece_members = member_epoch[piece[0]];
+
+    // Pseudo-diameter split: dist from far_u vs dist from far_v.
+    ++epoch;
+    (void)bfs(far_u, piece_members);
+    for (const VertexId v : piece) dist_u[v] = dist[v];
+    // far_v = vertex maximizing dist_u (the BFS's last settle).
+    VertexId far_v = piece[0];
+    for (const VertexId v : piece) {
+      if (dist_u[v] > dist_u[far_v]) far_v = v;
+    }
+    ++epoch;
+    (void)bfs(far_v, piece_members);
+
+    // Side A: nearer to far_u (ties to A). Separator: A-vertices with a
+    // neighbor in B — removing them disconnects A's interior from B.
+    std::vector<VertexId> side_a, side_b;
+    for (const VertexId v : piece) {
+      if (dist_u[v] <= dist[v]) {
+        side_a.push_back(v);
+      } else {
+        side_b.push_back(v);
+      }
+    }
+    if (side_a.empty() || side_b.empty()) {
+      // Degenerate split (e.g. complete graph): no balanced cut exists;
+      // settle everything at this depth.
+      for (const VertexId v : piece) level[v] = item.depth;
+      continue;
+    }
+    ++epoch;
+    const uint32_t b_mark = epoch;
+    for (const VertexId v : side_b) visit_epoch[v] = b_mark;
+    std::vector<VertexId> interior_a;
+    for (const VertexId v : side_a) {
+      bool boundary = false;
+      for_each_neighbor(v, [&](VertexId w) {
+        if (member_epoch[w] == piece_members && visit_epoch[w] == b_mark) {
+          boundary = true;
+        }
+      });
+      if (boundary) {
+        level[v] = item.depth;  // separator vertex
+      } else {
+        interior_a.push_back(v);
+      }
+    }
+    if (interior_a.size() == side_a.size()) {
+      // No boundary found (should not happen for a connected piece, but
+      // stay safe): settle the smaller side.
+      for (const VertexId v : side_a) level[v] = item.depth;
+    } else {
+      stack.push_back({std::move(interior_a), item.depth + 1});
+    }
+    stack.push_back({std::move(side_b), item.depth + 1});
+  }
+  return level;
+}
+
+namespace {
+
+std::vector<VertexId> SeparatorOrder(const CsrGraph& g) {
+  const std::vector<uint32_t> level = SeparatorLevels(g);
+  std::vector<VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (level[a] != level[b]) return level[a] < level[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+Result<std::vector<VertexId>> ComputeOrder(const CsrGraph& graph,
+                                           OrderStrategy strategy,
+                                           const OrderOptions& options) {
+  switch (strategy) {
+    case OrderStrategy::kDegree:
+      return ComputeRanking(graph, RankingPolicy::kDegree).rank_to_orig;
+    case OrderStrategy::kInOutProduct:
+      return ComputeRanking(graph, RankingPolicy::kInOutProduct).rank_to_orig;
+    case OrderStrategy::kNeighborhoodDegree:
+      return NeighborhoodDegreeOrder(graph);
+    case OrderStrategy::kDegeneracy: {
+      std::vector<VertexId> order = DegeneracyPeelOrder(graph);
+      std::reverse(order.begin(), order.end());
+      return order;
+    }
+    case OrderStrategy::kSampledBetweenness: {
+      if (options.betweenness_samples == 0) {
+        return Status::InvalidArgument("betweenness_samples must be >= 1");
+      }
+      return OrderByKeyDesc(
+          graph.num_vertices(),
+          SampledBetweenness(graph, options.betweenness_samples,
+                             options.seed));
+    }
+    case OrderStrategy::kSeparator:
+      return SeparatorOrder(graph);
+    case OrderStrategy::kRandom:
+      return RandomOrder(graph, options.seed);
+  }
+  return Status::InvalidArgument("unknown order strategy");
+}
+
+}  // namespace hopdb

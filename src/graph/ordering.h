@@ -1,0 +1,90 @@
+// Vertex-ordering heuristics for general (non-scale-free) graphs.
+//
+// Section 7 of the paper: the algorithms work with ANY total ranking of
+// vertices, but degree ranking is only effective when high-degree hubs hit
+// many shortest paths. "The direct approach to determine such a vertex
+// ranking requires the computation of the shortest paths for all pairs of
+// vertices... some heuristical method to approximate this ranking may be
+// helpful." This module provides those heuristics; feed the resulting
+// order into HopDbOptions::Ranking::kCustom (or RankingFromOrder).
+//
+// All strategies are deterministic for a fixed seed.
+
+#ifndef HOPDB_GRAPH_ORDERING_H_
+#define HOPDB_GRAPH_ORDERING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+enum class OrderStrategy {
+  /// Non-increasing total degree (the paper's undirected default).
+  kDegree,
+  /// Non-increasing (in+1)*(out+1) degree product (the paper's directed
+  /// default).
+  kInOutProduct,
+  /// Non-increasing (degree, sum of neighbor degrees): a 2-hop-aware
+  /// refinement that separates hubs attached to hubs from hubs attached
+  /// to leaves.
+  kNeighborhoodDegree,
+  /// Reverse degeneracy (k-core) order: repeatedly peel a minimum-degree
+  /// vertex; vertices peeled last (the densest core) rank highest.
+  kDegeneracy,
+  /// Brandes betweenness estimated from sampled sources, ranked
+  /// non-increasing. A direct proxy for "hits the most shortest paths".
+  /// Hop metric (unit weights) is used even on weighted graphs — the
+  /// ordering is a heuristic, not an answer.
+  kSampledBetweenness,
+  /// Recursive balanced-separator (nested-dissection-style) order:
+  /// top-level separators rank highest. The effective choice for
+  /// road-like graphs (grids, meshes) where no vertex property carries
+  /// hub signal — every s-t pair crossing a cut is covered by the cut's
+  /// separator pivots. Halves come from a pseudo-diameter double-BFS
+  /// split; the separator is the boundary layer of one side.
+  kSeparator,
+  /// Uniform random permutation (ablation baseline).
+  kRandom,
+};
+
+const char* OrderStrategyName(OrderStrategy strategy);
+
+struct OrderOptions {
+  /// Sources sampled for kSampledBetweenness (clamped to |V|).
+  uint32_t betweenness_samples = 32;
+  /// Seed for sampling / kRandom.
+  uint64_t seed = 42;
+};
+
+/// Computes a total vertex order: order[i] is the original id of the
+/// rank-i vertex (rank 0 = highest, the paper's v1). The result is always
+/// a permutation of 0..|V|-1.
+Result<std::vector<VertexId>> ComputeOrder(const CsrGraph& graph,
+                                           OrderStrategy strategy,
+                                           const OrderOptions& options = {});
+
+/// Approximate betweenness scores from `num_samples` sampled sources
+/// (Brandes dependency accumulation on the hop metric; forward searches on
+/// directed graphs). Exposed for tests and for callers wanting the raw
+/// scores (e.g. top-k hub extraction).
+std::vector<double> SampledBetweenness(const CsrGraph& graph,
+                                       uint32_t num_samples, uint64_t seed);
+
+/// Degeneracy (k-core) peeling order: result[i] is the i-th vertex peeled;
+/// core numbers come out non-decreasing along the sequence. Exposed for
+/// tests; ComputeOrder(kDegeneracy) returns its reverse.
+std::vector<VertexId> DegeneracyPeelOrder(const CsrGraph& graph);
+
+/// Separator level of every vertex under the recursive bisection used by
+/// kSeparator: level 0 = top separator, increasing toward the leaves.
+/// Exposed for tests (grid separators should be O(side)-sized layers).
+std::vector<uint32_t> SeparatorLevels(const CsrGraph& graph);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_GRAPH_ORDERING_H_

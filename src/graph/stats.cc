@@ -1,0 +1,132 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace hopdb {
+
+namespace {
+
+/// BFS ignoring direction; fills per-level counts and returns eccentricity.
+uint32_t UndirectedBfsLevels(const CsrGraph& graph, VertexId source,
+                             std::vector<uint32_t>* dist,
+                             uint64_t* level1, uint64_t* level2) {
+  std::fill(dist->begin(), dist->end(), UINT32_MAX);
+  (*dist)[source] = 0;
+  std::queue<VertexId> q;
+  q.push(source);
+  uint32_t ecc = 0;
+  uint64_t l1 = 0, l2 = 0;
+  while (!q.empty()) {
+    VertexId v = q.front();
+    q.pop();
+    uint32_t d = (*dist)[v];
+    ecc = std::max(ecc, d);
+    if (d == 1) ++l1;
+    if (d == 2) ++l2;
+    auto visit = [&](const Arc& a) {
+      if ((*dist)[a.to] == UINT32_MAX) {
+        (*dist)[a.to] = d + 1;
+        q.push(a.to);
+      }
+    };
+    for (const Arc& a : graph.OutArcs(v)) visit(a);
+    if (graph.directed()) {
+      for (const Arc& a : graph.InArcs(v)) visit(a);
+    }
+  }
+  *level1 = l1;
+  *level2 = l2;
+  return ecc;
+}
+
+}  // namespace
+
+GraphStats ComputeGraphStats(const CsrGraph& graph,
+                             const GraphStatsOptions& options) {
+  GraphStats s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  s.max_degree = graph.MaxDegree();
+  s.avg_degree = s.num_vertices == 0
+                     ? 0
+                     : static_cast<double>(s.num_edges) *
+                           (graph.directed() ? 1.0 : 2.0) / s.num_vertices;
+
+  if (s.num_vertices == 0) return s;
+
+  // --- rank exponent: regress log(deg) on log(rank) over the vertices with
+  // degree >= 2 (the flat tail of degree-1 vertices would bias the slope).
+  std::vector<uint32_t> degrees(s.num_vertices);
+  for (VertexId v = 0; v < s.num_vertices; ++v) degrees[v] = graph.Degree(v);
+  std::sort(degrees.begin(), degrees.end(), std::greater<uint32_t>());
+  {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    uint64_t cnt = 0;
+    for (size_t i = 0; i < degrees.size() && degrees[i] >= 2; ++i) {
+      double x = std::log(static_cast<double>(i + 1));
+      double y = std::log(static_cast<double>(degrees[i]));
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+      ++cnt;
+    }
+    if (cnt >= 2 && sxx * cnt - sx * sx > 1e-12) {
+      s.rank_exponent = (sxy * cnt - sx * sy) / (sxx * cnt - sx * sx);
+    }
+  }
+
+  // --- sampled BFS for z1, z2, diameter estimate.
+  uint32_t samples = std::min<uint64_t>(options.sample_sources,
+                                        s.num_vertices);
+  if (samples == 0) samples = 1;
+  Rng rng(options.seed);
+  std::vector<uint32_t> dist(s.num_vertices);
+  double sum1 = 0, sum2 = 0;
+  uint32_t ecc_max = 0;
+  for (uint32_t i = 0; i < samples; ++i) {
+    VertexId src = s.num_vertices <= options.sample_sources
+                       ? i
+                       : static_cast<VertexId>(rng.Below(s.num_vertices));
+    uint64_t l1 = 0, l2 = 0;
+    uint32_t ecc = UndirectedBfsLevels(graph, src, &dist, &l1, &l2);
+    sum1 += static_cast<double>(l1);
+    sum2 += static_cast<double>(l2);
+    ecc_max = std::max(ecc_max, ecc);
+  }
+  s.z1 = sum1 / samples;
+  s.z2 = sum2 / samples;
+  s.expansion_factor = s.z1 > 0 ? s.z2 / s.z1 : 0;
+  s.estimated_hop_diameter = ecc_max;
+  return s;
+}
+
+std::vector<uint64_t> DegreeHistogram(const CsrGraph& graph) {
+  std::vector<uint64_t> hist(graph.MaxDegree() + 1, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    hist[graph.Degree(v)]++;
+  }
+  return hist;
+}
+
+std::string GraphStats::ToString() const {
+  std::string out;
+  out += "|V|=" + HumanCount(num_vertices);
+  out += " |E|=" + HumanCount(num_edges);
+  out += " maxdeg=" + HumanCount(max_degree);
+  out += " avgdeg=" + FormatDouble(avg_degree, 2);
+  out += " gamma=" + FormatDouble(rank_exponent, 3);
+  out += " R=" + FormatDouble(expansion_factor, 2);
+  out += " (log|V|=" +
+         FormatDouble(num_vertices > 1 ? std::log(double(num_vertices)) : 0, 2) +
+         ")";
+  out += " DH>=" + std::to_string(estimated_hop_diameter);
+  return out;
+}
+
+}  // namespace hopdb

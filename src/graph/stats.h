@@ -1,0 +1,61 @@
+// Scale-free diagnostics (Section 2.2).
+//
+// The paper's complexity bounds rest on three measurable properties:
+//   * power-law degree distribution with rank exponent γ (Lemma 1,
+//     Faloutsos et al.: deg(v) = r(v)^γ / |V|^γ, γ ≈ -0.8..-0.7),
+//   * expansion factor R = z2/z1 ≈ log|V| (Eq. 2, Newman et al.),
+//   * small (hop) diameter D ≈ log|V|/log log|V| (Eq. 1, Bollobás et al.).
+// GraphStats estimates all three so experiments can report how closely a
+// dataset matches the assumptions.
+
+#ifndef HOPDB_GRAPH_STATS_H_
+#define HOPDB_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace hopdb {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint32_t max_degree = 0;
+  double avg_degree = 0;
+
+  /// Least-squares slope of log(degree) vs log(rank) over the top part of
+  /// the degree sequence — the rank exponent γ of Lemma 1.
+  double rank_exponent = 0;
+
+  /// z1: mean #vertices at exactly 1 hop; z2: at exactly 2 hops;
+  /// R = z2 / z1 (expansion factor, Eq. 2 predicts R ≈ log |V|).
+  double z1 = 0;
+  double z2 = 0;
+  double expansion_factor = 0;
+
+  /// Max BFS eccentricity over sampled sources: a lower bound on the hop
+  /// diameter DH (exact on small graphs where all sources are sampled).
+  uint32_t estimated_hop_diameter = 0;
+
+  std::string ToString() const;
+};
+
+struct GraphStatsOptions {
+  /// Sources sampled for z1/z2 and diameter estimation; graphs with fewer
+  /// vertices are measured exhaustively.
+  uint32_t sample_sources = 64;
+  uint64_t seed = 42;
+};
+
+/// Computes diagnostics for `graph` (undirected view for distances).
+GraphStats ComputeGraphStats(const CsrGraph& graph,
+                             const GraphStatsOptions& options = {});
+
+/// Degree histogram: index d holds the number of vertices of degree d.
+std::vector<uint64_t> DegreeHistogram(const CsrGraph& graph);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_GRAPH_STATS_H_

@@ -1,0 +1,107 @@
+#include "graph/transform.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace hopdb {
+
+EdgeList ReverseEdges(const EdgeList& edges) {
+  if (!edges.directed()) return edges;
+  EdgeList out(edges.num_vertices(), /*directed=*/true);
+  out.set_weighted(edges.weighted());
+  for (const Edge& e : edges.edges()) {
+    out.Add(e.dst, e.src, e.weight);
+  }
+  out.set_num_vertices(edges.num_vertices());
+  out.Normalize();
+  return out;
+}
+
+EdgeList Symmetrize(const EdgeList& edges) {
+  EdgeList out(edges.num_vertices(), /*directed=*/false);
+  out.set_weighted(edges.weighted());
+  for (const Edge& e : edges.edges()) {
+    out.Add(e.src, e.dst, e.weight);
+  }
+  out.set_num_vertices(edges.num_vertices());
+  out.Normalize();
+  return out;
+}
+
+EdgeList InducedSubgraph(const EdgeList& edges,
+                         const std::vector<bool>& selected,
+                         std::vector<VertexId>* old_ids) {
+  HOPDB_CHECK_EQ(selected.size(), edges.num_vertices());
+  std::vector<VertexId> remap(edges.num_vertices(), kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (selected[v]) remap[v] = next++;
+  }
+  if (old_ids != nullptr) {
+    old_ids->clear();
+    old_ids->reserve(next);
+    for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+      if (selected[v]) old_ids->push_back(v);
+    }
+  }
+  EdgeList out(next, edges.directed());
+  out.set_weighted(edges.weighted());
+  for (const Edge& e : edges.edges()) {
+    if (remap[e.src] != kInvalidVertex && remap[e.dst] != kInvalidVertex) {
+      out.Add(remap[e.src], remap[e.dst], e.weight);
+    }
+  }
+  out.set_num_vertices(next);
+  out.Normalize();
+  return out;
+}
+
+std::vector<uint32_t> WeaklyConnectedComponents(const CsrGraph& graph,
+                                                uint32_t* num_components) {
+  const VertexId n = graph.num_vertices();
+  std::vector<uint32_t> comp(n, UINT32_MAX);
+  uint32_t next_comp = 0;
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (comp[start] != UINT32_MAX) continue;
+    comp[start] = next_comp;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      auto visit = [&](const Arc& a) {
+        if (comp[a.to] == UINT32_MAX) {
+          comp[a.to] = next_comp;
+          stack.push_back(a.to);
+        }
+      };
+      for (const Arc& a : graph.OutArcs(v)) visit(a);
+      if (graph.directed()) {
+        for (const Arc& a : graph.InArcs(v)) visit(a);
+      }
+    }
+    ++next_comp;
+  }
+  if (num_components != nullptr) *num_components = next_comp;
+  return comp;
+}
+
+EdgeList LargestComponent(const CsrGraph& graph,
+                          std::vector<VertexId>* old_ids) {
+  uint32_t num_comp = 0;
+  std::vector<uint32_t> comp = WeaklyConnectedComponents(graph, &num_comp);
+  std::vector<uint64_t> size(num_comp, 0);
+  for (uint32_t c : comp) size[c]++;
+  uint32_t best =
+      static_cast<uint32_t>(std::max_element(size.begin(), size.end()) -
+                            size.begin());
+  std::vector<bool> selected(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    selected[v] = comp[v] == best;
+  }
+  return InducedSubgraph(graph.ToEdgeList(), selected, old_ids);
+}
+
+}  // namespace hopdb

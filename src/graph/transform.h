@@ -1,0 +1,42 @@
+// Graph transformations: reverse, symmetrize, induced subgraphs, and
+// weakly-connected components. Used by generators (to clean up synthetic
+// graphs), baselines (IS-Label augmentation works on edge lists), and the
+// evaluation harness.
+
+#ifndef HOPDB_GRAPH_TRANSFORM_H_
+#define HOPDB_GRAPH_TRANSFORM_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace hopdb {
+
+/// Reverses every edge of a directed graph (undirected graphs are returned
+/// unchanged).
+EdgeList ReverseEdges(const EdgeList& edges);
+
+/// Converts a directed graph into an undirected one (collapsing
+/// anti-parallel pairs, keeping the min weight).
+EdgeList Symmetrize(const EdgeList& edges);
+
+/// Keeps only edges whose endpoints are both selected; selected vertices
+/// are renumbered 0..k-1 in increasing old-id order. `old_ids` (optional
+/// out) receives the old id of each new vertex.
+EdgeList InducedSubgraph(const EdgeList& edges,
+                         const std::vector<bool>& selected,
+                         std::vector<VertexId>* old_ids = nullptr);
+
+/// Component id per vertex (ignoring direction), ids are 0-based and
+/// assigned in order of discovery from vertex 0.
+std::vector<uint32_t> WeaklyConnectedComponents(const CsrGraph& graph,
+                                                uint32_t* num_components);
+
+/// Extracts the largest weakly-connected component, renumbering vertices.
+EdgeList LargestComponent(const CsrGraph& graph,
+                          std::vector<VertexId>* old_ids = nullptr);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_GRAPH_TRANSFORM_H_

@@ -1,0 +1,135 @@
+// hopdb public facade.
+//
+// HopDbIndex wraps the whole pipeline behind one class that speaks the
+// caller's original vertex ids:
+//
+//   hopdb::EdgeList edges = ...;                 // load or generate
+//   auto index = hopdb::HopDbIndex::Build(edges).ValueOrDie();
+//   hopdb::Distance d = index.Query(src, dst);   // exact distance
+//   index.Save("graph.hopdb").CheckOK();
+//
+// Build() ranks the vertices (degree order for undirected graphs,
+// in-degree x out-degree for directed ones, Section 3.1), relabels the
+// graph by rank, runs the Hybrid Hop-Stepping/Hop-Doubling construction
+// with pruning (Sections 3 and 5), and keeps the rank permutation so
+// queries translate ids transparently.
+
+#ifndef HOPDB_HOPDB_H_
+#define HOPDB_HOPDB_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/ranking.h"
+#include "labeling/builder.h"
+#include "labeling/two_hop_index.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+struct HopDbOptions {
+  /// Label construction strategy; the default Hybrid matches the paper.
+  BuildOptions build;
+  /// Vertex ordering; kDegree and kInOutProduct are chosen automatically
+  /// from the graph's directedness when left as kAuto.
+  enum class Ranking { kAuto, kDegree, kInOutProduct, kCustom } ranking =
+      Ranking::kAuto;
+  /// Rank order when ranking == kCustom: custom_order[i] is the original
+  /// id of the i-th ranked vertex (Section 7's general-graph pathway).
+  std::vector<VertexId> custom_order;
+};
+
+class HopDbIndex {
+ public:
+  HopDbIndex() = default;
+
+  /// Builds an index from an edge list (normalized internally).
+  static Result<HopDbIndex> Build(const EdgeList& edges,
+                                  const HopDbOptions& options = {});
+
+  /// Builds from an already-frozen graph.
+  static Result<HopDbIndex> Build(const CsrGraph& graph,
+                                  const HopDbOptions& options = {});
+
+  /// Exact distance between original vertex ids; kInfDistance if
+  /// unreachable.
+  Distance Query(VertexId src, VertexId dst) const;
+
+  /// Reachability (directed graphs: src ⇝ dst following arc directions).
+  /// 2-hop distance labels double as a reachability index: finite
+  /// distance ⇔ a path exists.
+  bool Reachable(VertexId src, VertexId dst) const {
+    return Query(src, dst) != kInfDistance;
+  }
+
+  VertexId num_vertices() const { return index_.num_vertices(); }
+  bool directed() const { return index_.directed(); }
+
+  /// The underlying 2-hop index (internal/ranked ids).
+  const TwoHopIndex& label_index() const { return index_; }
+  TwoHopIndex& mutable_label_index() { return index_; }
+
+  /// The rank permutation used for this index.
+  const RankMapping& ranking() const { return mapping_; }
+
+  /// Construction statistics of the build that produced this index.
+  const BuildStats& build_stats() const { return stats_; }
+
+  /// Average non-trivial label entries per vertex (Table 7's "Avg
+  /// |label|").
+  double AvgLabelSize() const { return index_.AvgLabelSize(); }
+
+  /// Serialized size under the paper's accounting (Table 6 "Index size").
+  uint64_t PaperSizeBytes() const { return index_.PaperSizeBytes(); }
+
+  /// Persists index + permutation; Load restores both.
+  Status Save(const std::string& path) const;
+  /// Persists in the delta-varint compressed (HLC1) format instead —
+  /// typically 2-3x smaller on scale-free labels. Load() detects the
+  /// format from the file magic, so callers need not remember which
+  /// Save was used.
+  Status SaveCompressed(const std::string& path) const;
+  static Result<HopDbIndex> Load(const std::string& path);
+
+ private:
+  TwoHopIndex index_;   // labels over internal (rank) ids
+  RankMapping mapping_; // internal <-> original ids
+  BuildStats stats_;
+};
+
+/// Shortest-path extraction against a HopDbIndex in ORIGINAL vertex ids.
+/// Create() relabels the input graph by the index's rank permutation once;
+/// each query then runs the greedy label-descent reconstruction
+/// (query/path.h) and translates the result back.
+///
+/// The index must outlive the querier. For advanced batch workloads
+/// (one-to-many, k-nearest) use query/batch.h and query/knn.h directly on
+/// index.label_index(), translating ids via index.ranking().
+class HopDbPathQuerier {
+ public:
+  /// `original_graph` must be the graph the index was built from (vertex
+  /// count is validated; contents are trusted).
+  static Result<HopDbPathQuerier> Create(const HopDbIndex& index,
+                                         const CsrGraph& original_graph);
+
+  /// One shortest path from src to dst as original vertex ids; NotFound
+  /// when unreachable.
+  Result<std::vector<VertexId>> ShortestPath(VertexId src,
+                                             VertexId dst) const;
+
+  /// The vertex after src on a shortest path to dst; kInvalidVertex when
+  /// src == dst or dst is unreachable.
+  VertexId FirstHop(VertexId src, VertexId dst) const;
+
+ private:
+  HopDbPathQuerier(const HopDbIndex* index, CsrGraph ranked_graph)
+      : index_(index), ranked_graph_(std::move(ranked_graph)) {}
+
+  const HopDbIndex* index_;
+  CsrGraph ranked_graph_;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_HOPDB_H_

@@ -1,0 +1,3 @@
+// ExternalSorter is a header-only template; see external_sorter.h.
+
+#include "io/external_sorter.h"

@@ -1,0 +1,158 @@
+// External merge sort over fixed-size POD records with a memory budget —
+// the workhorse behind the I/O-efficient candidate processing of
+// Section 4 (cited there via Aggarwal & Vitter's sort bound).
+//
+// Records are Add()ed; whenever the in-memory buffer reaches the budget it
+// is sorted and spilled as a run. Finish() turns the sorter into a k-way
+// merge iterator over all runs. When everything fits in memory no file is
+// ever written.
+
+#ifndef HOPDB_IO_EXTERNAL_SORTER_H_
+#define HOPDB_IO_EXTERNAL_SORTER_H_
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "io/record_stream.h"
+#include "util/serde.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+template <typename T, typename Less>
+class ExternalSorter {
+ public:
+  /// `scratch_prefix` names spill files ("<prefix>.run<N>"); the caller
+  /// owns the directory lifetime. `memory_budget_bytes` bounds the
+  /// in-memory buffer (>= one record).
+  ExternalSorter(std::string scratch_prefix, size_t memory_budget_bytes,
+                 Less less = Less(),
+                 uint64_t block_size = kDefaultBlockSize)
+      : scratch_prefix_(std::move(scratch_prefix)),
+        capacity_(std::max<size_t>(memory_budget_bytes / sizeof(T), 1)),
+        less_(less),
+        block_size_(block_size) {
+    buffer_.reserve(std::min<size_t>(capacity_, 1 << 20));
+  }
+
+  Status Add(const T& rec) {
+    buffer_.push_back(rec);
+    ++total_records_;
+    if (buffer_.size() >= capacity_) return Spill();
+    return Status::OK();
+  }
+
+  /// Seals the input and prepares iteration.
+  Status Finish() {
+    if (runs_.empty()) {
+      // Pure in-memory sort.
+      std::sort(buffer_.begin(), buffer_.end(), less_);
+      mem_pos_ = 0;
+      finished_ = true;
+      return Status::OK();
+    }
+    if (!buffer_.empty()) HOPDB_RETURN_NOT_OK(Spill());
+    // Open all runs and seed the merge heap.
+    for (const std::string& path : runs_) {
+      HOPDB_ASSIGN_OR_RETURN(RecordReader<T> reader,
+                             RecordReader<T>::Open(path, block_size_));
+      readers_.push_back(
+          std::make_unique<RecordReader<T>>(std::move(reader)));
+    }
+    for (size_t i = 0; i < readers_.size(); ++i) {
+      T rec;
+      if (readers_[i]->Next(&rec)) heap_.push_back({rec, i});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), HeapGreater{less_});
+    finished_ = true;
+    return Status::OK();
+  }
+
+  /// Emits records in sorted order; false at end. Requires Finish().
+  bool Next(T* out) {
+    if (runs_.empty()) {
+      if (mem_pos_ >= buffer_.size()) return false;
+      *out = buffer_[mem_pos_++];
+      return true;
+    }
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{less_});
+    HeapItem item = heap_.back();
+    heap_.pop_back();
+    *out = item.rec;
+    T next;
+    if (readers_[item.run]->Next(&next)) {
+      heap_.push_back({next, item.run});
+      std::push_heap(heap_.begin(), heap_.end(), HeapGreater{less_});
+    }
+    return true;
+  }
+
+  uint64_t total_records() const { return total_records_; }
+  size_t num_runs() const { return runs_.size(); }
+
+  /// Aggregated spill/merge I/O (zero for in-memory sorts).
+  IoStats TotalIoStats() const {
+    IoStats total = spill_stats_;
+    for (const auto& r : readers_) total.Add(r->stats());
+    return total;
+  }
+
+  /// Removes spill files (safe to call after iteration).
+  void Cleanup() {
+    readers_.clear();
+    for (const std::string& path : runs_) {
+      RemoveFileIfExists(path).CheckOK();
+    }
+    runs_.clear();
+  }
+
+ private:
+  struct HeapItem {
+    T rec;
+    size_t run;
+  };
+  /// std::*_heap builds a max-heap; invert the comparison for a min-heap
+  /// (ties broken by run index for determinism).
+  struct HeapGreater {
+    Less less;
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (less(a.rec, b.rec)) return false;
+      if (less(b.rec, a.rec)) return true;
+      return a.run > b.run;
+    }
+  };
+
+  Status Spill() {
+    std::sort(buffer_.begin(), buffer_.end(), less_);
+    std::string path = scratch_prefix_ + ".run" + std::to_string(runs_.size());
+    HOPDB_ASSIGN_OR_RETURN(RecordWriter<T> writer,
+                           RecordWriter<T>::Open(path, block_size_));
+    for (const T& r : buffer_) HOPDB_RETURN_NOT_OK(writer.Append(r));
+    HOPDB_RETURN_NOT_OK(writer.Close());
+    spill_stats_.Add(writer.stats());
+    runs_.push_back(path);
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  std::string scratch_prefix_;
+  size_t capacity_;
+  Less less_;
+  uint64_t block_size_;
+  std::vector<T> buffer_;
+  size_t mem_pos_ = 0;
+  std::vector<std::string> runs_;
+  std::vector<std::unique_ptr<RecordReader<T>>> readers_;
+  std::vector<HeapItem> heap_;
+  IoStats spill_stats_;
+  uint64_t total_records_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_IO_EXTERNAL_SORTER_H_

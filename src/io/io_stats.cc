@@ -1,0 +1,41 @@
+#include "io/io_stats.h"
+
+#include "util/string_util.h"
+
+namespace hopdb {
+
+namespace {
+uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+void IoStats::RecordRead(uint64_t bytes, uint64_t block_size) {
+  bytes_read += bytes;
+  read_calls += 1;
+  blocks_read += CeilDiv(bytes, block_size == 0 ? 1 : block_size);
+}
+
+void IoStats::RecordWrite(uint64_t bytes, uint64_t block_size) {
+  bytes_written += bytes;
+  write_calls += 1;
+  blocks_written += CeilDiv(bytes, block_size == 0 ? 1 : block_size);
+}
+
+void IoStats::Add(const IoStats& other) {
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  read_calls += other.read_calls;
+  write_calls += other.write_calls;
+  blocks_read += other.blocks_read;
+  blocks_written += other.blocks_written;
+}
+
+void IoStats::Reset() { *this = IoStats(); }
+
+std::string IoStats::ToString() const {
+  return "read " + HumanBytes(bytes_read) + " in " +
+         std::to_string(blocks_read) + " blocks, wrote " +
+         HumanBytes(bytes_written) + " in " + std::to_string(blocks_written) +
+         " blocks";
+}
+
+}  // namespace hopdb

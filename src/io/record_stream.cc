@@ -1,0 +1,5 @@
+// RecordReader/RecordWriter are header-only templates; this translation
+// unit exists to give the module a home for future non-template helpers
+// and to keep the build graph uniform.
+
+#include "io/record_stream.h"

@@ -1,0 +1,155 @@
+// Buffered sequential streams of fixed-size POD records over BlockFile.
+// All external-memory label processing (Section 4) is built from these:
+// candidate spills, sorted runs, merge joins.
+
+#ifndef HOPDB_IO_RECORD_STREAM_H_
+#define HOPDB_IO_RECORD_STREAM_H_
+
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "io/block_file.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+/// Buffered appender of fixed-size records.
+template <typename T>
+class RecordWriter {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "records must be trivially copyable");
+
+ public:
+  static Result<RecordWriter<T>> Open(
+      const std::string& path, uint64_t block_size = kDefaultBlockSize,
+      size_t buffer_records = 8192) {
+    HOPDB_ASSIGN_OR_RETURN(BlockFile file,
+                           BlockFile::OpenWrite(path, block_size));
+    RecordWriter<T> w;
+    w.file_ = std::move(file);
+    w.buffer_.reserve(buffer_records);
+    w.buffer_capacity_ = buffer_records;
+    return w;
+  }
+
+  Status Append(const T& rec) {
+    buffer_.push_back(rec);
+    if (buffer_.size() >= buffer_capacity_) return Flush();
+    return Status::OK();
+  }
+
+  Status Flush() {
+    if (!buffer_.empty()) {
+      HOPDB_RETURN_NOT_OK(
+          file_.Append(buffer_.data(), buffer_.size() * sizeof(T)));
+      buffer_.clear();
+    }
+    return Status::OK();
+  }
+
+  Status Close() {
+    HOPDB_RETURN_NOT_OK(Flush());
+    file_.Close();
+    return Status::OK();
+  }
+
+  uint64_t records_written() const {
+    return file_.size() / sizeof(T) + buffer_.size();
+  }
+  const IoStats& stats() const { return file_.stats(); }
+
+ private:
+  BlockFile file_;
+  std::vector<T> buffer_;
+  size_t buffer_capacity_ = 8192;
+};
+
+/// Buffered sequential reader of fixed-size records.
+template <typename T>
+class RecordReader {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "records must be trivially copyable");
+
+ public:
+  static Result<RecordReader<T>> Open(
+      const std::string& path, uint64_t block_size = kDefaultBlockSize,
+      size_t buffer_records = 8192) {
+    HOPDB_ASSIGN_OR_RETURN(BlockFile file,
+                           BlockFile::OpenRead(path, block_size));
+    RecordReader<T> r;
+    r.num_records_ = file.size() / sizeof(T);
+    r.file_ = std::move(file);
+    r.buffer_.resize(buffer_records);
+    return r;
+  }
+
+  /// Reads the next record; returns false at end of stream.
+  bool Next(T* out) {
+    if (buf_pos_ >= buf_len_) {
+      if (!Refill()) return false;
+    }
+    *out = buffer_[buf_pos_++];
+    return true;
+  }
+
+  /// Next record without consuming it.
+  bool Peek(T* out) {
+    if (buf_pos_ >= buf_len_) {
+      if (!Refill()) return false;
+    }
+    *out = buffer_[buf_pos_];
+    return true;
+  }
+
+  uint64_t num_records() const { return num_records_; }
+  const IoStats& stats() const { return file_.stats(); }
+
+ private:
+  bool Refill() {
+    uint64_t remaining = num_records_ - consumed_;
+    if (remaining == 0) return false;
+    size_t take = static_cast<size_t>(
+        std::min<uint64_t>(remaining, buffer_.size()));
+    Status st = file_.ReadAt(consumed_ * sizeof(T), buffer_.data(),
+                             take * sizeof(T));
+    st.CheckOK();  // sequential read within known size; failure is a bug
+    consumed_ += take;
+    buf_len_ = take;
+    buf_pos_ = 0;
+    return true;
+  }
+
+  BlockFile file_;
+  std::vector<T> buffer_;
+  uint64_t num_records_ = 0;
+  uint64_t consumed_ = 0;
+  size_t buf_len_ = 0;
+  size_t buf_pos_ = 0;
+};
+
+/// Reads a whole record file into memory (small files / tests).
+template <typename T>
+Result<std::vector<T>> ReadAllRecords(const std::string& path) {
+  HOPDB_ASSIGN_OR_RETURN(RecordReader<T> reader, RecordReader<T>::Open(path));
+  std::vector<T> out;
+  out.reserve(reader.num_records());
+  T rec;
+  while (reader.Next(&rec)) out.push_back(rec);
+  return out;
+}
+
+/// Writes a vector of records to a file.
+template <typename T>
+Status WriteAllRecords(const std::string& path, const std::vector<T>& recs,
+                       uint64_t block_size = kDefaultBlockSize) {
+  HOPDB_ASSIGN_OR_RETURN(RecordWriter<T> writer,
+                         RecordWriter<T>::Open(path, block_size));
+  for (const T& r : recs) HOPDB_RETURN_NOT_OK(writer.Append(r));
+  return writer.Close();
+}
+
+}  // namespace hopdb
+
+#endif  // HOPDB_IO_RECORD_STREAM_H_

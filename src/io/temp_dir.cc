@@ -1,0 +1,59 @@
+#include "io/temp_dir.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace hopdb {
+
+namespace {
+void RemoveRecursively(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir != nullptr) {
+    while (struct dirent* entry = ::readdir(dir)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      std::string child = path + "/" + name;
+      struct stat st;
+      if (::lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        RemoveRecursively(child);
+      } else {
+        ::unlink(child.c_str());
+      }
+    }
+    ::closedir(dir);
+  }
+  ::rmdir(path.c_str());
+}
+}  // namespace
+
+Result<TempDir> TempDir::Create(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") + "/" +
+                     prefix + ".XXXXXX";
+  std::string buf = tmpl;
+  if (::mkdtemp(buf.data()) == nullptr) {
+    return Status::IOError("mkdtemp failed for " + tmpl + ": " +
+                           std::strerror(errno));
+  }
+  return TempDir(buf);
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    if (!path_.empty()) RemoveRecursively(path_);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) RemoveRecursively(path_);
+}
+
+}  // namespace hopdb

@@ -1,0 +1,37 @@
+// Scoped temporary directory for external-memory scratch files.
+
+#ifndef HOPDB_IO_TEMP_DIR_H_
+#define HOPDB_IO_TEMP_DIR_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace hopdb {
+
+/// Creates a unique directory on construction (under $TMPDIR or /tmp, or
+/// an explicit base) and removes it with its contents on destruction.
+class TempDir {
+ public:
+  static Result<TempDir> Create(const std::string& prefix = "hopdb");
+
+  TempDir() = default;
+  TempDir(TempDir&& other) noexcept { *this = std::move(other); }
+  TempDir& operator=(TempDir&& other) noexcept;
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  ~TempDir();
+
+  const std::string& path() const { return path_; }
+
+  /// Joins a file name onto the directory path.
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  explicit TempDir(std::string path) : path_(std::move(path)) {}
+  std::string path_;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_IO_TEMP_DIR_H_

@@ -1,0 +1,82 @@
+// Bit-parallel label compression (Section 6) for undirected unweighted
+// indexes, adapted from PLL's bit-parallel scheme as a post-processing
+// pass over an existing 2-hop index.
+//
+// A set R of roots (default 50, the top-ranked vertices) is chosen, and
+// for each root r up to 64 of its neighbors form S_r (the S_r are
+// disjoint and exclude roots). Label entries whose pivot is r or lies in
+// S_r are folded into one tuple per (vertex, root):
+//
+//     (r, d_rv, S^-1_r(v), S^0_r(v))
+//
+// where the 64-bit masks record the neighbors u in S_r with
+// d_uv - d_rv = -1 / 0 (difference +1 entries are discarded — any path
+// via u is matched by the path via r). Querying two BP labels costs O(#
+// common roots) thanks to a per-vertex root marker bitmap; remaining
+// entries stay in a normal 2-hop label and are intersected as usual.
+//
+// Exactness note: when a pivot u in S_r appears in L(v) but r itself does
+// not, the tuple is created with d_rv = d_uv + 1 (a real path via u).
+// Every distance the BP query combines is therefore a real path length,
+// and the original covering pivots remain represented, so queries stay
+// exact — this is verified against the pre-transform index in tests.
+
+#ifndef HOPDB_LABELING_BIT_PARALLEL_H_
+#define HOPDB_LABELING_BIT_PARALLEL_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "labeling/two_hop_index.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+struct BitParallelOptions {
+  /// Number of roots (<= 64; the paper and PLL default to 50).
+  uint32_t num_roots = 50;
+  /// Max neighbors folded per root (bit width of the masks).
+  uint32_t max_neighbors_per_root = 64;
+};
+
+class BitParallelIndex {
+ public:
+  /// Consumes an undirected unweighted 2-hop index (built on the ranked
+  /// graph) and folds root-neighborhood entries into bit-parallel labels.
+  static Result<BitParallelIndex> Transform(
+      TwoHopIndex base, const CsrGraph& ranked_graph,
+      const BitParallelOptions& options = {});
+
+  /// Exact distance (internal/ranked ids).
+  Distance Query(VertexId s, VertexId t) const;
+
+  VertexId num_vertices() const { return normal_.num_vertices(); }
+  uint32_t num_roots() const { return num_roots_; }
+
+  /// Entries remaining in the normal labels.
+  uint64_t NormalEntries() const { return normal_.TotalEntries(); }
+  /// Bit-parallel tuples stored.
+  uint64_t BpTuples() const;
+  /// Size under the paper's accounting: 5 bytes per normal entry,
+  /// 1+1+8+8 bytes per BP tuple, 8-byte marker per vertex.
+  uint64_t PaperSizeBytes() const;
+
+  const TwoHopIndex& normal_index() const { return normal_; }
+
+ private:
+  struct BpTuple {
+    uint8_t root;    // root index in [0, num_roots)
+    Distance dist;   // d_rv (stored in 8 bits on disk when it fits)
+    uint64_t s_m1;   // S^-1 mask
+    uint64_t s_0;    // S^0 mask
+  };
+
+  uint32_t num_roots_ = 0;
+  std::vector<uint64_t> marker_;            // root-presence bitmap per vertex
+  std::vector<std::vector<BpTuple>> bp_;    // sorted by root index
+  TwoHopIndex normal_;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_LABELING_BIT_PARALLEL_H_

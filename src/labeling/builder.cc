@@ -1,0 +1,628 @@
+#include "labeling/builder.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace hopdb {
+
+namespace {
+
+/// A candidate label entry produced by the generation rules. `owner` is
+/// the vertex whose label would receive the entry; `pivot` is always
+/// ranked above the owner (pivot < owner).
+struct Cand {
+  VertexId owner;
+  VertexId pivot;
+  Distance dist;
+};
+
+bool CandLess(const Cand& a, const Cand& b) {
+  if (a.owner != b.owner) return a.owner < b.owner;
+  if (a.pivot != b.pivot) return a.pivot < b.pivot;
+  return a.dist < b.dist;
+}
+
+/// Locates the contiguous slice of `cands` (sorted by owner) that belongs
+/// to `owner`.
+std::span<const Cand> OwnerSlice(const std::vector<Cand>& cands,
+                                 VertexId owner) {
+  auto lo = std::lower_bound(
+      cands.begin(), cands.end(), owner,
+      [](const Cand& c, VertexId v) { return c.owner < v; });
+  auto hi = std::upper_bound(
+      cands.begin(), cands.end(), owner,
+      [](VertexId v, const Cand& c) { return v < c.owner; });
+  return {&*lo, static_cast<size_t>(hi - lo)};
+}
+
+/// Merged sorted-by-pivot cursor over a label vector and the owner's
+/// candidate slice; when both contain the same pivot (an in-place distance
+/// update) the smaller distance wins. This is how this iteration's
+/// candidates act as pruning witnesses (Section 4.2 keeps candidates in
+/// the outer pruning block together with old labels).
+class PivotCursor {
+ public:
+  PivotCursor(std::span<const LabelEntry> label, std::span<const Cand> cands)
+      : label_(label), cands_(cands) {}
+
+  bool Next(VertexId* pivot, Distance* dist) {
+    const bool has_l = li_ < label_.size();
+    const bool has_c = ci_ < cands_.size();
+    if (!has_l && !has_c) return false;
+    if (has_l && (!has_c || label_[li_].pivot < cands_[ci_].pivot)) {
+      *pivot = label_[li_].pivot;
+      *dist = label_[li_].dist;
+      ++li_;
+      return true;
+    }
+    if (has_c && (!has_l || cands_[ci_].pivot < label_[li_].pivot)) {
+      *pivot = cands_[ci_].pivot;
+      *dist = cands_[ci_].dist;
+      ++ci_;
+      return true;
+    }
+    *pivot = label_[li_].pivot;
+    *dist = std::min(label_[li_].dist, cands_[ci_].dist);
+    ++li_;
+    ++ci_;
+    return true;
+  }
+
+ private:
+  std::span<const LabelEntry> label_;
+  std::span<const Cand> cands_;
+  size_t li_ = 0;
+  size_t ci_ = 0;
+};
+
+/// Witness scan of Section 3.3: true iff some pivot w < beta appears on
+/// both cursors with d1 + d2 <= d. Both cursors yield pivots in
+/// increasing order, so this is a bounded sorted-merge.
+bool HasPruningWitness(PivotCursor outs_of_source, PivotCursor ins_of_dest,
+                       VertexId beta, Distance d) {
+  VertexId pa = kInvalidVertex, pb = kInvalidVertex;
+  Distance da = kInfDistance, db = kInfDistance;
+  bool va = outs_of_source.Next(&pa, &da);
+  bool vb = ins_of_dest.Next(&pb, &db);
+  while (va && vb && pa < beta && pb < beta) {
+    if (pa == pb) {
+      if (SaturatingAdd(da, db) <= d) return true;
+      va = outs_of_source.Next(&pa, &da);
+      vb = ins_of_dest.Next(&pb, &db);
+    } else if (pa < pb) {
+      va = outs_of_source.Next(&pa, &da);
+    } else {
+      vb = ins_of_dest.Next(&pb, &db);
+    }
+  }
+  return false;
+}
+
+class Builder {
+ public:
+  Builder(const CsrGraph& g, const BuildOptions& opts)
+      : g_(g),
+        opts_(opts),
+        directed_(g.directed()),
+        threads_(opts.num_threads == 0 ? HardwareThreads()
+                                       : opts.num_threads),
+        deadline_(opts.time_budget_seconds) {}
+
+  Result<BuildOutput> Run();
+
+ private:
+  void Initialize();
+  Status Generate(BuildMode mode_used, std::vector<Cand>* out_c,
+                  std::vector<Cand>* in_c, IterationStats* st);
+
+  /// Periodic in-generation control check: accumulates the caller's local
+  /// progress and trips the shared abort flag when the deadline or the
+  /// candidate-volume cap is blown MID-generation. Without this, a bad
+  /// vertex order (random order on a big scale-free graph) can spend
+  /// minutes and gigabytes inside a single rule iteration before the
+  /// between-phase checks ever run.
+  bool GenerationTick(uint64_t locally_generated) const {
+    generated_total_.fetch_add(locally_generated,
+                               std::memory_order_relaxed);
+    if (opts_.max_candidates_per_iteration != 0 &&
+        generated_total_.load(std::memory_order_relaxed) >
+            opts_.max_candidates_per_iteration) {
+      generation_abort_.store(true, std::memory_order_relaxed);
+    } else if (deadline_.Exceeded()) {
+      generation_abort_.store(true, std::memory_order_relaxed);
+    }
+    return !generation_abort_.load(std::memory_order_relaxed);
+  }
+  void GenerateSteppingOut(std::span<const Cand> prev,
+                           std::vector<Cand>* out_c) const;
+  void GenerateSteppingIn(std::span<const Cand> prev,
+                          std::vector<Cand>* in_c) const;
+  void GenerateDoublingOut(std::span<const Cand> prev,
+                           std::vector<Cand>* out_c) const;
+  void GenerateDoublingIn(std::span<const Cand> prev,
+                          std::vector<Cand>* in_c) const;
+
+  /// Runs `gen` over `prev` split into one chunk per thread, concatenating
+  /// the per-chunk outputs in chunk order (deterministic multiset; the
+  /// dedup sort canonicalizes the order anyway).
+  template <typename GenFn>
+  void GenerateParallel(const std::vector<Cand>& prev, GenFn gen,
+                        std::vector<Cand>* sink) const {
+    if (threads_ <= 1 || prev.size() < 1024) {
+      gen(std::span<const Cand>(prev), sink);
+      return;
+    }
+    std::vector<std::vector<Cand>> parts(threads_);
+    ParallelChunks(threads_, prev.size(),
+                   [&](size_t begin, size_t end, uint32_t chunk) {
+                     gen(std::span<const Cand>(prev.data() + begin,
+                                               end - begin),
+                         &parts[chunk]);
+                   });
+    for (const auto& part : parts) {
+      sink->insert(sink->end(), part.begin(), part.end());
+    }
+  }
+
+  /// Sort + per-(owner,pivot) dedup keeping min dist, then drop candidates
+  /// dominated by an existing entry (d_existing <= d_cand).
+  void DedupAndFilter(std::vector<Cand>* cands, bool out_side,
+                      IterationStats* st);
+
+  /// Section 3.3 pruning over both candidate lists.
+  void Prune(std::vector<Cand>* out_c, std::vector<Cand>* in_c,
+             IterationStats* st);
+
+  /// Merges survivors into labels + inverted lists; returns survivor count.
+  uint64_t Apply(const std::vector<Cand>& cands, bool out_side,
+                 IterationStats* st);
+
+  std::vector<LabelVector>& Side(bool out_side) {
+    return out_side || !directed_ ? out_ : in_;
+  }
+
+  const CsrGraph& g_;
+  BuildOptions opts_;
+  bool directed_;
+  uint32_t threads_;
+  Deadline deadline_;
+
+  std::vector<LabelVector> out_;
+  std::vector<LabelVector> in_;
+  /// inv_out_[p]: owners w with an entry (p, ·) in Lout(w). Drives Rule 2.
+  std::vector<std::vector<VertexId>> inv_out_;
+  /// inv_in_[p]: owners w with an entry (p, ·) in Lin(w). Drives Rule 5.
+  std::vector<std::vector<VertexId>> inv_in_;
+
+  /// Entries that survived the previous iteration, sorted by owner.
+  std::vector<Cand> prev_out_;
+  std::vector<Cand> prev_in_;
+
+  /// Mid-generation abort machinery (see GenerationTick).
+  mutable std::atomic<uint64_t> generated_total_{0};
+  mutable std::atomic<bool> generation_abort_{false};
+
+  BuildStats stats_;
+};
+
+void Builder::Initialize() {
+  const VertexId n = g_.num_vertices();
+  out_.assign(n, {});
+  inv_out_.assign(n, {});
+  if (directed_) {
+    in_.assign(n, {});
+    inv_in_.assign(n, {});
+  }
+
+  // One entry per edge: the higher-ranked endpoint becomes the pivot.
+  // Directed arc u->v: v < u places (v, w) in Lout(u); u < v places
+  // (u, w) in Lin(v). Undirected edge {u, v} with u < v: (u, w) in L(v).
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Arc& a : g_.OutArcs(u)) {
+      const VertexId v = a.to;
+      if (directed_) {
+        if (v < u) {
+          out_[u].push_back({v, a.weight});
+          prev_out_.push_back({u, v, a.weight});
+        } else {
+          in_[v].push_back({u, a.weight});
+          prev_in_.push_back({v, u, a.weight});
+        }
+      } else {
+        if (u < v) {
+          out_[v].push_back({u, a.weight});
+          prev_out_.push_back({v, u, a.weight});
+        }
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(out_[v].begin(), out_[v].end(),
+              [](const LabelEntry& a, const LabelEntry& b) {
+                return a.pivot < b.pivot;
+              });
+    for (const LabelEntry& e : out_[v]) inv_out_[e.pivot].push_back(v);
+    if (directed_) {
+      std::sort(in_[v].begin(), in_[v].end(),
+                [](const LabelEntry& a, const LabelEntry& b) {
+                  return a.pivot < b.pivot;
+                });
+      for (const LabelEntry& e : in_[v]) inv_in_[e.pivot].push_back(v);
+    }
+  }
+  std::sort(prev_out_.begin(), prev_out_.end(), CandLess);
+  std::sort(prev_in_.begin(), prev_in_.end(), CandLess);
+  stats_.initial_entries = prev_out_.size() + prev_in_.size();
+}
+
+/// Candidates emitted between GenerationTick control checks.
+constexpr uint64_t kTickEvery = 1 << 16;
+
+void Builder::GenerateSteppingOut(std::span<const Cand> prev,
+                                  std::vector<Cand>* out_c) const {
+  // Rules 1+2 with a unit-hop left factor: a prev out-entry (u -> v, d)
+  // extends backwards over every in-arc (w -> u) whose w is ranked below
+  // the pivot (w > v). Undirected graphs use the full neighborhood.
+  uint64_t since_tick = 0;
+  for (const Cand& c : prev) {
+    auto arcs = directed_ ? g_.InArcs(c.owner) : g_.OutArcs(c.owner);
+    for (const Arc& a : arcs) {
+      if (a.to <= c.pivot) continue;  // w must rank below the pivot
+      out_c->push_back({a.to, c.pivot, SaturatingAdd(c.dist, a.weight)});
+    }
+    since_tick += arcs.size();
+    if (since_tick >= kTickEvery) {
+      if (!GenerationTick(since_tick)) return;
+      since_tick = 0;
+    }
+  }
+  GenerationTick(since_tick);
+}
+
+void Builder::GenerateSteppingIn(std::span<const Cand> prev,
+                                 std::vector<Cand>* in_c) const {
+  // Rules 4+5 with a unit-hop right factor: a prev in-entry
+  // (owner v, pivot u, d) extends forward over out-arcs (v -> w), w > u.
+  uint64_t since_tick = 0;
+  for (const Cand& c : prev) {
+    for (const Arc& a : g_.OutArcs(c.owner)) {
+      if (a.to <= c.pivot) continue;
+      in_c->push_back({a.to, c.pivot, SaturatingAdd(c.dist, a.weight)});
+    }
+    since_tick += g_.OutArcs(c.owner).size();
+    if (since_tick >= kTickEvery) {
+      if (!GenerationTick(since_tick)) return;
+      since_tick = 0;
+    }
+  }
+  GenerationTick(since_tick);
+}
+
+void Builder::GenerateDoublingOut(std::span<const Cand> prev,
+                                  std::vector<Cand>* out_c) const {
+  const auto& ins = directed_ ? in_ : out_;
+  const auto& inv = inv_out_;
+  uint64_t since_tick = 0;
+  for (const Cand& c : prev) {
+    const uint64_t before = out_c->size();
+    // Rule 1: join with in-labels of the owner whose pivot u1 satisfies
+    // v < u1 (< u automatically): suffix scan of the sorted label.
+    const LabelVector& lin = ins[c.owner];
+    for (size_t i = UpperBoundPivot(lin, c.pivot); i < lin.size(); ++i) {
+      out_c->push_back(
+          {lin[i].pivot, c.pivot, SaturatingAdd(lin[i].dist, c.dist)});
+    }
+    // Rule 2: join with every out-entry whose pivot is the owner:
+    // owners u2 > u found via the inverted list.
+    for (VertexId u2 : inv[c.owner]) {
+      Distance d2 = LookupPivot(out_[u2], c.owner);
+      HOPDB_DCHECK_NE(d2, kInfDistance);
+      out_c->push_back({u2, c.pivot, SaturatingAdd(d2, c.dist)});
+    }
+    since_tick += out_c->size() - before;
+    if (since_tick >= kTickEvery) {
+      if (!GenerationTick(since_tick)) return;
+      since_tick = 0;
+    }
+  }
+  GenerationTick(since_tick);
+}
+
+void Builder::GenerateDoublingIn(std::span<const Cand> prev,
+                                 std::vector<Cand>* in_c) const {
+  uint64_t since_tick = 0;
+  for (const Cand& c : prev) {
+    const uint64_t before = in_c->size();
+    // Rule 4: join with out-labels of the owner (the path's destination)
+    // whose pivot u4 satisfies u < u4 (< v automatically).
+    const LabelVector& lout = out_[c.owner];
+    for (size_t i = UpperBoundPivot(lout, c.pivot); i < lout.size(); ++i) {
+      in_c->push_back(
+          {lout[i].pivot, c.pivot, SaturatingAdd(c.dist, lout[i].dist)});
+    }
+    // Rule 5: join with every in-entry whose pivot is the owner.
+    for (VertexId u5 : inv_in_[c.owner]) {
+      Distance d5 = LookupPivot(in_[u5], c.owner);
+      HOPDB_DCHECK_NE(d5, kInfDistance);
+      in_c->push_back({u5, c.pivot, SaturatingAdd(c.dist, d5)});
+    }
+    since_tick += in_c->size() - before;
+    if (since_tick >= kTickEvery) {
+      if (!GenerationTick(since_tick)) return;
+      since_tick = 0;
+    }
+  }
+  GenerationTick(since_tick);
+}
+
+Status Builder::Generate(BuildMode mode_used, std::vector<Cand>* out_c,
+                         std::vector<Cand>* in_c, IterationStats* st) {
+  generated_total_.store(0, std::memory_order_relaxed);
+  generation_abort_.store(false, std::memory_order_relaxed);
+  if (mode_used == BuildMode::kHopStepping) {
+    GenerateParallel(
+        prev_out_,
+        [this](std::span<const Cand> p, std::vector<Cand>* s) {
+          GenerateSteppingOut(p, s);
+        },
+        out_c);
+    if (directed_) {
+      GenerateParallel(
+          prev_in_,
+          [this](std::span<const Cand> p, std::vector<Cand>* s) {
+            GenerateSteppingIn(p, s);
+          },
+          in_c);
+    }
+  } else {
+    GenerateParallel(
+        prev_out_,
+        [this](std::span<const Cand> p, std::vector<Cand>* s) {
+          GenerateDoublingOut(p, s);
+        },
+        out_c);
+    if (directed_) {
+      GenerateParallel(
+          prev_in_,
+          [this](std::span<const Cand> p, std::vector<Cand>* s) {
+            GenerateDoublingIn(p, s);
+          },
+          in_c);
+    }
+  }
+  st->raw_candidates = out_c->size() + in_c->size();
+  stats_.peak_candidates = std::max(stats_.peak_candidates,
+                                    st->raw_candidates);
+  // An in-generation abort leaves the candidate lists truncated; report
+  // whichever limit tripped. (The post-hoc checks below catch volumes
+  // that landed between ticks.)
+  if (opts_.max_candidates_per_iteration != 0 &&
+      (st->raw_candidates > opts_.max_candidates_per_iteration ||
+       generated_total_.load(std::memory_order_relaxed) >
+           opts_.max_candidates_per_iteration)) {
+    return Status::ResourceExhausted(
+        "candidate volume " + std::to_string(st->raw_candidates) +
+        " exceeds cap at iteration " + std::to_string(st->iteration));
+  }
+  if (generation_abort_.load(std::memory_order_relaxed) ||
+      deadline_.Exceeded()) {
+    return Status::DeadlineExceeded("label generation over time budget");
+  }
+  return Status::OK();
+}
+
+void Builder::DedupAndFilter(std::vector<Cand>* cands, bool out_side,
+                             IterationStats* st) {
+  std::sort(cands->begin(), cands->end(), CandLess);
+  size_t w = 0;
+  const auto& side = Side(out_side);
+  bool have_last = false;
+  VertexId last_owner = 0, last_pivot = 0;
+  for (size_t i = 0; i < cands->size(); ++i) {
+    const Cand& c = (*cands)[i];
+    if (have_last && last_owner == c.owner && last_pivot == c.pivot) {
+      continue;  // duplicate (owner, pivot); the sort kept the min dist
+    }
+    have_last = true;
+    last_owner = c.owner;
+    last_pivot = c.pivot;
+    st->deduped_candidates++;
+    Distance existing = LookupPivot(side[c.owner], c.pivot);
+    if (existing <= c.dist) {
+      st->existing_dropped++;
+      continue;  // dominated by an existing entry
+    }
+    (*cands)[w++] = c;
+  }
+  cands->resize(w);
+}
+
+void Builder::Prune(std::vector<Cand>* out_c, std::vector<Cand>* in_c,
+                    IterationStats* st) {
+  if (!opts_.prune) return;
+  // Snapshot the deduped candidates before compaction: the witness set is
+  // fixed at the start of the pruning phase (a pruned candidate may still
+  // witness the pruning of another — safe, since every entry covers a
+  // real path and canonical entries are never pruned; see Thm. 3).
+  std::vector<Cand> wit_out, wit_in;
+  if (opts_.prune_with_candidates) {
+    wit_out = *out_c;
+    wit_in = directed_ ? *in_c : *out_c;
+  }
+  const auto& ins = directed_ ? in_ : out_;
+
+  // A candidate covering the directed path source ⇝ dest with pivot
+  // beta = min(owner, pivot) dies iff a witness pivot w < beta exists in
+  // Lout(source) ∩ Lin(dest) with d1 + d2 <= d. For out-entries the
+  // source is the owner; for in-entries the source is the pivot.
+  //
+  // Decisions are independent (labels and witness snapshots are frozen
+  // for the whole phase), so they are marked in parallel and compacted
+  // sequentially — identical output for any thread count.
+  auto prune_list = [&](std::vector<Cand>* cands, bool is_out) {
+    std::vector<uint8_t> keep(cands->size());
+    ParallelChunks(threads_, cands->size(),
+                   [&](size_t begin, size_t end, uint32_t) {
+                     for (size_t i = begin; i < end; ++i) {
+                       const Cand& c = (*cands)[i];
+                       const VertexId source = is_out ? c.owner : c.pivot;
+                       const VertexId dest = is_out ? c.pivot : c.owner;
+                       const VertexId beta = c.pivot;
+                       PivotCursor outs(out_[source],
+                                        OwnerSlice(wit_out, source));
+                       PivotCursor inss(ins[dest], OwnerSlice(wit_in, dest));
+                       keep[i] =
+                           !HasPruningWitness(outs, inss, beta, c.dist);
+                     }
+                   });
+    size_t w = 0;
+    for (size_t i = 0; i < cands->size(); ++i) {
+      if (keep[i]) {
+        (*cands)[w++] = (*cands)[i];
+      } else {
+        st->pruned++;
+      }
+    }
+    cands->resize(w);
+  };
+
+  prune_list(out_c, /*is_out=*/true);
+  if (directed_) prune_list(in_c, /*is_out=*/false);
+}
+
+uint64_t Builder::Apply(const std::vector<Cand>& cands, bool out_side,
+                        IterationStats* st) {
+  auto& side = Side(out_side);
+  auto& inv = out_side || !directed_ ? inv_out_ : inv_in_;
+  size_t i = 0;
+  while (i < cands.size()) {
+    const VertexId owner = cands[i].owner;
+    size_t j = i;
+    while (j < cands.size() && cands[j].owner == owner) ++j;
+    LabelVector& lab = side[owner];
+    const size_t old_size = lab.size();
+    for (size_t k = i; k < j; ++k) {
+      const Cand& c = cands[k];
+      // In-place update when the pivot already exists (possible for
+      // weighted graphs and for Hop-Doubling's overshooting paths).
+      size_t lo = 0, hi = old_size;
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (lab[mid].pivot < c.pivot) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo < old_size && lab[lo].pivot == c.pivot) {
+        HOPDB_DCHECK_GT(lab[lo].dist, c.dist);
+        lab[lo].dist = c.dist;
+        st->updates++;
+      } else {
+        lab.push_back({c.pivot, c.dist});
+        inv[c.pivot].push_back(owner);
+      }
+    }
+    std::inplace_merge(lab.begin(), lab.begin() + static_cast<ptrdiff_t>(old_size),
+                       lab.end(),
+                       [](const LabelEntry& a, const LabelEntry& b) {
+                         return a.pivot < b.pivot;
+                       });
+    i = j;
+  }
+  return cands.size();
+}
+
+Result<BuildOutput> Builder::Run() {
+  Stopwatch total_watch;
+  {
+    Stopwatch init_watch;
+    Initialize();
+    stats_.init_seconds = init_watch.Seconds();
+  }
+
+  std::vector<Cand> out_c, in_c;
+  for (uint32_t iter = 1; iter <= opts_.max_iterations; ++iter) {
+    if (prev_out_.empty() && prev_in_.empty()) break;
+    if (deadline_.Exceeded()) {
+      return Status::DeadlineExceeded("label construction over time budget");
+    }
+
+    Stopwatch iter_watch;
+    IterationStats st;
+    st.iteration = iter;
+    switch (opts_.mode) {
+      case BuildMode::kHopStepping:
+        st.mode_used = BuildMode::kHopStepping;
+        break;
+      case BuildMode::kHopDoubling:
+        st.mode_used = BuildMode::kHopDoubling;
+        break;
+      case BuildMode::kHybrid:
+        st.mode_used = iter <= opts_.hybrid_switch_iteration
+                           ? BuildMode::kHopStepping
+                           : BuildMode::kHopDoubling;
+        break;
+    }
+
+    out_c.clear();
+    in_c.clear();
+    HOPDB_RETURN_NOT_OK(Generate(st.mode_used, &out_c, &in_c, &st));
+    DedupAndFilter(&out_c, /*out_side=*/true, &st);
+    if (directed_) DedupAndFilter(&in_c, /*out_side=*/false, &st);
+    Prune(&out_c, &in_c, &st);
+
+    st.survivors = Apply(out_c, /*out_side=*/true, &st);
+    if (directed_) st.survivors += Apply(in_c, /*out_side=*/false, &st);
+
+    prev_out_.swap(out_c);
+    prev_in_.swap(in_c);
+
+    uint64_t total_entries = 0;
+    for (const auto& l : out_) total_entries += l.size();
+    for (const auto& l : in_) total_entries += l.size();
+    st.total_entries_after = total_entries;
+    st.seconds = iter_watch.Seconds();
+    stats_.iterations.push_back(st);
+    stats_.num_rule_iterations = iter;
+
+    if (st.survivors == 0) break;
+  }
+
+  stats_.total_seconds = total_watch.Seconds();
+  BuildOutput output{
+      TwoHopIndex(std::move(out_), std::move(in_), directed_),
+      std::move(stats_)};
+  return output;
+}
+
+}  // namespace
+
+const char* BuildModeName(BuildMode mode) {
+  switch (mode) {
+    case BuildMode::kHopStepping:
+      return "Step";
+    case BuildMode::kHopDoubling:
+      return "Double";
+    case BuildMode::kHybrid:
+      return "Hybrid";
+  }
+  return "?";
+}
+
+Result<BuildOutput> BuildHopLabeling(const CsrGraph& ranked_graph,
+                                     const BuildOptions& options) {
+  if (options.mode == BuildMode::kHybrid &&
+      options.hybrid_switch_iteration == 0) {
+    return Status::InvalidArgument(
+        "hybrid mode needs hybrid_switch_iteration >= 1");
+  }
+  Builder builder(ranked_graph, options);
+  return builder.Run();
+}
+
+}  // namespace hopdb

@@ -1,0 +1,116 @@
+// In-memory Hop-Doubling / Hop-Stepping / Hybrid label construction
+// (Sections 3 and 5 of the paper).
+//
+// The builder runs on a *rank-relabeled* graph (internal id == rank, id 0
+// = highest degree). Each iteration:
+//   1. generates candidate entries from the entries that survived the
+//      previous iteration (`prev`) joined against either all existing
+//      labels (Hop-Doubling, the 4 simplified rules of Fig. 6) or single
+//      edges (Hop-Stepping, Section 5.1);
+//   2. dedups candidates per (owner, pivot), keeping the smallest
+//      distance, and drops candidates dominated by an existing entry;
+//   3. prunes candidates that have a witness through a higher-ranked
+//      pivot (Section 3.3): candidate covering path x⇝y with pivot
+//      β = min(x, y) dies iff some w < β has (w,d1) ∈ Lout(x),
+//      (w,d2) ∈ Lin(y) with d1+d2 ≤ d;
+//   4. merges survivors into the labels; survivors become `prev`.
+// The loop ends when no candidate survives — at most DH iterations for
+// Stepping (Thm. 6) and 2⌈log DH⌉ for Doubling (Thm. 4).
+//
+// Per-iteration statistics (candidate counts, pruning counts, time) feed
+// Figure 10's growing/pruning-factor plots.
+
+#ifndef HOPDB_LABELING_BUILDER_H_
+#define HOPDB_LABELING_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "labeling/two_hop_index.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+enum class BuildMode {
+  kHopStepping,
+  kHopDoubling,
+  /// The paper's default: Hop-Stepping for the first
+  /// `hybrid_switch_iteration` iterations, then Hop-Doubling (Section
+  /// 5.4, "by default ... first 10 iterations").
+  kHybrid,
+};
+
+const char* BuildModeName(BuildMode mode);
+
+struct BuildOptions {
+  BuildMode mode = BuildMode::kHybrid;
+  /// Rule iterations run as Hop-Stepping before switching to Hop-Doubling
+  /// in kHybrid mode.
+  uint32_t hybrid_switch_iteration = 10;
+  /// Safety cap; the theoretical bounds make this unreachable for sane
+  /// inputs.
+  uint32_t max_iterations = 100000;
+  /// Wall-clock budget; 0 disables. Exceeding it aborts the build with
+  /// Status::DeadlineExceeded (rendered as "—"/DNF in benches, matching
+  /// the paper's 24-hour cutoff).
+  double time_budget_seconds = 0;
+  /// Candidate-volume cap per iteration; 0 disables. Exceeding it aborts
+  /// with Status::ResourceExhausted (Hop-Doubling on large graphs can
+  /// explode; the paper's Table 8 shows exactly this).
+  uint64_t max_candidates_per_iteration = 0;
+  /// Disables pruning entirely (ablation; reproduces the Figure 5
+  /// labeling of Example 1 when false).
+  bool prune = true;
+  /// When true (default, matching Section 4.2's outer block which holds
+  /// both old labels and fresh candidates), pruning witnesses may be this
+  /// iteration's deduped candidates as well as old entries. Ablation knob.
+  bool prune_with_candidates = true;
+  /// Worker threads for candidate generation and pruning (the two
+  /// data-parallel phases; dedup and label merging stay sequential).
+  /// The output is bit-identical for every thread count: generation order
+  /// only permutes the candidate multiset, which the dedup sort
+  /// canonicalizes, and each pruning decision depends only on the
+  /// iteration-start snapshot. 0 means all hardware threads.
+  uint32_t num_threads = 1;
+};
+
+/// Counters for one rule iteration (Figure 10's raw material).
+struct IterationStats {
+  uint32_t iteration = 0;        // 1-based rule iterations
+  BuildMode mode_used = BuildMode::kHopStepping;
+  uint64_t raw_candidates = 0;   // rule outputs before any filtering
+  uint64_t deduped_candidates = 0;  // after (owner,pivot) dedup
+  uint64_t existing_dropped = 0;    // dominated by an existing entry
+  uint64_t pruned = 0;              // killed by a higher-ranked witness
+  uint64_t survivors = 0;           // new entries + in-place updates
+  uint64_t updates = 0;             // in-place distance improvements
+  uint64_t total_entries_after = 0;
+  double seconds = 0;
+};
+
+struct BuildStats {
+  std::vector<IterationStats> iterations;
+  uint32_t num_rule_iterations = 0;
+  uint64_t initial_entries = 0;  // one per edge
+  double init_seconds = 0;
+  double total_seconds = 0;
+  /// Peak candidate-buffer size in entries (memory high-water mark proxy).
+  uint64_t peak_candidates = 0;
+};
+
+struct BuildOutput {
+  TwoHopIndex index;
+  BuildStats stats;
+};
+
+/// Builds a 2-hop index for `ranked_graph`, which must already be
+/// relabeled so that internal id == rank (see RelabelByRank). Returns the
+/// index over internal ids.
+Result<BuildOutput> BuildHopLabeling(const CsrGraph& ranked_graph,
+                                     const BuildOptions& options = {});
+
+}  // namespace hopdb
+
+#endif  // HOPDB_LABELING_BUILDER_H_

@@ -1,0 +1,173 @@
+#include "labeling/disk_index.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/serde.h"
+
+namespace hopdb {
+
+namespace {
+constexpr char kMagic[4] = {'H', 'D', 'I', '1'};
+constexpr uint32_t kFlagDirected = 1u;
+constexpr uint32_t kFlagDist8 = 2u;
+constexpr size_t kHeaderBytes = 4 + 4 + 4;
+}  // namespace
+
+Status DiskIndex::Write(const TwoHopIndex& index, const std::string& path) {
+  const VertexId n = index.num_vertices();
+  const bool directed = index.directed();
+
+  // Can distances be narrowed to 8 bits?
+  bool dist8 = true;
+  auto scan_side = [&](bool out_side) {
+    for (VertexId v = 0; v < n && dist8; ++v) {
+      auto label = out_side ? index.OutLabel(v) : index.InLabel(v);
+      for (const LabelEntry& e : label) {
+        if (e.dist >= 255) {
+          dist8 = false;
+          break;
+        }
+      }
+    }
+  };
+  scan_side(true);
+  if (directed) scan_side(false);
+  const size_t entry_bytes = dist8 ? 5 : 8;
+
+  std::string buf;
+  buf.append(kMagic, 4);
+  PutU32(&buf, (directed ? kFlagDirected : 0u) | (dist8 ? kFlagDist8 : 0u));
+  PutU32(&buf, n);
+
+  auto append_offsets = [&](bool out_side) {
+    uint64_t total = 0;
+    PutU64(&buf, total);
+    for (VertexId v = 0; v < n; ++v) {
+      auto label = out_side ? index.OutLabel(v) : index.InLabel(v);
+      total += label.size();
+      PutU64(&buf, total);
+    }
+  };
+  append_offsets(true);
+  if (directed) append_offsets(false);
+
+  auto append_entries = [&](bool out_side) {
+    for (VertexId v = 0; v < n; ++v) {
+      auto label = out_side ? index.OutLabel(v) : index.InLabel(v);
+      for (const LabelEntry& e : label) {
+        PutU32(&buf, e.pivot);
+        if (dist8) {
+          PutU8(&buf, static_cast<uint8_t>(e.dist));
+        } else {
+          PutU32(&buf, e.dist);
+        }
+      }
+    }
+  };
+  append_entries(true);
+  if (directed) append_entries(false);
+
+  (void)entry_bytes;
+  return WriteStringToFile(path, buf);
+}
+
+Result<DiskIndex> DiskIndex::Open(const std::string& path,
+                                  uint64_t block_size) {
+  DiskIndex idx;
+  HOPDB_ASSIGN_OR_RETURN(idx.file_, BlockFile::OpenRead(path, block_size));
+
+  uint8_t header[kHeaderBytes];
+  HOPDB_RETURN_NOT_OK(idx.file_.ReadAt(0, header, sizeof(header)));
+  if (std::memcmp(header, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a HDI1 index file: " + path);
+  }
+  uint32_t flags = DecodeU32(header + 4);
+  idx.num_vertices_ = DecodeU32(header + 8);
+  idx.directed_ = (flags & kFlagDirected) != 0;
+  idx.dist8_ = (flags & kFlagDist8) != 0;
+  idx.entry_bytes_ = idx.dist8_ ? 5 : 8;
+
+  const uint64_t n = idx.num_vertices_;
+  const uint64_t table_bytes = (n + 1) * 8ull;
+  auto load_table = [&](uint64_t at,
+                        std::vector<uint64_t>* table) -> Status {
+    std::vector<uint8_t> raw(table_bytes);
+    HOPDB_RETURN_NOT_OK(idx.file_.ReadAt(at, raw.data(), raw.size()));
+    table->resize(n + 1);
+    for (uint64_t i = 0; i <= n; ++i) {
+      (*table)[i] = DecodeU64(raw.data() + i * 8);
+    }
+    return Status::OK();
+  };
+
+  uint64_t pos = kHeaderBytes;
+  HOPDB_RETURN_NOT_OK(load_table(pos, &idx.out_offsets_));
+  pos += table_bytes;
+  if (idx.directed_) {
+    HOPDB_RETURN_NOT_OK(load_table(pos, &idx.in_offsets_));
+    pos += table_bytes;
+  }
+  idx.out_base_ = pos;
+  idx.in_base_ =
+      pos + idx.out_offsets_.back() * idx.entry_bytes_;
+  // The offset tables imply an exact entry payload; a shorter file is
+  // truncated (queries would fail or, worse, read stale tail bytes).
+  const uint64_t expected_size =
+      idx.in_base_ +
+      (idx.directed_ ? idx.in_offsets_.back() * idx.entry_bytes_ : 0);
+  if (idx.file_.size() < expected_size) {
+    return Status::IOError(
+        "HDI1 index truncated: " + path + " has " +
+        std::to_string(idx.file_.size()) + " bytes, offsets imply " +
+        std::to_string(expected_size));
+  }
+  // Offset-table loading is setup cost, not query cost.
+  idx.file_.mutable_stats()->Reset();
+  return idx;
+}
+
+Status DiskIndex::ReadLabel(bool out_side, VertexId v, LabelVector* out) {
+  const auto& offsets = out_side ? out_offsets_ : in_offsets_;
+  const uint64_t base = out_side ? out_base_ : in_base_;
+  const uint64_t begin = offsets[v];
+  const uint64_t count = offsets[v + 1] - begin;
+  out->clear();
+  if (count == 0) return Status::OK();
+  const uint64_t bytes = count * entry_bytes_;
+  io_buf_.resize(bytes);
+  HOPDB_RETURN_NOT_OK(
+      file_.ReadAt(base + begin * entry_bytes_, io_buf_.data(), bytes));
+  out->reserve(count);
+  const uint8_t* p = io_buf_.data();
+  for (uint64_t i = 0; i < count; ++i) {
+    LabelEntry e;
+    e.pivot = DecodeU32(p);
+    e.dist = dist8_ ? p[4] : DecodeU32(p + 4);
+    out->push_back(e);
+    p += entry_bytes_;
+  }
+  return Status::OK();
+}
+
+Distance DiskIndex::Query(VertexId s, VertexId t) {
+  HOPDB_CHECK_LT(s, num_vertices_);
+  HOPDB_CHECK_LT(t, num_vertices_);
+  if (s == t) return 0;
+  // Two positional label reads: the disk cost the paper measures.
+  ReadLabel(/*out_side=*/true, s, &scratch_s_).CheckOK();
+  ReadLabel(directed_ ? false : true, t, &scratch_t_).CheckOK();
+  return QueryLabelHalves(scratch_s_, scratch_t_, s, t);
+}
+
+Result<TwoHopIndex> DiskIndex::ToMemory() {
+  std::vector<LabelVector> out(num_vertices_);
+  std::vector<LabelVector> in(directed_ ? num_vertices_ : 0);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    HOPDB_RETURN_NOT_OK(ReadLabel(true, v, &out[v]));
+    if (directed_) HOPDB_RETURN_NOT_OK(ReadLabel(false, v, &in[v]));
+  }
+  return TwoHopIndex(std::move(out), std::move(in), directed_);
+}
+
+}  // namespace hopdb

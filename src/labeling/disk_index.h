@@ -1,0 +1,70 @@
+// DiskIndex: the disk-resident query path ("Disk query time" column of
+// Table 6).
+//
+// File layout (HDI1, little-endian):
+//   magic "HDI1" | u32 flags (bit0 directed, bit1 8-bit distances) |
+//   u32 num_vertices |
+//   out offset table: (n+1) x u64 entry indices |
+//   in offset table:  (n+1) x u64 (directed only) |
+//   out entries | in entries        entry = u32 pivot + (u8|u32) dist
+//
+// Only the offset tables live in memory (8(n+1) bytes per side — the
+// analogue of the paper's in-memory vertex directory); every query
+// performs exactly two positional label reads, Lout(s) and Lin(t),
+// mirroring the two random disk accesses behind the paper's ~ms HDD
+// query times. Block transfer counts are reported so the result is
+// hardware-independent.
+
+#ifndef HOPDB_LABELING_DISK_INDEX_H_
+#define HOPDB_LABELING_DISK_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "io/block_file.h"
+#include "labeling/two_hop_index.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+class DiskIndex {
+ public:
+  /// Serializes an in-memory index. Distances are narrowed to 8 bits when
+  /// every value fits (the paper's storage choice for unweighted graphs).
+  static Status Write(const TwoHopIndex& index, const std::string& path);
+
+  static Result<DiskIndex> Open(const std::string& path,
+                                uint64_t block_size = kDefaultBlockSize);
+
+  /// Exact distance by two label reads (internal/ranked ids).
+  Distance Query(VertexId s, VertexId t);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  bool directed() const { return directed_; }
+  uint64_t file_size_bytes() const { return file_.size(); }
+  const IoStats& stats() const { return file_.stats(); }
+  void ResetStats() { file_.mutable_stats()->Reset(); }
+
+  /// Loads everything back into an in-memory index (round-trip testing).
+  Result<TwoHopIndex> ToMemory();
+
+ private:
+  /// Reads one label vector into `out`.
+  Status ReadLabel(bool out_side, VertexId v, LabelVector* out);
+
+  BlockFile file_;
+  std::vector<uint64_t> out_offsets_;  // entry indices, size n+1
+  std::vector<uint64_t> in_offsets_;   // directed only
+  uint64_t out_base_ = 0;              // byte offset of the out entry area
+  uint64_t in_base_ = 0;
+  VertexId num_vertices_ = 0;
+  bool directed_ = false;
+  bool dist8_ = false;
+  size_t entry_bytes_ = 8;
+  LabelVector scratch_s_, scratch_t_;
+  std::vector<uint8_t> io_buf_;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_LABELING_DISK_INDEX_H_

@@ -1,0 +1,81 @@
+// External-memory label construction (Section 4 of the paper).
+//
+// The label sets never need to fit in memory: labels live in sorted
+// record files and every iteration is a pipeline of streaming merge
+// joins, external sorts, and blocked nested-loop joins:
+//
+//   generation  — prev entries (sorted by owner) merge-join either the
+//                 graph's adjacency (Hop-Stepping) or the label files
+//                 (Hop-Doubling; Rules 2/5 join the pivot-sorted copies,
+//                 exactly Algorithm 2's "old (u2 -> u) sorted by u2");
+//   dedup       — candidates are externally sorted by (owner, pivot,
+//                 dist) and collapsed, then merge-scanned against the old
+//                 labels to drop dominated entries;
+//   pruning     — Section 4.2's blocked nested loop: the outer loop loads
+//                 memory-budget-sized blocks of source labels together
+//                 with this iteration's candidates, the inner loop
+//                 streams the destination labels once per outer block;
+//   apply       — survivors merge into the owner-sorted and pivot-sorted
+//                 label files and become the next iteration's prev.
+//
+// Semantics are bit-identical to the in-memory builder (same rules, same
+// dedup, same witness definition), which the test suite verifies by
+// comparing complete label sets. The input graph itself is kept in memory
+// (CSR adjacency is only consulted during Hop-Stepping unit-hop joins);
+// label storage — the term that actually grows — is what the memory
+// budget governs.
+
+#ifndef HOPDB_LABELING_EXTERNAL_BUILDER_H_
+#define HOPDB_LABELING_EXTERNAL_BUILDER_H_
+
+#include <string>
+
+#include "graph/csr_graph.h"
+#include "io/io_stats.h"
+#include "labeling/builder.h"
+#include "labeling/two_hop_index.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+struct ExternalBuildOptions {
+  /// Generation/pruning semantics (mode, hybrid switch, caps) — shared
+  /// with the in-memory builder.
+  BuildOptions build;
+  /// Memory budget M for candidate sorting and pruning blocks.
+  uint64_t memory_budget_bytes = 64ull << 20;
+  /// Disk block size B used for I/O accounting.
+  uint64_t block_size = kDefaultBlockSize;
+  /// Directory for scratch and result files (must exist).
+  std::string scratch_dir;
+};
+
+struct ExternalBuildResult {
+  /// Final label files: LabelRec records sorted by (owner, pivot).
+  std::string out_labels_path;
+  std::string in_labels_path;  // empty for undirected graphs
+  BuildStats stats;
+  IoStats io;
+  uint64_t total_entries = 0;
+
+  /// Materializes the label files as an in-memory index (tests, query
+  /// benchmarking); prefer WriteDiskIndex for the disk query path.
+  Result<TwoHopIndex> ToMemory(const CsrGraph& ranked_graph) const;
+};
+
+/// On-disk label record: (key_major, key_minor, dist). Owner-sorted files
+/// use (owner, pivot); pivot-sorted files use (pivot, owner).
+struct LabelRec {
+  VertexId a;
+  VertexId b;
+  Distance dist;
+};
+
+/// Runs the external construction for `ranked_graph` (internal id ==
+/// rank).
+Result<ExternalBuildResult> BuildHopLabelingExternal(
+    const CsrGraph& ranked_graph, const ExternalBuildOptions& options);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_LABELING_EXTERNAL_BUILDER_H_

@@ -1,0 +1,170 @@
+#include "labeling/two_hop_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/serde.h"
+
+namespace hopdb {
+
+namespace {
+constexpr char kMagic[4] = {'H', 'L', 'I', '1'};
+}
+
+TwoHopIndex::TwoHopIndex(std::vector<LabelVector> out,
+                         std::vector<LabelVector> in, bool directed)
+    : out_(std::move(out)), in_(std::move(in)), directed_(directed) {
+  if (!directed_) {
+    HOPDB_CHECK(in_.empty()) << "undirected index must not carry in-labels";
+  } else {
+    HOPDB_CHECK_EQ(out_.size(), in_.size());
+  }
+}
+
+Distance QueryLabelHalves(std::span<const LabelEntry> out_s,
+                          std::span<const LabelEntry> in_t, VertexId s,
+                          VertexId t) {
+  if (s == t) return 0;
+  Distance best = IntersectLabels(out_s, in_t);
+  // Implicit trivial pivots: (s, 0) in Lout(s) and (t, 0) in Lin(t).
+  Distance direct_t = LookupPivot(out_s, t);
+  if (direct_t < best) best = direct_t;
+  Distance direct_s = LookupPivot(in_t, s);
+  if (direct_s < best) best = direct_s;
+  return best;
+}
+
+Distance TwoHopIndex::Query(VertexId s, VertexId t) const {
+  HOPDB_DCHECK_LT(s, num_vertices());
+  HOPDB_DCHECK_LT(t, num_vertices());
+  return QueryLabelHalves(OutLabel(s), InLabel(t), s, t);
+}
+
+uint64_t TwoHopIndex::TotalEntries() const {
+  uint64_t total = 0;
+  for (const auto& l : out_) total += l.size();
+  for (const auto& l : in_) total += l.size();
+  return total;
+}
+
+double TwoHopIndex::AvgLabelSize() const {
+  if (out_.empty()) return 0;
+  return static_cast<double>(TotalEntries()) / static_cast<double>(out_.size());
+}
+
+uint64_t TwoHopIndex::SizeBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& l : out_) bytes += l.size() * sizeof(LabelEntry);
+  for (const auto& l : in_) bytes += l.size() * sizeof(LabelEntry);
+  bytes += (out_.size() + in_.size()) * sizeof(LabelVector);
+  return bytes;
+}
+
+uint64_t TwoHopIndex::PaperSizeBytes() const {
+  // 4-byte pivot + 1-byte distance per entry, 8-byte offset per label.
+  uint64_t labels = directed_ ? 2ull * out_.size() : out_.size();
+  return TotalEntries() * 5ull + labels * 8ull;
+}
+
+std::vector<uint64_t> TwoHopIndex::EntriesPerPivot() const {
+  std::vector<uint64_t> counts(num_vertices(), 0);
+  for (const auto& l : out_) {
+    for (const LabelEntry& e : l) counts[e.pivot]++;
+  }
+  for (const auto& l : in_) {
+    for (const LabelEntry& e : l) counts[e.pivot]++;
+  }
+  return counts;
+}
+
+Status TwoHopIndex::Validate(bool ranked) const {
+  auto check_side = [&](const std::vector<LabelVector>& side,
+                        const char* name) -> Status {
+    for (VertexId v = 0; v < side.size(); ++v) {
+      const LabelVector& l = side[v];
+      for (size_t i = 0; i < l.size(); ++i) {
+        if (i > 0 && l[i - 1].pivot >= l[i].pivot) {
+          return Status::Internal(std::string(name) + " label of " +
+                                  std::to_string(v) +
+                                  " not strictly sorted by pivot");
+        }
+        if (l[i].pivot == v) {
+          return Status::Internal(std::string(name) + " label of " +
+                                  std::to_string(v) +
+                                  " stores a trivial self entry");
+        }
+        if (ranked && l[i].pivot > v) {
+          return Status::Internal(std::string(name) + " label of " +
+                                  std::to_string(v) +
+                                  " has pivot ranked below owner");
+        }
+        if (l[i].dist == 0 || l[i].dist == kInfDistance) {
+          return Status::Internal(std::string(name) + " label of " +
+                                  std::to_string(v) + " has bad distance");
+        }
+      }
+    }
+    return Status::OK();
+  };
+  HOPDB_RETURN_NOT_OK(check_side(out_, directed_ ? "out" : "undirected"));
+  HOPDB_RETURN_NOT_OK(check_side(in_, "in"));
+  return Status::OK();
+}
+
+Status TwoHopIndex::Save(const std::string& path) const {
+  std::string buf;
+  buf.append(kMagic, 4);
+  PutU32(&buf, directed_ ? 1u : 0u);
+  PutU32(&buf, num_vertices());
+  auto write_side = [&](const std::vector<LabelVector>& side) {
+    PutU64(&buf, side.size());
+    for (const auto& l : side) {
+      PutU64(&buf, l.size());
+      for (const LabelEntry& e : l) {
+        PutU32(&buf, e.pivot);
+        PutU32(&buf, e.dist);
+      }
+    }
+  };
+  write_side(out_);
+  write_side(in_);
+  return WriteStringToFile(path, buf);
+}
+
+Result<TwoHopIndex> TwoHopIndex::Load(const std::string& path) {
+  std::string data;
+  HOPDB_RETURN_NOT_OK(ReadFileToString(path, &data));
+  ByteReader reader(data);
+  char magic[4];
+  HOPDB_RETURN_NOT_OK(reader.ReadBytes(magic, 4));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a HLI1 index file: " + path);
+  }
+  uint32_t directed = 0, nv = 0;
+  HOPDB_RETURN_NOT_OK(reader.ReadU32(&directed));
+  HOPDB_RETURN_NOT_OK(reader.ReadU32(&nv));
+  auto read_side = [&](std::vector<LabelVector>* side) -> Status {
+    uint64_t count = 0;
+    HOPDB_RETURN_NOT_OK(reader.ReadU64(&count));
+    side->resize(count);
+    for (auto& l : *side) {
+      uint64_t len = 0;
+      HOPDB_RETURN_NOT_OK(reader.ReadU64(&len));
+      l.resize(len);
+      for (auto& e : l) {
+        HOPDB_RETURN_NOT_OK(reader.ReadU32(&e.pivot));
+        HOPDB_RETURN_NOT_OK(reader.ReadU32(&e.dist));
+      }
+    }
+    return Status::OK();
+  };
+  std::vector<LabelVector> out, in;
+  HOPDB_RETURN_NOT_OK(read_side(&out));
+  HOPDB_RETURN_NOT_OK(read_side(&in));
+  if (out.size() != nv || (directed != 0 && in.size() != nv)) {
+    return Status::InvalidArgument("corrupt index file: " + path);
+  }
+  return TwoHopIndex(std::move(out), std::move(in), directed != 0);
+}
+
+}  // namespace hopdb

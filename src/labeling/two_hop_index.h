@@ -1,0 +1,99 @@
+// TwoHopIndex: the queryable 2-hop label index. Produced by the HopDb
+// builders (in-memory and external) and by the PLL / IS-Label baselines;
+// all of them answer queries through the same intersection code path so
+// Table 6's "memory query time" comparisons measure label quality, not
+// implementation differences.
+
+#ifndef HOPDB_LABELING_TWO_HOP_INDEX_H_
+#define HOPDB_LABELING_TWO_HOP_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "labeling/label_entry.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+class TwoHopIndex {
+ public:
+  TwoHopIndex() = default;
+
+  /// Takes ownership of the label vectors. For undirected indexes pass an
+  /// empty `in` (queries then intersect out[s] with out[t]).
+  /// Trivial (v, 0) self-entries must NOT be stored; Query handles them
+  /// implicitly (the paper's tables count non-trivial entries the same
+  /// way).
+  TwoHopIndex(std::vector<LabelVector> out, std::vector<LabelVector> in,
+              bool directed);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(out_.size());
+  }
+  bool directed() const { return directed_; }
+
+  std::span<const LabelEntry> OutLabel(VertexId v) const { return out_[v]; }
+  std::span<const LabelEntry> InLabel(VertexId v) const {
+    return directed_ ? std::span<const LabelEntry>(in_[v])
+                     : std::span<const LabelEntry>(out_[v]);
+  }
+
+  /// Exact distance from s to t (both internal/ranked ids);
+  /// kInfDistance when unreachable.
+  Distance Query(VertexId s, VertexId t) const;
+
+  /// Number of non-trivial label entries.
+  uint64_t TotalEntries() const;
+
+  /// Average non-trivial entries per vertex; for directed graphs counts
+  /// Lin and Lout together (the paper's "Avg |label| per vertex").
+  double AvgLabelSize() const;
+
+  /// In-memory footprint of the label arrays.
+  uint64_t SizeBytes() const;
+
+  /// Size under the paper's disk accounting: 32-bit pivot + 8-bit
+  /// distance per entry plus a 64-bit offset per label vector — what the
+  /// "Index size (MB)" column of Table 6 reports.
+  uint64_t PaperSizeBytes() const;
+
+  /// entries_per_pivot[p] = number of non-trivial entries whose pivot is
+  /// p. Drives Table 7 / Figure 8 (label coverage by top-ranked pivots).
+  std::vector<uint64_t> EntriesPerPivot() const;
+
+  /// Structural invariants: labels sorted by pivot, no duplicate pivots,
+  /// no trivial self-entries, finite distances. When `ranked` is true
+  /// (HopDb/PLL indexes on rank-relabeled graphs) additionally checks
+  /// pivot id < owner id.
+  Status Validate(bool ranked) const;
+
+  /// Serializes to the HLI1 binary format (shared with DiskIndex).
+  Status Save(const std::string& path) const;
+  static Result<TwoHopIndex> Load(const std::string& path);
+
+  /// Mutable access for post-processing passes (bit-parallel transform).
+  std::vector<LabelVector>* mutable_out() { return &out_; }
+  std::vector<LabelVector>* mutable_in() { return &in_; }
+
+ private:
+  std::vector<LabelVector> out_;
+  std::vector<LabelVector> in_;  // empty when undirected
+  bool directed_ = false;
+};
+
+/// Query helper shared with builders' pruning logic: minimum of
+/// intersection plus the two implicit trivial pivots.
+///   dist = min( min_{w in out_s ∩ in_t} d1+d2,
+///               dist stored for pivot t in out_s,
+///               dist stored for pivot s in in_t,
+///               0 if s == t )
+Distance QueryLabelHalves(std::span<const LabelEntry> out_s,
+                          std::span<const LabelEntry> in_t, VertexId s,
+                          VertexId t);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_LABELING_TWO_HOP_INDEX_H_

@@ -1,0 +1,58 @@
+#include "query/batch.h"
+
+#include "util/logging.h"
+
+namespace hopdb {
+
+OneToManyEngine::OneToManyEngine(const TwoHopIndex& index,
+                                 std::vector<VertexId> targets)
+    : index_(index), targets_(std::move(targets)) {
+  buckets_.resize(index_.num_vertices());
+  for (uint32_t j = 0; j < targets_.size(); ++j) {
+    const VertexId t = targets_[j];
+    HOPDB_CHECK_LT(t, index_.num_vertices()) << "target id out of range";
+    // Trivial self-pivot: dist(s, t) may be certified by pivot t itself
+    // (the entry (t, d1) in Lout(s)).
+    buckets_[t].push_back({j, 0});
+    for (const LabelEntry& e : index_.InLabel(t)) {
+      buckets_[e.pivot].push_back({j, e.dist});
+    }
+  }
+}
+
+std::vector<Distance> OneToManyEngine::Query(VertexId s) const {
+  std::vector<Distance> result(targets_.size(), kInfDistance);
+  if (s >= index_.num_vertices()) return result;  // nothing reachable
+  auto relax = [&](const std::vector<TargetEntry>& bucket, Distance d1) {
+    for (const TargetEntry& te : bucket) {
+      const Distance d = SaturatingAdd(d1, te.dist);
+      if (d < result[te.target_index]) result[te.target_index] = d;
+    }
+  };
+  // Trivial source pivot: (s, 0) pairs with every in-entry naming s —
+  // including the self-bucket entry, so dist(s, s) == 0 falls out.
+  relax(buckets_[s], 0);
+  for (const LabelEntry& e : index_.OutLabel(s)) {
+    relax(buckets_[e.pivot], e.dist);
+  }
+  return result;
+}
+
+uint64_t OneToManyEngine::TotalBucketEntries() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.size();
+  return total;
+}
+
+std::vector<std::vector<Distance>> ManyToManyDistances(
+    const TwoHopIndex& index, std::span<const VertexId> sources,
+    std::span<const VertexId> targets) {
+  OneToManyEngine engine(index,
+                         std::vector<VertexId>(targets.begin(), targets.end()));
+  std::vector<std::vector<Distance>> matrix;
+  matrix.reserve(sources.size());
+  for (const VertexId s : sources) matrix.push_back(engine.Query(s));
+  return matrix;
+}
+
+}  // namespace hopdb

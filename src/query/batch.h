@@ -1,0 +1,65 @@
+// Batch distance evaluation over a 2-hop index: one-to-many and
+// many-to-many by pivot bucketing.
+//
+// A naive S x T evaluation performs |S| * |T| label intersections. The
+// bucket join instead groups the targets' in-label entries by pivot once
+// (cost: sum of |Lin(t)|), after which each source is answered by scanning
+// the buckets of its own out-label pivots — every (source entry, target
+// entry) pair sharing a pivot is touched exactly once. With the paper's
+// O(h) label sizes a one-to-many over |T| targets costs O(h^2 + |T|)
+// instead of |T| label merges, which is what makes index-backed centrality
+// and distance-matrix workloads (Section 1's motivating applications)
+// practical.
+
+#ifndef HOPDB_QUERY_BATCH_H_
+#define HOPDB_QUERY_BATCH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "labeling/two_hop_index.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+/// Repeated one-to-many queries against a fixed target set. Construction
+/// buckets the targets' in-labels by pivot; each Query(s) is then a scan
+/// of the buckets named by Lout(s).
+class OneToManyEngine {
+ public:
+  /// The index reference is not owned and must outlive the engine.
+  /// Duplicate targets are allowed (each position is answered).
+  OneToManyEngine(const TwoHopIndex& index, std::vector<VertexId> targets);
+
+  /// result[j] = dist(s, targets()[j]); kInfDistance when unreachable.
+  std::vector<Distance> Query(VertexId s) const;
+
+  const std::vector<VertexId>& targets() const { return targets_; }
+
+  /// Total bucketed entries (memory/working-set accounting).
+  uint64_t TotalBucketEntries() const;
+
+ private:
+  struct TargetEntry {
+    uint32_t target_index;
+    Distance dist;
+  };
+
+  const TwoHopIndex& index_;
+  std::vector<VertexId> targets_;
+  /// buckets_[p] = {(j, d2)} with (p, d2) in Lin(targets_[j]), plus the
+  /// trivial (targets_[j], 0) entry under pivot targets_[j].
+  std::vector<std::vector<TargetEntry>> buckets_;
+};
+
+/// matrix[i][j] = dist(sources[i], targets[j]). One bucket pass over the
+/// targets, then one engine query per source.
+std::vector<std::vector<Distance>> ManyToManyDistances(
+    const TwoHopIndex& index, std::span<const VertexId> sources,
+    std::span<const VertexId> targets);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_QUERY_BATCH_H_

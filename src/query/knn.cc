@@ -1,0 +1,89 @@
+#include "query/knn.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace hopdb {
+
+KnnEngine::KnnEngine(const TwoHopIndex& index, Direction direction)
+    : index_(index), direction_(direction) {
+  const VertexId n = index_.num_vertices();
+  inv_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    // Forward kNN intersects Lout(s) with Lin(v), so the inverted side is
+    // the in-labels; backward swaps the roles.
+    const auto label = direction_ == Direction::kForward ? index_.InLabel(v)
+                                                         : index_.OutLabel(v);
+    inv_[v].push_back({0, v});  // trivial (v, 0) self-entry
+    for (const LabelEntry& e : label) {
+      inv_[e.pivot].push_back({e.dist, v});
+    }
+  }
+  for (auto& list : inv_) {
+    std::sort(list.begin(), list.end(),
+              [](const InvEntry& a, const InvEntry& b) {
+                return a.dist != b.dist ? a.dist < b.dist
+                                        : a.owner < b.owner;
+              });
+  }
+}
+
+std::vector<KnnEngine::Neighbor> KnnEngine::Query(VertexId s, uint32_t k,
+                                                  bool include_source) const {
+  std::vector<Neighbor> result;
+  if (s >= index_.num_vertices() || k == 0) return result;
+  result.reserve(k);
+
+  // Frontier of (total distance, seed index, position in the seed's
+  // inverted list); the pop order enumerates all (source entry, inverted
+  // entry) pairs by non-decreasing d1 + d2.
+  struct Frontier {
+    Distance total;
+    uint32_t seed_idx;
+    uint32_t pos;
+    bool operator>(const Frontier& o) const { return total > o.total; }
+  };
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> pq;
+
+  // d1_of_pivot is needed when advancing a cursor; store alongside the
+  // seed list (sorted by pivot — Lout(s) order — for lookup by index).
+  std::vector<LabelEntry> seeds;
+  const auto label = direction_ == Direction::kForward ? index_.OutLabel(s)
+                                                       : index_.InLabel(s);
+  seeds.assign(label.begin(), label.end());
+  seeds.push_back({s, 0});  // trivial (s, 0) source pivot
+
+  for (uint32_t i = 0; i < seeds.size(); ++i) {
+    const auto& list = inv_[seeds[i].pivot];
+    if (!list.empty()) {
+      pq.push({SaturatingAdd(seeds[i].dist, list[0].dist), i, 0});
+    }
+  }
+
+  std::vector<bool> emitted(index_.num_vertices(), false);
+  while (!pq.empty() && result.size() < k) {
+    const Frontier f = pq.top();
+    pq.pop();
+    if (f.total == kInfDistance) break;
+    const LabelEntry& seed = seeds[f.seed_idx];
+    const auto& list = inv_[seed.pivot];
+    const VertexId v = list[f.pos].owner;
+    if (f.pos + 1 < list.size()) {
+      pq.push({SaturatingAdd(seed.dist, list[f.pos + 1].dist), f.seed_idx,
+               f.pos + 1});
+    }
+    if (!emitted[v]) {
+      emitted[v] = true;
+      if (v != s || include_source) result.push_back({v, f.total});
+    }
+  }
+  return result;
+}
+
+uint64_t KnnEngine::TotalInvertedEntries() const {
+  uint64_t total = 0;
+  for (const auto& list : inv_) total += list.size();
+  return total;
+}
+
+}  // namespace hopdb

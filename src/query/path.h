@@ -1,0 +1,62 @@
+// Shortest-path reconstruction on top of a 2-hop label index.
+//
+// The paper's index answers distance queries only, but its introduction
+// motivates them as a building block for path problems (page similarity,
+// keyword search, centrality). A 2-hop distance index supports full path
+// extraction with no extra label storage: from the query distance, walk
+// greedily from the source, at each step moving to any out-neighbor whose
+// remaining indexed distance accounts exactly for the arc just taken.
+// Every step costs one label intersection per scanned neighbor, so a path
+// of hop length L costs O(L * avg_degree) queries — microseconds each on
+// the small labels the paper's construction produces.
+
+#ifndef HOPDB_QUERY_PATH_H_
+#define HOPDB_QUERY_PATH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+#include "labeling/two_hop_index.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+/// Reconstructs shortest paths from a TwoHopIndex plus the graph it
+/// indexes. Both must speak the same (internal / rank-relabeled) vertex
+/// ids; HopDbIndex users should translate via its RankMapping.
+class PathReconstructor {
+ public:
+  /// Neither reference is owned; both must outlive the reconstructor.
+  PathReconstructor(const CsrGraph& graph, const TwoHopIndex& index);
+
+  /// The vertex sequence of one shortest path from s to t, inclusive of
+  /// both endpoints ({s} when s == t). When several shortest paths exist
+  /// an arbitrary one is returned. NotFound when t is unreachable from s.
+  Result<std::vector<VertexId>> ShortestPath(VertexId s, VertexId t) const;
+
+  /// The vertex after s on a shortest path from s to t; kInvalidVertex
+  /// when s == t or t is unreachable. Repeated FirstHop calls are how
+  /// routing applications consume the index without materializing paths.
+  VertexId FirstHop(VertexId s, VertexId t) const;
+
+  /// The pivot certifying dist(s, t): the common pivot of Lout(s) and
+  /// Lin(t) with the smallest d1 + d2, ties broken toward the
+  /// higher-ranked (smaller id) pivot. This is the highest-ranked vertex
+  /// on some shortest path (Theorem 1). kInvalidVertex when unreachable.
+  VertexId MeetingPivot(VertexId s, VertexId t) const;
+
+ private:
+  const CsrGraph& graph_;
+  const TwoHopIndex& index_;
+};
+
+/// Sum of arc weights along `path`; kInfDistance when consecutive vertices
+/// are not joined by an arc (or the path is empty). Validation helper for
+/// tests and examples. A single-vertex path has length 0.
+Distance PathLength(const CsrGraph& graph, std::span<const VertexId> path);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_QUERY_PATH_H_

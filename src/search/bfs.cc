@@ -1,0 +1,52 @@
+#include "search/bfs.h"
+
+namespace hopdb {
+
+std::vector<Distance> BfsDistances(const CsrGraph& graph, VertexId source,
+                                   bool backward) {
+  BfsRunner runner(graph);
+  runner.Run(source, backward);
+  std::vector<Distance> out(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    out[v] = runner.DistanceTo(v);
+  }
+  return out;
+}
+
+BfsRunner::BfsRunner(const CsrGraph& graph)
+    : graph_(graph), dist_(graph.num_vertices(), kInfDistance) {
+  queue_.reserve(graph.num_vertices());
+  visited_.reserve(graph.num_vertices());
+}
+
+void BfsRunner::Run(VertexId source, bool backward) {
+  for (VertexId v : visited_) dist_[v] = kInfDistance;
+  visited_.clear();
+  queue_.clear();
+
+  dist_[source] = 0;
+  queue_.push_back(source);
+  visited_.push_back(source);
+  size_t head = 0;
+  while (head < queue_.size()) {
+    VertexId v = queue_[head++];
+    Distance d = dist_[v];
+    auto arcs = backward ? graph_.InArcs(v) : graph_.OutArcs(v);
+    for (const Arc& a : arcs) {
+      if (dist_[a.to] == kInfDistance) {
+        dist_[a.to] = d + 1;
+        queue_.push_back(a.to);
+        visited_.push_back(a.to);
+      }
+    }
+  }
+}
+
+Distance BfsDistance(const CsrGraph& graph, VertexId s, VertexId t) {
+  if (s == t) return 0;
+  BfsRunner runner(graph);
+  runner.Run(s);
+  return runner.DistanceTo(t);
+}
+
+}  // namespace hopdb

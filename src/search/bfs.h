@@ -1,0 +1,47 @@
+// Breadth-first search distance computation for unweighted graphs.
+// Serves as the exactness ground truth in tests and as a building block
+// for PLL, HCL, and graph statistics.
+
+#ifndef HOPDB_SEARCH_BFS_H_
+#define HOPDB_SEARCH_BFS_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace hopdb {
+
+/// Single-source hop distances following out-arcs (forward) or in-arcs
+/// (backward). Unreachable vertices get kInfDistance.
+std::vector<Distance> BfsDistances(const CsrGraph& graph, VertexId source,
+                                   bool backward = false);
+
+/// Reusable BFS workspace: repeated single-source scans without
+/// re-allocating or re-clearing the distance array (O(touched) reset).
+/// Used heavily by PLL, which runs |V| searches.
+class BfsRunner {
+ public:
+  explicit BfsRunner(const CsrGraph& graph);
+
+  /// Runs BFS from `source`; distances remain valid until the next Run.
+  void Run(VertexId source, bool backward = false);
+
+  Distance DistanceTo(VertexId v) const { return dist_[v]; }
+
+  /// Vertices reached by the last Run, in visit (distance) order.
+  const std::vector<VertexId>& visited() const { return visited_; }
+
+ private:
+  const CsrGraph& graph_;
+  std::vector<Distance> dist_;
+  std::vector<VertexId> queue_;
+  std::vector<VertexId> visited_;
+};
+
+/// Exact distance for one pair by plain BFS (test helper).
+Distance BfsDistance(const CsrGraph& graph, VertexId s, VertexId t);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_SEARCH_BFS_H_

@@ -1,0 +1,140 @@
+#include "search/bidirectional.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace hopdb {
+
+BidirectionalSearcher::BidirectionalSearcher(const CsrGraph& graph)
+    : graph_(graph),
+      dist_fwd_(graph.num_vertices(), kInfDistance),
+      dist_bwd_(graph.num_vertices(), kInfDistance) {}
+
+Distance BidirectionalSearcher::Query(VertexId s, VertexId t) {
+  if (s == t) {
+    last_settled_ = 0;
+    return 0;
+  }
+  for (VertexId v : touched_fwd_) dist_fwd_[v] = kInfDistance;
+  for (VertexId v : touched_bwd_) dist_bwd_[v] = kInfDistance;
+  touched_fwd_.clear();
+  touched_bwd_.clear();
+  last_settled_ = 0;
+  return graph_.weighted() ? QueryWeighted(s, t) : QueryUnweighted(s, t);
+}
+
+Distance BidirectionalSearcher::QueryUnweighted(VertexId s, VertexId t) {
+  // Level-synchronous bidirectional BFS: always expand the smaller
+  // frontier; stop once the completed levels prove no shorter meeting can
+  // appear (lf + lb >= best).
+  std::vector<VertexId> frontier_f{s};
+  std::vector<VertexId> frontier_b{t};
+  dist_fwd_[s] = 0;
+  dist_bwd_[t] = 0;
+  touched_fwd_.push_back(s);
+  touched_bwd_.push_back(t);
+  Distance lf = 0, lb = 0;
+  Distance best = kInfDistance;
+
+  std::vector<VertexId> next;
+  while (!frontier_f.empty() && !frontier_b.empty()) {
+    if (best != kInfDistance && lf + lb >= best) break;
+    const bool expand_forward = frontier_f.size() <= frontier_b.size();
+    auto& frontier = expand_forward ? frontier_f : frontier_b;
+    auto& dist_mine = expand_forward ? dist_fwd_ : dist_bwd_;
+    auto& dist_other = expand_forward ? dist_bwd_ : dist_fwd_;
+    auto& touched = expand_forward ? touched_fwd_ : touched_bwd_;
+    Distance level = expand_forward ? lf : lb;
+
+    next.clear();
+    for (VertexId v : frontier) {
+      ++last_settled_;
+      auto arcs = expand_forward ? graph_.OutArcs(v) : graph_.InArcs(v);
+      for (const Arc& a : arcs) {
+        if (dist_mine[a.to] != kInfDistance) continue;
+        dist_mine[a.to] = level + 1;
+        touched.push_back(a.to);
+        next.push_back(a.to);
+        if (dist_other[a.to] != kInfDistance) {
+          best = std::min(best,
+                          SaturatingAdd(level + 1, dist_other[a.to]));
+        }
+      }
+    }
+    frontier.swap(next);
+    if (expand_forward) {
+      ++lf;
+    } else {
+      ++lb;
+    }
+  }
+  return best;
+}
+
+Distance BidirectionalSearcher::QueryWeighted(VertexId s, VertexId t) {
+  struct Item {
+    Distance dist;
+    VertexId vertex;
+    bool operator>(const Item& o) const { return dist > o.dist; }
+  };
+  using Heap = std::priority_queue<Item, std::vector<Item>, std::greater<>>;
+  Heap heap_f, heap_b;
+  dist_fwd_[s] = 0;
+  dist_bwd_[t] = 0;
+  touched_fwd_.push_back(s);
+  touched_bwd_.push_back(t);
+  heap_f.push({0, s});
+  heap_b.push({0, t});
+  Distance best = kInfDistance;
+
+  auto settle = [&](bool forward, Heap& heap) {
+    auto& dist_mine = forward ? dist_fwd_ : dist_bwd_;
+    auto& dist_other = forward ? dist_bwd_ : dist_fwd_;
+    auto& touched = forward ? touched_fwd_ : touched_bwd_;
+    while (!heap.empty()) {
+      auto [d, v] = heap.top();
+      if (d != dist_mine[v]) {
+        heap.pop();  // stale
+        continue;
+      }
+      heap.pop();
+      ++last_settled_;
+      auto arcs = forward ? graph_.OutArcs(v) : graph_.InArcs(v);
+      for (const Arc& a : arcs) {
+        Distance nd = SaturatingAdd(d, a.weight);
+        if (nd < dist_mine[a.to]) {
+          if (dist_mine[a.to] == kInfDistance) touched.push_back(a.to);
+          dist_mine[a.to] = nd;
+          heap.push({nd, a.to});
+        }
+        if (dist_other[a.to] != kInfDistance) {
+          best = std::min(best, SaturatingAdd(nd, dist_other[a.to]));
+        }
+      }
+      return;  // settled exactly one vertex
+    }
+  };
+
+  while (!heap_f.empty() || !heap_b.empty()) {
+    // Drop stale tops so the termination test sees true minima.
+    auto prune_stale = [&](Heap& heap, std::vector<Distance>& dist) {
+      while (!heap.empty() && heap.top().dist != dist[heap.top().vertex]) {
+        heap.pop();
+      }
+    };
+    prune_stale(heap_f, dist_fwd_);
+    prune_stale(heap_b, dist_bwd_);
+    Distance top_f = heap_f.empty() ? kInfDistance : heap_f.top().dist;
+    Distance top_b = heap_b.empty() ? kInfDistance : heap_b.top().dist;
+    if (best != kInfDistance && SaturatingAdd(top_f, top_b) >= best) break;
+    if (top_f == kInfDistance && top_b == kInfDistance) break;
+    if (top_f <= top_b) {
+      settle(/*forward=*/true, heap_f);
+    } else {
+      settle(/*forward=*/false, heap_b);
+    }
+  }
+  return best;
+}
+
+}  // namespace hopdb

@@ -1,0 +1,41 @@
+// BIDIJ: the paper's in-memory query baseline (Table 6) — bidirectional
+// BFS for unweighted graphs, bidirectional Dijkstra for weighted ones.
+// No index; every query searches forward from s and backward from t.
+
+#ifndef HOPDB_SEARCH_BIDIRECTIONAL_H_
+#define HOPDB_SEARCH_BIDIRECTIONAL_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace hopdb {
+
+/// Reusable bidirectional searcher (O(touched) reset between queries so
+/// benchmark loops measure search work, not allocation).
+class BidirectionalSearcher {
+ public:
+  explicit BidirectionalSearcher(const CsrGraph& graph);
+
+  /// Exact distance from s to t; kInfDistance when unreachable.
+  Distance Query(VertexId s, VertexId t);
+
+  /// Vertices settled by the last query (for work accounting in benches).
+  uint64_t last_settled() const { return last_settled_; }
+
+ private:
+  Distance QueryUnweighted(VertexId s, VertexId t);
+  Distance QueryWeighted(VertexId s, VertexId t);
+
+  const CsrGraph& graph_;
+  std::vector<Distance> dist_fwd_;
+  std::vector<Distance> dist_bwd_;
+  std::vector<VertexId> touched_fwd_;
+  std::vector<VertexId> touched_bwd_;
+  uint64_t last_settled_ = 0;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_SEARCH_BIDIRECTIONAL_H_

@@ -1,0 +1,62 @@
+#include "search/dijkstra.h"
+
+#include <queue>
+
+#include "search/bfs.h"
+
+namespace hopdb {
+
+std::vector<Distance> DijkstraDistances(const CsrGraph& graph,
+                                        VertexId source, bool backward) {
+  DijkstraRunner runner(graph);
+  runner.Run(source, backward);
+  std::vector<Distance> out(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    out[v] = runner.DistanceTo(v);
+  }
+  return out;
+}
+
+DijkstraRunner::DijkstraRunner(const CsrGraph& graph)
+    : graph_(graph), dist_(graph.num_vertices(), kInfDistance) {
+  visited_.reserve(graph.num_vertices());
+}
+
+void DijkstraRunner::Run(VertexId source, bool backward) {
+  for (VertexId v : visited_) dist_[v] = kInfDistance;
+  visited_.clear();
+
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  dist_[source] = 0;
+  visited_.push_back(source);
+  heap.push({0, source});
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist_[v]) continue;  // stale heap entry
+    auto arcs = backward ? graph_.InArcs(v) : graph_.OutArcs(v);
+    for (const Arc& a : arcs) {
+      Distance nd = SaturatingAdd(d, a.weight);
+      if (nd < dist_[a.to]) {
+        if (dist_[a.to] == kInfDistance) visited_.push_back(a.to);
+        dist_[a.to] = nd;
+        heap.push({nd, a.to});
+      }
+    }
+  }
+}
+
+Distance DijkstraDistance(const CsrGraph& graph, VertexId s, VertexId t) {
+  if (s == t) return 0;
+  DijkstraRunner runner(graph);
+  runner.Run(s);
+  return runner.DistanceTo(t);
+}
+
+std::vector<Distance> ExactDistances(const CsrGraph& graph, VertexId source,
+                                     bool backward) {
+  if (graph.weighted()) return DijkstraDistances(graph, source, backward);
+  return BfsDistances(graph, source, backward);
+}
+
+}  // namespace hopdb

@@ -1,0 +1,371 @@
+#include "tools/commands.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gen/barabasi_albert.h"
+#include "gen/erdos_renyi.h"
+#include "gen/glp.h"
+#include "gen/weights.h"
+#include "graph/graph_io.h"
+#include "graph/ordering.h"
+#include "hopdb.h"
+#include "labeling/compressed_index.h"
+#include "util/cli.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace hopdb {
+
+namespace {
+
+bool IsBinaryGraphPath(const std::string& path) {
+  return EndsWith(path, ".hgr") || EndsWith(path, ".bin");
+}
+
+Result<EdgeList> LoadGraphFile(const std::string& path, bool directed,
+                               bool weighted) {
+  if (IsBinaryGraphPath(path)) return ReadBinaryGraph(path);
+  TextGraphOptions options;
+  options.directed = directed;
+  options.read_weights = weighted;
+  return ReadTextEdgeList(path, options);
+}
+
+Result<BuildMode> ParseMode(const std::string& name) {
+  if (name == "hybrid") return BuildMode::kHybrid;
+  if (name == "stepping" || name == "step") return BuildMode::kHopStepping;
+  if (name == "doubling" || name == "double") return BuildMode::kHopDoubling;
+  return Status::InvalidArgument("unknown --mode '" + name +
+                                 "' (hybrid | stepping | doubling)");
+}
+
+Result<OrderStrategy> ParseOrder(const std::string& name) {
+  if (name == "degree") return OrderStrategy::kDegree;
+  if (name == "inout") return OrderStrategy::kInOutProduct;
+  if (name == "neighborhood") return OrderStrategy::kNeighborhoodDegree;
+  if (name == "degeneracy") return OrderStrategy::kDegeneracy;
+  if (name == "betweenness") return OrderStrategy::kSampledBetweenness;
+  if (name == "separator") return OrderStrategy::kSeparator;
+  if (name == "random") return OrderStrategy::kRandom;
+  return Status::InvalidArgument(
+      "unknown --order '" + name +
+      "' (auto | degree | inout | neighborhood | degeneracy | betweenness "
+      "| separator | random)");
+}
+
+// ---------------------------------------------------------------------------
+// gen
+// ---------------------------------------------------------------------------
+
+Status CmdGen(CliFlags* flags, int argc, char** argv, std::ostream& out) {
+  flags->Define("type", "glp", "generator: glp | ba | er");
+  flags->Define("n", "10000", "number of vertices");
+  flags->Define("avg-degree", "8", "average degree (|E|/|V|)");
+  flags->Define("directed", "false", "generate a directed graph");
+  flags->Define("weighted", "false", "assign uniform random weights");
+  flags->Define("wmin", "1", "minimum edge weight (with --weighted)");
+  flags->Define("wmax", "9", "maximum edge weight (with --weighted)");
+  flags->Define("seed", "1", "generator seed");
+  flags->Define("out", "", "output path (.hgr/.bin binary, else text)");
+  HOPDB_RETURN_NOT_OK(flags->Parse(argc, argv));
+  if (flags->help_requested()) return Status::OK();
+
+  const std::string type = flags->GetString("type");
+  const std::string out_path = flags->GetString("out");
+  if (out_path.empty()) {
+    return Status::InvalidArgument("gen requires --out <path>");
+  }
+  const VertexId n = static_cast<VertexId>(flags->GetUint("n"));
+  const double avg_degree = flags->GetDouble("avg-degree");
+  const bool directed = flags->GetBool("directed");
+  const uint64_t seed = flags->GetUint("seed");
+
+  EdgeList edges;
+  if (type == "glp") {
+    GlpOptions glp;
+    glp.num_vertices = n;
+    glp.target_avg_degree = avg_degree;
+    glp.seed = seed;
+    HOPDB_ASSIGN_OR_RETURN(edges, directed ? GenerateDirectedGlp(glp)
+                                           : GenerateGlp(glp));
+  } else if (type == "ba") {
+    BaOptions ba;
+    ba.num_vertices = n;
+    ba.edges_per_vertex =
+        std::max<uint32_t>(1, static_cast<uint32_t>(avg_degree / 2));
+    ba.seed = seed;
+    HOPDB_ASSIGN_OR_RETURN(edges, GenerateBarabasiAlbert(ba));
+    if (directed) {
+      EdgeList dir_edges(edges.num_vertices(), true);
+      for (const Edge& e : edges.edges()) dir_edges.Add(e.src, e.dst);
+      dir_edges.Normalize();
+      edges = std::move(dir_edges);
+    }
+  } else if (type == "er") {
+    ErOptions er;
+    er.num_vertices = n;
+    er.num_edges = static_cast<uint64_t>(avg_degree * n);
+    er.directed = directed;
+    er.seed = seed;
+    HOPDB_ASSIGN_OR_RETURN(edges, GenerateErdosRenyi(er));
+  } else {
+    return Status::InvalidArgument("unknown --type '" + type +
+                                   "' (glp | ba | er)");
+  }
+  if (flags->GetBool("weighted")) {
+    AssignUniformWeights(&edges,
+                         static_cast<Distance>(flags->GetUint("wmin")),
+                         static_cast<Distance>(flags->GetUint("wmax")),
+                         DeriveSeed(seed, 97));
+  }
+
+  HOPDB_RETURN_NOT_OK(IsBinaryGraphPath(out_path)
+                          ? WriteBinaryGraph(edges, out_path)
+                          : WriteTextEdgeList(edges, out_path));
+  out << "generated " << type << " graph: |V|=" << edges.num_vertices()
+      << " |E|=" << edges.edges().size()
+      << (edges.directed() ? " directed" : " undirected")
+      << (edges.weighted() ? " weighted" : "") << " -> " << out_path
+      << "\n";
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// build
+// ---------------------------------------------------------------------------
+
+Status CmdBuild(CliFlags* flags, int argc, char** argv, std::ostream& out) {
+  flags->Define("graph", "", "input edge-list file (text or .hgr binary)");
+  flags->Define("directed", "false", "treat the text edge list as directed");
+  flags->Define("weighted", "false", "read weights from the text edge list");
+  flags->Define("mode", "hybrid", "hybrid | stepping | doubling");
+  flags->Define("switch", "10", "hybrid switch iteration");
+  flags->Define("threads", "1", "worker threads (0 = all cores)");
+  flags->Define("order", "auto",
+                "vertex order: auto | degree | inout | neighborhood | "
+                "degeneracy | betweenness | separator | random");
+  flags->Define("budget", "0", "time budget in seconds (0 = none)");
+  flags->Define("out", "", "output index path");
+  HOPDB_RETURN_NOT_OK(flags->Parse(argc, argv));
+  if (flags->help_requested()) return Status::OK();
+
+  const std::string graph_path = flags->GetString("graph");
+  const std::string out_path = flags->GetString("out");
+  if (graph_path.empty() || out_path.empty()) {
+    return Status::InvalidArgument("build requires --graph and --out");
+  }
+
+  HOPDB_ASSIGN_OR_RETURN(EdgeList edges,
+                         LoadGraphFile(graph_path, flags->GetBool("directed"),
+                                       flags->GetBool("weighted")));
+  edges.Normalize();
+  HOPDB_ASSIGN_OR_RETURN(CsrGraph graph, CsrGraph::FromEdgeList(edges));
+
+  HopDbOptions options;
+  HOPDB_ASSIGN_OR_RETURN(options.build.mode,
+                         ParseMode(flags->GetString("mode")));
+  options.build.hybrid_switch_iteration =
+      static_cast<uint32_t>(flags->GetUint("switch"));
+  options.build.num_threads = static_cast<uint32_t>(flags->GetUint("threads"));
+  options.build.time_budget_seconds = flags->GetDouble("budget");
+  const std::string order_name = flags->GetString("order");
+  if (order_name != "auto") {
+    HOPDB_ASSIGN_OR_RETURN(OrderStrategy strategy, ParseOrder(order_name));
+    options.ranking = HopDbOptions::Ranking::kCustom;
+    HOPDB_ASSIGN_OR_RETURN(options.custom_order,
+                           ComputeOrder(graph, strategy));
+  }
+
+  Stopwatch watch;
+  HOPDB_ASSIGN_OR_RETURN(HopDbIndex index, HopDbIndex::Build(graph, options));
+  const double seconds = watch.Seconds();
+  HOPDB_RETURN_NOT_OK(index.Save(out_path));
+
+  const BuildStats& stats = index.build_stats();
+  out << "built index over |V|=" << graph.num_vertices()
+      << " |E|=" << graph.num_edges() << "\n"
+      << "  mode            " << flags->GetString("mode") << " (order "
+      << order_name << ", threads " << flags->GetUint("threads") << ")\n"
+      << "  iterations      " << stats.num_rule_iterations << "\n"
+      << "  label entries   " << index.label_index().TotalEntries() << "\n"
+      << "  avg |label|     " << index.AvgLabelSize() << "\n"
+      << "  index size      " << index.PaperSizeBytes() << " bytes (paper "
+      << "accounting)\n"
+      << "  build time      " << seconds << " s\n"
+      << "  saved to        " << out_path << " (+ .perm)\n";
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// query
+// ---------------------------------------------------------------------------
+
+Status CmdQuery(CliFlags* flags, int argc, char** argv, std::ostream& out) {
+  flags->Define("index", "", "index path (from hopdb_cli build)");
+  flags->Define("src", "", "query source (with --dst)");
+  flags->Define("dst", "", "query destination");
+  flags->Define("random", "0", "run N random queries instead");
+  flags->Define("seed", "7", "random query seed");
+  HOPDB_RETURN_NOT_OK(flags->Parse(argc, argv));
+  if (flags->help_requested()) return Status::OK();
+
+  const std::string index_path = flags->GetString("index");
+  if (index_path.empty()) {
+    return Status::InvalidArgument("query requires --index");
+  }
+  HOPDB_ASSIGN_OR_RETURN(HopDbIndex index, HopDbIndex::Load(index_path));
+
+  auto print_one = [&](VertexId s, VertexId t) {
+    const Distance d = index.Query(s, t);
+    out << "dist(" << s << ", " << t << ") = ";
+    if (d == kInfDistance) {
+      out << "INF\n";
+    } else {
+      out << d << "\n";
+    }
+  };
+
+  const uint64_t random_n = flags->GetUint("random");
+  if (random_n > 0) {
+    Rng rng(flags->GetUint("seed"));
+    const VertexId n = index.num_vertices();
+    Stopwatch watch;
+    uint64_t reachable = 0;
+    for (uint64_t i = 0; i < random_n; ++i) {
+      const VertexId s = static_cast<VertexId>(rng.Below(n));
+      const VertexId t = static_cast<VertexId>(rng.Below(n));
+      if (index.Query(s, t) != kInfDistance) ++reachable;
+    }
+    const double micros = watch.Seconds() * 1e6 / random_n;
+    out << random_n << " random queries: " << micros << " us/query, "
+        << reachable << " reachable\n";
+    return Status::OK();
+  }
+
+  if (flags->GetString("src").empty() || flags->GetString("dst").empty()) {
+    return Status::InvalidArgument(
+        "query requires --src and --dst (or --random N)");
+  }
+  const VertexId s = static_cast<VertexId>(flags->GetUint("src"));
+  const VertexId t = static_cast<VertexId>(flags->GetUint("dst"));
+  if (s >= index.num_vertices() || t >= index.num_vertices()) {
+    return Status::InvalidArgument("vertex id out of range");
+  }
+  print_one(s, t);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------------
+
+Status CmdStats(CliFlags* flags, int argc, char** argv, std::ostream& out) {
+  flags->Define("index", "", "index path (from hopdb_cli build)");
+  HOPDB_RETURN_NOT_OK(flags->Parse(argc, argv));
+  if (flags->help_requested()) return Status::OK();
+  const std::string index_path = flags->GetString("index");
+  if (index_path.empty()) {
+    return Status::InvalidArgument("stats requires --index");
+  }
+  HOPDB_ASSIGN_OR_RETURN(HopDbIndex index, HopDbIndex::Load(index_path));
+  const TwoHopIndex& labels = index.label_index();
+
+  HOPDB_ASSIGN_OR_RETURN(CompressedIndex compressed,
+                         CompressedIndex::FromIndex(labels));
+
+  out << "index " << index_path << "\n"
+      << "  vertices        " << labels.num_vertices() << "\n"
+      << "  directed        " << (labels.directed() ? "yes" : "no") << "\n"
+      << "  label entries   " << labels.TotalEntries() << "\n"
+      << "  avg |label|     " << labels.AvgLabelSize() << "\n"
+      << "  memory size     " << labels.SizeBytes() << " bytes\n"
+      << "  paper size      " << labels.PaperSizeBytes() << " bytes\n"
+      << "  compressed      " << compressed.SizeBytes() << " bytes\n";
+
+  // Table 7's "top vertices coverage": the smallest pivot prefix (by
+  // rank) covering 70 / 80 / 90% of all entries.
+  const std::vector<uint64_t> per_pivot = labels.EntriesPerPivot();
+  const uint64_t total = labels.TotalEntries();
+  if (total > 0) {
+    uint64_t covered = 0;
+    size_t next_threshold = 0;
+    const double thresholds[] = {0.7, 0.8, 0.9};
+    for (size_t p = 0; p < per_pivot.size() && next_threshold < 3; ++p) {
+      covered += per_pivot[p];
+      while (next_threshold < 3 &&
+             static_cast<double>(covered) >=
+                 thresholds[next_threshold] * static_cast<double>(total)) {
+        out << "  top " << thresholds[next_threshold] * 100
+            << "% coverage  " << (100.0 * (p + 1)) / per_pivot.size()
+            << "% of vertices\n";
+        ++next_threshold;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void PrintUsage(std::ostream& out) {
+  out << "hopdb_cli — hop-doubling 2-hop distance index tool\n"
+         "\n"
+         "usage: hopdb_cli <command> [flags]\n"
+         "\n"
+         "commands:\n"
+         "  gen    generate a synthetic graph (--type glp|ba|er --n N\n"
+         "         --avg-degree D --directed --weighted --seed S --out F)\n"
+         "  build  build an index (--graph F --directed --weighted\n"
+         "         --mode hybrid|stepping|doubling --order auto|degree|...\n"
+         "         --threads T --out F)\n"
+         "  query  query an index (--index F --src S --dst T | --random N)\n"
+         "  stats  label statistics of an index (--index F)\n"
+         "  help   this text\n"
+         "\n"
+         "Run 'hopdb_cli <command> --help' for the full flag list.\n";
+}
+
+}  // namespace
+
+int RunCli(int argc, char** argv, std::ostream& out, std::ostream& err) {
+  if (argc < 2) {
+    PrintUsage(err);
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help") {
+    PrintUsage(out);
+    return 0;
+  }
+
+  // Shift argv so the subcommand's flags parse from its own name.
+  CliFlags flags;
+  Status status;
+  const int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  if (command == "gen") {
+    status = CmdGen(&flags, sub_argc, sub_argv, out);
+  } else if (command == "build") {
+    status = CmdBuild(&flags, sub_argc, sub_argv, out);
+  } else if (command == "query") {
+    status = CmdQuery(&flags, sub_argc, sub_argv, out);
+  } else if (command == "stats") {
+    status = CmdStats(&flags, sub_argc, sub_argv, out);
+  } else {
+    err << "unknown command '" << command << "'\n";
+    PrintUsage(err);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    out << flags.Usage("hopdb_cli " + command);
+    return 0;
+  }
+  if (!status.ok()) {
+    err << "hopdb_cli " << command << ": " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace hopdb

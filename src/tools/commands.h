@@ -1,0 +1,26 @@
+// Implementation of the hopdb_cli subcommands, kept in the library so
+// tests can drive them directly. The binary in tools/hopdb_cli.cc is a
+// two-line main().
+//
+// Subcommands:
+//   gen    generate a synthetic graph (GLP / BA / ER) to an edge-list file
+//   build  build a HopDb index from an edge-list file and save it
+//   query  answer distance queries against a saved index
+//   stats  print label statistics of a saved index (Table 7-style)
+//   help   usage
+
+#ifndef HOPDB_TOOLS_COMMANDS_H_
+#define HOPDB_TOOLS_COMMANDS_H_
+
+#include <ostream>
+
+namespace hopdb {
+
+/// Runs `hopdb_cli argv[1] ...`; normal output goes to `out`, diagnostics
+/// to `err`. Returns the process exit code (0 on success, 1 on usage or
+/// runtime errors).
+int RunCli(int argc, char** argv, std::ostream& out, std::ostream& err);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_TOOLS_COMMANDS_H_

@@ -1,0 +1,90 @@
+// Minimal leveled logger plus CHECK macros, in the spirit of
+// glog-without-glog used by Arrow and RocksDB internals.
+//
+//   HOPDB_LOG(INFO) << "built " << n << " labels";
+//   HOPDB_CHECK(x > 0) << "x must be positive, got " << x;
+//   HOPDB_DCHECK_LE(a, b);   // compiled out in NDEBUG builds
+//
+// The default minimum level is WARNING so that library code stays quiet in
+// tests and benchmarks; callers (benches, examples) raise verbosity via
+// SetLogLevel.
+
+#ifndef HOPDB_UTIL_LOGGING_H_
+#define HOPDB_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hopdb {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the log statement is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace hopdb
+
+#define HOPDB_LOG_INTERNAL(level)                                       \
+  ::hopdb::internal::LogMessage(::hopdb::LogLevel::level, __FILE__, __LINE__) \
+      .stream()
+
+#define HOPDB_LOG(severity) HOPDB_LOG_INTERNAL(k##severity)
+
+#define HOPDB_CHECK(cond)                                          \
+  if (!(cond))                                                     \
+  HOPDB_LOG(Fatal) << "Check failed: " #cond " "
+
+#define HOPDB_CHECK_OP(op, a, b) HOPDB_CHECK((a)op(b))
+#define HOPDB_CHECK_EQ(a, b) HOPDB_CHECK_OP(==, a, b)
+#define HOPDB_CHECK_NE(a, b) HOPDB_CHECK_OP(!=, a, b)
+#define HOPDB_CHECK_LT(a, b) HOPDB_CHECK_OP(<, a, b)
+#define HOPDB_CHECK_LE(a, b) HOPDB_CHECK_OP(<=, a, b)
+#define HOPDB_CHECK_GT(a, b) HOPDB_CHECK_OP(>, a, b)
+#define HOPDB_CHECK_GE(a, b) HOPDB_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define HOPDB_DCHECK(cond) \
+  while (false) HOPDB_CHECK(cond)
+#else
+#define HOPDB_DCHECK(cond) HOPDB_CHECK(cond)
+#endif
+
+#define HOPDB_DCHECK_EQ(a, b) HOPDB_DCHECK((a) == (b))
+#define HOPDB_DCHECK_NE(a, b) HOPDB_DCHECK((a) != (b))
+#define HOPDB_DCHECK_LT(a, b) HOPDB_DCHECK((a) < (b))
+#define HOPDB_DCHECK_LE(a, b) HOPDB_DCHECK((a) <= (b))
+#define HOPDB_DCHECK_GT(a, b) HOPDB_DCHECK((a) > (b))
+#define HOPDB_DCHECK_GE(a, b) HOPDB_DCHECK((a) >= (b))
+
+#endif  // HOPDB_UTIL_LOGGING_H_

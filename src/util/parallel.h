@@ -1,0 +1,30 @@
+// Minimal fork-join parallelism for the label builder's embarrassingly
+// parallel phases (candidate generation, pruning). Deliberately tiny: no
+// work stealing, no task queue — each invocation splits [0, n) into one
+// contiguous chunk per thread, which preserves chunk-order determinism for
+// callers that concatenate per-thread outputs.
+
+#ifndef HOPDB_UTIL_PARALLEL_H_
+#define HOPDB_UTIL_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace hopdb {
+
+/// Number of hardware threads (>= 1).
+uint32_t HardwareThreads();
+
+/// Runs fn(begin, end, chunk_index) over a partition of [0, n) into
+/// min(num_threads, n) contiguous chunks, one per thread (the caller's
+/// thread runs the last chunk). Returns after all chunks complete. With
+/// num_threads <= 1 or n == 0 the call degenerates to fn(0, n, 0) on the
+/// caller's thread. fn must be safe to run concurrently on disjoint
+/// ranges.
+void ParallelChunks(
+    uint32_t num_threads, size_t n,
+    const std::function<void(size_t begin, size_t end, uint32_t chunk)>& fn);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_UTIL_PARALLEL_H_

@@ -1,0 +1,11 @@
+#include "util/random.h"
+
+namespace hopdb {
+
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t stream) {
+  SplitMix64 sm(base_seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  sm.Next();
+  return sm.Next();
+}
+
+}  // namespace hopdb

@@ -1,0 +1,96 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All randomized components in hopdb (generators, workloads, tie-breaking)
+// take an explicit 64-bit seed and use these engines, so every experiment
+// is reproducible bit-for-bit across runs and platforms. We do not use
+// std::mt19937 because its distribution adapters are not portable across
+// standard library implementations.
+
+#ifndef HOPDB_UTIL_RANDOM_H_
+#define HOPDB_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace hopdb {
+
+/// SplitMix64: used to seed Xoshiro and for cheap hashing of seeds.
+struct SplitMix64 {
+  uint64_t state;
+
+  explicit SplitMix64(uint64_t seed) : state(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// xoshiro256** by Blackman & Vigna: the main engine.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.Next();
+  }
+
+  uint64_t Next64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t Below(uint64_t bound) {
+    // 128-bit multiply; rejection loop terminates quickly in practice.
+    uint64_t x = Next64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = Next64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+/// Derives a stream-specific seed from a base seed and a stream index, so
+/// independent components of one experiment use decorrelated streams.
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t stream);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_UTIL_RANDOM_H_

@@ -1,0 +1,107 @@
+#include "util/serde.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace hopdb {
+
+Status ByteReader::ReadU8(uint8_t* out) {
+  if (remaining() < 1) return Status::OutOfRange("ReadU8 past end of buffer");
+  *out = data_[pos_++];
+  return Status::OK();
+}
+
+Status ByteReader::ReadU32(uint32_t* out) {
+  if (remaining() < 4) return Status::OutOfRange("ReadU32 past end of buffer");
+  *out = DecodeU32(data_ + pos_);
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU64(uint64_t* out) {
+  if (remaining() < 8) return Status::OutOfRange("ReadU64 past end of buffer");
+  *out = DecodeU64(data_ + pos_);
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status ByteReader::ReadVarint64(uint64_t* out) {
+  if (!GetVarint64(data_, size_, &pos_, out)) {
+    return Status::OutOfRange("ReadVarint64: truncated or oversized varint");
+  }
+  return Status::OK();
+}
+
+Status ByteReader::ReadBytes(void* out, size_t n) {
+  if (remaining() < n) {
+    return Status::OutOfRange("ReadBytes past end of buffer");
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (remaining() < n) return Status::OutOfRange("Skip past end of buffer");
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("open failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("ftell failed for " + path);
+  }
+  out->resize(static_cast<size_t>(size));
+  size_t got = size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (got != out->size()) {
+    return Status::IOError("short read from " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("open failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  size_t put = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  int rc = std::fclose(f);
+  if (put != data.size() || rc != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError("unlink failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileSizeBytes(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError("stat failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace hopdb

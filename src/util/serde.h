@@ -1,0 +1,141 @@
+// Little-endian binary encoding helpers for the on-disk formats (graphs,
+// label indexes, external-sort runs). All hopdb disk formats are explicitly
+// little-endian and fixed-width so files are portable across machines.
+
+#ifndef HOPDB_UTIL_SERDE_H_
+#define HOPDB_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hopdb {
+
+// ---------------------------------------------------------------------------
+// Raw little-endian primitives. x86-64 and aarch64 are little-endian; the
+// memcpy form is endian-correct everywhere and optimizes to a single load.
+// ---------------------------------------------------------------------------
+
+inline void EncodeU32(uint32_t v, uint8_t* out) { std::memcpy(out, &v, 4); }
+inline void EncodeU64(uint64_t v, uint8_t* out) { std::memcpy(out, &v, 8); }
+
+inline uint32_t DecodeU32(const uint8_t* in) {
+  uint32_t v;
+  std::memcpy(&v, in, 4);
+  return v;
+}
+
+inline uint64_t DecodeU64(const uint8_t* in) {
+  uint64_t v;
+  std::memcpy(&v, in, 8);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Append-style encoders used when building headers.
+// ---------------------------------------------------------------------------
+
+inline void PutU8(std::string* dst, uint8_t v) {
+  dst->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutU64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+/// LEB128 variable-length encoding: 7 value bits per byte, high bit set on
+/// all but the last byte. Values < 128 cost one byte — the common case for
+/// label distances and delta-encoded pivot gaps in the compressed index
+/// format.
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+/// Decodes a varint from `data`; advances *pos past it. Returns false on
+/// truncation or a value exceeding 64 bits.
+inline bool GetVarint64(const uint8_t* data, size_t size, size_t* pos,
+                        uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < size && shift < 64) {
+    const uint8_t byte = data[*pos];
+    ++*pos;
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+/// FNV-1a 64-bit hash; the integrity checksum of hopdb disk formats.
+inline uint64_t Fnv1a64(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Sequential reader over a byte buffer with bounds checking.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::string& s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadVarint64(uint64_t* out);
+  Status ReadBytes(void* out, size_t n);
+  Status Skip(size_t n);
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Whole-file helpers.
+// ---------------------------------------------------------------------------
+
+/// Reads an entire file into `out`.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Atomically-ish writes `data` to `path` (write then rename is overkill for
+/// this project; we write directly but fsync before close).
+Status WriteStringToFile(const std::string& path, const std::string& data);
+
+/// Removes a file if it exists; missing files are not an error.
+Status RemoveFileIfExists(const std::string& path);
+
+/// Returns the size of a file in bytes.
+Result<uint64_t> FileSizeBytes(const std::string& path);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_UTIL_SERDE_H_

@@ -1,0 +1,160 @@
+// Status and Result<T>: exception-free error handling in the style of
+// Apache Arrow / RocksDB. Every fallible operation in hopdb returns a
+// Status (or a Result<T> when it also produces a value); callers either
+// handle the error or propagate it with HOPDB_RETURN_NOT_OK /
+// HOPDB_ASSIGN_OR_RETURN.
+
+#ifndef HOPDB_UTIL_STATUS_H_
+#define HOPDB_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hopdb {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kDeadlineExceeded = 6,
+  kResourceExhausted = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+};
+
+/// Returns a short human-readable name for a status code ("OK", "IOError"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with a diagnostic if not OK. Use only where an
+  /// error indicates a programming bug (e.g. in tests and examples).
+  void CheckOK() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Mirrors arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return value_.has_value() ? kOk : status_;
+  }
+
+  /// Returns the contained value. Undefined if !ok().
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value, aborting with a diagnostic on error.
+  T ValueOrDie() && {
+    status().CheckOK();
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Internal("uninitialized Result");
+};
+
+}  // namespace hopdb
+
+/// Propagates a non-OK Status to the caller.
+#define HOPDB_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::hopdb::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#define HOPDB_CONCAT_IMPL(x, y) x##y
+#define HOPDB_CONCAT(x, y) HOPDB_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on error returns the Status to the caller.
+#define HOPDB_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto HOPDB_CONCAT(_res_, __LINE__) = (rexpr);                   \
+  if (!HOPDB_CONCAT(_res_, __LINE__).ok())                        \
+    return HOPDB_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(HOPDB_CONCAT(_res_, __LINE__)).value()
+
+#endif  // HOPDB_UTIL_STATUS_H_

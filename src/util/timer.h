@@ -1,0 +1,57 @@
+// Wall-clock stopwatch and deadline helpers used by builders and benches.
+
+#ifndef HOPDB_UTIL_TIMER_H_
+#define HOPDB_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hopdb {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft wall-clock budget. `seconds <= 0` means "no deadline".
+/// Builders poll Exceeded() at iteration boundaries and return
+/// Status::DeadlineExceeded, which benchmark tables render as "—"
+/// (the paper's DNF marker).
+class Deadline {
+ public:
+  explicit Deadline(double seconds = 0.0) : budget_seconds_(seconds) {}
+
+  bool enabled() const { return budget_seconds_ > 0.0; }
+
+  bool Exceeded() const {
+    return enabled() && watch_.Seconds() > budget_seconds_;
+  }
+
+  double RemainingSeconds() const {
+    if (!enabled()) return 1e18;
+    return budget_seconds_ - watch_.Seconds();
+  }
+
+ private:
+  double budget_seconds_;
+  Stopwatch watch_;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_UTIL_TIMER_H_

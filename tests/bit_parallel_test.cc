@@ -1,0 +1,158 @@
+#include "labeling/bit_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/verify.h"
+#include "gen/glp.h"
+#include "gen/small_graphs.h"
+#include "gen/weights.h"
+#include "graph/ranking.h"
+#include "labeling/builder.h"
+
+namespace hopdb {
+namespace {
+
+Result<CsrGraph> RankedGraph(const EdgeList& edges) {
+  HOPDB_ASSIGN_OR_RETURN(CsrGraph g, CsrGraph::FromEdgeList(edges));
+  RankMapping m = ComputeRanking(g, RankingPolicy::kDegree);
+  return RelabelByRank(g, m);
+}
+
+Result<BitParallelIndex> BuildBp(const CsrGraph& ranked,
+                                 const BitParallelOptions& opts = {}) {
+  HOPDB_ASSIGN_OR_RETURN(BuildOutput out, BuildHopLabeling(ranked, {}));
+  return BitParallelIndex::Transform(std::move(out.index), ranked, opts);
+}
+
+TEST(BitParallelTest, StarGraph) {
+  auto ranked = RankedGraph(StarGraphGS());
+  ASSERT_TRUE(ranked.ok());
+  BitParallelOptions opts;
+  opts.num_roots = 1;
+  auto bp = BuildBp(*ranked, opts);
+  ASSERT_TRUE(bp.ok());
+  // All leaf entries fold into the single root's tuples.
+  EXPECT_EQ(bp->NormalEntries(), 0u);
+  ASSERT_TRUE(VerifyExactDistances(
+                  *ranked,
+                  [&](VertexId s, VertexId t) { return bp->Query(s, t); })
+                  .ok());
+}
+
+TEST(BitParallelTest, PathGraph) {
+  auto ranked = RankedGraph(PathGraph(40));
+  ASSERT_TRUE(ranked.ok());
+  BitParallelOptions opts;
+  opts.num_roots = 4;
+  auto bp = BuildBp(*ranked, opts);
+  ASSERT_TRUE(bp.ok());
+  ASSERT_TRUE(VerifyExactDistances(
+                  *ranked,
+                  [&](VertexId s, VertexId t) { return bp->Query(s, t); })
+                  .ok());
+}
+
+TEST(BitParallelTest, DisconnectedGraph) {
+  auto ranked = RankedGraph(TwoTriangles());
+  ASSERT_TRUE(ranked.ok());
+  BitParallelOptions opts;
+  opts.num_roots = 2;
+  auto bp = BuildBp(*ranked, opts);
+  ASSERT_TRUE(bp.ok());
+  ASSERT_TRUE(VerifyExactDistances(
+                  *ranked,
+                  [&](VertexId s, VertexId t) { return bp->Query(s, t); })
+                  .ok());
+}
+
+class BpSweepTest : public ::testing::TestWithParam<
+                        std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(BpSweepTest, TransformPreservesAllAnswers) {
+  auto [num_roots, seed] = GetParam();
+  GlpOptions glp;
+  glp.num_vertices = 500;
+  glp.seed = seed;
+  auto edges = GenerateGlp(glp);
+  ASSERT_TRUE(edges.ok());
+  auto ranked = RankedGraph(*edges);
+  ASSERT_TRUE(ranked.ok());
+  auto base = BuildHopLabeling(*ranked, {});
+  ASSERT_TRUE(base.ok());
+  TwoHopIndex reference = base->index;  // copy for comparison
+
+  BitParallelOptions opts;
+  opts.num_roots = num_roots;
+  auto bp = BitParallelIndex::Transform(std::move(base->index), *ranked,
+                                        opts);
+  ASSERT_TRUE(bp.ok());
+  for (VertexId s = 0; s < ranked->num_vertices(); s += 7) {
+    for (VertexId t = 0; t < ranked->num_vertices(); t += 11) {
+      ASSERT_EQ(bp->Query(s, t), reference.Query(s, t))
+          << "pair (" << s << ", " << t << ") roots=" << num_roots;
+    }
+  }
+  // Folding must shrink the normal label count.
+  EXPECT_LT(bp->NormalEntries(), reference.TotalEntries());
+  EXPECT_GT(bp->BpTuples(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RootsAndSeeds, BpSweepTest,
+    ::testing::Combine(::testing::Values(1u, 8u, 50u, 64u),
+                       ::testing::Values(1u, 2u)),
+    [](const auto& info) {
+      return "roots" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BitParallelTest, RejectsDirected) {
+  auto g = CsrGraph::FromEdgeList(PaperExampleGraph());
+  ASSERT_TRUE(g.ok());
+  auto base = BuildHopLabeling(*g, {});
+  ASSERT_TRUE(base.ok());
+  auto bp = BitParallelIndex::Transform(std::move(base->index), *g, {});
+  ASSERT_FALSE(bp.ok());
+  EXPECT_EQ(bp.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(BitParallelTest, RejectsWeighted) {
+  EdgeList e = GridGraph(4, 4);
+  AssignUniformWeights(&e, 1, 5, 3);
+  auto ranked = RankedGraph(e);
+  ASSERT_TRUE(ranked.ok());
+  auto base = BuildHopLabeling(*ranked, {});
+  ASSERT_TRUE(base.ok());
+  auto bp = BitParallelIndex::Transform(std::move(base->index), *ranked, {});
+  ASSERT_FALSE(bp.ok());
+  EXPECT_EQ(bp.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(BitParallelTest, RejectsBadRootCount) {
+  auto ranked = RankedGraph(PathGraph(5));
+  ASSERT_TRUE(ranked.ok());
+  auto base = BuildHopLabeling(*ranked, {});
+  ASSERT_TRUE(base.ok());
+  BitParallelOptions opts;
+  opts.num_roots = 65;
+  auto bp = BitParallelIndex::Transform(std::move(base->index), *ranked,
+                                        opts);
+  EXPECT_FALSE(bp.ok());
+}
+
+TEST(BitParallelTest, SizeAccountingPositive) {
+  GlpOptions glp;
+  glp.num_vertices = 300;
+  glp.seed = 9;
+  auto edges = GenerateGlp(glp);
+  ASSERT_TRUE(edges.ok());
+  auto ranked = RankedGraph(*edges);
+  ASSERT_TRUE(ranked.ok());
+  auto bp = BuildBp(*ranked);
+  ASSERT_TRUE(bp.ok());
+  EXPECT_GT(bp->PaperSizeBytes(), 0u);
+  EXPECT_EQ(bp->num_roots(), 50u);
+}
+
+}  // namespace
+}  // namespace hopdb

@@ -1,0 +1,163 @@
+// hopdb_cli command plumbing: gen -> build -> query -> stats round trips
+// through real files, plus usage-error and help paths.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/graph_io.h"
+#include "io/temp_dir.h"
+#include "tools/commands.h"
+
+namespace hopdb {
+namespace {
+
+/// Runs the CLI with the given argument strings; returns the exit code and
+/// captures stdout/stderr.
+int RunTool(std::vector<std::string> args, std::string* stdout_text = nullptr,
+        std::string* stderr_text = nullptr) {
+  args.insert(args.begin(), "hopdb_cli");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  std::ostringstream out, err;
+  const int code =
+      RunCli(static_cast<int>(argv.size()), argv.data(), out, err);
+  if (stdout_text != nullptr) *stdout_text = out.str();
+  if (stderr_text != nullptr) *stderr_text = err.str();
+  return code;
+}
+
+TEST(CliTest, NoArgumentsPrintsUsageAndFails) {
+  std::string err;
+  EXPECT_EQ(RunTool({}, nullptr, &err), 1);
+  EXPECT_NE(err.find("usage"), std::string::npos);
+}
+
+TEST(CliTest, HelpSucceeds) {
+  std::string out;
+  EXPECT_EQ(RunTool({"help"}, &out), 0);
+  EXPECT_NE(out.find("commands"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  std::string err;
+  EXPECT_EQ(RunTool({"frobnicate"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, SubcommandHelpListsFlags) {
+  std::string out;
+  EXPECT_EQ(RunTool({"build", "--help"}, &out), 0);
+  EXPECT_NE(out.find("--graph"), std::string::npos);
+  EXPECT_NE(out.find("--mode"), std::string::npos);
+}
+
+TEST(CliTest, GenRequiresOut) {
+  std::string err;
+  EXPECT_EQ(RunTool({"gen"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("--out"), std::string::npos);
+}
+
+TEST(CliTest, GenRejectsUnknownType) {
+  TempDir dir = TempDir::Create("cli_test").ValueOrDie();
+  std::string err;
+  EXPECT_EQ(RunTool({"gen", "--type", "noexist", "--out", dir.File("g.txt")},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("unknown --type"), std::string::npos);
+}
+
+TEST(CliTest, FullPipelineTextGraph) {
+  TempDir dir = TempDir::Create("cli_test").ValueOrDie();
+  const std::string graph = dir.File("g.txt");
+  const std::string index = dir.File("g.hli");
+
+  std::string out;
+  ASSERT_EQ(RunTool({"gen", "--type", "glp", "--n", "800", "--avg-degree", "6",
+                 "--seed", "5", "--out", graph},
+                &out),
+            0);
+  EXPECT_NE(out.find("generated glp graph"), std::string::npos);
+
+  ASSERT_EQ(RunTool({"build", "--graph", graph, "--mode", "hybrid", "--threads",
+                 "2", "--out", index},
+                &out),
+            0);
+  EXPECT_NE(out.find("built index"), std::string::npos);
+  EXPECT_NE(out.find("iterations"), std::string::npos);
+
+  ASSERT_EQ(RunTool({"query", "--index", index, "--src", "0", "--dst", "1"},
+                &out),
+            0);
+  EXPECT_NE(out.find("dist(0, 1) = "), std::string::npos);
+
+  ASSERT_EQ(RunTool({"query", "--index", index, "--random", "200"}, &out), 0);
+  EXPECT_NE(out.find("200 random queries"), std::string::npos);
+
+  ASSERT_EQ(RunTool({"stats", "--index", index}, &out), 0);
+  EXPECT_NE(out.find("label entries"), std::string::npos);
+  EXPECT_NE(out.find("avg |label|"), std::string::npos);
+  EXPECT_NE(out.find("compressed"), std::string::npos);
+}
+
+TEST(CliTest, FullPipelineBinaryDirectedWeighted) {
+  TempDir dir = TempDir::Create("cli_test").ValueOrDie();
+  const std::string graph = dir.File("g.hgr");
+  const std::string index = dir.File("g.hli");
+
+  std::string out;
+  ASSERT_EQ(RunTool({"gen", "--type", "er", "--n", "400", "--avg-degree", "4",
+                 "--directed", "--weighted", "--seed", "8", "--out", graph},
+                &out),
+            0);
+  // The binary graph file round-trips through the loader.
+  auto edges = ReadBinaryGraph(graph);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_TRUE(edges->directed());
+  EXPECT_TRUE(edges->weighted());
+
+  ASSERT_EQ(RunTool({"build", "--graph", graph, "--order", "betweenness",
+                 "--out", index},
+                &out),
+            0);
+  ASSERT_EQ(RunTool({"query", "--index", index, "--random", "100"}, &out), 0);
+}
+
+TEST(CliTest, QueryRejectsOutOfRangeVertex) {
+  TempDir dir = TempDir::Create("cli_test").ValueOrDie();
+  const std::string graph = dir.File("g.txt");
+  const std::string index = dir.File("g.hli");
+  ASSERT_EQ(RunTool({"gen", "--type", "glp", "--n", "300", "--out", graph}), 0);
+  ASSERT_EQ(RunTool({"build", "--graph", graph, "--out", index}), 0);
+  std::string err;
+  EXPECT_EQ(RunTool({"query", "--index", index, "--src", "0", "--dst",
+                 "999999"},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("out of range"), std::string::npos);
+}
+
+TEST(CliTest, BuildRejectsBadMode) {
+  TempDir dir = TempDir::Create("cli_test").ValueOrDie();
+  const std::string graph = dir.File("g.txt");
+  ASSERT_EQ(RunTool({"gen", "--type", "glp", "--n", "200", "--out", graph}), 0);
+  std::string err;
+  EXPECT_EQ(RunTool({"build", "--graph", graph, "--mode", "warp", "--out",
+                 dir.File("i.hli")},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("unknown --mode"), std::string::npos);
+}
+
+TEST(CliTest, QueryMissingIndexFileFails) {
+  std::string err;
+  EXPECT_EQ(RunTool({"query", "--index", "/nonexistent/idx", "--random", "5"},
+                nullptr, &err),
+            1);
+}
+
+}  // namespace
+}  // namespace hopdb

@@ -1,0 +1,176 @@
+#include "labeling/disk_index.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/verify.h"
+#include "gen/glp.h"
+#include "gen/small_graphs.h"
+#include "gen/weights.h"
+#include "graph/ranking.h"
+#include "io/temp_dir.h"
+#include "util/serde.h"
+#include "labeling/builder.h"
+
+namespace hopdb {
+namespace {
+
+Result<CsrGraph> RankedGraph(const EdgeList& edges) {
+  HOPDB_ASSIGN_OR_RETURN(CsrGraph g, CsrGraph::FromEdgeList(edges));
+  RankMapping m = ComputeRanking(
+      g, g.directed() ? RankingPolicy::kInOutProduct : RankingPolicy::kDegree);
+  return RelabelByRank(g, m);
+}
+
+TEST(DiskIndexTest, RoundTripUndirected) {
+  auto dir = TempDir::Create("disk_index");
+  ASSERT_TRUE(dir.ok());
+  GlpOptions glp;
+  glp.num_vertices = 400;
+  glp.seed = 3;
+  auto edges = GenerateGlp(glp);
+  ASSERT_TRUE(edges.ok());
+  auto ranked = RankedGraph(*edges);
+  ASSERT_TRUE(ranked.ok());
+  auto built = BuildHopLabeling(*ranked, {});
+  ASSERT_TRUE(built.ok());
+
+  std::string path = dir->File("idx.hdi");
+  ASSERT_TRUE(DiskIndex::Write(built->index, path).ok());
+  auto disk = DiskIndex::Open(path);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(disk->num_vertices(), ranked->num_vertices());
+  EXPECT_FALSE(disk->directed());
+
+  for (VertexId s = 0; s < ranked->num_vertices(); s += 13) {
+    for (VertexId t = 0; t < ranked->num_vertices(); t += 17) {
+      ASSERT_EQ(disk->Query(s, t), built->index.Query(s, t))
+          << "pair (" << s << ", " << t << ")";
+    }
+  }
+}
+
+TEST(DiskIndexTest, RoundTripDirected) {
+  auto dir = TempDir::Create("disk_index");
+  ASSERT_TRUE(dir.ok());
+  auto g = CsrGraph::FromEdgeList(PaperExampleGraph());
+  ASSERT_TRUE(g.ok());
+  auto built = BuildHopLabeling(*g, {});
+  ASSERT_TRUE(built.ok());
+  std::string path = dir->File("idx.hdi");
+  ASSERT_TRUE(DiskIndex::Write(built->index, path).ok());
+  auto disk = DiskIndex::Open(path);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_TRUE(disk->directed());
+  ASSERT_TRUE(VerifyExactDistances(
+                  *g, [&](VertexId s, VertexId t) { return disk->Query(s, t); })
+                  .ok());
+}
+
+TEST(DiskIndexTest, EightBitNarrowing) {
+  auto dir = TempDir::Create("disk_index");
+  ASSERT_TRUE(dir.ok());
+  // Unweighted small-diameter graph: distances < 255 -> 5-byte entries.
+  auto ranked = RankedGraph(StarGraph(50));
+  ASSERT_TRUE(ranked.ok());
+  auto built = BuildHopLabeling(*ranked, {});
+  ASSERT_TRUE(built.ok());
+  std::string narrow = dir->File("narrow.hdi");
+  ASSERT_TRUE(DiskIndex::Write(built->index, narrow).ok());
+
+  // Weighted version: distances up to ~1000 -> 8-byte entries.
+  EdgeList weighted = StarGraph(50);
+  AssignUniformWeights(&weighted, 300, 1000, 5);
+  auto ranked_w = RankedGraph(weighted);
+  ASSERT_TRUE(ranked_w.ok());
+  auto built_w = BuildHopLabeling(*ranked_w, {});
+  ASSERT_TRUE(built_w.ok());
+  std::string wide = dir->File("wide.hdi");
+  ASSERT_TRUE(DiskIndex::Write(built_w->index, wide).ok());
+
+  auto n = DiskIndex::Open(narrow);
+  auto w = DiskIndex::Open(wide);
+  ASSERT_TRUE(n.ok());
+  ASSERT_TRUE(w.ok());
+  EXPECT_LT(n->file_size_bytes(), w->file_size_bytes());
+  EXPECT_EQ(w->Query(1, 2),
+            built_w->index.Query(1, 2));  // wide distances intact
+}
+
+TEST(DiskIndexTest, QueryCostsTwoLabelReads) {
+  auto dir = TempDir::Create("disk_index");
+  ASSERT_TRUE(dir.ok());
+  GlpOptions glp;
+  glp.num_vertices = 300;
+  glp.seed = 7;
+  auto edges = GenerateGlp(glp);
+  ASSERT_TRUE(edges.ok());
+  auto ranked = RankedGraph(*edges);
+  ASSERT_TRUE(ranked.ok());
+  auto built = BuildHopLabeling(*ranked, {});
+  ASSERT_TRUE(built.ok());
+  std::string path = dir->File("idx.hdi");
+  ASSERT_TRUE(DiskIndex::Write(built->index, path).ok());
+  auto disk = DiskIndex::Open(path);
+  ASSERT_TRUE(disk.ok());
+
+  disk->ResetStats();
+  disk->Query(200, 250);
+  // The paper's disk query = 2 random label accesses. Labels here are
+  // small, so each is at most a couple of blocks.
+  EXPECT_LE(disk->stats().read_calls, 2u);
+  EXPECT_GE(disk->stats().blocks_read, 1u);
+}
+
+TEST(DiskIndexTest, ToMemoryMatches) {
+  auto dir = TempDir::Create("disk_index");
+  ASSERT_TRUE(dir.ok());
+  auto g = CsrGraph::FromEdgeList(PaperExampleGraph());
+  ASSERT_TRUE(g.ok());
+  auto built = BuildHopLabeling(*g, {});
+  ASSERT_TRUE(built.ok());
+  std::string path = dir->File("idx.hdi");
+  ASSERT_TRUE(DiskIndex::Write(built->index, path).ok());
+  auto disk = DiskIndex::Open(path);
+  ASSERT_TRUE(disk.ok());
+  auto mem = disk->ToMemory();
+  ASSERT_TRUE(mem.ok());
+  EXPECT_EQ(mem->TotalEntries(), built->index.TotalEntries());
+  for (VertexId s = 0; s < 8; ++s) {
+    for (VertexId t = 0; t < 8; ++t) {
+      EXPECT_EQ(mem->Query(s, t), built->index.Query(s, t));
+    }
+  }
+}
+
+TEST(DiskIndexTest, RejectsGarbage) {
+  auto dir = TempDir::Create("disk_index");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->File("junk");
+  ASSERT_TRUE(WriteStringToFile(path, "not an index at all").ok());
+  EXPECT_FALSE(DiskIndex::Open(path).ok());
+}
+
+TEST(DiskIndexTest, TruncatedFilesFailToOpen) {
+  auto base = CsrGraph::FromEdgeList(PaperExampleGraph());
+  ASSERT_TRUE(base.ok());
+  auto built = BuildHopLabeling(*base);
+  ASSERT_TRUE(built.ok());
+
+  auto dir = TempDir::Create("hdi_fail");
+  ASSERT_TRUE(dir.ok());
+  const std::string path = dir->File("idx.hdi");
+  ASSERT_TRUE(DiskIndex::Write(built->index, path).ok());
+  std::string blob;
+  ASSERT_TRUE(ReadFileToString(path, &blob).ok());
+
+  const std::string trunc_path = dir->File("trunc.hdi");
+  for (const size_t keep :
+       {size_t{0}, size_t{3}, size_t{11}, blob.size() / 2,
+        blob.size() - 1}) {
+    ASSERT_TRUE(WriteStringToFile(trunc_path, blob.substr(0, keep)).ok());
+    EXPECT_FALSE(DiskIndex::Open(trunc_path).ok()) << "kept " << keep;
+  }
+}
+
+}  // namespace
+}  // namespace hopdb

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "eval/datasets.h"
+#include "eval/table.h"
+#include "eval/verify.h"
+#include "eval/workload.h"
+#include "gen/small_graphs.h"
+#include "graph/graph_io.h"
+#include "io/temp_dir.h"
+#include "search/bfs.h"
+#include "util/string_util.h"
+
+namespace hopdb {
+namespace {
+
+TEST(DatasetsTest, RegistryCoversPaperTable) {
+  const auto& all = Table6Datasets();
+  EXPECT_EQ(all.size(), 27u);  // every row of Table 6
+  int undirected = 0, directed = 0, weighted = 0, synthetic = 0;
+  for (const auto& spec : all) {
+    if (spec.group == "synthetic") ++synthetic;
+    if (spec.weighted) ++weighted;
+    (spec.directed ? directed : undirected)++;
+    EXPECT_GT(spec.sim_vertices, 0u);
+    EXPECT_GT(spec.sim_avg_degree, 0.0);
+  }
+  EXPECT_EQ(directed, 9);
+  EXPECT_EQ(weighted, 4);
+  EXPECT_EQ(synthetic, 6);
+}
+
+TEST(DatasetsTest, FindByName) {
+  EXPECT_NE(FindDataset("Enron"), nullptr);
+  EXPECT_NE(FindDataset("slashdot"), nullptr);
+  EXPECT_EQ(FindDataset("notagraph"), nullptr);
+}
+
+TEST(DatasetsTest, Tier0IsSmallEnoughForCi) {
+  for (const auto& spec : Table6Datasets()) {
+    if (spec.tier == 0) {
+      EXPECT_LE(static_cast<uint64_t>(spec.sim_vertices) *
+                    static_cast<uint64_t>(spec.sim_avg_degree),
+                3000000u)
+          << spec.name;
+    }
+  }
+}
+
+TEST(DatasetsTest, LoadScaledStandIn) {
+  const DatasetSpec* spec = FindDataset("Enron");
+  ASSERT_NE(spec, nullptr);
+  LoadOptions opts;
+  opts.scale = 0.05;  // ~1.9K vertices
+  auto g = LoadDataset(*spec, opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->num_vertices(), 1000u);
+  EXPECT_LT(g->num_vertices(), 4000u);
+  EXPECT_FALSE(g->directed());
+}
+
+TEST(DatasetsTest, DirectedAndWeightedStandIns) {
+  LoadOptions opts;
+  opts.scale = 0.02;
+  auto slashdot = LoadDataset(*FindDataset("slashdot"), opts);
+  ASSERT_TRUE(slashdot.ok());
+  EXPECT_TRUE(slashdot->directed());
+  auto ratings = LoadDataset(*FindDataset("bookRating"), opts);
+  ASSERT_TRUE(ratings.ok());
+  EXPECT_TRUE(ratings->weighted());
+  EXPECT_FALSE(ratings->directed());
+}
+
+TEST(DatasetsTest, RealFileOverridesGenerator) {
+  auto dir = TempDir::Create("datasets");
+  ASSERT_TRUE(dir.ok());
+  // Drop a tiny real file named like a registry dataset.
+  EdgeList tiny = PathGraph(5);
+  ASSERT_TRUE(WriteTextEdgeList(tiny, dir->File("Enron.txt")).ok());
+  LoadOptions opts;
+  opts.data_dir = dir->path();
+  auto g = LoadDataset(*FindDataset("Enron"), opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 5u);
+}
+
+TEST(WorkloadTest, RandomPairsDeterministic) {
+  auto a = RandomPairs(100, 50, 7);
+  auto b = RandomPairs(100, 50, 7);
+  ASSERT_EQ(a.size(), 50u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].s, b[i].s);
+    EXPECT_EQ(a[i].t, b[i].t);
+    EXPECT_LT(a[i].s, 100u);
+    EXPECT_LT(a[i].t, 100u);
+  }
+}
+
+TEST(WorkloadTest, TimeQueriesAggregates) {
+  auto pairs = RandomPairs(10, 1000, 3);
+  uint64_t calls = 0;
+  QueryTiming timing = TimeQueries(pairs, [&](VertexId s, VertexId t) {
+    ++calls;
+    return static_cast<Distance>(s + t);
+  });
+  EXPECT_EQ(calls, 1000u);
+  EXPECT_EQ(timing.queries, 1000u);
+  EXPECT_GT(timing.checksum, 0u);
+  EXPECT_GE(timing.total_seconds, 0.0);
+}
+
+TEST(TableTest, RendersAligned) {
+  AsciiTable table({"name", "value", "time"});
+  table.AddRow({"alpha", "1", "2.0s"});
+  table.AddRow({"b", "12345", AsciiTable::Dash()});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("—"), std::string::npos);
+  // All lines equally wide (the dash is one display column).
+  auto lines = SplitString(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+}
+
+TEST(VerifyTest, AcceptsExactOracle) {
+  auto g = CsrGraph::FromEdgeList(GridGraph(4, 4));
+  ASSERT_TRUE(g.ok());
+  BfsRunner runner(*g);
+  Status st = VerifyExactDistances(*g, [&](VertexId s, VertexId t) {
+    runner.Run(s);
+    return runner.DistanceTo(t);
+  });
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(VerifyTest, CatchesWrongOracle) {
+  auto g = CsrGraph::FromEdgeList(GridGraph(4, 4));
+  ASSERT_TRUE(g.ok());
+  Status st = VerifyExactDistances(
+      *g, [&](VertexId, VertexId) -> Distance { return 1; });
+  EXPECT_FALSE(st.ok());
+}
+
+}  // namespace
+}  // namespace hopdb

@@ -1,0 +1,128 @@
+#include "io/external_sorter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "io/temp_dir.h"
+#include "util/random.h"
+
+namespace hopdb {
+namespace {
+
+struct Rec {
+  uint64_t key;
+  uint32_t payload;
+};
+
+struct RecLess {
+  bool operator()(const Rec& a, const Rec& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return a.payload < b.payload;
+  }
+};
+
+std::vector<Rec> MakeRandom(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rec> recs;
+  recs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    recs.push_back({rng.Below(1000), static_cast<uint32_t>(rng.Below(100))});
+  }
+  return recs;
+}
+
+void CheckSorted(ExternalSorter<Rec, RecLess>* sorter, std::vector<Rec> input) {
+  std::sort(input.begin(), input.end(), RecLess{});
+  Rec rec;
+  size_t i = 0;
+  while (sorter->Next(&rec)) {
+    ASSERT_LT(i, input.size());
+    EXPECT_EQ(rec.key, input[i].key) << "at " << i;
+    EXPECT_EQ(rec.payload, input[i].payload) << "at " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, input.size());
+}
+
+TEST(ExternalSorterTest, InMemoryWhenItFits) {
+  auto dir = TempDir::Create("sort");
+  ASSERT_TRUE(dir.ok());
+  auto input = MakeRandom(500, 1);
+  ExternalSorter<Rec, RecLess> sorter(dir->File("s"), 1 << 20);
+  for (const Rec& r : input) ASSERT_TRUE(sorter.Add(r).ok());
+  ASSERT_TRUE(sorter.Finish().ok());
+  EXPECT_EQ(sorter.num_runs(), 0u) << "should not have spilled";
+  CheckSorted(&sorter, input);
+}
+
+TEST(ExternalSorterTest, SpillsAndMerges) {
+  auto dir = TempDir::Create("sort");
+  ASSERT_TRUE(dir.ok());
+  auto input = MakeRandom(10000, 2);
+  // Tiny budget: ~85 records per run -> > 100 runs.
+  ExternalSorter<Rec, RecLess> sorter(dir->File("s"), 1024);
+  for (const Rec& r : input) ASSERT_TRUE(sorter.Add(r).ok());
+  ASSERT_TRUE(sorter.Finish().ok());
+  EXPECT_GT(sorter.num_runs(), 10u);
+  EXPECT_EQ(sorter.total_records(), input.size());
+  CheckSorted(&sorter, input);
+  EXPECT_GT(sorter.TotalIoStats().bytes_written, 0u);
+  sorter.Cleanup();
+}
+
+TEST(ExternalSorterTest, EmptyInput) {
+  auto dir = TempDir::Create("sort");
+  ASSERT_TRUE(dir.ok());
+  ExternalSorter<Rec, RecLess> sorter(dir->File("s"), 1024);
+  ASSERT_TRUE(sorter.Finish().ok());
+  Rec rec;
+  EXPECT_FALSE(sorter.Next(&rec));
+}
+
+TEST(ExternalSorterTest, StableAcrossBudgets) {
+  // The merged output must be identical no matter how many runs existed.
+  auto dir = TempDir::Create("sort");
+  ASSERT_TRUE(dir.ok());
+  auto input = MakeRandom(5000, 3);
+  std::vector<Rec> small_out, big_out;
+  for (size_t budget : {512u, 1u << 22}) {
+    ExternalSorter<Rec, RecLess> sorter(
+        dir->File("s" + std::to_string(budget)), budget);
+    for (const Rec& r : input) ASSERT_TRUE(sorter.Add(r).ok());
+    ASSERT_TRUE(sorter.Finish().ok());
+    auto& out = budget == 512u ? small_out : big_out;
+    Rec rec;
+    while (sorter.Next(&rec)) out.push_back(rec);
+    sorter.Cleanup();
+  }
+  ASSERT_EQ(small_out.size(), big_out.size());
+  for (size_t i = 0; i < small_out.size(); ++i) {
+    EXPECT_EQ(small_out[i].key, big_out[i].key);
+    EXPECT_EQ(small_out[i].payload, big_out[i].payload);
+  }
+}
+
+TEST(ExternalSorterTest, DuplicateKeysAllSurvive) {
+  auto dir = TempDir::Create("sort");
+  ASSERT_TRUE(dir.ok());
+  ExternalSorter<Rec, RecLess> sorter(dir->File("s"), 256);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(sorter.Add({7, static_cast<uint32_t>(i % 3)}).ok());
+  }
+  ASSERT_TRUE(sorter.Finish().ok());
+  Rec rec;
+  size_t count = 0;
+  uint32_t last = 0;
+  while (sorter.Next(&rec)) {
+    EXPECT_EQ(rec.key, 7u);
+    EXPECT_GE(rec.payload, last);
+    last = rec.payload;
+    ++count;
+  }
+  EXPECT_EQ(count, 1000u);
+  sorter.Cleanup();
+}
+
+}  // namespace
+}  // namespace hopdb

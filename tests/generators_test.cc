@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "gen/barabasi_albert.h"
+#include "gen/erdos_renyi.h"
+#include "gen/glp.h"
+#include "gen/small_graphs.h"
+#include "gen/weights.h"
+#include "graph/csr_graph.h"
+#include "graph/transform.h"
+
+namespace hopdb {
+namespace {
+
+TEST(GlpTest, RespectsVertexCount) {
+  GlpOptions opt;
+  opt.num_vertices = 5000;
+  opt.seed = 1;
+  auto edges = GenerateGlp(opt);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->num_vertices(), 5000u);
+  EXPECT_FALSE(edges->directed());
+  EXPECT_TRUE(edges->Validate().ok());
+}
+
+TEST(GlpTest, Deterministic) {
+  GlpOptions opt;
+  opt.num_vertices = 2000;
+  opt.seed = 99;
+  auto a = GenerateGlp(opt);
+  auto b = GenerateGlp(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_edges(), b->num_edges());
+  for (size_t i = 0; i < a->num_edges(); ++i) {
+    EXPECT_EQ(a->edges()[i], b->edges()[i]);
+  }
+}
+
+TEST(GlpTest, SeedsDiffer) {
+  GlpOptions a, b;
+  a.num_vertices = b.num_vertices = 2000;
+  a.seed = 1;
+  b.seed = 2;
+  auto ga = GenerateGlp(a);
+  auto gb = GenerateGlp(b);
+  ASSERT_TRUE(ga.ok());
+  ASSERT_TRUE(gb.ok());
+  EXPECT_NE(ga->num_edges(), gb->num_edges());
+}
+
+TEST(GlpTest, TargetDensityHit) {
+  GlpOptions opt;
+  opt.num_vertices = 20000;
+  opt.target_avg_degree = 10;
+  opt.seed = 7;
+  auto edges = GenerateGlp(opt);
+  ASSERT_TRUE(edges.ok());
+  double density =
+      static_cast<double>(edges->num_edges()) / edges->num_vertices();
+  EXPECT_GT(density, 6.0);
+  EXPECT_LT(density, 14.0);
+}
+
+TEST(GlpTest, ConnectedByConstruction) {
+  GlpOptions opt;
+  opt.num_vertices = 3000;
+  opt.seed = 11;
+  auto edges = GenerateGlp(opt);
+  ASSERT_TRUE(edges.ok());
+  auto g = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(g.ok());
+  uint32_t comps = 0;
+  WeaklyConnectedComponents(*g, &comps);
+  EXPECT_EQ(comps, 1u);
+}
+
+TEST(GlpTest, RejectsBadParameters) {
+  GlpOptions opt;
+  opt.num_vertices = 5;
+  opt.m0 = 10;
+  EXPECT_FALSE(GenerateGlp(opt).ok());  // |V| < m0
+  opt.num_vertices = 100;
+  opt.beta = 1.5;
+  EXPECT_FALSE(GenerateGlp(opt).ok());
+  opt.beta = 0.5;
+  opt.p = 1.0;
+  EXPECT_FALSE(GenerateGlp(opt).ok());
+  opt.p = 0.45;
+  opt.m0 = 1;
+  EXPECT_FALSE(GenerateGlp(opt).ok());
+}
+
+TEST(GlpTest, DirectedOrientation) {
+  GlpOptions opt;
+  opt.num_vertices = 3000;
+  opt.seed = 13;
+  auto edges = GenerateDirectedGlp(opt, /*reciprocal=*/0.5);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_TRUE(edges->directed());
+  auto undirected = GenerateGlp(opt);
+  ASSERT_TRUE(undirected.ok());
+  // Reciprocity adds extra arcs beyond one per undirected edge.
+  EXPECT_GT(edges->num_edges(), undirected->num_edges());
+  EXPECT_LT(edges->num_edges(), 2 * undirected->num_edges());
+}
+
+TEST(BaTest, GeneratesWithHub) {
+  BaOptions opt;
+  opt.num_vertices = 3000;
+  opt.edges_per_vertex = 2;
+  opt.seed = 17;
+  auto edges = GenerateBarabasiAlbert(opt);
+  ASSERT_TRUE(edges.ok());
+  auto g = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->MaxDegree(), 30u);  // preferential attachment creates hubs
+  EXPECT_TRUE(edges->Validate().ok());
+}
+
+TEST(BaTest, RejectsBadParameters) {
+  BaOptions opt;
+  opt.num_vertices = 2;
+  opt.edges_per_vertex = 2;
+  EXPECT_FALSE(GenerateBarabasiAlbert(opt).ok());
+  opt.edges_per_vertex = 0;
+  EXPECT_FALSE(GenerateBarabasiAlbert(opt).ok());
+}
+
+TEST(ErTest, ApproximatesRequestedEdges) {
+  ErOptions opt;
+  opt.num_vertices = 1000;
+  opt.num_edges = 5000;
+  opt.seed = 19;
+  auto edges = GenerateErdosRenyi(opt);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_GT(edges->num_edges(), 4500u);
+  EXPECT_LE(edges->num_edges(), 5000u);
+}
+
+TEST(ErTest, DirectedFlag) {
+  ErOptions opt;
+  opt.num_vertices = 100;
+  opt.num_edges = 300;
+  opt.directed = true;
+  auto edges = GenerateErdosRenyi(opt);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_TRUE(edges->directed());
+}
+
+TEST(SmallGraphsTest, RoadGraphShape) {
+  EdgeList g = RoadGraphGR();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  auto csr = CsrGraph::FromEdgeList(g);
+  ASSERT_TRUE(csr.ok());
+  EXPECT_EQ(csr->Degree(0), 3u);  // a is the hub
+}
+
+TEST(SmallGraphsTest, PaperExampleDegreesNonIncreasing) {
+  auto g = CsrGraph::FromEdgeList(PaperExampleGraph());
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->num_vertices(), 8u);
+  EXPECT_EQ(g->num_edges(), 13u);
+  for (VertexId v = 0; v + 1 < 8; ++v) {
+    EXPECT_GE(g->Degree(v), g->Degree(v + 1))
+        << "the paper ids vertices by non-increasing degree";
+  }
+}
+
+TEST(SmallGraphsTest, GridShape) {
+  auto g = CsrGraph::FromEdgeList(GridGraph(3, 4));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 12u);
+  EXPECT_EQ(g->num_edges(), 17u);  // 3*3 horizontal + 2*4 vertical
+  EXPECT_EQ(g->MaxDegree(), 4u);
+}
+
+TEST(SmallGraphsTest, CompleteGraph) {
+  auto g = CsrGraph::FromEdgeList(CompleteGraph(6));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 15u);
+  EXPECT_EQ(g->MaxDegree(), 5u);
+}
+
+TEST(WeightsTest, UniformWeightsInRange) {
+  EdgeList e = GridGraph(5, 5);
+  AssignUniformWeights(&e, 2, 9, 23);
+  for (const Edge& edge : e.edges()) {
+    EXPECT_GE(edge.weight, 2u);
+    EXPECT_LE(edge.weight, 9u);
+  }
+  EXPECT_TRUE(e.weighted());
+}
+
+TEST(WeightsTest, RatingWeightsSkewLow) {
+  EdgeList e = CompleteGraph(40);
+  AssignRatingWeights(&e, 10, 29);
+  uint64_t low = 0, high = 0;
+  for (const Edge& edge : e.edges()) {
+    EXPECT_GE(edge.weight, 1u);
+    EXPECT_LE(edge.weight, 10u);
+    (edge.weight <= 3 ? low : high)++;
+  }
+  EXPECT_GT(low, high);  // P(w) ∝ 1/w concentrates low values
+}
+
+}  // namespace
+}  // namespace hopdb

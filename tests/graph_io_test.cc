@@ -1,0 +1,116 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/glp.h"
+#include "io/temp_dir.h"
+#include "util/serde.h"
+
+namespace hopdb {
+namespace {
+
+TEST(TextGraphTest, ParsesBasicEdgeList) {
+  std::string text =
+      "# comment\n"
+      "% konect-style comment\n"
+      "0 1\n"
+      "1 2\n"
+      "\n"
+      "2 0\n";
+  TextGraphOptions opt;
+  opt.directed = true;
+  auto edges = ParseTextEdgeList(text, opt);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->num_edges(), 3u);
+  EXPECT_EQ(edges->num_vertices(), 3u);
+  EXPECT_FALSE(edges->weighted());
+}
+
+TEST(TextGraphTest, ParsesWeights) {
+  TextGraphOptions opt;
+  opt.directed = false;
+  auto edges = ParseTextEdgeList("0 1 5\n1 2 3\n", opt);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_TRUE(edges->weighted());
+  EXPECT_EQ(edges->edges()[0].weight, 5u);
+}
+
+TEST(TextGraphTest, IgnoresWeightsWhenAsked) {
+  TextGraphOptions opt;
+  opt.read_weights = false;
+  auto edges = ParseTextEdgeList("0 1 5\n", opt);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_FALSE(edges->weighted());
+  EXPECT_EQ(edges->edges()[0].weight, 1u);
+}
+
+TEST(TextGraphTest, CompactsSparseIds) {
+  TextGraphOptions opt;
+  auto edges = ParseTextEdgeList("1000000 2000000\n2000000 5\n", opt);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->num_vertices(), 3u);
+}
+
+TEST(TextGraphTest, RejectsMalformedLines) {
+  TextGraphOptions opt;
+  EXPECT_FALSE(ParseTextEdgeList("0\n", opt).ok());
+  EXPECT_FALSE(ParseTextEdgeList("a b\n", opt).ok());
+  EXPECT_FALSE(ParseTextEdgeList("0 1 2 3\n", opt).ok());
+  EXPECT_FALSE(ParseTextEdgeList("0 1 0\n", opt).ok());  // zero weight
+}
+
+TEST(TextGraphTest, TabSeparatedAndCrlf) {
+  TextGraphOptions opt;
+  auto edges = ParseTextEdgeList("0\t1\r\n1\t2\r\n", opt);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->num_edges(), 2u);
+}
+
+TEST(TextGraphTest, FileRoundTrip) {
+  auto dir = TempDir::Create("graph_io");
+  ASSERT_TRUE(dir.ok());
+  GlpOptions glp;
+  glp.num_vertices = 500;
+  glp.seed = 3;
+  auto edges = GenerateGlp(glp);
+  ASSERT_TRUE(edges.ok());
+  std::string path = dir->File("g.txt");
+  ASSERT_TRUE(WriteTextEdgeList(*edges, path).ok());
+  TextGraphOptions opt;
+  opt.directed = false;
+  auto back = ReadTextEdgeList(path, opt);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_edges(), edges->num_edges());
+}
+
+TEST(BinaryGraphTest, RoundTripDirectedWeighted) {
+  auto dir = TempDir::Create("graph_io");
+  ASSERT_TRUE(dir.ok());
+  EdgeList edges(5, /*directed=*/true);
+  edges.Add(0, 1, 3);
+  edges.Add(1, 2, 7);
+  edges.Add(4, 0, 2);
+  edges.Normalize();
+  std::string path = dir->File("g.bin");
+  ASSERT_TRUE(WriteBinaryGraph(edges, path).ok());
+  auto back = ReadBinaryGraph(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_vertices(), edges.num_vertices());
+  EXPECT_TRUE(back->directed());
+  EXPECT_TRUE(back->weighted());
+  ASSERT_EQ(back->num_edges(), edges.num_edges());
+  for (size_t i = 0; i < edges.num_edges(); ++i) {
+    EXPECT_EQ(back->edges()[i], edges.edges()[i]);
+  }
+}
+
+TEST(BinaryGraphTest, RejectsWrongMagic) {
+  auto dir = TempDir::Create("graph_io");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->File("bad.bin");
+  ASSERT_TRUE(WriteStringToFile(path, "NOTAGRAPH").ok());
+  EXPECT_FALSE(ReadBinaryGraph(path).ok());
+}
+
+}  // namespace
+}  // namespace hopdb

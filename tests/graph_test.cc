@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "gen/small_graphs.h"
+#include "graph/csr_graph.h"
+#include "graph/edge_list.h"
+
+namespace hopdb {
+namespace {
+
+TEST(EdgeListTest, AddGrowsVertexCount) {
+  EdgeList e;
+  e.Add(3, 7);
+  EXPECT_EQ(e.num_vertices(), 8u);
+  EXPECT_EQ(e.num_edges(), 1u);
+}
+
+TEST(EdgeListTest, NormalizeRemovesSelfLoopsAndParallels) {
+  EdgeList e(4, /*directed=*/true);
+  e.Add(0, 1, 5);
+  e.Add(0, 1, 3);  // parallel, lighter
+  e.Add(2, 2);     // self loop
+  e.Add(1, 0);     // anti-parallel: kept (directed)
+  e.Normalize();
+  ASSERT_EQ(e.num_edges(), 2u);
+  EXPECT_EQ(e.edges()[0], Edge(0, 1, 3));
+  EXPECT_EQ(e.edges()[1], Edge(1, 0, 1));
+}
+
+TEST(EdgeListTest, NormalizeUndirectedMergesOrientations) {
+  EdgeList e(3, /*directed=*/false);
+  e.Add(1, 0, 4);
+  e.Add(0, 1, 2);
+  e.Normalize();
+  ASSERT_EQ(e.num_edges(), 1u);
+  EXPECT_EQ(e.edges()[0].weight, 2u);
+}
+
+TEST(EdgeListTest, ValidateCatchesBadEdges) {
+  EdgeList e(2, true);
+  e.Add(0, 1);
+  EXPECT_TRUE(e.Validate().ok());
+  e.mutable_edges().push_back(Edge(0, 5));
+  EXPECT_FALSE(e.Validate().ok());
+  e.mutable_edges().pop_back();
+  e.mutable_edges().push_back(Edge(0, 1, 0));
+  EXPECT_FALSE(e.Validate().ok());
+}
+
+TEST(EdgeListTest, SizeAccounting) {
+  EdgeList e(3, true);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  EXPECT_EQ(e.SizeBytes(true), 2u * 9u);  // paper: 4+4+1 bytes per edge
+}
+
+TEST(CsrGraphTest, DirectedAdjacency) {
+  EdgeList e(4, /*directed=*/true);
+  e.Add(0, 1);
+  e.Add(0, 2);
+  e.Add(2, 1);
+  e.Add(3, 0);
+  e.Normalize();
+  auto g = CsrGraph::FromEdgeList(e);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 4u);
+  EXPECT_EQ(g->num_edges(), 4u);
+  EXPECT_EQ(g->OutDegree(0), 2u);
+  EXPECT_EQ(g->InDegree(1), 2u);
+  EXPECT_EQ(g->InDegree(0), 1u);
+  EXPECT_EQ(g->Degree(0), 3u);
+  ASSERT_EQ(g->OutArcs(0).size(), 2u);
+  EXPECT_EQ(g->OutArcs(0)[0].to, 1u);
+  EXPECT_EQ(g->OutArcs(0)[1].to, 2u);
+  ASSERT_EQ(g->InArcs(1).size(), 2u);
+  EXPECT_EQ(g->InArcs(1)[0].to, 0u);
+  EXPECT_EQ(g->InArcs(1)[1].to, 2u);
+}
+
+TEST(CsrGraphTest, UndirectedSymmetric) {
+  EdgeList e = PathGraph(4);
+  auto g = CsrGraph::FromEdgeList(e);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->directed());
+  EXPECT_EQ(g->Degree(0), 1u);
+  EXPECT_EQ(g->Degree(1), 2u);
+  // In and out views coincide.
+  EXPECT_EQ(g->InArcs(1).size(), g->OutArcs(1).size());
+  EXPECT_EQ(g->num_edges(), 3u);
+}
+
+TEST(CsrGraphTest, ArcWeightLookup) {
+  EdgeList e(3, true);
+  e.Add(0, 1, 7);
+  e.Add(1, 2, 9);
+  e.Normalize();
+  auto g = CsrGraph::FromEdgeList(e);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->ArcWeight(0, 1), 7u);
+  EXPECT_EQ(g->ArcWeight(1, 2), 9u);
+  EXPECT_EQ(g->ArcWeight(0, 2), kInfDistance);
+  EXPECT_TRUE(g->weighted());
+}
+
+TEST(CsrGraphTest, MaxDegree) {
+  auto g = CsrGraph::FromEdgeList(StarGraph(6));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->MaxDegree(), 6u);
+}
+
+TEST(CsrGraphTest, ToEdgeListRoundTrip) {
+  EdgeList e = GridGraph(3, 3);
+  auto g = CsrGraph::FromEdgeList(e);
+  ASSERT_TRUE(g.ok());
+  EdgeList back = g->ToEdgeList();
+  back.Normalize();
+  EXPECT_EQ(back.num_edges(), e.num_edges());
+  EXPECT_EQ(back.num_vertices(), e.num_vertices());
+}
+
+TEST(CsrGraphTest, PaperSizeBytes) {
+  auto g = CsrGraph::FromEdgeList(PathGraph(5));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->PaperSizeBytes(), 4u * 9u);
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  EdgeList e(0, true);
+  auto g = CsrGraph::FromEdgeList(e);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 0u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(CsrGraphTest, IsolatedVertices) {
+  EdgeList e(5, false);
+  e.Add(0, 1);
+  e.Normalize();
+  e.set_num_vertices(5);
+  auto g = CsrGraph::FromEdgeList(e);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 5u);
+  EXPECT_EQ(g->Degree(4), 0u);
+  EXPECT_TRUE(g->OutArcs(4).empty());
+}
+
+TEST(TypesTest, SaturatingAdd) {
+  EXPECT_EQ(SaturatingAdd(2, 3), 5u);
+  EXPECT_EQ(SaturatingAdd(kInfDistance, 1), kInfDistance);
+  EXPECT_EQ(SaturatingAdd(1, kInfDistance), kInfDistance);
+  EXPECT_EQ(SaturatingAdd(kInfDistance - 1, kInfDistance - 1), kInfDistance);
+}
+
+}  // namespace
+}  // namespace hopdb

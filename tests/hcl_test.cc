@@ -1,0 +1,143 @@
+#include "baselines/hcl.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/verify.h"
+#include "gen/erdos_renyi.h"
+#include "gen/glp.h"
+#include "gen/small_graphs.h"
+#include "gen/weights.h"
+#include "graph/ranking.h"
+
+namespace hopdb {
+namespace {
+
+Result<CsrGraph> RankedGraph(const EdgeList& edges) {
+  HOPDB_ASSIGN_OR_RETURN(CsrGraph g, CsrGraph::FromEdgeList(edges));
+  RankMapping m = ComputeRanking(
+      g, g.directed() ? RankingPolicy::kInOutProduct : RankingPolicy::kDegree);
+  return RelabelByRank(g, m);
+}
+
+void ExpectExact(const CsrGraph& g, const HclIndex& idx) {
+  ASSERT_TRUE(VerifyExactDistances(
+                  g, [&](VertexId s, VertexId t) { return idx.Query(s, t); })
+                  .ok());
+}
+
+TEST(HclTest, PathGraphSmallCore) {
+  auto ranked = RankedGraph(PathGraph(20));
+  ASSERT_TRUE(ranked.ok());
+  HclOptions opts;
+  opts.core_size = 3;
+  auto out = BuildHcl(*ranked, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->index.core_size(), 3u);
+  ExpectExact(*ranked, out->index);
+}
+
+TEST(HclTest, StarGraph) {
+  auto ranked = RankedGraph(StarGraphGS());
+  ASSERT_TRUE(ranked.ok());
+  HclOptions opts;
+  opts.core_size = 1;  // exactly the hub
+  auto out = BuildHcl(*ranked, opts);
+  ASSERT_TRUE(out.ok());
+  ExpectExact(*ranked, out->index);
+}
+
+TEST(HclTest, DirectedExample) {
+  auto g = CsrGraph::FromEdgeList(PaperExampleGraph());
+  ASSERT_TRUE(g.ok());
+  for (uint32_t core : {1u, 2u, 4u, 8u}) {
+    HclOptions opts;
+    opts.core_size = core;
+    auto out = BuildHcl(*g, opts);
+    ASSERT_TRUE(out.ok()) << "core " << core;
+    ExpectExact(*g, out->index);
+  }
+}
+
+TEST(HclTest, CoreLargerThanGraphClamps) {
+  auto ranked = RankedGraph(PathGraph(5));
+  ASSERT_TRUE(ranked.ok());
+  HclOptions opts;
+  opts.core_size = 50;
+  auto out = BuildHcl(*ranked, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->index.core_size(), 5u);
+  ExpectExact(*ranked, out->index);
+}
+
+TEST(HclTest, WeightedGraph) {
+  EdgeList e = GridGraph(5, 5);
+  AssignUniformWeights(&e, 1, 9, 3);
+  auto ranked = RankedGraph(e);
+  ASSERT_TRUE(ranked.ok());
+  HclOptions opts;
+  opts.core_size = 4;
+  auto out = BuildHcl(*ranked, opts);
+  ASSERT_TRUE(out.ok());
+  ExpectExact(*ranked, out->index);
+}
+
+TEST(HclTest, DisconnectedGraph) {
+  auto ranked = RankedGraph(TwoTriangles());
+  ASSERT_TRUE(ranked.ok());
+  HclOptions opts;
+  opts.core_size = 2;
+  auto out = BuildHcl(*ranked, opts);
+  ASSERT_TRUE(out.ok());
+  ExpectExact(*ranked, out->index);
+}
+
+TEST(HclTest, ScaleFreeExact) {
+  GlpOptions glp;
+  glp.num_vertices = 400;
+  glp.seed = 19;
+  auto edges = GenerateGlp(glp);
+  ASSERT_TRUE(edges.ok());
+  auto ranked = RankedGraph(*edges);
+  ASSERT_TRUE(ranked.ok());
+  auto out = BuildHcl(*ranked);
+  ASSERT_TRUE(out.ok());
+  ExpectExact(*ranked, out->index);
+  EXPECT_GT(out->index.PaperSizeBytes(), 0u);
+}
+
+TEST(HclTest, DirectedWeightedExact) {
+  ErOptions er;
+  er.num_vertices = 100;
+  er.num_edges = 350;
+  er.directed = true;
+  er.seed = 23;
+  auto edges = GenerateErdosRenyi(er);
+  ASSERT_TRUE(edges.ok());
+  AssignUniformWeights(&*edges, 1, 6, 29);
+  auto ranked = RankedGraph(*edges);
+  ASSERT_TRUE(ranked.ok());
+  HclOptions opts;
+  opts.core_size = 8;
+  auto out = BuildHcl(*ranked, opts);
+  ASSERT_TRUE(out.ok());
+  ExpectExact(*ranked, out->index);
+}
+
+TEST(HclTest, DeadlineAborts) {
+  GlpOptions glp;
+  glp.num_vertices = 20000;
+  glp.target_avg_degree = 6;
+  glp.seed = 31;
+  auto edges = GenerateGlp(glp);
+  ASSERT_TRUE(edges.ok());
+  auto ranked = RankedGraph(*edges);
+  ASSERT_TRUE(ranked.ok());
+  HclOptions opts;
+  opts.time_budget_seconds = 1e-7;
+  auto out = BuildHcl(*ranked, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsDeadlineExceeded());
+}
+
+}  // namespace
+}  // namespace hopdb

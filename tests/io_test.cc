@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include "io/block_file.h"
+#include "io/io_stats.h"
+#include "io/record_stream.h"
+#include "io/temp_dir.h"
+#include "util/serde.h"
+
+namespace hopdb {
+namespace {
+
+TEST(IoStatsTest, BlockAccounting) {
+  IoStats s;
+  s.RecordRead(100, 64);    // 2 blocks
+  s.RecordRead(64, 64);     // 1 block
+  s.RecordWrite(129, 64);   // 3 blocks
+  EXPECT_EQ(s.bytes_read, 164u);
+  EXPECT_EQ(s.blocks_read, 3u);
+  EXPECT_EQ(s.bytes_written, 129u);
+  EXPECT_EQ(s.blocks_written, 3u);
+  EXPECT_EQ(s.read_calls, 2u);
+  EXPECT_EQ(s.TotalBlocks(), 6u);
+  IoStats t;
+  t.Add(s);
+  t.Add(s);
+  EXPECT_EQ(t.blocks_read, 6u);
+  t.Reset();
+  EXPECT_EQ(t.TotalBlocks(), 0u);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(TempDirTest, CreatesAndCleans) {
+  std::string path;
+  {
+    auto dir = TempDir::Create("hopdb_io_test");
+    ASSERT_TRUE(dir.ok());
+    path = dir->path();
+    struct stat st;
+    ASSERT_EQ(::stat(path.c_str(), &st), 0);
+    ASSERT_TRUE(S_ISDIR(st.st_mode));
+    // Put some content in, including a nested directory.
+    ASSERT_TRUE(WriteStringToFile(dir->File("a.txt"), "hello").ok());
+    ASSERT_EQ(::mkdir(dir->File("sub").c_str(), 0755), 0);
+    ASSERT_TRUE(WriteStringToFile(dir->File("sub/b.txt"), "x").ok());
+  }
+  struct stat st;
+  EXPECT_NE(::stat(path.c_str(), &st), 0) << "temp dir must be removed";
+}
+
+TEST(BlockFileTest, WriteReadAt) {
+  auto dir = TempDir::Create("blockfile");
+  ASSERT_TRUE(dir.ok());
+  auto file = BlockFile::OpenWrite(dir->File("f"), /*block_size=*/16);
+  ASSERT_TRUE(file.ok());
+  std::string payload = "0123456789abcdef0123456789abcdef";
+  ASSERT_TRUE(file->Append(payload.data(), payload.size()).ok());
+  EXPECT_EQ(file->size(), payload.size());
+  char buf[8];
+  ASSERT_TRUE(file->ReadAt(4, buf, 8).ok());
+  EXPECT_EQ(std::string(buf, 8), "456789ab");
+  // I/O accounting: one 32-byte write (2 blocks) + one 8-byte read.
+  EXPECT_EQ(file->stats().blocks_written, 2u);
+  EXPECT_EQ(file->stats().blocks_read, 1u);
+}
+
+TEST(BlockFileTest, ReadPastEofFails) {
+  auto dir = TempDir::Create("blockfile");
+  ASSERT_TRUE(dir.ok());
+  {
+    auto file = BlockFile::OpenWrite(dir->File("f"));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->Append("abc", 3).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  auto file = BlockFile::OpenRead(dir->File("f"));
+  ASSERT_TRUE(file.ok());
+  char buf[8];
+  EXPECT_FALSE(file->ReadAt(0, buf, 8).ok());
+  ASSERT_TRUE(file->ReadAt(0, buf, 3).ok());
+}
+
+TEST(BlockFileTest, OpenMissingFails) {
+  EXPECT_FALSE(BlockFile::OpenRead("/nonexistent/f").ok());
+}
+
+struct TestRec {
+  uint32_t a;
+  uint32_t b;
+};
+
+TEST(RecordStreamTest, RoundTrip) {
+  auto dir = TempDir::Create("recs");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->File("recs.bin");
+  {
+    auto writer = RecordWriter<TestRec>::Open(path, kDefaultBlockSize,
+                                              /*buffer_records=*/7);
+    ASSERT_TRUE(writer.ok());
+    for (uint32_t i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(writer->Append({i, i * 2}).ok());
+    }
+    EXPECT_EQ(writer->records_written(), 1000u);
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto reader = RecordReader<TestRec>::Open(path, kDefaultBlockSize,
+                                            /*buffer_records=*/13);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->num_records(), 1000u);
+  TestRec rec;
+  uint32_t count = 0;
+  while (reader->Next(&rec)) {
+    EXPECT_EQ(rec.a, count);
+    EXPECT_EQ(rec.b, count * 2);
+    ++count;
+  }
+  EXPECT_EQ(count, 1000u);
+}
+
+TEST(RecordStreamTest, PeekDoesNotConsume) {
+  auto dir = TempDir::Create("recs");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->File("r");
+  ASSERT_TRUE(WriteAllRecords<TestRec>(path, {{1, 2}, {3, 4}}).ok());
+  auto reader = RecordReader<TestRec>::Open(path);
+  ASSERT_TRUE(reader.ok());
+  TestRec rec;
+  ASSERT_TRUE(reader->Peek(&rec));
+  EXPECT_EQ(rec.a, 1u);
+  ASSERT_TRUE(reader->Next(&rec));
+  EXPECT_EQ(rec.a, 1u);
+  ASSERT_TRUE(reader->Next(&rec));
+  EXPECT_EQ(rec.a, 3u);
+  EXPECT_FALSE(reader->Peek(&rec));
+  EXPECT_FALSE(reader->Next(&rec));
+}
+
+TEST(RecordStreamTest, EmptyFile) {
+  auto dir = TempDir::Create("recs");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->File("empty");
+  ASSERT_TRUE(WriteAllRecords<TestRec>(path, {}).ok());
+  auto all = ReadAllRecords<TestRec>(path);
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->empty());
+}
+
+}  // namespace
+}  // namespace hopdb

@@ -1,0 +1,241 @@
+#include "baselines/is_label.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/verify.h"
+#include "gen/erdos_renyi.h"
+#include "gen/glp.h"
+#include "gen/small_graphs.h"
+#include "gen/weights.h"
+
+namespace hopdb {
+namespace {
+
+void ExpectExact(const CsrGraph& g, const TwoHopIndex& idx) {
+  ASSERT_TRUE(VerifyExactDistances(
+                  g, [&](VertexId s, VertexId t) { return idx.Query(s, t); })
+                  .ok());
+}
+
+TEST(IsLabelTest, PathGraph) {
+  auto g = CsrGraph::FromEdgeList(PathGraph(12));
+  ASSERT_TRUE(g.ok());
+  auto out = BuildIsLabel(*g);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out->num_levels, 1u);
+  ExpectExact(*g, out->index);
+  EXPECT_TRUE(out->index.Validate(/*ranked=*/false).ok());
+}
+
+TEST(IsLabelTest, StarGraphTwoLevels) {
+  auto g = CsrGraph::FromEdgeList(StarGraphGS());
+  ASSERT_TRUE(g.ok());
+  auto out = BuildIsLabel(*g);
+  ASSERT_TRUE(out.ok());
+  // Leaves form one independent set, the hub the next.
+  EXPECT_EQ(out->num_levels, 2u);
+  ExpectExact(*g, out->index);
+  EXPECT_EQ(out->index.TotalEntries(), 5u);
+}
+
+TEST(IsLabelTest, DirectedExample) {
+  auto g = CsrGraph::FromEdgeList(PaperExampleGraph());
+  ASSERT_TRUE(g.ok());
+  auto out = BuildIsLabel(*g);
+  ASSERT_TRUE(out.ok());
+  ExpectExact(*g, out->index);
+}
+
+TEST(IsLabelTest, WeightedUndirected) {
+  EdgeList e = GridGraph(5, 5);
+  AssignUniformWeights(&e, 1, 9, 7);
+  auto g = CsrGraph::FromEdgeList(e);
+  ASSERT_TRUE(g.ok());
+  auto out = BuildIsLabel(*g);
+  ASSERT_TRUE(out.ok());
+  ExpectExact(*g, out->index);
+}
+
+TEST(IsLabelTest, WeightedDirected) {
+  ErOptions er;
+  er.num_vertices = 80;
+  er.num_edges = 320;
+  er.directed = true;
+  er.seed = 5;
+  auto edges = GenerateErdosRenyi(er);
+  ASSERT_TRUE(edges.ok());
+  AssignUniformWeights(&*edges, 1, 5, 9);
+  auto g = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(g.ok());
+  auto out = BuildIsLabel(*g);
+  ASSERT_TRUE(out.ok());
+  ExpectExact(*g, out->index);
+}
+
+TEST(IsLabelTest, Disconnected) {
+  auto g = CsrGraph::FromEdgeList(TwoTriangles());
+  ASSERT_TRUE(g.ok());
+  auto out = BuildIsLabel(*g);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->index.Query(0, 4), kInfDistance);
+  ExpectExact(*g, out->index);
+}
+
+TEST(IsLabelTest, ScaleFreeExactAndTracksGrowth) {
+  GlpOptions glp;
+  glp.num_vertices = 600;
+  glp.seed = 11;
+  auto edges = GenerateGlp(glp);
+  ASSERT_TRUE(edges.ok());
+  auto g = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(g.ok());
+  auto out = BuildIsLabel(*g);
+  ASSERT_TRUE(out.ok());
+  ExpectExact(*g, out->index);
+  EXPECT_GE(out->peak_intermediate_edges, g->num_edges());
+}
+
+TEST(IsLabelTest, GrowthCapAborts) {
+  // Dense scale-free graphs densify around hubs during augmentation —
+  // the paper's Flickr observation. A tight cap must trip.
+  GlpOptions glp;
+  glp.num_vertices = 2000;
+  glp.target_avg_degree = 10;
+  glp.seed = 13;
+  auto edges = GenerateGlp(glp);
+  ASSERT_TRUE(edges.ok());
+  auto g = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(g.ok());
+  IsLabelOptions opts;
+  opts.max_edge_growth_factor = 1.01;
+  auto out = BuildIsLabel(*g, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsResourceExhausted());
+}
+
+TEST(IsLabelTest, DeadlineAborts) {
+  GlpOptions glp;
+  glp.num_vertices = 5000;
+  glp.seed = 15;
+  auto edges = GenerateGlp(glp);
+  ASSERT_TRUE(edges.ok());
+  auto g = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(g.ok());
+  IsLabelOptions opts;
+  opts.time_budget_seconds = 1e-7;
+  auto out = BuildIsLabel(*g, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsDeadlineExceeded());
+}
+
+// ---------------------------------------------------------------------------
+// Partial (k-level) mode: labels + residual graph Gk + seeded bi-Dijkstra.
+// ---------------------------------------------------------------------------
+
+void ExpectPartialExact(const CsrGraph& g, uint32_t k) {
+  auto out = BuildIsLabelPartial(g, k);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const uint32_t levels = out->num_levels;
+  EXPECT_LE(levels, k == 0 ? levels : k);
+  auto engine = IsLabelPartialIndex::Create(std::move(*out));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_TRUE(VerifyExactDistances(g,
+                                   [&](VertexId s, VertexId t) {
+                                     return engine->Query(s, t);
+                                   })
+                  .ok())
+      << "k=" << k;
+}
+
+TEST(IsLabelPartialTest, EveryLevelCapIsExactOnPath) {
+  auto g = CsrGraph::FromEdgeList(PathGraph(14));
+  ASSERT_TRUE(g.ok());
+  for (uint32_t k = 1; k <= 6; ++k) ExpectPartialExact(*g, k);
+}
+
+TEST(IsLabelPartialTest, EveryLevelCapIsExactOnDirectedExample) {
+  auto g = CsrGraph::FromEdgeList(PaperExampleGraph());
+  ASSERT_TRUE(g.ok());
+  for (uint32_t k = 1; k <= 4; ++k) ExpectPartialExact(*g, k);
+}
+
+TEST(IsLabelPartialTest, ExactOnScaleFreeGraphs) {
+  for (const bool directed : {false, true}) {
+    GlpOptions glp;
+    glp.num_vertices = 220;
+    glp.seed = 31;
+    auto edges = directed ? GenerateDirectedGlp(glp) : GenerateGlp(glp);
+    ASSERT_TRUE(edges.ok());
+    auto g = CsrGraph::FromEdgeList(*edges);
+    ASSERT_TRUE(g.ok());
+    for (uint32_t k : {1u, 2u, 4u}) ExpectPartialExact(*g, k);
+  }
+}
+
+TEST(IsLabelPartialTest, ExactOnWeightedAndDisconnected) {
+  ErOptions er;
+  er.num_vertices = 150;
+  er.num_edges = 240;  // sparse -> several components
+  er.directed = true;
+  er.seed = 33;
+  auto edges = GenerateErdosRenyi(er);
+  ASSERT_TRUE(edges.ok());
+  AssignUniformWeights(&*edges, 1, 9, 34);
+  auto g = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(g.ok());
+  for (uint32_t k : {1u, 3u}) ExpectPartialExact(*g, k);
+}
+
+TEST(IsLabelPartialTest, ResidualShrinksWithMoreLevels) {
+  GlpOptions glp;
+  glp.num_vertices = 400;
+  glp.seed = 35;
+  auto edges = GenerateGlp(glp);
+  ASSERT_TRUE(edges.ok());
+  auto g = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(g.ok());
+
+  uint64_t prev_vertices = g->num_vertices() + 1;
+  for (uint32_t k : {1u, 2u, 3u}) {
+    auto out = BuildIsLabelPartial(*g, k);
+    ASSERT_TRUE(out.ok());
+    auto engine = IsLabelPartialIndex::Create(std::move(*out));
+    ASSERT_TRUE(engine.ok());
+    // Each extra level strictly peels survivors away.
+    EXPECT_LT(engine->residual_vertices(), prev_vertices);
+    prev_vertices = engine->residual_vertices();
+    EXPECT_GT(engine->ResidentBytes(), 0u);
+  }
+}
+
+TEST(IsLabelPartialTest, SurvivorsHaveEmptyLabelsRemovedHaveSome) {
+  auto g = CsrGraph::FromEdgeList(StarGraphGS());
+  ASSERT_TRUE(g.ok());
+  auto out = BuildIsLabelPartial(*g, 1);
+  ASSERT_TRUE(out.ok());
+  // Level 1 removes the leaves (low degree); the hub survives into Gk.
+  EXPECT_EQ(out->level[0], 0u);  // hub a = vertex 0 survives
+  EXPECT_TRUE(out->index.OutLabel(0).empty());
+  for (VertexId leaf = 1; leaf < 6; ++leaf) {
+    EXPECT_EQ(out->level[leaf], 1u);
+    EXPECT_FALSE(out->index.OutLabel(leaf).empty());
+  }
+}
+
+TEST(IsLabelPartialTest, FullCollapseLeavesEmptyResidual) {
+  auto g = CsrGraph::FromEdgeList(PathGraph(10));
+  ASSERT_TRUE(g.ok());
+  auto out = BuildIsLabelPartial(*g, 0);  // unbounded = full collapse
+  ASSERT_TRUE(out.ok());
+  auto engine = IsLabelPartialIndex::Create(std::move(*out));
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->residual_vertices(), 0u);
+  ASSERT_TRUE(VerifyExactDistances(*g,
+                                   [&](VertexId s, VertexId t) {
+                                     return engine->Query(s, t);
+                                   })
+                  .ok());
+}
+
+}  // namespace
+}  // namespace hopdb

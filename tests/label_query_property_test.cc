@@ -1,0 +1,102 @@
+// Property tests for the query primitives against brute-force reference
+// implementations over randomized label vectors — independent of any
+// graph or builder, so failures localize to the intersection code.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "labeling/label_entry.h"
+#include "labeling/two_hop_index.h"
+#include "util/random.h"
+
+namespace hopdb {
+namespace {
+
+LabelVector RandomLabel(Rng* rng, VertexId pivot_space, size_t max_len) {
+  std::map<VertexId, Distance> entries;
+  size_t len = rng->Below(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    VertexId pivot = static_cast<VertexId>(rng->Below(pivot_space));
+    Distance dist = static_cast<Distance>(rng->Uniform(1, 50));
+    entries.emplace(pivot, dist);  // keeps first; set semantics
+  }
+  LabelVector out;
+  for (auto [p, d] : entries) out.push_back({p, d});
+  return out;
+}
+
+Distance BruteIntersect(const LabelVector& a, const LabelVector& b) {
+  Distance best = kInfDistance;
+  for (const LabelEntry& ea : a) {
+    for (const LabelEntry& eb : b) {
+      if (ea.pivot == eb.pivot) {
+        best = std::min(best, SaturatingAdd(ea.dist, eb.dist));
+      }
+    }
+  }
+  return best;
+}
+
+Distance BruteQuery(const LabelVector& out_s, const LabelVector& in_t,
+                    VertexId s, VertexId t) {
+  if (s == t) return 0;
+  Distance best = BruteIntersect(out_s, in_t);
+  for (const LabelEntry& e : out_s) {
+    if (e.pivot == t) best = std::min(best, e.dist);
+  }
+  for (const LabelEntry& e : in_t) {
+    if (e.pivot == s) best = std::min(best, e.dist);
+  }
+  return best;
+}
+
+class LabelQueryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LabelQueryPropertyTest, IntersectMatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 300; ++round) {
+    LabelVector a = RandomLabel(&rng, 40, 20);
+    LabelVector b = RandomLabel(&rng, 40, 20);
+    ASSERT_EQ(IntersectLabels(a, b), BruteIntersect(a, b))
+        << "round " << round;
+  }
+}
+
+TEST_P(LabelQueryPropertyTest, QueryHalvesMatchesBruteForce) {
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int round = 0; round < 300; ++round) {
+    LabelVector out_s = RandomLabel(&rng, 60, 15);
+    LabelVector in_t = RandomLabel(&rng, 60, 15);
+    VertexId s = static_cast<VertexId>(rng.Below(70));
+    VertexId t = static_cast<VertexId>(rng.Below(70));
+    ASSERT_EQ(QueryLabelHalves(out_s, in_t, s, t),
+              BruteQuery(out_s, in_t, s, t))
+        << "round " << round << " s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(LabelQueryPropertyTest, LookupMatchesLinearScan) {
+  Rng rng(GetParam() ^ 0x1234);
+  for (int round = 0; round < 300; ++round) {
+    LabelVector l = RandomLabel(&rng, 50, 25);
+    VertexId probe = static_cast<VertexId>(rng.Below(55));
+    Distance expect = kInfDistance;
+    size_t expect_ub = l.size();
+    for (size_t i = 0; i < l.size(); ++i) {
+      if (l[i].pivot == probe) expect = l[i].dist;
+    }
+    for (size_t i = l.size(); i-- > 0;) {
+      if (l[i].pivot <= probe) break;
+      expect_ub = i;
+    }
+    ASSERT_EQ(LookupPivot(l, probe), expect);
+    ASSERT_EQ(UpperBoundPivot(l, probe), expect_ub);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelQueryPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace hopdb

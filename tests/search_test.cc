@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.h"
+#include "gen/glp.h"
+#include "gen/small_graphs.h"
+#include "gen/weights.h"
+#include "search/bfs.h"
+#include "search/bidirectional.h"
+#include "search/dijkstra.h"
+#include "util/random.h"
+
+namespace hopdb {
+namespace {
+
+TEST(BfsTest, PathGraphDistances) {
+  auto g = CsrGraph::FromEdgeList(PathGraph(6));
+  ASSERT_TRUE(g.ok());
+  auto d = BfsDistances(*g, 0);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(BfsTest, DirectedRespectsOrientation) {
+  auto g = CsrGraph::FromEdgeList(PathGraph(4, /*directed=*/true));
+  ASSERT_TRUE(g.ok());
+  auto fwd = BfsDistances(*g, 0);
+  EXPECT_EQ(fwd[3], 3u);
+  auto from3 = BfsDistances(*g, 3);
+  EXPECT_EQ(from3[0], kInfDistance);
+  auto bwd = BfsDistances(*g, 3, /*backward=*/true);
+  EXPECT_EQ(bwd[0], 3u);
+}
+
+TEST(BfsTest, DisconnectedIsInfinite) {
+  auto g = CsrGraph::FromEdgeList(TwoTriangles());
+  ASSERT_TRUE(g.ok());
+  auto d = BfsDistances(*g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[4], kInfDistance);
+}
+
+TEST(BfsTest, RunnerReusableAcrossSources) {
+  auto g = CsrGraph::FromEdgeList(CycleGraph(8));
+  ASSERT_TRUE(g.ok());
+  BfsRunner runner(*g);
+  runner.Run(0);
+  EXPECT_EQ(runner.DistanceTo(4), 4u);
+  runner.Run(2);
+  EXPECT_EQ(runner.DistanceTo(4), 2u);
+  EXPECT_EQ(runner.DistanceTo(0), 2u);
+  // The reset must be complete: re-run source 0 and compare everything.
+  runner.Run(0);
+  auto ref = BfsDistances(*g, 0);
+  for (VertexId v = 0; v < 8; ++v) EXPECT_EQ(runner.DistanceTo(v), ref[v]);
+}
+
+TEST(DijkstraTest, WeightedPath) {
+  EdgeList e(4, /*directed=*/false);
+  e.Add(0, 1, 10);
+  e.Add(1, 2, 10);
+  e.Add(0, 2, 5);
+  e.Add(2, 3, 1);
+  e.Normalize();
+  auto g = CsrGraph::FromEdgeList(e);
+  ASSERT_TRUE(g.ok());
+  auto d = DijkstraDistances(*g, 0);
+  EXPECT_EQ(d[1], 10u);
+  EXPECT_EQ(d[2], 5u);
+  EXPECT_EQ(d[3], 6u);
+  EXPECT_EQ(DijkstraDistance(*g, 0, 3), 6u);
+}
+
+TEST(DijkstraTest, MatchesBfsOnUnweighted) {
+  GlpOptions opt;
+  opt.num_vertices = 800;
+  opt.seed = 31;
+  auto edges = GenerateGlp(opt);
+  ASSERT_TRUE(edges.ok());
+  auto g = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(g.ok());
+  auto bfs = BfsDistances(*g, 5);
+  auto dij = DijkstraDistances(*g, 5);
+  EXPECT_EQ(bfs, dij);
+}
+
+TEST(DijkstraTest, BackwardDistances) {
+  EdgeList e(3, /*directed=*/true);
+  e.Add(0, 1, 2);
+  e.Add(1, 2, 3);
+  e.Normalize();
+  auto g = CsrGraph::FromEdgeList(e);
+  ASSERT_TRUE(g.ok());
+  auto bwd = DijkstraDistances(*g, 2, /*backward=*/true);
+  EXPECT_EQ(bwd[0], 5u);
+  EXPECT_EQ(bwd[1], 3u);
+}
+
+class BidijParamTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, uint64_t>> {};
+
+TEST_P(BidijParamTest, MatchesGroundTruthOnRandomGraphs) {
+  auto [directed, weighted, seed] = GetParam();
+  ErOptions opt;
+  opt.num_vertices = 150;
+  opt.num_edges = 400;
+  opt.directed = directed;
+  opt.seed = seed;
+  auto edges = GenerateErdosRenyi(opt);
+  ASSERT_TRUE(edges.ok());
+  if (weighted) AssignUniformWeights(&*edges, 1, 9, seed + 1);
+  auto g = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(g.ok());
+
+  BidirectionalSearcher searcher(*g);
+  Rng rng(seed + 2);
+  for (int i = 0; i < 40; ++i) {
+    VertexId s = static_cast<VertexId>(rng.Below(g->num_vertices()));
+    auto truth = ExactDistances(*g, s);
+    for (int j = 0; j < 10; ++j) {
+      VertexId t = static_cast<VertexId>(rng.Below(g->num_vertices()));
+      EXPECT_EQ(searcher.Query(s, t), truth[t])
+          << "pair (" << s << ", " << t << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BidijParamTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(41, 42, 43)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ? "directed" : "undirected") +
+             (std::get<1>(info.param) ? "_weighted" : "_unweighted") + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(BidijTest, SelfQueryIsZero) {
+  auto g = CsrGraph::FromEdgeList(CycleGraph(5));
+  ASSERT_TRUE(g.ok());
+  BidirectionalSearcher s(*g);
+  EXPECT_EQ(s.Query(3, 3), 0u);
+}
+
+TEST(BidijTest, UnreachableIsInfinite) {
+  auto g = CsrGraph::FromEdgeList(TwoTriangles());
+  ASSERT_TRUE(g.ok());
+  BidirectionalSearcher s(*g);
+  EXPECT_EQ(s.Query(0, 5), kInfDistance);
+  // And the searcher still works afterwards.
+  EXPECT_EQ(s.Query(0, 2), 1u);
+}
+
+TEST(BidijTest, SettledWorkTracked) {
+  GlpOptions opt;
+  opt.num_vertices = 2000;
+  opt.seed = 47;
+  auto edges = GenerateGlp(opt);
+  ASSERT_TRUE(edges.ok());
+  auto g = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(g.ok());
+  BidirectionalSearcher s(*g);
+  s.Query(100, 200);
+  EXPECT_GT(s.last_settled(), 0u);
+}
+
+}  // namespace
+}  // namespace hopdb

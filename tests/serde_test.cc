@@ -1,0 +1,86 @@
+#include "util/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "io/temp_dir.h"
+
+namespace hopdb {
+namespace {
+
+TEST(SerdeTest, RoundTripPrimitives) {
+  std::string buf;
+  PutU8(&buf, 0xAB);
+  PutU32(&buf, 0xDEADBEEF);
+  PutU64(&buf, 0x0123456789ABCDEFull);
+  ByteReader reader(buf);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  ASSERT_TRUE(reader.ReadU8(&u8).ok());
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(SerdeTest, LittleEndianLayout) {
+  std::string buf;
+  PutU32(&buf, 0x01020304);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x01);
+}
+
+TEST(SerdeTest, ReaderBoundsChecked) {
+  std::string buf = "ab";
+  ByteReader reader(buf);
+  uint32_t v = 0;
+  EXPECT_EQ(reader.ReadU32(&v).code(), StatusCode::kOutOfRange);
+  uint8_t b = 0;
+  EXPECT_TRUE(reader.ReadU8(&b).ok());
+  EXPECT_TRUE(reader.Skip(1).ok());
+  EXPECT_EQ(reader.Skip(1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerdeTest, EncodeDecodeInPlace) {
+  uint8_t buf[8];
+  EncodeU32(77, buf);
+  EXPECT_EQ(DecodeU32(buf), 77u);
+  EncodeU64(1ull << 40, buf);
+  EXPECT_EQ(DecodeU64(buf), 1ull << 40);
+}
+
+TEST(SerdeFileTest, FileRoundTrip) {
+  auto dir = TempDir::Create("serde_test");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->File("data.bin");
+  std::string payload(100000, 'x');
+  payload[5] = '\0';  // binary-safe
+  ASSERT_TRUE(WriteStringToFile(path, payload).ok());
+  auto size = FileSizeBytes(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, payload.size());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, payload);
+}
+
+TEST(SerdeFileTest, MissingFileErrors) {
+  std::string back;
+  EXPECT_EQ(ReadFileToString("/nonexistent/nowhere.bin", &back).code(),
+            StatusCode::kIOError);
+  EXPECT_FALSE(FileSizeBytes("/nonexistent/nowhere.bin").ok());
+}
+
+TEST(SerdeFileTest, RemoveIfExists) {
+  auto dir = TempDir::Create("serde_test");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->File("x");
+  ASSERT_TRUE(WriteStringToFile(path, "1").ok());
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());  // second time: no error
+}
+
+}  // namespace
+}  // namespace hopdb

@@ -1,0 +1,93 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hopdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, CodePredicates) {
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::OK().IsDeadlineExceeded());
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= 9; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailingHelper() { return Status::OutOfRange("boom"); }
+
+Status Propagates() {
+  HOPDB_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  Status s = Propagates();
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+Result<int> MakeValue(bool ok) {
+  if (!ok) return Status::Internal("bad");
+  return 7;
+}
+
+Status UsesAssignOrReturn(bool ok, int* out) {
+  HOPDB_ASSIGN_OR_RETURN(int v, MakeValue(ok));
+  *out = v;
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(true, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(UsesAssignOrReturn(false, &out).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace hopdb

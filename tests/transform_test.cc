@@ -1,0 +1,94 @@
+#include "graph/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/small_graphs.h"
+
+namespace hopdb {
+namespace {
+
+TEST(TransformTest, ReverseEdges) {
+  EdgeList e(3, /*directed=*/true);
+  e.Add(0, 1, 5);
+  e.Add(1, 2, 7);
+  e.Normalize();
+  EdgeList r = ReverseEdges(e);
+  ASSERT_EQ(r.num_edges(), 2u);
+  EXPECT_EQ(r.edges()[0], Edge(1, 0, 5));
+  EXPECT_EQ(r.edges()[1], Edge(2, 1, 7));
+}
+
+TEST(TransformTest, ReverseUndirectedIsNoop) {
+  EdgeList e = PathGraph(4);
+  EdgeList r = ReverseEdges(e);
+  EXPECT_EQ(r.num_edges(), e.num_edges());
+  EXPECT_FALSE(r.directed());
+}
+
+TEST(TransformTest, SymmetrizeCollapsesAntiParallel) {
+  EdgeList e(3, /*directed=*/true);
+  e.Add(0, 1, 5);
+  e.Add(1, 0, 3);
+  e.Add(1, 2, 2);
+  e.Normalize();
+  EdgeList u = Symmetrize(e);
+  EXPECT_FALSE(u.directed());
+  ASSERT_EQ(u.num_edges(), 2u);
+  EXPECT_EQ(u.edges()[0].weight, 3u);  // min of 5 and 3
+}
+
+TEST(TransformTest, InducedSubgraph) {
+  EdgeList e = PathGraph(5);  // 0-1-2-3-4
+  std::vector<bool> keep = {true, true, false, true, true};
+  std::vector<VertexId> old_ids;
+  EdgeList sub = InducedSubgraph(e, keep, &old_ids);
+  EXPECT_EQ(sub.num_vertices(), 4u);
+  ASSERT_EQ(old_ids.size(), 4u);
+  EXPECT_EQ(old_ids[2], 3u);
+  // Only 0-1 and 3-4 survive (now 0-1 and 2-3).
+  ASSERT_EQ(sub.num_edges(), 2u);
+}
+
+TEST(TransformTest, ComponentsOnDisconnectedGraph) {
+  auto g = CsrGraph::FromEdgeList(TwoTriangles());
+  ASSERT_TRUE(g.ok());
+  uint32_t count = 0;
+  auto comp = WeaklyConnectedComponents(*g, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(TransformTest, WeaklyConnectedIgnoresDirection) {
+  EdgeList e(3, /*directed=*/true);
+  e.Add(0, 1);
+  e.Add(2, 1);  // 2 only reaches 1; still one weak component
+  e.Normalize();
+  auto g = CsrGraph::FromEdgeList(e);
+  ASSERT_TRUE(g.ok());
+  uint32_t count = 0;
+  WeaklyConnectedComponents(*g, &count);
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(TransformTest, LargestComponent) {
+  EdgeList e(7, /*directed=*/false);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  e.Add(2, 3);  // component of 4
+  e.Add(4, 5);  // component of 2 (+isolated 6)
+  e.Normalize();
+  e.set_num_vertices(7);
+  auto g = CsrGraph::FromEdgeList(e);
+  ASSERT_TRUE(g.ok());
+  std::vector<VertexId> old_ids;
+  EdgeList big = LargestComponent(*g, &old_ids);
+  EXPECT_EQ(big.num_vertices(), 4u);
+  EXPECT_EQ(big.num_edges(), 3u);
+  EXPECT_EQ(old_ids[0], 0u);
+}
+
+}  // namespace
+}  // namespace hopdb

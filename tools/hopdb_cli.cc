@@ -1,0 +1,10 @@
+// hopdb_cli: generate graphs, build hop-doubling indexes, query and
+// inspect them from the command line. See src/tools/commands.cc.
+
+#include <iostream>
+
+#include "tools/commands.h"
+
+int main(int argc, char** argv) {
+  return hopdb::RunCli(argc, argv, std::cout, std::cerr);
+}
