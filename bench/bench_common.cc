@@ -1,6 +1,9 @@
 #include "bench_common.h"
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "util/logging.h"
 #include "util/string_util.h"

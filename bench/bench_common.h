@@ -14,6 +14,7 @@
 #ifndef HOPDB_BENCH_BENCH_COMMON_H_
 #define HOPDB_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>

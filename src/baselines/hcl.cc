@@ -1,7 +1,10 @@
 #include "baselines/hcl.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <queue>
+#include <utility>
+#include <vector>
 
 #include "baselines/pll.h"
 #include "graph/transform.h"

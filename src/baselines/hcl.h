@@ -33,6 +33,7 @@
 #ifndef HOPDB_BASELINES_HCL_H_
 #define HOPDB_BASELINES_HCL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/csr_graph.h"

@@ -1,7 +1,9 @@
 #include "baselines/is_label.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>

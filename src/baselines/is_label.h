@@ -20,6 +20,7 @@
 #ifndef HOPDB_BASELINES_IS_LABEL_H_
 #define HOPDB_BASELINES_IS_LABEL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/csr_graph.h"

@@ -1,7 +1,10 @@
 #include "baselines/pll.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <queue>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "util/logging.h"

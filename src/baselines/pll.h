@@ -16,6 +16,8 @@
 #ifndef HOPDB_BASELINES_PLL_H_
 #define HOPDB_BASELINES_PLL_H_
 
+#include <cstdint>
+
 #include "graph/csr_graph.h"
 #include "labeling/two_hop_index.h"
 #include "util/status.h"

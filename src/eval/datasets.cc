@@ -1,6 +1,9 @@
 #include "eval/datasets.h"
 
+#include <algorithm>
+#include <string>
 #include <sys/stat.h>
+#include <vector>
 
 #include "gen/glp.h"
 #include "gen/weights.h"

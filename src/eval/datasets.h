@@ -11,6 +11,7 @@
 #ifndef HOPDB_EVAL_DATASETS_H_
 #define HOPDB_EVAL_DATASETS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

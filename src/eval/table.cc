@@ -1,6 +1,10 @@
 #include "eval/table.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 

@@ -1,5 +1,9 @@
 #include "eval/verify.h"
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "search/dijkstra.h"
 #include "util/random.h"
 

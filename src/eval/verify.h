@@ -5,6 +5,7 @@
 #ifndef HOPDB_EVAL_VERIFY_H_
 #define HOPDB_EVAL_VERIFY_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 

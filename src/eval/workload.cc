@@ -1,5 +1,8 @@
 #include "eval/workload.h"
 
+#include <cstdint>
+#include <vector>
+
 #include "util/random.h"
 #include "util/timer.h"
 

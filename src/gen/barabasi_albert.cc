@@ -1,5 +1,6 @@
 #include "gen/barabasi_albert.h"
 
+#include <cstdint>
 #include <vector>
 
 #include "util/random.h"

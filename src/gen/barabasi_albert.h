@@ -5,6 +5,8 @@
 #ifndef HOPDB_GEN_BARABASI_ALBERT_H_
 #define HOPDB_GEN_BARABASI_ALBERT_H_
 
+#include <cstdint>
+
 #include "graph/edge_list.h"
 #include "util/status.h"
 

@@ -1,5 +1,7 @@
 #include "gen/erdos_renyi.h"
 
+#include <cstdint>
+
 #include "util/random.h"
 
 namespace hopdb {

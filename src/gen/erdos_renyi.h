@@ -5,6 +5,8 @@
 #ifndef HOPDB_GEN_ERDOS_RENYI_H_
 #define HOPDB_GEN_ERDOS_RENYI_H_
 
+#include <cstdint>
+
 #include "graph/edge_list.h"
 #include "util/status.h"
 

@@ -1,6 +1,9 @@
 #include "gen/glp.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/logging.h"

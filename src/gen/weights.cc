@@ -1,6 +1,7 @@
 #include "gen/weights.h"
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "util/logging.h"

@@ -4,6 +4,8 @@
 #ifndef HOPDB_GEN_WEIGHTS_H_
 #define HOPDB_GEN_WEIGHTS_H_
 
+#include <cstdint>
+
 #include "graph/edge_list.h"
 
 namespace hopdb {

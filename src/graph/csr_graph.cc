@@ -1,6 +1,8 @@
 #include "graph/csr_graph.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "util/logging.h"
 

@@ -1,6 +1,9 @@
 #include "graph/edge_list.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
 
 namespace hopdb {
 

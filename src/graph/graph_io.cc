@@ -1,6 +1,9 @@
 #include "graph/graph_io.h"
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <unordered_map>
 
 #include "util/serde.h"

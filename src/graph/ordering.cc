@@ -1,7 +1,10 @@
 #include "graph/ordering.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "graph/ranking.h"
 #include "util/random.h"

@@ -1,7 +1,10 @@
 #include "graph/ranking.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 

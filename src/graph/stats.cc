@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <queue>
+#include <string>
+#include <vector>
 
 #include "util/random.h"
 #include "util/string_util.h"

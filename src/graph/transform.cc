@@ -1,7 +1,9 @@
 #include "graph/transform.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <queue>
+#include <vector>
 
 #include "util/logging.h"
 

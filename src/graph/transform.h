@@ -6,6 +6,7 @@
 #ifndef HOPDB_GRAPH_TRANSFORM_H_
 #define HOPDB_GRAPH_TRANSFORM_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/csr_graph.h"

@@ -1,5 +1,10 @@
 #include "hopdb.h"
 
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "labeling/compressed_index.h"
 #include "query/path.h"
 #include "util/logging.h"

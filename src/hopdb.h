@@ -17,7 +17,9 @@
 #ifndef HOPDB_HOPDB_H_
 #define HOPDB_HOPDB_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/csr_graph.h"

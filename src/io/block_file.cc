@@ -1,11 +1,14 @@
 #include "io/block_file.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
-
 #include <fcntl.h>
+#include <string>
 #include <sys/stat.h>
 #include <unistd.h>
+#include <utility>
 
 namespace hopdb {
 

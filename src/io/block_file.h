@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "io/io_stats.h"
 #include "util/status.h"

@@ -11,9 +11,11 @@
 #define HOPDB_IO_EXTERNAL_SORTER_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "io/record_stream.h"

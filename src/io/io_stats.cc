@@ -1,5 +1,8 @@
 #include "io/io_stats.h"
 
+#include <cstdint>
+#include <string>
+
 #include "util/string_util.h"
 
 namespace hopdb {

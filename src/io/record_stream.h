@@ -5,9 +5,12 @@
 #ifndef HOPDB_IO_RECORD_STREAM_H_
 #define HOPDB_IO_RECORD_STREAM_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "io/block_file.h"

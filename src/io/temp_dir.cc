@@ -3,10 +3,11 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
-
 #include <dirent.h>
+#include <string>
 #include <sys/stat.h>
 #include <unistd.h>
+#include <utility>
 
 namespace hopdb {
 

@@ -4,6 +4,7 @@
 #define HOPDB_IO_TEMP_DIR_H_
 
 #include <string>
+#include <utility>
 
 #include "util/status.h"
 

@@ -1,6 +1,9 @@
 #include "labeling/bit_parallel.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 

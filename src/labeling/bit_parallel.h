@@ -24,6 +24,7 @@
 #ifndef HOPDB_LABELING_BIT_PARALLEL_H_
 #define HOPDB_LABELING_BIT_PARALLEL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/csr_graph.h"

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -36,7 +40,9 @@ std::span<const Cand> OwnerSlice(const std::vector<Cand>& cands,
   auto hi = std::upper_bound(
       cands.begin(), cands.end(), owner,
       [](VertexId v, const Cand& c) { return v < c.owner; });
-  return {&*lo, static_cast<size_t>(hi - lo)};
+  // Note: no &*lo — dereferencing the end iterator is UB when the slice
+  // is empty (caught by UBSan on empty candidate sets).
+  return {cands.data() + (lo - cands.begin()), static_cast<size_t>(hi - lo)};
 }
 
 /// Merged sorted-by-pivot cursor over a label vector and the owner's

@@ -1,5 +1,10 @@
 #include "labeling/compressed_index.h"
 
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "util/serde.h"
 
 namespace hopdb {

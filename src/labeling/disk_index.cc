@@ -1,6 +1,10 @@
 #include "labeling/disk_index.h"
 
+#include <cstdint>
 #include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 #include "util/serde.h"

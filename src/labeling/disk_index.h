@@ -18,6 +18,7 @@
 #ifndef HOPDB_LABELING_DISK_INDEX_H_
 #define HOPDB_LABELING_DISK_INDEX_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

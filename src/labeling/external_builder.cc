@@ -1,7 +1,10 @@
 #include "labeling/external_builder.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "io/external_sorter.h"

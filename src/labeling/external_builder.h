@@ -28,6 +28,7 @@
 #ifndef HOPDB_LABELING_EXTERNAL_BUILDER_H_
 #define HOPDB_LABELING_EXTERNAL_BUILDER_H_
 
+#include <cstdint>
 #include <string>
 
 #include "graph/csr_graph.h"

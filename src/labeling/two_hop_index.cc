@@ -1,6 +1,11 @@
 #include "labeling/two_hop_index.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 #include "util/serde.h"

@@ -1,5 +1,9 @@
 #include "query/batch.h"
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "util/logging.h"
 
 namespace hopdb {

@@ -1,7 +1,9 @@
 #include "query/knn.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <queue>
+#include <vector>
 
 namespace hopdb {
 

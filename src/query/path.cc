@@ -1,6 +1,7 @@
 #include "query/path.h"
 
 #include <string>
+#include <vector>
 
 namespace hopdb {
 

@@ -1,5 +1,7 @@
 #include "search/bfs.h"
 
+#include <vector>
+
 namespace hopdb {
 
 std::vector<Distance> BfsDistances(const CsrGraph& graph, VertexId source,

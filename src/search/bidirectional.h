@@ -5,6 +5,7 @@
 #ifndef HOPDB_SEARCH_BIDIRECTIONAL_H_
 #define HOPDB_SEARCH_BIDIRECTIONAL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/csr_graph.h"

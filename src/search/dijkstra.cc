@@ -1,6 +1,7 @@
 #include "search/dijkstra.h"
 
 #include <queue>
+#include <vector>
 
 #include "search/bfs.h"
 

@@ -1,7 +1,9 @@
 #include "tools/commands.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gen/barabasi_albert.h"

@@ -1,6 +1,8 @@
 #include "util/cli.h"
 
+#include <cstdint>
 #include <cstdlib>
+#include <string>
 
 #include "util/logging.h"
 #include "util/string_util.h"

@@ -1,6 +1,7 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <thread>
 #include <vector>
 

@@ -1,5 +1,7 @@
 #include "util/random.h"
 
+#include <cstdint>
+
 namespace hopdb {
 
 uint64_t DeriveSeed(uint64_t base_seed, uint64_t stream) {

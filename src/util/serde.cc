@@ -1,9 +1,10 @@
 #include "util/serde.h"
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
-
+#include <string>
 #include <sys/stat.h>
 #include <unistd.h>
 

@@ -139,15 +139,17 @@ class Result {
 
 }  // namespace hopdb
 
-/// Propagates a non-OK Status to the caller.
-#define HOPDB_RETURN_NOT_OK(expr)            \
-  do {                                       \
-    ::hopdb::Status _st = (expr);            \
-    if (!_st.ok()) return _st;               \
-  } while (0)
-
 #define HOPDB_CONCAT_IMPL(x, y) x##y
 #define HOPDB_CONCAT(x, y) HOPDB_CONCAT_IMPL(x, y)
+
+/// Propagates a non-OK Status to the caller. The temporary gets a
+/// line-unique name so nested expansions don't shadow each other.
+#define HOPDB_RETURN_NOT_OK(expr)                                 \
+  do {                                                            \
+    ::hopdb::Status HOPDB_CONCAT(_st_, __LINE__) = (expr);        \
+    if (!HOPDB_CONCAT(_st_, __LINE__).ok())                       \
+      return HOPDB_CONCAT(_st_, __LINE__);                        \
+  } while (0)
 
 /// Evaluates a Result<T> expression; on success binds the value to `lhs`,
 /// on error returns the Status to the caller.

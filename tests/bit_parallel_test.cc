@@ -101,9 +101,9 @@ INSTANTIATE_TEST_SUITE_P(
     RootsAndSeeds, BpSweepTest,
     ::testing::Combine(::testing::Values(1u, 8u, 50u, 64u),
                        ::testing::Values(1u, 2u)),
-    [](const auto& info) {
-      return "roots" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "roots" + std::to_string(std::get<0>(param_info.param)) +
+             "_seed" + std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(BitParallelTest, RejectsDirected) {

@@ -1,0 +1,137 @@
+// End-to-end smoke test for the hopdb_cli binary: generate a small graph,
+// build and save an index, then reload and query it — both through the
+// CLI and in-process — and check the answers line up. The binary path
+// comes from the HOPDB_CLI_BIN environment variable, which the CMake
+// test registration points at the freshly built hopdb_cli target.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "graph/graph_io.h"
+#include "hopdb.h"
+#include "io/temp_dir.h"
+#include "search/dijkstra.h"
+
+namespace hopdb {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult RunCommand(const std::string& command) {
+  RunResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+class CliSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* bin = std::getenv("HOPDB_CLI_BIN");
+    if (bin == nullptr || bin[0] == '\0') {
+      GTEST_SKIP() << "HOPDB_CLI_BIN not set (run through ctest)";
+    }
+    cli_ = bin;
+  }
+
+  std::string cli_;
+};
+
+TEST_F(CliSmokeTest, GenBuildStatsQueryRoundTrip) {
+  auto tmp = TempDir::Create("hopdb_cli_smoke");
+  ASSERT_TRUE(tmp.ok()) << tmp.status();
+  const std::string graph_path = tmp->path() + "/graph.txt";
+  const std::string index_path = tmp->path() + "/graph.hopdb";
+
+  // gen: a small BA graph, text edge list.
+  RunResult gen = RunCommand(cli_ + " gen --type ba --n 200 --avg-degree 4" +
+                             " --seed 5 --out " + graph_path);
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  EXPECT_NE(gen.output.find("generated ba graph"), std::string::npos)
+      << gen.output;
+
+  // build: hybrid mode, save to index_path.
+  RunResult build = RunCommand(cli_ + " build --graph " + graph_path +
+                               " --out " + index_path);
+  ASSERT_EQ(build.exit_code, 0) << build.output;
+  EXPECT_NE(build.output.find("built index over |V|=200"), std::string::npos)
+      << build.output;
+
+  // stats: the saved index loads and reports sane numbers.
+  RunResult stats = RunCommand(cli_ + " stats --index " + index_path);
+  ASSERT_EQ(stats.exit_code, 0) << stats.output;
+  EXPECT_NE(stats.output.find("vertices        200"), std::string::npos)
+      << stats.output;
+
+  // Reload the CLI-written index in-process and pick query pairs whose
+  // answers we know from ground-truth search on the CLI-written graph.
+  auto reloaded = HopDbIndex::Load(index_path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  ASSERT_EQ(reloaded->num_vertices(), 200u);
+
+  TextGraphOptions read_options;
+  read_options.directed = false;
+  read_options.read_weights = false;
+  auto edges = ReadTextEdgeList(graph_path, read_options);
+  ASSERT_TRUE(edges.ok()) << edges.status();
+  auto graph = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+
+  const std::vector<Distance> truth = ExactDistances(*graph, 0);
+  for (VertexId t : {VertexId(0), VertexId(1), VertexId(50), VertexId(199)}) {
+    const Distance want = truth[t];
+    EXPECT_EQ(reloaded->Query(0, t), want) << "reloaded index wrong at " << t;
+
+    RunResult query = RunCommand(cli_ + " query --index " + index_path +
+                                 " --src 0 --dst " + std::to_string(t));
+    ASSERT_EQ(query.exit_code, 0) << query.output;
+    const std::string expected =
+        "dist(0, " + std::to_string(t) + ") = " +
+        (want == kInfDistance ? std::string("INF") : std::to_string(want));
+    EXPECT_NE(query.output.find(expected), std::string::npos)
+        << "want \"" << expected << "\" in: " << query.output;
+  }
+
+  // query --random: runs and reports a throughput line.
+  RunResult random = RunCommand(cli_ + " query --index " + index_path +
+                                " --random 100 --seed 9");
+  ASSERT_EQ(random.exit_code, 0) << random.output;
+  EXPECT_NE(random.output.find("100 random queries"), std::string::npos)
+      << random.output;
+}
+
+TEST_F(CliSmokeTest, HelpAndUsageErrors) {
+  RunResult help = RunCommand(cli_ + " help");
+  EXPECT_EQ(help.exit_code, 0);
+  EXPECT_NE(help.output.find("usage: hopdb_cli"), std::string::npos);
+
+  // No arguments: usage on stderr, exit 1.
+  RunResult bare = RunCommand(cli_);
+  EXPECT_EQ(bare.exit_code, 1);
+  EXPECT_NE(bare.output.find("usage: hopdb_cli"), std::string::npos);
+
+  // Unknown command and missing required flags both fail cleanly.
+  EXPECT_EQ(RunCommand(cli_ + " frobnicate").exit_code, 1);
+  EXPECT_EQ(RunCommand(cli_ + " build").exit_code, 1);
+  EXPECT_EQ(RunCommand(cli_ + " query --index /nonexistent.hopdb --src 0 --dst 1")
+                .exit_code,
+            1);
+}
+
+}  // namespace
+}  // namespace hopdb

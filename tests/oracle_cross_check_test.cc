@@ -1,0 +1,151 @@
+// Oracle cross-check: on random scale-free graphs (Barabási–Albert and
+// GLP, the paper's synthetic families), every HopDbIndex::Query answer
+// must equal the BFS/Dijkstra ground truth AND agree with the PLL and
+// IS-Label baseline indexes. This is the tier-1 correctness anchor: the
+// three independent labeling implementations plus a direct search can
+// only agree on every sampled pair if all of them are exact.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/is_label.h"
+#include "baselines/pll.h"
+#include "gen/barabasi_albert.h"
+#include "gen/glp.h"
+#include "gen/weights.h"
+#include "graph/csr_graph.h"
+#include "graph/ranking.h"
+#include "hopdb.h"
+#include "search/dijkstra.h"
+#include "util/random.h"
+
+namespace hopdb {
+namespace {
+
+// Sources checked exhaustively against every target.
+constexpr VertexId kSampleSources = 12;
+
+// Builds HopDb, PLL, and IS-Label over `edges` and checks all four
+// oracles agree from sampled sources to all targets (original ids).
+void CrossCheck(const EdgeList& edges, uint64_t seed) {
+  auto graph = CsrGraph::FromEdgeList(edges);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+
+  // System under test: the hop-doubling index, original-id facade.
+  auto hopdb = HopDbIndex::Build(*graph);
+  ASSERT_TRUE(hopdb.ok()) << hopdb.status();
+
+  // PLL runs on the rank-relabeled graph (internal id == rank), so its
+  // queries go through the same mapping HopDb uses internally.
+  const RankMapping mapping = ComputeRanking(
+      *graph,
+      graph->directed() ? RankingPolicy::kInOutProduct : RankingPolicy::kDegree);
+  auto ranked = RelabelByRank(*graph, mapping);
+  ASSERT_TRUE(ranked.ok()) << ranked.status();
+  auto pll = BuildPll(*ranked);
+  ASSERT_TRUE(pll.ok()) << pll.status();
+
+  // IS-Label works directly on original ids.
+  auto isl = BuildIsLabel(*graph);
+  ASSERT_TRUE(isl.ok()) << isl.status();
+
+  const VertexId n = graph->num_vertices();
+  Rng rng(seed);
+  for (VertexId i = 0; i < kSampleSources && i < n; ++i) {
+    const VertexId s = n <= kSampleSources
+                           ? i
+                           : static_cast<VertexId>(rng.Below(n));
+    const std::vector<Distance> truth = ExactDistances(*graph, s);
+    const VertexId s_int = mapping.ToInternal(s);
+    for (VertexId t = 0; t < n; ++t) {
+      const Distance want = truth[t];
+      ASSERT_EQ(hopdb->Query(s, t), want)
+          << "HopDb mismatch at (" << s << ", " << t << ")";
+      ASSERT_EQ(pll->index.Query(s_int, mapping.ToInternal(t)), want)
+          << "PLL mismatch at (" << s << ", " << t << ")";
+      ASSERT_EQ(isl->index.Query(s, t), want)
+          << "IS-Label mismatch at (" << s << ", " << t << ")";
+    }
+  }
+}
+
+EdgeList BaGraph(VertexId n, uint32_t m, uint64_t seed) {
+  BaOptions options;
+  options.num_vertices = n;
+  options.edges_per_vertex = m;
+  options.seed = seed;
+  return GenerateBarabasiAlbert(options).ValueOrDie();
+}
+
+EdgeList GlpGraph(VertexId n, double avg_degree, uint64_t seed) {
+  GlpOptions options;
+  options.num_vertices = n;
+  options.target_avg_degree = avg_degree;
+  options.seed = seed;
+  return GenerateGlp(options).ValueOrDie();
+}
+
+TEST(OracleCrossCheckTest, BarabasiAlbertUnweighted) {
+  CrossCheck(BaGraph(400, 3, /*seed=*/11), /*seed=*/21);
+}
+
+TEST(OracleCrossCheckTest, BarabasiAlbertWeighted) {
+  EdgeList edges = BaGraph(300, 2, /*seed=*/12);
+  AssignUniformWeights(&edges, 1, 9, /*seed=*/13);
+  CrossCheck(edges, /*seed=*/22);
+}
+
+TEST(OracleCrossCheckTest, GlpUnweighted) {
+  CrossCheck(GlpGraph(400, 4.0, /*seed=*/14), /*seed=*/23);
+}
+
+TEST(OracleCrossCheckTest, GlpWeighted) {
+  EdgeList edges = GlpGraph(300, 3.0, /*seed=*/15);
+  AssignUniformWeights(&edges, 1, 7, /*seed=*/16);
+  CrossCheck(edges, /*seed=*/24);
+}
+
+TEST(OracleCrossCheckTest, GlpDirected) {
+  GlpOptions options;
+  options.num_vertices = 300;
+  options.target_avg_degree = 4.0;
+  options.seed = 17;
+  auto edges = GenerateDirectedGlp(options);
+  ASSERT_TRUE(edges.ok()) << edges.status();
+  CrossCheck(*edges, /*seed=*/25);
+}
+
+// Different construction strategies must produce identical answers;
+// anchor each against the same BA graph's ground truth.
+TEST(OracleCrossCheckTest, BuildModesAgree) {
+  const EdgeList edges = BaGraph(300, 2, /*seed=*/18);
+  auto graph = CsrGraph::FromEdgeList(edges);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+
+  std::vector<HopDbIndex> indexes;
+  for (BuildMode mode : {BuildMode::kHybrid, BuildMode::kHopStepping,
+                         BuildMode::kHopDoubling}) {
+    HopDbOptions options;
+    options.build.mode = mode;
+    auto index = HopDbIndex::Build(*graph, options);
+    ASSERT_TRUE(index.ok()) << index.status();
+    indexes.push_back(std::move(index).value());
+  }
+
+  const VertexId n = graph->num_vertices();
+  Rng rng(26);
+  for (VertexId i = 0; i < kSampleSources; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.Below(n));
+    const std::vector<Distance> truth = ExactDistances(*graph, s);
+    for (VertexId t = 0; t < n; ++t) {
+      for (const HopDbIndex& index : indexes) {
+        ASSERT_EQ(index.Query(s, t), truth[t])
+            << "mode mismatch at (" << s << ", " << t << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hopdb

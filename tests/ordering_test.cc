@@ -224,8 +224,8 @@ TEST_P(OrderingCorrectnessTest, IndexIsExactUnderCustomOrder) {
 INSTANTIATE_TEST_SUITE_P(
     AllStrategies, OrderingCorrectnessTest,
     ::testing::ValuesIn(kAllStrategies),
-    [](const ::testing::TestParamInfo<OrderStrategy>& info) {
-      std::string name = OrderStrategyName(info.param);
+    [](const ::testing::TestParamInfo<OrderStrategy>& param_info) {
+      std::string name = OrderStrategyName(param_info.param);
       std::replace(name.begin(), name.end(), '-', '_');
       return name;
     });

@@ -127,10 +127,11 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, BidijParamTest,
     ::testing::Combine(::testing::Bool(), ::testing::Bool(),
                        ::testing::Values(41, 42, 43)),
-    [](const auto& info) {
-      return std::string(std::get<0>(info.param) ? "directed" : "undirected") +
-             (std::get<1>(info.param) ? "_weighted" : "_unweighted") + "_s" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& param_info) {
+      return std::string(std::get<0>(param_info.param) ? "directed"
+                                                       : "undirected") +
+             (std::get<1>(param_info.param) ? "_weighted" : "_unweighted") +
+             "_s" + std::to_string(std::get<2>(param_info.param));
     });
 
 TEST(BidijTest, SelfQueryIsZero) {
