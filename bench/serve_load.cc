@@ -1,0 +1,250 @@
+// Closed-loop load generator for the distance server: C client threads
+// over real loopback TCP, each firing the next request as soon as the
+// previous answer lands, against an in-process DistanceServer. The
+// workload is skewed (a configurable fraction of requests hits a small
+// hot pair set — the scale-free serving pattern the result cache is
+// for), with a slice of BATCH traffic mixed in.
+//
+// Emits machine-readable results to --out (default BENCH_serve.json):
+// QPS, client-observed p50/p90/p99/max latency, cache hit rate, and the
+// server's own STATS counters — the perf-trajectory data points CI
+// archives per commit.
+//
+//   bench_serve_load            # full run (~4s of traffic)
+//   bench_serve_load --ci       # seconds-long CI mode, same JSON shape
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gen/glp.h"
+#include "graph/csr_graph.h"
+#include "hopdb.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/cli.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace hopdb {
+namespace {
+
+struct ClientResult {
+  std::vector<double> latencies_us;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+};
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(sorted->size() - 1));
+  return (*sorted)[rank];
+}
+
+int Run(int argc, char** argv) {
+  CliFlags flags;
+  flags.Define("n", "2000", "graph vertices (GLP)");
+  flags.Define("avg-degree", "6", "graph average degree");
+  flags.Define("seed", "1", "graph + workload seed");
+  flags.Define("clients", "4", "concurrent closed-loop TCP clients");
+  flags.Define("seconds", "4", "traffic duration per run");
+  flags.Define("workers", "0", "server worker threads (0 = all cores)");
+  flags.Define("cache", "65536", "server result-cache capacity (0 = off)");
+  flags.Define("hot-fraction", "0.8",
+               "share of requests drawn from the hot pair set");
+  flags.Define("hot-pairs", "128", "size of the hot pair set");
+  flags.Define("batch-every", "16",
+               "every k-th request is a BATCH of 8 (0 = never)");
+  flags.Define("out", "BENCH_serve.json", "machine-readable output path");
+  flags.Define("ci", "false", "CI mode: small graph, short run");
+  if (!flags.Parse(argc, argv).ok() || flags.help_requested()) {
+    std::cout << flags.Usage("bench_serve_load — distance-server load "
+                             "generator (closed loop over TCP)");
+    return flags.help_requested() ? 0 : 1;
+  }
+
+  const bool ci = flags.GetBool("ci");
+  const VertexId n =
+      ci ? 600 : static_cast<VertexId>(flags.GetUint("n"));
+  const double seconds = ci ? 1.0 : flags.GetDouble("seconds");
+  const uint32_t num_clients =
+      ci ? 3 : static_cast<uint32_t>(flags.GetUint("clients"));
+  const uint64_t seed = flags.GetUint("seed");
+  const double hot_fraction = flags.GetDouble("hot-fraction");
+  const uint32_t hot_pairs = static_cast<uint32_t>(flags.GetUint("hot-pairs"));
+  const uint64_t batch_every = flags.GetUint("batch-every");
+
+  // Build the serving index.
+  GlpOptions glp;
+  glp.num_vertices = n;
+  glp.target_avg_degree = flags.GetDouble("avg-degree");
+  glp.seed = seed;
+  auto edges = GenerateGlp(glp);
+  if (!edges.ok()) {
+    std::cerr << "graph generation failed: " << edges.status() << "\n";
+    return 1;
+  }
+  Stopwatch build_watch;
+  auto index = HopDbIndex::Build(*edges);
+  if (!index.ok()) {
+    std::cerr << "index build failed: " << index.status() << "\n";
+    return 1;
+  }
+  const double build_seconds = build_watch.Seconds();
+
+  ServerOptions options;
+  options.num_workers = static_cast<uint32_t>(flags.GetUint("workers"));
+  options.cache_capacity = flags.GetUint("cache");
+  auto server = DistanceServer::Start(std::move(*index), options);
+  if (!server.ok()) {
+    std::cerr << "server start failed: " << server.status() << "\n";
+    return 1;
+  }
+  const uint16_t port = (*server)->port();
+  std::cout << "serving |V|=" << n << " on 127.0.0.1:" << port << ", "
+            << num_clients << " clients, " << seconds << "s\n";
+
+  // A shared hot set makes the cache-hit story reproducible.
+  std::vector<std::pair<VertexId, VertexId>> hot;
+  {
+    Rng rng(DeriveSeed(seed, 7));
+    hot.reserve(hot_pairs);
+    for (uint32_t i = 0; i < hot_pairs; ++i) {
+      hot.emplace_back(static_cast<VertexId>(rng.Below(n)),
+                       static_cast<VertexId>(rng.Below(n)));
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<ClientResult> results(num_clients);
+  std::vector<std::thread> threads;
+  for (uint32_t c = 0; c < num_clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientResult& result = results[c];
+      auto client = DistanceClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        result.errors++;
+        return;
+      }
+      Rng rng(DeriveSeed(seed, 100 + c));
+      while (!stop.load(std::memory_order_relaxed)) {
+        VertexId s, t;
+        if (static_cast<double>(rng.Below(1000)) < hot_fraction * 1000.0) {
+          const auto& pair = hot[rng.Below(hot.size())];
+          s = pair.first;
+          t = pair.second;
+        } else {
+          s = static_cast<VertexId>(rng.Below(n));
+          t = static_cast<VertexId>(rng.Below(n));
+        }
+        Stopwatch watch;
+        if (batch_every > 0 && result.requests % batch_every == 0) {
+          std::string line = "BATCH " + std::to_string(s);
+          for (int j = 0; j < 8; ++j) {
+            line += ' ';
+            line += std::to_string(rng.Below(n));
+          }
+          auto response = client->RoundTrip(line);
+          if (!response.ok() || !StartsWith(*response, "OK")) {
+            result.errors++;
+            if (!response.ok()) break;  // connection lost
+          }
+        } else {
+          auto d = client->QueryDistance(s, t);
+          if (!d.ok()) {
+            result.errors++;
+            break;
+          }
+        }
+        result.latencies_us.push_back(watch.Micros());
+        result.requests++;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  // Pull the server-side view before shutdown.
+  Request stats_request;
+  stats_request.kind = RequestKind::kStats;
+  const std::string stats_line = (*server)->Execute(stats_request);
+  const ResultCache::Stats cache = (*server)->cache_stats();
+  const ServerMetrics& metrics = (*server)->metrics();
+  const uint64_t server_requests = metrics.requests();
+  const uint64_t micro_batches = metrics.micro_batches();
+  const uint32_t workers = (*server)->num_workers();
+  (*server)->Stop();
+
+  std::vector<double> all;
+  uint64_t requests = 0, errors = 0;
+  for (ClientResult& r : results) {
+    all.insert(all.end(), r.latencies_us.begin(), r.latencies_us.end());
+    requests += r.requests;
+    errors += r.errors;
+  }
+  std::sort(all.begin(), all.end());
+  const double qps = seconds > 0 ? static_cast<double>(requests) / seconds : 0;
+  const double p50 = Percentile(&all, 50);
+  const double p90 = Percentile(&all, 90);
+  const double p99 = Percentile(&all, 99);
+  const double max_us = all.empty() ? 0 : all.back();
+
+  std::cout << "  requests      " << requests << " (" << errors
+            << " errors)\n"
+            << "  qps           " << FormatDouble(qps, 0) << "\n"
+            << "  p50 / p99     " << FormatDouble(p50, 1) << " / "
+            << FormatDouble(p99, 1) << " us\n"
+            << "  cache hits    " << cache.hits << " ("
+            << FormatDouble(cache.HitRate() * 100, 1) << "%)\n"
+            << "  micro-batches " << micro_batches << "\n";
+
+  const std::string out_path = flags.GetString("out");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"serve_load\",\n"
+      << "  \"ci_mode\": " << (ci ? "true" : "false") << ",\n"
+      << "  \"graph\": {\"type\": \"glp\", \"n\": " << n
+      << ", \"avg_degree\": " << FormatDouble(glp.target_avg_degree, 2)
+      << ", \"seed\": " << seed << "},\n"
+      << "  \"server\": {\"workers\": " << workers
+      << ", \"cache_capacity\": " << options.cache_capacity
+      << ", \"build_seconds\": " << FormatDouble(build_seconds, 3) << "},\n"
+      << "  \"clients\": " << num_clients << ",\n"
+      << "  \"seconds\": " << FormatDouble(seconds, 2) << ",\n"
+      << "  \"requests\": " << requests << ",\n"
+      << "  \"server_requests\": " << server_requests << ",\n"
+      << "  \"errors\": " << errors << ",\n"
+      << "  \"qps\": " << FormatDouble(qps, 1) << ",\n"
+      << "  \"latency_us\": {\"p50\": " << FormatDouble(p50, 1)
+      << ", \"p90\": " << FormatDouble(p90, 1) << ", \"p99\": "
+      << FormatDouble(p99, 1) << ", \"max\": " << FormatDouble(max_us, 1)
+      << "},\n"
+      << "  \"cache\": {\"hits\": " << cache.hits << ", \"misses\": "
+      << cache.misses << ", \"hit_rate\": "
+      << FormatDouble(cache.HitRate(), 4) << ", \"entries\": "
+      << cache.entries << ", \"evictions\": " << cache.evictions << "},\n"
+      << "  \"micro_batches\": " << micro_batches << ",\n"
+      << "  \"server_stats\": \"" << stats_line << "\"\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hopdb
+
+int main(int argc, char** argv) { return hopdb::Run(argc, argv); }

@@ -56,6 +56,17 @@ class HopDbIndex {
 
   /// Exact distance between original vertex ids; kInfDistance if
   /// unreachable.
+  ///
+  /// Thread safety: safe for any number of concurrent callers on one
+  /// index. The whole read path is const end-to-end and touches no
+  /// mutable or static state — RankMapping::ToInternal (vector read),
+  /// TwoHopIndex::Query / CompressedIndex::Query (label intersection
+  /// over immutable arrays). The serving layer (src/server/) relies on
+  /// this: worker threads query a shared snapshot with no locking.
+  /// The guarantee holds only while nothing mutates the index — callers
+  /// using mutable_label_index() or Load-time construction must publish
+  /// the index to readers with an appropriate happens-before edge (e.g.
+  /// shared_ptr swap, thread creation), as DistanceServer does.
   Distance Query(VertexId src, VertexId dst) const;
 
   /// Reachability (directed graphs: src ⇝ dst following arc directions).

@@ -45,6 +45,9 @@ class CompressedIndex {
 
   /// Exact distance query over the compressed form; kInfDistance when
   /// unreachable. Identical results to TwoHopIndex::Query.
+  ///
+  /// Thread safety: const end-to-end (varint decode into locals, no
+  /// mutable/static state) — safe for concurrent readers.
   Distance Query(VertexId s, VertexId t) const;
 
   VertexId num_vertices() const { return num_vertices_; }

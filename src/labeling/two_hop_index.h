@@ -43,6 +43,11 @@ class TwoHopIndex {
 
   /// Exact distance from s to t (both internal/ranked ids);
   /// kInfDistance when unreachable.
+  ///
+  /// Thread safety: const and stateless — a pure intersection over the
+  /// immutable label arrays, so concurrent readers need no
+  /// synchronization (PLL-style shared-reader serving). Not safe
+  /// against a concurrent mutable_out()/mutable_in() writer.
   Distance Query(VertexId s, VertexId t) const;
 
   /// Number of non-trivial label entries.

@@ -1,0 +1,117 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace hopdb {
+
+DistanceClient& DistanceClient::operator=(DistanceClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+    other.buffer_.clear();
+  }
+  return *this;
+}
+
+Result<DistanceClient> DistanceClient::Connect(const std::string& host,
+                                               uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad host '" + host +
+                                   "' (numeric IPv4 required)");
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + err);
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  DistanceClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+void DistanceClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Result<std::string> DistanceClient::RoundTrip(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  std::string request = line;
+  request += '\n';
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = send(fd_, request.data() + sent, request.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      Close();
+      return Status::IOError("send failed: connection lost");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  while (true) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!response.empty() && response.back() == '\r') response.pop_back();
+      return response;
+    }
+    char chunk[4096];
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      return Status::IOError("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<Distance> ParseDistanceToken(const std::string& token) {
+  if (token == "INF") return kInfDistance;
+  uint64_t v = 0;
+  if (!ParseUint64(token, &v) || v > kInfDistance) {
+    return Status::InvalidArgument("bad distance token '" + token + "'");
+  }
+  return static_cast<Distance>(v);
+}
+
+Result<Distance> DistanceClient::QueryDistance(VertexId s, VertexId t) {
+  HOPDB_ASSIGN_OR_RETURN(
+      std::string response,
+      RoundTrip("DIST " + std::to_string(s) + " " + std::to_string(t)));
+  if (!StartsWith(response, "OK ")) {
+    return Status::Internal("server error: " + response);
+  }
+  return ParseDistanceToken(response.substr(3));
+}
+
+}  // namespace hopdb

@@ -1,0 +1,52 @@
+// Minimal blocking client for the distance server protocol. One TCP
+// connection, synchronous request/response (the single-line framing
+// means exactly one readline per request). Used by `hopdb_cli client`,
+// the serve tests, and the load-generator bench.
+
+#ifndef HOPDB_SERVER_CLIENT_H_
+#define HOPDB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+class DistanceClient {
+ public:
+  DistanceClient() = default;
+  ~DistanceClient() { Close(); }
+
+  DistanceClient(DistanceClient&& other) noexcept { *this = std::move(other); }
+  DistanceClient& operator=(DistanceClient&& other) noexcept;
+  DistanceClient(const DistanceClient&) = delete;
+  DistanceClient& operator=(const DistanceClient&) = delete;
+
+  /// Connects to a numeric IPv4 host.
+  static Result<DistanceClient> Connect(const std::string& host,
+                                        uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends `line` (newline appended) and returns the one response line.
+  Result<std::string> RoundTrip(const std::string& line);
+
+  /// DIST convenience: parses "OK <d>" into a Distance.
+  Result<Distance> QueryDistance(VertexId s, VertexId t);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received past the last response line
+};
+
+/// Parses a server distance token ("INF" or decimal) — shared with tests
+/// and the bench.
+Result<Distance> ParseDistanceToken(const std::string& token);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_SERVER_CLIENT_H_

@@ -1,0 +1,95 @@
+// Immutable serving snapshot + atomically swappable handle.
+//
+// The hot-swap design is RCU-style: the whole queryable state (index,
+// lazily built KNN engine, provenance) lives in one immutable
+// ServingSnapshot published through a shared_ptr. Readers grab a
+// shared_ptr copy per request and query without any further
+// synchronization — the read path is const end-to-end (see hopdb.h).
+// RELOAD builds a fresh snapshot off to the side and swaps the pointer;
+// in-flight requests finish on the snapshot they started with, and the
+// old index is freed when the last such request drops its reference.
+// Zero downtime, no reader-side locks held across a query.
+
+#ifndef HOPDB_SERVER_INDEX_SNAPSHOT_H_
+#define HOPDB_SERVER_INDEX_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "hopdb.h"
+#include "query/knn.h"
+#include "server/result_cache.h"
+
+namespace hopdb {
+
+class ServingSnapshot {
+ public:
+  /// `source_path` is the file RELOAD-without-argument re-reads; may be
+  /// empty for in-memory indexes (RELOAD then requires an explicit path).
+  /// `cache_capacity` sizes this snapshot's result cache (0 disables).
+  ServingSnapshot(HopDbIndex index, std::string source_path,
+                  size_t cache_capacity)
+      : index_(std::move(index)),
+        source_path_(std::move(source_path)),
+        cache_(cache_capacity) {}
+
+  const HopDbIndex& index() const { return index_; }
+  const std::string& source_path() const { return source_path_; }
+
+  /// The snapshot's own (s, t) -> distance cache. Owning the cache here
+  /// (rather than in the server) makes hot-swap trivially coherent: a
+  /// new snapshot starts with an empty cache, and workers still running
+  /// on the old snapshot can only touch the old cache, which dies with
+  /// it — no clear/fill race, no stale answers after RELOAD.
+  ResultCache& cache() const { return cache_; }
+
+  /// Forward-direction KNN engine over this snapshot's labels, built on
+  /// first use (RELOAD stays cheap for DIST-only workloads) and shared by
+  /// all subsequent KNN requests. Thread-safe via call_once; the engine
+  /// itself is read-only after construction.
+  const KnnEngine& knn_engine() const {
+    std::call_once(knn_once_, [this] {
+      knn_ = std::make_unique<KnnEngine>(index_.label_index(),
+                                         KnnEngine::Direction::kForward);
+    });
+    return *knn_;
+  }
+
+ private:
+  HopDbIndex index_;
+  std::string source_path_;
+  mutable ResultCache cache_;
+  mutable std::once_flag knn_once_;
+  mutable std::unique_ptr<KnnEngine> knn_;
+};
+
+/// The swappable pointer. A plain mutex guards the shared_ptr itself
+/// (not the data): Get() copies the pointer under the lock — a handful
+/// of nanoseconds — and never holds the lock while querying.
+class IndexHandle {
+ public:
+  IndexHandle() = default;
+  explicit IndexHandle(std::shared_ptr<const ServingSnapshot> snapshot)
+      : snapshot_(std::move(snapshot)) {}
+
+  std::shared_ptr<const ServingSnapshot> Get() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return snapshot_;
+  }
+
+  void Set(std::shared_ptr<const ServingSnapshot> snapshot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot_ = std::move(snapshot);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServingSnapshot> snapshot_;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_SERVER_INDEX_SNAPSHOT_H_

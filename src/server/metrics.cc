@@ -1,0 +1,26 @@
+#include "server/metrics.h"
+
+namespace hopdb {
+
+uint64_t ServerMetrics::LatencyPercentileUs(double p) const {
+  std::array<uint64_t, kLatencyBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    counts[i] = latency_histogram_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the percentile request, 1-based ceil so p=100 is the max.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return 2ull << i;  // bucket upper bound
+  }
+  return 2ull << (kLatencyBuckets - 1);
+}
+
+}  // namespace hopdb

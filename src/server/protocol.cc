@@ -1,0 +1,143 @@
+#include "server/protocol.h"
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace hopdb {
+
+namespace {
+
+/// Splits on spaces and tabs, dropping empty tokens (so stray double
+/// spaces from hand-typed telnet sessions are harmless).
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+Result<VertexId> ParseVertex(const std::string& token) {
+  uint64_t v = 0;
+  if (!ParseUint64(token, &v) || v >= kInvalidVertex) {
+    return Status::InvalidArgument("bad vertex id '" + token + "'");
+  }
+  return static_cast<VertexId>(v);
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty request");
+  }
+  const std::string& verb = tokens[0];
+  Request request;
+  if (verb == "DIST") {
+    if (tokens.size() != 3) {
+      return Status::InvalidArgument("usage: DIST <src> <dst>");
+    }
+    request.kind = RequestKind::kDist;
+    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(tokens[1]));
+    request.targets.resize(1);
+    HOPDB_ASSIGN_OR_RETURN(request.targets[0], ParseVertex(tokens[2]));
+    return request;
+  }
+  if (verb == "BATCH") {
+    if (tokens.size() < 3) {
+      return Status::InvalidArgument("usage: BATCH <src> <t1> [t2 ...]");
+    }
+    request.kind = RequestKind::kBatch;
+    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(tokens[1]));
+    request.targets.reserve(tokens.size() - 2);
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      HOPDB_ASSIGN_OR_RETURN(VertexId t, ParseVertex(tokens[i]));
+      request.targets.push_back(t);
+    }
+    return request;
+  }
+  if (verb == "KNN") {
+    if (tokens.size() != 3) {
+      return Status::InvalidArgument("usage: KNN <src> <k>");
+    }
+    request.kind = RequestKind::kKnn;
+    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(tokens[1]));
+    uint64_t k = 0;
+    if (!ParseUint64(tokens[2], &k) || k == 0 ||
+        k > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("bad neighbor count '" + tokens[2] + "'");
+    }
+    request.k = static_cast<uint32_t>(k);
+    return request;
+  }
+  if (verb == "STATS") {
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument("usage: STATS");
+    }
+    request.kind = RequestKind::kStats;
+    return request;
+  }
+  if (verb == "RELOAD") {
+    if (tokens.size() > 2) {
+      return Status::InvalidArgument("usage: RELOAD [<path>]");
+    }
+    request.kind = RequestKind::kReload;
+    if (tokens.size() == 2) request.path = tokens[1];
+    return request;
+  }
+  if (verb == "PING") {
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument("usage: PING");
+    }
+    request.kind = RequestKind::kPing;
+    return request;
+  }
+  return Status::InvalidArgument("unknown verb '" + verb + "'");
+}
+
+std::string FormatDistance(Distance d) {
+  return d == kInfDistance ? "INF" : std::to_string(d);
+}
+
+std::string OkResponse(const std::string& payload) {
+  return payload.empty() ? "OK" : "OK " + payload;
+}
+
+std::string ErrResponse(const std::string& message) {
+  std::string flat = message;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return "ERR " + flat;
+}
+
+std::string FormatBatchResponse(const std::vector<Distance>& dists) {
+  std::string payload;
+  for (size_t i = 0; i < dists.size(); ++i) {
+    if (i > 0) payload += ' ';
+    payload += FormatDistance(dists[i]);
+  }
+  return OkResponse(payload);
+}
+
+std::string FormatKnnResponse(
+    const std::vector<std::pair<VertexId, Distance>>& neighbors) {
+  std::string payload;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    if (i > 0) payload += ' ';
+    payload += std::to_string(neighbors[i].first) + ':' +
+               FormatDistance(neighbors[i].second);
+  }
+  return OkResponse(payload);
+}
+
+}  // namespace hopdb

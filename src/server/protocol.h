@@ -1,0 +1,78 @@
+// Wire protocol of the hopdb distance server: newline-delimited ASCII
+// requests, one single-line response per request.
+//
+// Requests (tokens separated by spaces/tabs, case-sensitive verbs):
+//   DIST <s> <t>             exact distance from s to t
+//   BATCH <s> <t1> ... <tk>  distances from s to every listed target
+//   KNN <s> <k>              the k nearest vertices reachable from s
+//   STATS                    server counters (key=value pairs)
+//   RELOAD [<path>]          hot-swap the index (default: reload source)
+//   PING                     liveness probe
+//
+// Responses:
+//   OK <payload>             success; payload shape depends on the verb
+//   ERR <message>            parse or execution failure
+//
+// Distances are rendered in decimal; unreachable pairs render as "INF".
+// KNN neighbors render as "<vertex>:<distance>" pairs. The single-line
+// framing keeps client code trivial (one readline per request) and makes
+// pipelining safe: responses come back in request order.
+
+#ifndef HOPDB_SERVER_PROTOCOL_H_
+#define HOPDB_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+enum class RequestKind : uint8_t {
+  kDist,
+  kBatch,
+  kKnn,
+  kStats,
+  kReload,
+  kPing,
+};
+
+/// One parsed client request.
+struct Request {
+  RequestKind kind = RequestKind::kPing;
+  VertexId src = 0;
+  /// BATCH target list (at least one entry).
+  std::vector<VertexId> targets;
+  /// KNN neighbor count.
+  uint32_t k = 0;
+  /// RELOAD path; empty means "reload the path the server was started
+  /// from".
+  std::string path;
+};
+
+/// Parses one request line (without the trailing newline). Returns
+/// InvalidArgument with a client-safe message on malformed input.
+Result<Request> ParseRequest(const std::string& line);
+
+/// "INF" or the decimal distance.
+std::string FormatDistance(Distance d);
+
+/// "OK <payload>" / "OK" when the payload is empty.
+std::string OkResponse(const std::string& payload);
+
+/// "ERR <message>" with the message flattened to one line.
+std::string ErrResponse(const std::string& message);
+
+/// "OK d1 d2 ... dk" for a BATCH answer.
+std::string FormatBatchResponse(const std::vector<Distance>& dists);
+
+/// "OK v1:d1 v2:d2 ..." for a KNN answer (possibly "OK" when empty).
+std::string FormatKnnResponse(
+    const std::vector<std::pair<VertexId, Distance>>& neighbors);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_SERVER_PROTOCOL_H_

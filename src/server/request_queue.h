@@ -1,0 +1,108 @@
+// A bounded multi-producer / multi-consumer FIFO built on a mutex and two
+// condition variables. Producers block while the queue is full
+// (backpressure toward slow clients instead of unbounded memory growth);
+// consumers block while it is empty. Close() wakes everyone: pending
+// items still drain, further pushes are refused.
+//
+// PopBatch is the micro-batching hook: one consumer wakes up and takes
+// every immediately available item up to `max`, so a worker can amortize
+// per-wakeup costs (lock traffic, label-scan setup) across a burst of
+// queued requests without adding latency when the queue is shallow.
+
+#ifndef HOPDB_SERVER_REQUEST_QUEUE_H_
+#define HOPDB_SERVER_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace hopdb {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full. Returns false (item dropped) once closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns false only when closed AND drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the first item, then drains up to `max` items that are
+  /// already queued into `out` (appended). Returns the number taken;
+  /// 0 only when closed and drained.
+  size_t PopBatch(std::vector<T>* out, size_t max) {
+    if (max == 0) return 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    size_t taken = 0;
+    while (taken < max && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+    lock.unlock();
+    if (taken > 0) not_full_.notify_all();
+    return taken;
+  }
+
+  /// Refuses further pushes and wakes all blocked producers/consumers.
+  /// Already queued items remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_SERVER_REQUEST_QUEUE_H_

@@ -1,0 +1,86 @@
+#include "server/result_cache.h"
+
+namespace hopdb {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity) {
+  if (capacity_ == 0) return;
+  size_t shards = RoundUpPow2(num_shards == 0 ? 1 : num_shards);
+  // Never create more shards than capacity: every shard must be able to
+  // hold at least one entry (floor division below then yields >= 1).
+  while (shards > 1 && shards > capacity_) shards >>= 1;
+  shard_mask_ = shards - 1;
+  per_shard_capacity_ = capacity_ / shards;
+  shards_ = std::vector<Shard>(shards);
+}
+
+bool ResultCache::Lookup(VertexId s, VertexId t, Distance* dist) {
+  if (!enabled()) return false;
+  const uint64_t key = Key(s, t);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *dist = it->second->dist;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ResultCache::Insert(VertexId s, VertexId t, Distance dist) {
+  if (!enabled()) return;
+  const uint64_t key = Key(s, t);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->dist = dist;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{key, dist});
+  shard.map.emplace(key, shard.lru.begin());
+}
+
+void ResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.map.clear();
+  }
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.capacity = capacity_;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.entries += shard.lru.size();
+  }
+  return stats;
+}
+
+}  // namespace hopdb

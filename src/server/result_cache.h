@@ -1,0 +1,104 @@
+// Sharded LRU cache for (source, target) -> distance results.
+//
+// Scale-free query workloads are heavily skewed toward a small set of hot
+// vertex pairs (the same celebrities/hubs get asked about over and over),
+// so even a modest cache absorbs a large share of traffic. Sharding by a
+// hash of the pair key splits the lock so concurrent workers rarely
+// contend: each shard is an independent mutex + hash map + intrusive LRU
+// list. Capacity is enforced per shard as floor(capacity/num_shards), so
+// resident entries never exceed the requested capacity (up to
+// num_shards-1 slots may go unused) and eviction stays O(1).
+//
+// The cache stores values only for the index snapshot it was filled
+// from: each ServingSnapshot owns its own instance, so a RELOAD
+// hot-swap starts from an empty cache and stale entries die with the
+// old snapshot (see index_snapshot.h). Clear() exists for callers
+// managing a standalone cache.
+
+#ifndef HOPDB_SERVER_RESULT_CACHE_H_
+#define HOPDB_SERVER_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace hopdb {
+
+class ResultCache {
+ public:
+  /// `capacity` = max cached pairs across all shards; 0 disables the
+  /// cache (Lookup always misses, Insert is a no-op). `num_shards` is
+  /// rounded up to a power of two.
+  explicit ResultCache(size_t capacity, size_t num_shards = 16);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  static uint64_t Key(VertexId s, VertexId t) {
+    return (static_cast<uint64_t>(s) << 32) | t;
+  }
+
+  /// True (and fills *dist, refreshes recency) on a hit.
+  bool Lookup(VertexId s, VertexId t, Distance* dist);
+
+  /// Inserts or refreshes; evicts the shard's least-recently-used entry
+  /// when the shard is full.
+  void Insert(VertexId s, VertexId t, Distance dist);
+
+  /// Drops every entry (hot-swap invalidation). Counters survive.
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t capacity = 0;
+
+    double HitRate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+  Stats GetStats() const;
+
+  size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    Distance dist;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// Most-recently-used at front.
+    std::list<Entry> lru;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    // Multiplicative hash so nearby vertex ids spread across shards.
+    const uint64_t h = key * 0x9e3779b97f4a7c15ull;
+    return shards_[(h >> 32) & shard_mask_];
+  }
+
+  size_t capacity_ = 0;
+  size_t per_shard_capacity_ = 0;
+  uint64_t shard_mask_ = 0;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_SERVER_RESULT_CACHE_H_

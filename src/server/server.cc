@@ -1,0 +1,479 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "query/batch.h"
+#include "util/parallel.h"
+#include "util/string_util.h"
+
+namespace hopdb {
+
+namespace {
+
+/// Protects against a hostile/buggy client streaming an unbounded line.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+/// Same-source DIST groups at or above this size go through the
+/// OneToManyEngine instead of independent label intersections.
+constexpr size_t kMicroBatchGroupMin = 2;
+
+/// BATCH requests with at least this many targets use the bucket join.
+constexpr size_t kBatchEngineMin = 4;
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Answers one (s, t) pair through the snapshot's cache.
+Distance CachedQuery(const ServingSnapshot& snapshot, VertexId s, VertexId t) {
+  Distance d = kInfDistance;
+  if (snapshot.cache().Lookup(s, t, &d)) return d;
+  d = snapshot.index().Query(s, t);
+  snapshot.cache().Insert(s, t, d);
+  return d;
+}
+
+}  // namespace
+
+DistanceServer::DistanceServer(const ServerOptions& options)
+    : options_(options), queue_(options.queue_capacity) {}
+
+Result<std::unique_ptr<DistanceServer>> DistanceServer::Start(
+    HopDbIndex index, const ServerOptions& options) {
+  std::unique_ptr<DistanceServer> server(new DistanceServer(options));
+  server->handle_.Set(std::make_shared<const ServingSnapshot>(
+      std::move(index), options.source_path, options.cache_capacity));
+  HOPDB_RETURN_NOT_OK(server->Listen());
+  const uint32_t workers =
+      options.num_workers == 0 ? HardwareThreads() : options.num_workers;
+  server->workers_.Start(workers,
+                         [srv = server.get()](uint32_t) { srv->WorkerLoop(); });
+  server->acceptor_ = std::thread([srv = server.get()] { srv->AcceptLoop(); });
+  return server;
+}
+
+DistanceServer::~DistanceServer() { Stop(); }
+
+Status DistanceServer::Listen() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address '" + options_.host +
+                                   "' (numeric IPv4 required)");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind " + options_.host + ":" +
+                           std::to_string(options_.port) + ": " + err);
+  }
+  if (listen(listen_fd_, 128) < 0) {
+    const std::string err = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  return Status::OK();
+}
+
+void DistanceServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // The listen socket was shut down (Stop) or broke; either way the
+      // accept loop is done.
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      close(fd);
+      break;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      open_fds_.insert(fd);
+      ++active_connections_;
+    }
+    // Detached: finished handlers release all resources immediately
+    // instead of lingering as joinable zombies until Stop(). Stop()
+    // waits on active_connections_ instead of join().
+    std::thread([this, fd] { ConnectionLoop(fd); }).detach();
+  }
+}
+
+void DistanceServer::ConnectionLoop(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool alive = true;
+  while (alive) {
+    // Extract complete lines already buffered before reading more.
+    size_t newline;
+    while (alive && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (TrimString(line).empty()) continue;  // telnet-friendly
+
+      Result<Request> parsed = ParseRequest(line);
+      std::string response;
+      if (!parsed.ok()) {
+        // Malformed input is answered inline: it never consumes a queue
+        // slot a well-formed request could use.
+        metrics_.RecordError();
+        metrics_.RecordRequest(0);
+        response = ErrResponse(parsed.status().message());
+      } else {
+        WorkItem item;
+        item.request = std::move(*parsed);
+        std::future<std::string> future = item.response.get_future();
+        if (!queue_.Push(std::move(item))) {
+          response = ErrResponse("server shutting down");
+          alive = false;
+        } else {
+          response = future.get();
+        }
+      }
+      response += '\n';
+      if (!SendAll(fd, response)) alive = false;
+    }
+    if (!alive) break;
+    if (buffer.size() > kMaxLineBytes) {
+      SendAll(fd, ErrResponse("request line too long") + "\n");
+      break;
+    }
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, error, or Stop()'s shutdown()
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  // Deregister before close: Stop() shutdown()s every fd still in the
+  // set, and the fd number could be reused the instant close() returns.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    open_fds_.erase(fd);
+  }
+  close(fd);
+  // Notify while holding the lock: this thread is detached, so the
+  // moment Stop() observes the count at zero the server (and this
+  // condition variable) may be destroyed — an unlocked notify could
+  // touch a dead cv. Under the lock, Stop() cannot wake-and-return
+  // until the notify has fully completed.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    --active_connections_;
+    conns_done_.notify_all();
+  }
+}
+
+void DistanceServer::WorkerLoop() {
+  std::vector<WorkItem> batch;
+  while (true) {
+    batch.clear();
+    if (queue_.PopBatch(&batch, options_.max_micro_batch) == 0) break;
+    ExecuteWorkBatch(&batch);
+  }
+}
+
+void DistanceServer::Finish(WorkItem* item, std::string response) {
+  if (response.compare(0, 3, "ERR") == 0) metrics_.RecordError();
+  metrics_.RecordRequest(item->enqueue_watch.Micros());
+  item->response.set_value(std::move(response));
+}
+
+void DistanceServer::ExecuteWorkBatch(std::vector<WorkItem>* items) {
+  // One snapshot for the whole micro-batch: every request in it is
+  // answered against the same immutable index + cache.
+  const std::shared_ptr<const ServingSnapshot> snap = handle_.Get();
+  const HopDbIndex& index = snap->index();
+  const VertexId n = index.num_vertices();
+
+  // DIST requests that miss the cache are deferred and grouped by source
+  // so one OneToManyEngine pass can answer a whole group.
+  struct PendingDist {
+    size_t item_index;
+    VertexId s, t;
+  };
+  std::vector<PendingDist> pending;
+
+  for (size_t i = 0; i < items->size(); ++i) {
+    WorkItem& item = (*items)[i];
+    const Request& req = item.request;
+    if (req.kind == RequestKind::kDist) {
+      const VertexId s = req.src;
+      const VertexId t = req.targets[0];
+      if (s >= n || t >= n) {
+        Finish(&item, ErrResponse("vertex id out of range (|V|=" +
+                                  std::to_string(n) + ")"));
+        continue;
+      }
+      metrics_.RecordDist();
+      Distance d = kInfDistance;
+      if (snap->cache().Lookup(s, t, &d)) {
+        Finish(&item, OkResponse(FormatDistance(d)));
+      } else {
+        pending.push_back(PendingDist{i, s, t});
+      }
+    } else {
+      Finish(&item, ExecuteOn(req, *snap));
+    }
+  }
+  if (pending.empty()) return;
+
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingDist& a, const PendingDist& b) {
+                     return a.s < b.s;
+                   });
+  const RankMapping& mapping = index.ranking();
+  size_t group_start = 0;
+  while (group_start < pending.size()) {
+    size_t group_end = group_start + 1;
+    while (group_end < pending.size() &&
+           pending[group_end].s == pending[group_start].s) {
+      ++group_end;
+    }
+    const size_t group_size = group_end - group_start;
+    const VertexId s = pending[group_start].s;
+    if (group_size >= kMicroBatchGroupMin) {
+      // One bucket join answers every queued query from this source.
+      std::vector<VertexId> internal_targets;
+      internal_targets.reserve(group_size);
+      for (size_t j = group_start; j < group_end; ++j) {
+        internal_targets.push_back(mapping.ToInternal(pending[j].t));
+      }
+      OneToManyEngine engine(index.label_index(),
+                             std::move(internal_targets));
+      const std::vector<Distance> dists =
+          engine.Query(mapping.ToInternal(s));
+      for (size_t j = group_start; j < group_end; ++j) {
+        const Distance d = dists[j - group_start];
+        snap->cache().Insert(s, pending[j].t, d);
+        Finish(&(*items)[pending[j].item_index],
+               OkResponse(FormatDistance(d)));
+      }
+      metrics_.RecordMicroBatch(group_size);
+    } else {
+      const VertexId t = pending[group_start].t;
+      const Distance d = index.Query(s, t);
+      snap->cache().Insert(s, t, d);
+      Finish(&(*items)[pending[group_start].item_index],
+             OkResponse(FormatDistance(d)));
+    }
+    group_start = group_end;
+  }
+}
+
+std::string DistanceServer::Execute(const Request& request) {
+  const std::shared_ptr<const ServingSnapshot> snap = handle_.Get();
+  return ExecuteOn(request, *snap);
+}
+
+std::string DistanceServer::ExecuteOn(const Request& request,
+                                      const ServingSnapshot& snapshot) {
+  const HopDbIndex& index = snapshot.index();
+  const VertexId n = index.num_vertices();
+  switch (request.kind) {
+    case RequestKind::kPing:
+      return OkResponse("pong");
+    case RequestKind::kStats:
+      return StatsResponse(snapshot);
+    case RequestKind::kReload:
+      return HandleReload(request.path);
+    case RequestKind::kDist: {
+      const VertexId s = request.src;
+      const VertexId t = request.targets[0];
+      if (s >= n || t >= n) {
+        return ErrResponse("vertex id out of range (|V|=" +
+                           std::to_string(n) + ")");
+      }
+      metrics_.RecordDist();
+      return OkResponse(FormatDistance(CachedQuery(snapshot, s, t)));
+    }
+    case RequestKind::kBatch: {
+      const VertexId s = request.src;
+      if (s >= n) {
+        return ErrResponse("vertex id out of range (|V|=" +
+                           std::to_string(n) + ")");
+      }
+      for (VertexId t : request.targets) {
+        if (t >= n) {
+          return ErrResponse("vertex id out of range (|V|=" +
+                             std::to_string(n) + ")");
+        }
+      }
+      metrics_.RecordBatch();
+      metrics_.RecordDist(request.targets.size());
+      std::vector<Distance> dists;
+      dists.reserve(request.targets.size());
+      if (request.targets.size() >= kBatchEngineMin) {
+        const RankMapping& mapping = index.ranking();
+        std::vector<VertexId> internal_targets;
+        internal_targets.reserve(request.targets.size());
+        for (VertexId t : request.targets) {
+          internal_targets.push_back(mapping.ToInternal(t));
+        }
+        OneToManyEngine engine(index.label_index(),
+                               std::move(internal_targets));
+        dists = engine.Query(mapping.ToInternal(s));
+        for (size_t j = 0; j < request.targets.size(); ++j) {
+          snapshot.cache().Insert(s, request.targets[j], dists[j]);
+        }
+      } else {
+        for (VertexId t : request.targets) {
+          dists.push_back(CachedQuery(snapshot, s, t));
+        }
+      }
+      return FormatBatchResponse(dists);
+    }
+    case RequestKind::kKnn: {
+      const VertexId s = request.src;
+      if (s >= n) {
+        return ErrResponse("vertex id out of range (|V|=" +
+                           std::to_string(n) + ")");
+      }
+      metrics_.RecordKnn();
+      const RankMapping& mapping = index.ranking();
+      const std::vector<KnnEngine::Neighbor> neighbors =
+          snapshot.knn_engine().Query(mapping.ToInternal(s), request.k);
+      std::vector<std::pair<VertexId, Distance>> result;
+      result.reserve(neighbors.size());
+      for (const KnnEngine::Neighbor& nb : neighbors) {
+        result.emplace_back(mapping.ToOriginal(nb.vertex), nb.dist);
+      }
+      return FormatKnnResponse(result);
+    }
+  }
+  return ErrResponse("unhandled request kind");
+}
+
+std::string DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
+  const double uptime = uptime_.Seconds();
+  const uint64_t requests = metrics_.requests();
+  const ResultCache::Stats cache = snapshot.cache().GetStats();
+  std::string payload;
+  payload += "uptime_s=" + FormatDouble(uptime, 1);
+  payload += " requests=" + std::to_string(requests);
+  payload += " errors=" + std::to_string(metrics_.errors());
+  payload += " qps=" + FormatDouble(
+                           uptime > 0 ? static_cast<double>(requests) / uptime
+                                      : 0.0,
+                           1);
+  payload += " p50_us=" + std::to_string(metrics_.LatencyPercentileUs(50));
+  payload += " p99_us=" + std::to_string(metrics_.LatencyPercentileUs(99));
+  payload += " dist_queries=" + std::to_string(metrics_.dist_queries());
+  payload += " batch_requests=" + std::to_string(metrics_.batch_requests());
+  payload += " knn_requests=" + std::to_string(metrics_.knn_requests());
+  payload += " micro_batches=" + std::to_string(metrics_.micro_batches());
+  payload +=
+      " micro_batched_queries=" + std::to_string(metrics_.micro_batched_queries());
+  payload += " cache_hits=" + std::to_string(cache.hits);
+  payload += " cache_misses=" + std::to_string(cache.misses);
+  payload += " cache_hit_rate=" + FormatDouble(cache.HitRate(), 4);
+  payload += " cache_entries=" + std::to_string(cache.entries);
+  payload += " cache_capacity=" + std::to_string(cache.capacity);
+  payload += " queue_depth=" + std::to_string(queue_.size());
+  payload += " workers=" + std::to_string(workers_.size());
+  payload += " reloads=" + std::to_string(metrics_.reloads());
+  payload += " connections=" + std::to_string(connections_accepted());
+  payload += " vertices=" + std::to_string(snapshot.index().num_vertices());
+  payload += std::string(" directed=") +
+             (snapshot.index().directed() ? "1" : "0");
+  return OkResponse(payload);
+}
+
+std::string DistanceServer::HandleReload(const std::string& path) {
+  const Status status = Reload(path);
+  if (!status.ok()) return ErrResponse(status.ToString());
+  const std::shared_ptr<const ServingSnapshot> snap = handle_.Get();
+  return OkResponse("reloaded " + snap->source_path() +
+                    " vertices=" + std::to_string(snap->index().num_vertices()));
+}
+
+Status DistanceServer::Reload(const std::string& path) {
+  // Serialize reloads so two concurrent RELOADs can't interleave their
+  // load-then-publish sequences (last publisher would silently win with
+  // a torn view of "source_path"). Queries never take this lock.
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  std::string load_path = path;
+  if (load_path.empty()) {
+    load_path = handle_.Get()->source_path();
+    if (load_path.empty()) {
+      return Status::InvalidArgument(
+          "RELOAD needs a path: server was started from an in-memory index");
+    }
+  }
+  HOPDB_ASSIGN_OR_RETURN(HopDbIndex index, HopDbIndex::Load(load_path));
+  handle_.Set(std::make_shared<const ServingSnapshot>(
+      std::move(index), load_path, options_.cache_capacity));
+  metrics_.RecordReload();
+  return Status::OK();
+}
+
+ResultCache::Stats DistanceServer::cache_stats() const {
+  return handle_.Get()->cache().GetStats();
+}
+
+void DistanceServer::Stop() {
+  std::call_once(stop_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+    // 1. Stop accepting: shutdown unblocks accept(), then join.
+    if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
+    if (acceptor_.joinable()) acceptor_.join();
+    if (listen_fd_ >= 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // 2. Unblock connection readers and wait for the (detached) handlers
+    // to drain; workers are still running, so any in-flight future still
+    // gets its value before its reader exits.
+    {
+      std::unique_lock<std::mutex> lock(conns_mu_);
+      for (int fd : open_fds_) shutdown(fd, SHUT_RDWR);
+      conns_done_.wait(lock, [this] { return active_connections_ == 0; });
+    }
+    // 3. No producers remain: close the queue and join the workers.
+    queue_.Close();
+    workers_.Join();
+  });
+}
+
+}  // namespace hopdb

@@ -1,0 +1,158 @@
+// DistanceServer: a concurrent TCP query server over one immutable
+// HopDbIndex snapshot.
+//
+// Architecture (README "Serving" has the full sketch):
+//
+//   accept loop ── 1 thread per connection: read line, parse, enqueue
+//        │                                   │
+//        ▼                                   ▼
+//   BoundedQueue<WorkItem>  ◀── backpressure when full
+//        │
+//        ▼  PopBatch (micro-batching)
+//   worker pool (N threads) ── snapshot = handle.Get()
+//        │                       ├─ per-snapshot sharded LRU cache
+//        │                       ├─ same-source DIST groups answered via
+//        │                       │  OneToManyEngine (one label scan for
+//        │                       │  the whole group)
+//        │                       └─ KNN via the snapshot's lazy KnnEngine
+//        ▼
+//   promise/future ── connection thread writes the response line
+//
+// The result cache is owned by the snapshot, not the server: a RELOAD
+// publishes a fresh snapshot with an empty cache, so a worker still
+// finishing on the old snapshot can only fill the old (dying) cache —
+// stale answers can never leak across a hot-swap.
+
+#ifndef HOPDB_SERVER_SERVER_H_
+#define HOPDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <thread>
+#include <vector>
+
+#include "hopdb.h"
+#include "server/index_snapshot.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+#include "server/request_queue.h"
+#include "server/result_cache.h"
+#include "server/thread_pool.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace hopdb {
+
+struct ServerOptions {
+  /// Numeric IPv4 listen address.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via port().
+  uint16_t port = 0;
+  /// Query worker threads; 0 = one per hardware thread.
+  uint32_t num_workers = 0;
+  /// Bounded request queue length (producers block when full).
+  size_t queue_capacity = 1024;
+  /// Result-cache capacity in (s, t) pairs per snapshot; 0 disables.
+  size_t cache_capacity = 1 << 16;
+  /// Max requests one worker drains per wakeup (micro-batch size).
+  uint32_t max_micro_batch = 32;
+  /// Path RELOAD-without-argument re-reads; typically the file the index
+  /// was loaded from. Empty = bare RELOAD is refused.
+  std::string source_path;
+};
+
+class DistanceServer {
+ public:
+  /// Binds, listens, and starts the accept loop and worker pool. The
+  /// index is moved into the first serving snapshot.
+  static Result<std::unique_ptr<DistanceServer>> Start(
+      HopDbIndex index, const ServerOptions& options = {});
+
+  ~DistanceServer();
+
+  DistanceServer(const DistanceServer&) = delete;
+  DistanceServer& operator=(const DistanceServer&) = delete;
+
+  /// The bound TCP port (resolves port 0 requests).
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: stop accepting, unblock and join connection
+  /// threads, drain the queue, join workers. Idempotent.
+  void Stop();
+
+  /// Loads a new index from `path` (empty = options.source_path) and
+  /// atomically publishes it. In-flight queries finish on the snapshot
+  /// they started with. Serialized against concurrent reloads.
+  Status Reload(const std::string& path);
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  /// Cache stats of the currently published snapshot.
+  ResultCache::Stats cache_stats() const;
+  std::shared_ptr<const ServingSnapshot> snapshot() const {
+    return handle_.Get();
+  }
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  uint32_t num_workers() const { return workers_.size(); }
+  double uptime_seconds() const { return uptime_.Seconds(); }
+
+  /// Executes one already-parsed request against the current snapshot,
+  /// bypassing the socket layer (used by the in-process micro-batch path
+  /// and by tests; the TCP path funnels into the same code).
+  std::string Execute(const Request& request);
+
+ private:
+  struct WorkItem {
+    Request request;
+    std::promise<std::string> response;
+    Stopwatch enqueue_watch;
+  };
+
+  explicit DistanceServer(const ServerOptions& options);
+
+  Status Listen();
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+  void WorkerLoop();
+  void ExecuteWorkBatch(std::vector<WorkItem>* items);
+  void Finish(WorkItem* item, std::string response);
+  std::string ExecuteOn(const Request& request,
+                        const ServingSnapshot& snapshot);
+  std::string StatsResponse(const ServingSnapshot& snapshot);
+  std::string HandleReload(const std::string& path);
+
+  ServerOptions options_;
+  IndexHandle handle_;
+  BoundedQueue<WorkItem> queue_;
+  ServerMetrics metrics_;
+  ThreadPool workers_;
+  Stopwatch uptime_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+
+  // Connection handler threads run detached so a long-lived server does
+  // not accumulate joinable zombies; Stop() instead waits for
+  // active_connections_ to drain to zero (signaled via conns_done_).
+  std::mutex conns_mu_;
+  std::condition_variable conns_done_;
+  size_t active_connections_ = 0;
+  std::unordered_set<int> open_fds_;
+
+  std::mutex reload_mu_;
+  std::once_flag stop_once_;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_SERVER_SERVER_H_

@@ -1,0 +1,26 @@
+#include "server/thread_pool.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace hopdb {
+
+void ThreadPool::Start(uint32_t num_threads,
+                       std::function<void(uint32_t)> body) {
+  HOPDB_CHECK(threads_.empty()) << "ThreadPool started twice";
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([body, i] { body(i); });
+  }
+}
+
+void ThreadPool::Join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace hopdb

@@ -1,0 +1,43 @@
+// A fixed-size worker pool: Start() launches N threads all running the
+// same body (taking the worker index), Join() waits for them to return.
+// Deliberately loop-agnostic — the server's workers pull from a
+// BoundedQueue and exit when it closes, so the pool only owns thread
+// lifecycle, not scheduling. Distinct from util/parallel.h, which
+// fork-joins one bounded computation; this pool hosts long-running
+// service loops.
+
+#ifndef HOPDB_SERVER_THREAD_POOL_H_
+#define HOPDB_SERVER_THREAD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace hopdb {
+
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  ~ThreadPool() { Join(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Launches `num_threads` (>= 1 enforced) threads running
+  /// body(worker_index). Must not be called while threads are running.
+  void Start(uint32_t num_threads, std::function<void(uint32_t)> body);
+
+  /// Waits for every worker body to return. Idempotent. The caller is
+  /// responsible for making the bodies exit (e.g. closing their queue).
+  void Join();
+
+  uint32_t size() const { return static_cast<uint32_t>(threads_.size()); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_SERVER_THREAD_POOL_H_

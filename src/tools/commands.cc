@@ -1,8 +1,11 @@
 #include "tools/commands.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -14,6 +17,8 @@
 #include "graph/ordering.h"
 #include "hopdb.h"
 #include "labeling/compressed_index.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "util/cli.h"
 #include "util/random.h"
 #include "util/string_util.h"
@@ -310,6 +315,99 @@ Status CmdStats(CliFlags* flags, int argc, char** argv, std::ostream& out) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+Status CmdServe(CliFlags* flags, int argc, char** argv, std::ostream& out) {
+  flags->Define("index", "", "index path (from hopdb_cli build)");
+  flags->Define("host", "127.0.0.1", "numeric IPv4 listen address");
+  flags->Define("port", "0", "listen port (0 = pick an ephemeral port)");
+  flags->Define("threads", "0", "query worker threads (0 = all cores)");
+  flags->Define("cache-capacity", "65536",
+                "result cache entries per snapshot (0 disables)");
+  flags->Define("queue-capacity", "1024", "bounded request queue length");
+  flags->Define("batch", "32", "max requests per worker wakeup (micro-batch)");
+  flags->Define("duration", "0",
+                "seconds to serve before exiting (0 = until killed)");
+  HOPDB_RETURN_NOT_OK(flags->Parse(argc, argv));
+  if (flags->help_requested()) return Status::OK();
+
+  const std::string index_path = flags->GetString("index");
+  if (index_path.empty()) {
+    return Status::InvalidArgument("serve requires --index");
+  }
+  HOPDB_ASSIGN_OR_RETURN(HopDbIndex index, HopDbIndex::Load(index_path));
+
+  ServerOptions options;
+  options.host = flags->GetString("host");
+  options.port = static_cast<uint16_t>(flags->GetUint("port"));
+  options.num_workers = static_cast<uint32_t>(flags->GetUint("threads"));
+  options.cache_capacity = flags->GetUint("cache-capacity");
+  options.queue_capacity = flags->GetUint("queue-capacity");
+  options.max_micro_batch = static_cast<uint32_t>(flags->GetUint("batch"));
+  options.source_path = index_path;
+
+  HOPDB_ASSIGN_OR_RETURN(std::unique_ptr<DistanceServer> server,
+                         DistanceServer::Start(std::move(index), options));
+  out << "serving " << index_path << " on " << options.host << ":"
+      << server->port() << " (|V|=" << server->snapshot()->index().num_vertices()
+      << ", workers=" << (options.num_workers == 0 ? std::string("auto")
+                                                   : std::to_string(
+                                                         options.num_workers))
+      << ", cache=" << options.cache_capacity << ")\n";
+  out.flush();
+
+  const double duration = flags->GetDouble("duration");
+  if (duration > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(duration));
+    server->Stop();
+    out << "served " << server->metrics().requests() << " requests ("
+        << server->metrics().errors() << " errors) over "
+        << server->connections_accepted() << " connections\n";
+    return Status::OK();
+  }
+  // Serve until the process is killed.
+  for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+}
+
+// ---------------------------------------------------------------------------
+// client
+// ---------------------------------------------------------------------------
+
+Status CmdClient(CliFlags* flags, int argc, char** argv, std::ostream& out) {
+  flags->Define("host", "127.0.0.1", "server address (numeric IPv4)");
+  flags->Define("port", "0", "server port");
+  flags->Define("cmd", "",
+                "single protocol line to send (default: read lines from "
+                "stdin until EOF)");
+  HOPDB_RETURN_NOT_OK(flags->Parse(argc, argv));
+  if (flags->help_requested()) return Status::OK();
+
+  const uint16_t port = static_cast<uint16_t>(flags->GetUint("port"));
+  if (port == 0) {
+    return Status::InvalidArgument("client requires --port");
+  }
+  HOPDB_ASSIGN_OR_RETURN(DistanceClient client,
+                         DistanceClient::Connect(flags->GetString("host"),
+                                                 port));
+
+  const std::string cmd = flags->GetString("cmd");
+  if (!cmd.empty()) {
+    HOPDB_ASSIGN_OR_RETURN(std::string response, client.RoundTrip(cmd));
+    out << response << "\n";
+    return Status::OK();
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (TrimString(line).empty()) continue;
+    HOPDB_ASSIGN_OR_RETURN(std::string response, client.RoundTrip(line));
+    out << response << "\n";
+    out.flush();
+  }
+  return Status::OK();
+}
+
 void PrintUsage(std::ostream& out) {
   out << "hopdb_cli — hop-doubling 2-hop distance index tool\n"
          "\n"
@@ -323,6 +421,9 @@ void PrintUsage(std::ostream& out) {
          "         --threads T --out F)\n"
          "  query  query an index (--index F --src S --dst T | --random N)\n"
          "  stats  label statistics of an index (--index F)\n"
+         "  serve  serve an index over TCP (--index F --port P --threads T\n"
+         "         --cache-capacity C); protocol: DIST/BATCH/KNN/STATS/RELOAD\n"
+         "  client connect to a server (--host H --port P [--cmd LINE])\n"
          "  help   this text\n"
          "\n"
          "Run 'hopdb_cli <command> --help' for the full flag list.\n";
@@ -354,6 +455,10 @@ int RunCli(int argc, char** argv, std::ostream& out, std::ostream& err) {
     status = CmdQuery(&flags, sub_argc, sub_argv, out);
   } else if (command == "stats") {
     status = CmdStats(&flags, sub_argc, sub_argv, out);
+  } else if (command == "serve") {
+    status = CmdServe(&flags, sub_argc, sub_argv, out);
+  } else if (command == "client") {
+    status = CmdClient(&flags, sub_argc, sub_argv, out);
   } else {
     err << "unknown command '" << command << "'\n";
     PrintUsage(err);
@@ -364,7 +469,13 @@ int RunCli(int argc, char** argv, std::ostream& out, std::ostream& err) {
     return 0;
   }
   if (!status.ok()) {
+    // Single usage-printing error path: every subcommand failure reports
+    // the status, and argument mistakes additionally get the relevant
+    // flag table so the fix is visible without a second invocation.
     err << "hopdb_cli " << command << ": " << status.ToString() << "\n";
+    if (status.code() == StatusCode::kInvalidArgument) {
+      err << "\n" << flags.Usage("usage: hopdb_cli " + command + " [flags]");
+    }
     return 1;
   }
   return 0;

@@ -7,7 +7,13 @@
 //   build  build a HopDb index from an edge-list file and save it
 //   query  answer distance queries against a saved index
 //   stats  print label statistics of a saved index (Table 7-style)
+//   serve  serve an index over TCP (DIST/BATCH/KNN/STATS/RELOAD protocol)
+//   client send protocol lines to a running server
 //   help   usage
+//
+// All argument errors funnel through one usage-printing path in RunCli:
+// the status message plus the subcommand's flag table go to `err` and the
+// exit code is 1.
 
 #ifndef HOPDB_TOOLS_COMMANDS_H_
 #define HOPDB_TOOLS_COMMANDS_H_

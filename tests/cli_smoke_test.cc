@@ -115,6 +115,54 @@ TEST_F(CliSmokeTest, GenBuildStatsQueryRoundTrip) {
       << random.output;
 }
 
+TEST_F(CliSmokeTest, ServeClientRoundTrip) {
+  auto tmp = TempDir::Create("hopdb_cli_smoke");
+  ASSERT_TRUE(tmp.ok()) << tmp.status();
+  const std::string graph_path = tmp->path() + "/graph.txt";
+  const std::string index_path = tmp->path() + "/graph.hopdb";
+
+  ASSERT_EQ(RunCommand(cli_ + " gen --type glp --n 150 --avg-degree 5"
+                             " --seed 21 --out " + graph_path)
+                .exit_code,
+            0);
+  ASSERT_EQ(RunCommand(cli_ + " build --graph " + graph_path + " --out " +
+                       index_path)
+                .exit_code,
+            0);
+
+  // One shell pipeline (RunCommand's popen runs it via /bin/sh): a 3s
+  // server in the background on an OS-assigned port (--port 0, parsed
+  // back from its announcement line — no collision flakiness), clients
+  // against it, teardown via the duration expiry.
+  const std::string serve_log = tmp->path() + "/serve.log";
+  const std::string script =
+      cli_ + " serve --index " + index_path +
+      " --port 0 --threads 2 --duration 3 > " + serve_log +
+      " & srv=$!; sleep 1; "
+      "port=$(sed -n 's/.*on 127\\.0\\.0\\.1:\\([0-9]*\\).*/\\1/p' " +
+      serve_log + "); " + cli_ +
+      " client --port $port --cmd 'PING'; " + cli_ +
+      " client --port $port --cmd 'DIST 0 1'; " + cli_ +
+      " client --port $port --cmd 'BATCH 0 1 2 3 4'; " + cli_ +
+      " client --port $port --cmd 'KNN 0 3'; " + cli_ +
+      " client --port $port --cmd 'STATS'; " + cli_ +
+      " client --port $port --cmd 'RELOAD'; wait $srv; cat " + serve_log;
+  RunResult run = RunCommand(script);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("serving " + index_path), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("OK pong"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("requests="), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("reloaded"), std::string::npos) << run.output;
+  // DIST/BATCH/KNN all produced OK payload lines.
+  size_t ok_lines = 0;
+  for (size_t pos = 0; (pos = run.output.find("OK ", pos)) != std::string::npos;
+       pos += 3) {
+    ++ok_lines;
+  }
+  EXPECT_GE(ok_lines, 6u) << run.output;
+}
+
 TEST_F(CliSmokeTest, HelpAndUsageErrors) {
   RunResult help = RunCommand(cli_ + " help");
   EXPECT_EQ(help.exit_code, 0);

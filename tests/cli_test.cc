@@ -159,5 +159,68 @@ TEST(CliTest, QueryMissingIndexFileFails) {
             1);
 }
 
+// All argument errors go through one usage-printing path: nonzero exit,
+// the status message, and the subcommand's flag table on stderr.
+TEST(CliTest, ArgumentErrorsPrintUsageWithFlagTable) {
+  std::string err;
+  // Missing required flag.
+  EXPECT_EQ(RunTool({"gen"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("usage: hopdb_cli gen"), std::string::npos);
+  EXPECT_NE(err.find("--out"), std::string::npos);
+  EXPECT_NE(err.find("--avg-degree"), std::string::npos);
+
+  // Flag given without its value.
+  err.clear();
+  EXPECT_EQ(RunTool({"build", "--graph"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("needs a value"), std::string::npos);
+  EXPECT_NE(err.find("usage: hopdb_cli build"), std::string::npos);
+
+  // Unknown flag.
+  err.clear();
+  EXPECT_EQ(RunTool({"query", "--frobnicate", "1"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("unknown flag"), std::string::npos);
+  EXPECT_NE(err.find("usage: hopdb_cli query"), std::string::npos);
+
+  // Bad flag value surfaced by a subcommand parser.
+  err.clear();
+  EXPECT_EQ(RunTool({"serve"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("serve requires --index"), std::string::npos);
+  EXPECT_NE(err.find("usage: hopdb_cli serve"), std::string::npos);
+  EXPECT_NE(err.find("--cache-capacity"), std::string::npos);
+}
+
+TEST(CliTest, NonArgumentErrorsSkipTheFlagTable) {
+  // A runtime (IO) failure reports the status but not the flag table.
+  std::string err;
+  EXPECT_EQ(RunTool({"query", "--index", "/nonexistent/idx", "--random", "5"},
+                nullptr, &err),
+            1);
+  EXPECT_EQ(err.find("usage: hopdb_cli query"), std::string::npos);
+}
+
+TEST(CliTest, ClientRequiresPort) {
+  std::string err;
+  EXPECT_EQ(RunTool({"client", "--cmd", "PING"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("client requires --port"), std::string::npos);
+}
+
+TEST(CliTest, ClientFailsCleanlyWhenServerAbsent) {
+  // Port 1 on loopback: connection refused, reported as an IO error
+  // without the flag table.
+  std::string err;
+  EXPECT_EQ(RunTool({"client", "--port", "1", "--cmd", "PING"}, nullptr,
+                &err),
+            1);
+  EXPECT_NE(err.find("connect"), std::string::npos);
+}
+
+TEST(CliTest, ServeHelpListsServingFlags) {
+  std::string out;
+  EXPECT_EQ(RunTool({"serve", "--help"}, &out), 0);
+  EXPECT_NE(out.find("--cache-capacity"), std::string::npos);
+  EXPECT_NE(out.find("--queue-capacity"), std::string::npos);
+  EXPECT_NE(out.find("--batch"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hopdb

@@ -1,0 +1,502 @@
+// Serving subsystem units and end-to-end coverage: protocol parsing,
+// the bounded MPMC queue, the sharded LRU result cache, the latency
+// histogram, and a real DistanceServer answering every verb over
+// loopback TCP (including RELOAD hot-swap semantics and cache
+// coherence across swaps).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gen/glp.h"
+#include "graph/csr_graph.h"
+#include "hopdb.h"
+#include "query/knn.h"
+#include "search/dijkstra.h"
+#include "server/client.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+#include "server/request_queue.h"
+#include "server/result_cache.h"
+#include "server/server.h"
+#include "io/temp_dir.h"
+#include "util/string_util.h"
+
+namespace hopdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, ParsesDist) {
+  auto r = ParseRequest("DIST 3 17");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->kind, RequestKind::kDist);
+  EXPECT_EQ(r->src, 3u);
+  ASSERT_EQ(r->targets.size(), 1u);
+  EXPECT_EQ(r->targets[0], 17u);
+}
+
+TEST(ProtocolTest, ParsesBatchAndKnnAndControl) {
+  auto batch = ParseRequest("BATCH 5 1 2 3");
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->kind, RequestKind::kBatch);
+  EXPECT_EQ(batch->src, 5u);
+  EXPECT_EQ(batch->targets, (std::vector<VertexId>{1, 2, 3}));
+
+  auto knn = ParseRequest("KNN 9 4");
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(knn->kind, RequestKind::kKnn);
+  EXPECT_EQ(knn->src, 9u);
+  EXPECT_EQ(knn->k, 4u);
+
+  EXPECT_EQ(ParseRequest("STATS")->kind, RequestKind::kStats);
+  EXPECT_EQ(ParseRequest("PING")->kind, RequestKind::kPing);
+
+  auto reload = ParseRequest("RELOAD /tmp/x.hli");
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ(reload->kind, RequestKind::kReload);
+  EXPECT_EQ(reload->path, "/tmp/x.hli");
+  EXPECT_TRUE(ParseRequest("RELOAD")->path.empty());
+}
+
+TEST(ProtocolTest, ToleratesExtraWhitespace) {
+  auto r = ParseRequest("  DIST \t 1    2 ");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->src, 1u);
+  EXPECT_EQ(r->targets[0], 2u);
+}
+
+TEST(ProtocolTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("FROB 1 2").ok());
+  EXPECT_FALSE(ParseRequest("DIST 1").ok());
+  EXPECT_FALSE(ParseRequest("DIST 1 2 3").ok());
+  EXPECT_FALSE(ParseRequest("DIST x 2").ok());
+  EXPECT_FALSE(ParseRequest("DIST -1 2").ok());
+  EXPECT_FALSE(ParseRequest("BATCH 1").ok());
+  EXPECT_FALSE(ParseRequest("KNN 1 0").ok());
+  EXPECT_FALSE(ParseRequest("KNN 1 k").ok());
+  // 2^32 must not truncate to k=0 (and 2^32+3 not to k=3).
+  EXPECT_FALSE(ParseRequest("KNN 1 4294967296").ok());
+  EXPECT_FALSE(ParseRequest("KNN 1 4294967299").ok());
+  EXPECT_FALSE(ParseRequest("STATS now").ok());
+}
+
+TEST(ProtocolTest, FormatsResponses) {
+  EXPECT_EQ(FormatDistance(7), "7");
+  EXPECT_EQ(FormatDistance(kInfDistance), "INF");
+  EXPECT_EQ(OkResponse(""), "OK");
+  EXPECT_EQ(OkResponse("pong"), "OK pong");
+  EXPECT_EQ(ErrResponse("multi\nline"), "ERR multi line");
+  EXPECT_EQ(FormatBatchResponse({1, kInfDistance, 3}), "OK 1 INF 3");
+  EXPECT_EQ(FormatKnnResponse({{4, 1}, {9, 2}}), "OK 4:1 9:2");
+}
+
+TEST(ProtocolTest, DistanceTokenRoundTrip) {
+  EXPECT_EQ(*ParseDistanceToken("INF"), kInfDistance);
+  EXPECT_EQ(*ParseDistanceToken("42"), 42u);
+  EXPECT_FALSE(ParseDistanceToken("4x2").ok());
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoAndBatchPop) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  EXPECT_EQ(q.size(), 5u);
+  int v = -1;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 0);
+  std::vector<int> batch;
+  EXPECT_EQ(q.PopBatch(&batch, 10), 4u);
+  EXPECT_EQ(batch, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenRefuses) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  q.Close();
+  EXPECT_FALSE(q.Push(2));
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(q.Pop(&v));
+  std::vector<int> batch;
+  EXPECT_EQ(q.PopBatch(&batch, 4), 0u);
+}
+
+TEST(BoundedQueueTest, BlockedProducerUnblocksOnPop) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));
+  std::thread producer([&q] { EXPECT_TRUE(q.Push(2)); });
+  // Give the producer a chance to block on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  producer.join();
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kItemsEach = 500;
+  BoundedQueue<int> q(16);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kItemsEach; ++i) {
+        ASSERT_TRUE(q.Push(p * kItemsEach + i));
+      }
+    });
+  }
+  std::atomic<int> consumed{0};
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> batch;
+      while (true) {
+        batch.clear();
+        const size_t n = q.PopBatch(&batch, 7);
+        if (n == 0) break;
+        long long local = 0;
+        for (int v : batch) local += v;
+        sum.fetch_add(local);
+        consumed.fetch_add(static_cast<int>(n));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  const int total = kProducers * kItemsEach;
+  EXPECT_EQ(consumed.load(), total);
+  EXPECT_EQ(sum.load(), 1ll * total * (total - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------------------
+
+TEST(ResultCacheTest, HitMissInsertClear) {
+  ResultCache cache(64);
+  Distance d = 0;
+  EXPECT_FALSE(cache.Lookup(1, 2, &d));
+  cache.Insert(1, 2, 7);
+  ASSERT_TRUE(cache.Lookup(1, 2, &d));
+  EXPECT_EQ(d, 7u);
+  // (2, 1) is a distinct key (directed pairs).
+  EXPECT_FALSE(cache.Lookup(2, 1, &d));
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup(1, 2, &d));
+  const ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_NEAR(stats.HitRate(), 0.25, 1e-9);
+}
+
+TEST(ResultCacheTest, NeverExceedsRequestedCapacity) {
+  // 20 entries over (up-to) 16 shards: floor division must keep the
+  // resident total at or below 20 no matter how keys hash.
+  ResultCache cache(20);
+  for (VertexId i = 0; i < 500; ++i) cache.Insert(i, i + 1, 1);
+  EXPECT_LE(cache.GetStats().entries, 20u);
+  EXPECT_GT(cache.GetStats().entries, 0u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  // Single shard so the LRU order is globally observable.
+  ResultCache cache(2, /*num_shards=*/1);
+  cache.Insert(0, 1, 10);
+  cache.Insert(0, 2, 20);
+  Distance d = 0;
+  ASSERT_TRUE(cache.Lookup(0, 1, &d));  // refresh (0,1)
+  cache.Insert(0, 3, 30);               // evicts (0,2)
+  EXPECT_TRUE(cache.Lookup(0, 1, &d));
+  EXPECT_FALSE(cache.Lookup(0, 2, &d));
+  EXPECT_TRUE(cache.Lookup(0, 3, &d));
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  EXPECT_EQ(cache.GetStats().entries, 2u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(1, 2, 3);
+  Distance d = 0;
+  EXPECT_FALSE(cache.Lookup(1, 2, &d));
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedAccess) {
+  ResultCache cache(1024);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&cache, w] {
+      for (int i = 0; i < 2000; ++i) {
+        const VertexId s = static_cast<VertexId>((w * 31 + i) % 64);
+        const VertexId t = static_cast<VertexId>(i % 97);
+        Distance d = 0;
+        if (cache.Lookup(s, t, &d)) {
+          ASSERT_EQ(d, s + t);  // values must never tear or mix keys
+        } else {
+          cache.Insert(s, t, s + t);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const ResultCache::Stats stats = cache.GetStats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_LE(stats.entries, 1024u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, PercentilesFromHistogram) {
+  ServerMetrics metrics;
+  EXPECT_EQ(metrics.LatencyPercentileUs(99), 0u);
+  // 99 requests at ~1us, one at ~1000us.
+  for (int i = 0; i < 99; ++i) metrics.RecordRequest(1.0);
+  metrics.RecordRequest(1000.0);
+  EXPECT_EQ(metrics.requests(), 100u);
+  EXPECT_LE(metrics.LatencyPercentileUs(50), 2u);
+  // p100 lands in the bucket containing 1000us: [512, 1024).
+  EXPECT_EQ(metrics.LatencyPercentileUs(100), 1024u);
+  EXPECT_GE(metrics.LatencyPercentileUs(100),
+            metrics.LatencyPercentileUs(50));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end server
+// ---------------------------------------------------------------------------
+
+EdgeList TestGraph(VertexId n, uint64_t seed) {
+  GlpOptions options;
+  options.num_vertices = n;
+  options.target_avg_degree = 5.0;
+  options.seed = seed;
+  return GenerateGlp(options).ValueOrDie();
+}
+
+class ServerEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    edges_ = TestGraph(300, /*seed=*/17);
+    graph_ = CsrGraph::FromEdgeList(edges_).ValueOrDie();
+    index_ = HopDbIndex::Build(graph_).ValueOrDie();
+
+    ServerOptions options;
+    options.num_workers = 3;
+    options.cache_capacity = 512;
+    server_ = DistanceServer::Start(
+                  HopDbIndex::Build(graph_).ValueOrDie(), options)
+                  .ValueOrDie();
+    client_ = DistanceClient::Connect("127.0.0.1", server_->port())
+                  .ValueOrDie();
+  }
+
+  EdgeList edges_;
+  CsrGraph graph_;
+  HopDbIndex index_;
+  std::unique_ptr<DistanceServer> server_;
+  DistanceClient client_;
+};
+
+TEST_F(ServerEndToEndTest, PingAndStats) {
+  EXPECT_EQ(*client_.RoundTrip("PING"), "OK pong");
+  const std::string stats = *client_.RoundTrip("STATS");
+  EXPECT_TRUE(StartsWith(stats, "OK "));
+  EXPECT_NE(stats.find("qps="), std::string::npos);
+  EXPECT_NE(stats.find("p99_us="), std::string::npos);
+  EXPECT_NE(stats.find("cache_hit_rate="), std::string::npos);
+  EXPECT_NE(stats.find("vertices=300"), std::string::npos);
+}
+
+TEST_F(ServerEndToEndTest, DistMatchesOracleAndCaches) {
+  const std::vector<Distance> truth = ExactDistances(graph_, 5);
+  for (VertexId t = 0; t < 40; ++t) {
+    ASSERT_EQ(*client_.QueryDistance(5, t), truth[t]) << "t=" << t;
+  }
+  // Same pairs again: answers identical, served from the cache.
+  for (VertexId t = 0; t < 40; ++t) {
+    ASSERT_EQ(*client_.QueryDistance(5, t), truth[t]) << "t=" << t;
+  }
+  EXPECT_GT(server_->cache_stats().hits, 0u);
+}
+
+TEST_F(ServerEndToEndTest, BatchMatchesOracle) {
+  const std::vector<Distance> truth = ExactDistances(graph_, 9);
+  // Large batch (engine path) and small batch (direct path).
+  std::string big = "BATCH 9";
+  for (VertexId t = 0; t < 25; ++t) {
+    big += ' ';
+    big += std::to_string(t);
+  }
+  const std::string response = *client_.RoundTrip(big);
+  ASSERT_TRUE(StartsWith(response, "OK "));
+  const std::vector<std::string> tokens =
+      SplitString(response.substr(3), ' ');
+  ASSERT_EQ(tokens.size(), 25u);
+  for (VertexId t = 0; t < 25; ++t) {
+    ASSERT_EQ(*ParseDistanceToken(tokens[t]), truth[t]) << "t=" << t;
+  }
+  const std::string small = *client_.RoundTrip("BATCH 9 1 2");
+  ASSERT_TRUE(StartsWith(small, "OK "));
+  const std::vector<std::string> small_tokens =
+      SplitString(small.substr(3), ' ');
+  ASSERT_EQ(small_tokens.size(), 2u);
+  EXPECT_EQ(*ParseDistanceToken(small_tokens[0]), truth[1]);
+  EXPECT_EQ(*ParseDistanceToken(small_tokens[1]), truth[2]);
+}
+
+TEST_F(ServerEndToEndTest, KnnMatchesEngine) {
+  const std::string response = *client_.RoundTrip("KNN 7 6");
+  ASSERT_TRUE(StartsWith(response, "OK "));
+  const std::vector<std::string> tokens =
+      SplitString(response.substr(3), ' ');
+  ASSERT_EQ(tokens.size(), 6u);
+
+  KnnEngine engine(index_.label_index(), KnnEngine::Direction::kForward);
+  const RankMapping& mapping = index_.ranking();
+  const auto expected = engine.Query(mapping.ToInternal(7), 6);
+  ASSERT_EQ(expected.size(), 6u);
+  Distance prev = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const size_t colon = tokens[i].find(':');
+    ASSERT_NE(colon, std::string::npos);
+    const Distance d = *ParseDistanceToken(tokens[i].substr(colon + 1));
+    // Distance sequence must match the reference engine's (vertex ties
+    // may break differently between identical builds).
+    EXPECT_EQ(d, expected[i].dist) << "i=" << i;
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST_F(ServerEndToEndTest, ErrorsComeBackAsErrLines) {
+  EXPECT_TRUE(StartsWith(*client_.RoundTrip("DIST 0 999999"), "ERR "));
+  EXPECT_TRUE(StartsWith(*client_.RoundTrip("NOSUCH 1 2"), "ERR "));
+  EXPECT_TRUE(StartsWith(*client_.RoundTrip("DIST a b"), "ERR "));
+  // The connection survives protocol errors.
+  EXPECT_EQ(*client_.RoundTrip("PING"), "OK pong");
+}
+
+TEST_F(ServerEndToEndTest, PipelinedRequestsAnswerInOrder) {
+  // Multiple commands in one write: responses must come back in order.
+  auto r1 = client_.RoundTrip("PING\nDIST 0 1\nPING");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, "OK pong");
+  auto r2 = client_.RoundTrip("PING");  // drains DIST response first
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(StartsWith(*r2, "OK "));
+}
+
+TEST_F(ServerEndToEndTest, ReloadSwapsIndexAndInvalidatesCache) {
+  auto tmp = TempDir::Create("server_test");
+  ASSERT_TRUE(tmp.ok());
+
+  // Answer a pair on graph A and pin it in the cache.
+  const std::vector<Distance> truth_a = ExactDistances(graph_, 3);
+  ASSERT_EQ(*client_.QueryDistance(3, 20), truth_a[20]);
+  ASSERT_EQ(*client_.QueryDistance(3, 20), truth_a[20]);
+
+  // Build a different graph B (different seed, larger) and save it.
+  const EdgeList edges_b = TestGraph(400, /*seed=*/99);
+  const CsrGraph graph_b = CsrGraph::FromEdgeList(edges_b).ValueOrDie();
+  HopDbIndex index_b = HopDbIndex::Build(graph_b).ValueOrDie();
+  const std::string path_b = tmp->File("b.hli");
+  ASSERT_TRUE(index_b.Save(path_b).ok());
+
+  const std::string reload = *client_.RoundTrip("RELOAD " + path_b);
+  ASSERT_TRUE(StartsWith(reload, "OK ")) << reload;
+  EXPECT_NE(reload.find("vertices=400"), std::string::npos);
+  EXPECT_EQ(server_->metrics().reloads(), 1u);
+
+  // Every answer now reflects graph B — including the pair that was
+  // cached under graph A (per-snapshot caches make staleness impossible).
+  const std::vector<Distance> truth_b = ExactDistances(graph_b, 3);
+  for (VertexId t : {VertexId{20}, VertexId{1}, VertexId{350}}) {
+    ASSERT_EQ(*client_.QueryDistance(3, t), truth_b[t]) << "t=" << t;
+  }
+
+  // Bare RELOAD re-reads the last explicit path.
+  EXPECT_TRUE(StartsWith(*client_.RoundTrip("RELOAD"), "OK "));
+}
+
+TEST_F(ServerEndToEndTest, BareReloadWithoutSourceFails) {
+  // This server was started from an in-memory index: bare RELOAD must be
+  // refused until an explicit path establishes a source.
+  EXPECT_TRUE(StartsWith(*client_.RoundTrip("RELOAD"), "ERR "));
+}
+
+TEST_F(ServerEndToEndTest, ReloadFromMissingFileKeepsServing) {
+  EXPECT_TRUE(StartsWith(*client_.RoundTrip("RELOAD /nonexistent/x.hli"),
+                         "ERR "));
+  const std::vector<Distance> truth = ExactDistances(graph_, 2);
+  EXPECT_EQ(*client_.QueryDistance(2, 10), truth[10]);
+}
+
+TEST(ServerLifecycleTest, StopUnblocksConnectedClients) {
+  const EdgeList edges = TestGraph(120, /*seed=*/5);
+  ServerOptions options;
+  options.num_workers = 2;
+  auto server =
+      DistanceServer::Start(HopDbIndex::Build(edges).ValueOrDie(), options)
+          .ValueOrDie();
+  auto client =
+      DistanceClient::Connect("127.0.0.1", server->port()).ValueOrDie();
+  EXPECT_EQ(*client.RoundTrip("PING"), "OK pong");
+  server->Stop();
+  // The connection is closed; the client sees an error, not a hang.
+  auto response = client.RoundTrip("PING");
+  if (response.ok()) {
+    EXPECT_TRUE(StartsWith(*response, "ERR "));
+  }
+  server->Stop();  // idempotent
+}
+
+TEST(ServerLifecycleTest, PortZeroPicksEphemeralPortAndRebinds) {
+  const EdgeList edges = TestGraph(100, /*seed=*/6);
+  ServerOptions options;
+  options.num_workers = 1;
+  auto a = DistanceServer::Start(HopDbIndex::Build(edges).ValueOrDie(),
+                                 options)
+               .ValueOrDie();
+  auto b = DistanceServer::Start(HopDbIndex::Build(edges).ValueOrDie(),
+                                 options)
+               .ValueOrDie();
+  EXPECT_NE(a->port(), 0);
+  EXPECT_NE(b->port(), 0);
+  EXPECT_NE(a->port(), b->port());
+}
+
+TEST(ServerLifecycleTest, BindToBusyPortFails) {
+  const EdgeList edges = TestGraph(100, /*seed=*/7);
+  ServerOptions options;
+  options.num_workers = 1;
+  auto a = DistanceServer::Start(HopDbIndex::Build(edges).ValueOrDie(),
+                                 options)
+               .ValueOrDie();
+  options.port = a->port();
+  auto b = DistanceServer::Start(HopDbIndex::Build(edges).ValueOrDie(),
+                                 options);
+  EXPECT_FALSE(b.ok());
+}
+
+}  // namespace
+}  // namespace hopdb
