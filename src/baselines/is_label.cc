@@ -350,9 +350,9 @@ Distance IsLabelPartialIndex::Query(VertexId s, VertexId t) const {
   if (s == t) return 0;
 
   // Leg 1 — both endpoints reach a common removed pivot: plain label join
-  // (also catches t ∈ Lout(s) / s ∈ Lin(t) directly).
-  Distance best = QueryLabelHalves(labels_.OutLabel(s), labels_.InLabel(t),
-                                   s, t);
+  // (also catches t ∈ Lout(s) / s ∈ Lin(t) directly), served by the flat
+  // query mirror.
+  Distance best = labels_.Query(s, t);
 
   // Leg 2 — the path crosses the residual graph: seeded bidirectional
   // Dijkstra over Gk. Forward seeds are s's survivor label entries (or s

@@ -47,15 +47,24 @@ class HopDbIndex {
   HopDbIndex() = default;
 
   /// Builds an index from an edge list (normalized internally).
+  /// Blocking and CPU-bound — runtime is the paper's O(n h d_max log n)
+  /// construction (seconds to minutes depending on |E| and
+  /// options.build.num_threads); fails with DeadlineExceeded /
+  /// ResourceExhausted when the configured budgets are hit.
   static Result<HopDbIndex> Build(const EdgeList& edges,
                                   const HopDbOptions& options = {});
 
-  /// Builds from an already-frozen graph.
+  /// Builds from an already-frozen graph. Same contract as the EdgeList
+  /// overload; the graph is not retained after Build returns.
   static Result<HopDbIndex> Build(const CsrGraph& graph,
                                   const HopDbOptions& options = {});
 
   /// Exact distance between original vertex ids; kInfDistance if
-  /// unreachable.
+  /// unreachable. O(|Lout(s)| + |Lin(t)|) — microseconds on scale-free
+  /// labels — via the active SIMD query kernel over the flat label
+  /// store (labeling/query_kernel.h). Distances are hop counts on
+  /// unweighted graphs and weight sums otherwise (same units as the
+  /// input edge weights).
   ///
   /// Thread safety: safe for any number of concurrent callers on one
   /// index. The whole read path is const end-to-end and touches no
@@ -71,7 +80,7 @@ class HopDbIndex {
 
   /// Reachability (directed graphs: src ⇝ dst following arc directions).
   /// 2-hop distance labels double as a reachability index: finite
-  /// distance ⇔ a path exists.
+  /// distance ⇔ a path exists. Same cost and thread-safety as Query.
   bool Reachable(VertexId src, VertexId dst) const {
     return Query(src, dst) != kInfDistance;
   }
@@ -79,14 +88,18 @@ class HopDbIndex {
   VertexId num_vertices() const { return index_.num_vertices(); }
   bool directed() const { return index_.directed(); }
 
-  /// The underlying 2-hop index (internal/ranked ids).
+  /// The underlying 2-hop index (internal/ranked ids). Const access is
+  /// safe for concurrent readers; mutable_label_index() is exclusive —
+  /// see the Query thread-safety note above.
   const TwoHopIndex& label_index() const { return index_; }
   TwoHopIndex& mutable_label_index() { return index_; }
 
-  /// The rank permutation used for this index.
+  /// The rank permutation used for this index. Immutable after Build;
+  /// O(1) id translations.
   const RankMapping& ranking() const { return mapping_; }
 
   /// Construction statistics of the build that produced this index.
+  /// Empty (zeroed) for indexes that came from Load rather than Build.
   const BuildStats& build_stats() const { return stats_; }
 
   /// Average non-trivial label entries per vertex (Table 7's "Avg
@@ -96,13 +109,19 @@ class HopDbIndex {
   /// Serialized size under the paper's accounting (Table 6 "Index size").
   uint64_t PaperSizeBytes() const { return index_.PaperSizeBytes(); }
 
-  /// Persists index + permutation; Load restores both.
+  /// Persists index + permutation (path and path + ".perm"); Load
+  /// restores both. O(total label entries) I/O; const and safe to call
+  /// while other threads query.
   Status Save(const std::string& path) const;
   /// Persists in the delta-varint compressed (HLC1) format instead —
   /// typically 2-3x smaller on scale-free labels. Load() detects the
   /// format from the file magic, so callers need not remember which
   /// Save was used.
   Status SaveCompressed(const std::string& path) const;
+  /// Reads either format (HLI1/HLC1, detected by magic) plus the .perm
+  /// sidecar and rebuilds the flat query mirror, so a loaded index
+  /// serves at full speed. The result is independent of other indexes;
+  /// publish it to reader threads with a happens-before edge.
   static Result<HopDbIndex> Load(const std::string& path);
 
  private:
@@ -127,12 +146,14 @@ class HopDbPathQuerier {
                                          const CsrGraph& original_graph);
 
   /// One shortest path from src to dst as original vertex ids; NotFound
-  /// when unreachable.
+  /// when unreachable. O(path length x label size) greedy descent;
+  /// const and safe for concurrent callers.
   Result<std::vector<VertexId>> ShortestPath(VertexId src,
                                              VertexId dst) const;
 
   /// The vertex after src on a shortest path to dst; kInvalidVertex when
-  /// src == dst or dst is unreachable.
+  /// src == dst or dst is unreachable. One descent step — O(deg(src) x
+  /// label intersection); const and safe for concurrent callers.
   VertexId FirstHop(VertexId src, VertexId dst) const;
 
  private:

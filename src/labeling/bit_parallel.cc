@@ -150,8 +150,9 @@ Distance BitParallelIndex::Query(VertexId s, VertexId t) const {
     if (d < best) best = d;
   }
 
-  Distance dn = QueryLabelHalves(normal_.OutLabel(s), normal_.OutLabel(t),
-                                 s, t);
+  // normal_ is undirected, so this is exactly the flat-kernel label join
+  // over Lout(s) and Lout(t).
+  const Distance dn = normal_.Query(s, t);
   return std::min(best, dn);
 }
 

@@ -42,6 +42,8 @@ enum class BuildMode {
   kHybrid,
 };
 
+/// Static display name ("stepping" / "doubling" / "hybrid"); never
+/// nullptr. Thread-safe (pure).
 const char* BuildModeName(BuildMode mode);
 
 struct BuildOptions {
@@ -107,7 +109,16 @@ struct BuildOutput {
 
 /// Builds a 2-hop index for `ranked_graph`, which must already be
 /// relabeled so that internal id == rank (see RelabelByRank). Returns the
-/// index over internal ids.
+/// index over internal ids (flat query mirror included).
+///
+/// Blocking and CPU-bound: at most DH rule iterations for Hop-Stepping
+/// and 2⌈log DH⌉ for Hop-Doubling (DH = hop-diameter), each iteration
+/// roughly linear in candidate volume. Deterministic — bit-identical
+/// output for any options.num_threads. Fails with DeadlineExceeded when
+/// time_budget_seconds is exceeded and ResourceExhausted when an
+/// iteration tops max_candidates_per_iteration; the graph is only read.
+/// Reentrant: independent builds may run concurrently on different
+/// graphs.
 Result<BuildOutput> BuildHopLabeling(const CsrGraph& ranked_graph,
                                      const BuildOptions& options = {});
 

@@ -1,0 +1,127 @@
+// FlatLabelStore: contiguous structure-of-arrays label storage — the
+// serving-side mirror of TwoHopIndex's per-vertex label vectors.
+//
+// The builder-facing representation (vector<LabelVector>) is ideal for
+// incremental merging but poor for querying: every label lookup chases a
+// heap pointer, and the interleaved (pivot, dist) pairs waste half of each
+// cache line during the pivot-comparison phase of a merge-join. The flat
+// store packs all label entries into two parallel 64-byte-aligned arenas
+// (all pivots, all distances) in slot order with one offset table, so a
+// query touches exactly two contiguous runs and the SIMD kernels
+// (labeling/query_kernel.h) can stream 8 pivots per compare.
+//
+// Slot layout: out-labels of vertices 0..n-1 occupy slots [0, n); for
+// directed indexes the in-labels follow in slots [n, 2n) — each
+// direction's entries are one contiguous range of the arenas. Within a
+// slot, entries stay strictly sorted by pivot (the TwoHopIndex invariant).
+//
+// Serialized form ("HFS1" section, little-endian):
+//   magic "HFS1" | flags u8 (bit0 directed, bit1 delta-encoded pivots) |
+//   num_vertices u32 | total_entries u64 |
+//   per-slot entry count (varint) x num_slots |
+//   pivot stream | distance stream
+// In raw mode both streams are fixed u32. In delta mode each label's
+// pivots are gap-encoded as varints (first gap relative to -1, so every
+// gap is >= 1) and distances are plain varints — scale-free labels
+// concentrate on top-ranked pivots, so gaps are small and most values fit
+// one byte. Save()/Load() wrap the section with an FNV-1a checksum;
+// AppendTo/Parse leave integrity to the embedding container.
+
+#ifndef HOPDB_LABELING_FLAT_LABEL_STORE_H_
+#define HOPDB_LABELING_FLAT_LABEL_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "labeling/label_entry.h"
+#include "util/aligned_buffer.h"
+#include "util/serde.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+class FlatLabelStore {
+ public:
+  /// Non-owning view of one vertex's label in SoA form: pivots[i] pairs
+  /// with dists[i]; pivots are strictly ascending. Valid as long as the
+  /// store it came from is alive and unmodified.
+  struct View {
+    const uint32_t* pivots = nullptr;
+    const uint32_t* dists = nullptr;
+    uint32_t size = 0;
+  };
+
+  FlatLabelStore() = default;
+
+  /// Flattens per-vertex label vectors (the TwoHopIndex representation)
+  /// into the SoA arenas. For undirected indexes pass an empty `in`.
+  /// O(total entries) time, one allocation per arena.
+  static FlatLabelStore Build(const std::vector<LabelVector>& out,
+                              const std::vector<LabelVector>& in,
+                              bool directed);
+
+  /// True once Build/Parse has populated the arenas. A default-constructed
+  /// store is not built; queries must fall back to the vector path.
+  bool built() const { return built_; }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  bool directed() const { return directed_; }
+  uint64_t TotalEntries() const { return pivots_.size(); }
+
+  /// Label views; v must be < num_vertices(). For undirected stores
+  /// In(v) aliases Out(v), mirroring TwoHopIndex::InLabel.
+  View Out(VertexId v) const { return Slot(v); }
+  View In(VertexId v) const {
+    return Slot(directed_ ? static_cast<size_t>(num_vertices_) + v : v);
+  }
+
+  /// In-memory footprint: both arenas plus the offset table.
+  uint64_t SizeBytes() const;
+
+  /// True iff this store is an exact mirror of the given label vectors
+  /// (shape and every entry). O(total entries), no allocation — used by
+  /// TwoHopIndex::Load to admit a deserialized mirror only when it
+  /// matches the canonical vectors it rides with.
+  bool MirrorsVectors(const std::vector<LabelVector>& out,
+                      const std::vector<LabelVector>& in,
+                      bool directed) const;
+
+  /// Appends the HFS1 section to `dst` (see the format comment above).
+  /// `delta_pivots` selects the gap/varint encoding; raw is faster to
+  /// decode, delta is typically 2-3x smaller on scale-free labels.
+  void AppendTo(std::string* dst, bool delta_pivots) const;
+
+  /// Parses one HFS1 section from the reader's current position. The
+  /// in-memory layout is identical regardless of the on-disk encoding.
+  static Result<FlatLabelStore> Parse(ByteReader* reader);
+
+  /// Standalone file: HFS1 section followed by an FNV-1a-64 checksum of
+  /// the section bytes. Load verifies the checksum before parsing.
+  Status Save(const std::string& path, bool delta_pivots = true) const;
+  static Result<FlatLabelStore> Load(const std::string& path);
+
+ private:
+  size_t num_slots() const {
+    return directed_ ? 2 * static_cast<size_t>(num_vertices_)
+                     : num_vertices_;
+  }
+  View Slot(size_t slot) const {
+    const uint64_t begin = offsets_[slot];
+    const uint64_t end = offsets_[slot + 1];
+    return View{pivots_.data() + begin, dists_.data() + begin,
+                static_cast<uint32_t>(end - begin)};
+  }
+
+  bool built_ = false;
+  bool directed_ = false;
+  VertexId num_vertices_ = 0;
+  std::vector<uint64_t> offsets_;  // num_slots + 1 entries; offsets_[0] == 0
+  AlignedU32Array pivots_;
+  AlignedU32Array dists_;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_LABELING_FLAT_LABEL_STORE_H_

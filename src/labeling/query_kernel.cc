@@ -1,0 +1,304 @@
+#include "labeling/query_kernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "util/logging.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define HOPDB_X86_KERNELS 1
+#include <immintrin.h>
+#else
+#define HOPDB_X86_KERNELS 0
+#endif
+
+namespace hopdb {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference. Also the tail finisher of every SIMD variant, so all
+// kernels share one definition of the boundary semantics.
+// ---------------------------------------------------------------------------
+
+Distance ScalarTailFlat(const uint32_t* ap, const uint32_t* ad, size_t an,
+                        const uint32_t* bp, const uint32_t* bd, size_t bn,
+                        size_t i, size_t j, Distance best) {
+  while (i < an && j < bn) {
+    if (ap[i] == bp[j]) {
+      const Distance d = SaturatingAdd(ad[i], bd[j]);
+      if (d < best) best = d;
+      ++i;
+      ++j;
+    } else if (ap[i] < bp[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
+Distance IntersectFlatScalar(const uint32_t* ap, const uint32_t* ad,
+                             uint32_t an, const uint32_t* bp,
+                             const uint32_t* bd, uint32_t bn) {
+  return ScalarTailFlat(ap, ad, an, bp, bd, bn, 0, 0, kInfDistance);
+}
+
+Distance ScalarTailEntries(const LabelEntry* a, size_t an,
+                           const LabelEntry* b, size_t bn, size_t i, size_t j,
+                           Distance best) {
+  while (i < an && j < bn) {
+    if (a[i].pivot == b[j].pivot) {
+      const Distance d = SaturatingAdd(a[i].dist, b[j].dist);
+      if (d < best) best = d;
+      ++i;
+      ++j;
+    } else if (a[i].pivot < b[j].pivot) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
+Distance IntersectEntriesScalar(const LabelEntry* a, uint32_t an,
+                                const LabelEntry* b, uint32_t bn) {
+  return ScalarTailEntries(a, an, b, bn, 0, 0, kInfDistance);
+}
+
+constexpr QueryKernel kScalarKernel{"scalar", &IntersectFlatScalar,
+                                    &IntersectEntriesScalar};
+
+#if HOPDB_X86_KERNELS
+
+// ---------------------------------------------------------------------------
+// Blocked all-pairs merge, AVX2 (8 lanes). Per block pair: compare va
+// against all 8 rotations of vb; matching lanes contribute d1+d2 to a
+// running vector minimum. A lane whose sum wraps uint32 is dropped — the
+// scalar semantics saturate it to kInfDistance, which can never win the
+// minimum. Then advance the block whose maximum (last) pivot is smaller;
+// strict sortedness makes that exhaustive (Inoue et al.'s argument).
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline __m256i
+FoldMatches8(__m256i va_p, __m256i va_d, __m256i vb_p, __m256i vb_d,
+             __m256i best, __m256i rot1) {
+  for (int r = 0; r < 8; ++r) {
+    const __m256i eq = _mm256_cmpeq_epi32(va_p, vb_p);
+    const __m256i sum = _mm256_add_epi32(va_d, vb_d);
+    // No-overflow lanes satisfy sum >= d1 (unsigned).
+    const __m256i no_ovf =
+        _mm256_cmpeq_epi32(_mm256_max_epu32(sum, va_d), sum);
+    const __m256i take = _mm256_and_si256(eq, no_ovf);
+    best = _mm256_min_epu32(best, _mm256_blendv_epi8(best, sum, take));
+    vb_p = _mm256_permutevar8x32_epi32(vb_p, rot1);
+    vb_d = _mm256_permutevar8x32_epi32(vb_d, rot1);
+  }
+  return best;
+}
+
+__attribute__((target("avx2"))) Distance
+HorizontalMinU32(__m256i v) {
+  alignas(32) uint32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  Distance best = lanes[0];
+  for (int k = 1; k < 8; ++k) best = std::min(best, lanes[k]);
+  return best;
+}
+
+__attribute__((target("avx2"))) Distance
+IntersectFlatAvx2(const uint32_t* ap, const uint32_t* ad, uint32_t an,
+                  const uint32_t* bp, const uint32_t* bd, uint32_t bn) {
+  size_t i = 0, j = 0;
+  const size_t a_n = an, b_n = bn;
+  __m256i best = _mm256_set1_epi32(-1);  // kInfDistance in every lane
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  while (i + 8 <= a_n && j + 8 <= b_n) {
+    const uint32_t amax = ap[i + 7];
+    const uint32_t bmax = bp[j + 7];
+    const __m256i va_p =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ap + i));
+    const __m256i va_d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ad + i));
+    const __m256i vb_p =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + j));
+    const __m256i vb_d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bd + j));
+    best = FoldMatches8(va_p, va_d, vb_p, vb_d, best, rot1);
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  return ScalarTailFlat(ap, ad, a_n, bp, bd, b_n, i, j,
+                        HorizontalMinU32(best));
+}
+
+/// Deinterleaves 8 consecutive (pivot, dist) entries into one pivot and
+/// one distance vector. Both outputs share the same lane permutation
+/// (p0 p1 p4 p5 p2 p3 p6 p7), which the all-pairs compare is insensitive
+/// to — only pivot/distance lane correspondence matters.
+__attribute__((target("avx2"))) inline void
+LoadEntries8(const LabelEntry* e, __m256i* pivots, __m256i* dists) {
+  const __m256i lo =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e));
+  const __m256i hi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e + 4));
+  const __m256i s0 = _mm256_shuffle_epi32(lo, _MM_SHUFFLE(3, 1, 2, 0));
+  const __m256i s1 = _mm256_shuffle_epi32(hi, _MM_SHUFFLE(3, 1, 2, 0));
+  *pivots = _mm256_unpacklo_epi64(s0, s1);
+  *dists = _mm256_unpackhi_epi64(s0, s1);
+}
+
+__attribute__((target("avx2"))) Distance
+IntersectEntriesAvx2(const LabelEntry* a, uint32_t an, const LabelEntry* b,
+                     uint32_t bn) {
+  size_t i = 0, j = 0;
+  const size_t a_n = an, b_n = bn;
+  __m256i best = _mm256_set1_epi32(-1);
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  while (i + 8 <= a_n && j + 8 <= b_n) {
+    const uint32_t amax = a[i + 7].pivot;
+    const uint32_t bmax = b[j + 7].pivot;
+    __m256i va_p, va_d, vb_p, vb_d;
+    LoadEntries8(a + i, &va_p, &va_d);
+    LoadEntries8(b + j, &vb_p, &vb_d);
+    best = FoldMatches8(va_p, va_d, vb_p, vb_d, best, rot1);
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  return ScalarTailEntries(a, a_n, b, b_n, i, j, HorizontalMinU32(best));
+}
+
+constexpr QueryKernel kAvx2Kernel{"avx2", &IntersectFlatAvx2,
+                                  &IntersectEntriesAvx2};
+
+// ---------------------------------------------------------------------------
+// Blocked all-pairs merge, SSE4.2 (4 lanes). Same scheme with immediate
+// lane rotation. The AoS entry point stays scalar: without 256-bit
+// registers the deinterleave overhead eats the 4-lane win.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse4.2"))) Distance
+IntersectFlatSse42(const uint32_t* ap, const uint32_t* ad, uint32_t an,
+                   const uint32_t* bp, const uint32_t* bd, uint32_t bn) {
+  size_t i = 0, j = 0;
+  const size_t a_n = an, b_n = bn;
+  __m128i best = _mm_set1_epi32(-1);
+  while (i + 4 <= a_n && j + 4 <= b_n) {
+    const uint32_t amax = ap[i + 3];
+    const uint32_t bmax = bp[j + 3];
+    const __m128i va_p =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ap + i));
+    const __m128i va_d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ad + i));
+    __m128i vb_p = _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp + j));
+    __m128i vb_d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(bd + j));
+    for (int r = 0; r < 4; ++r) {
+      const __m128i eq = _mm_cmpeq_epi32(va_p, vb_p);
+      const __m128i sum = _mm_add_epi32(va_d, vb_d);
+      const __m128i no_ovf = _mm_cmpeq_epi32(_mm_max_epu32(sum, va_d), sum);
+      const __m128i take = _mm_and_si128(eq, no_ovf);
+      best = _mm_min_epu32(best, _mm_blendv_epi8(best, sum, take));
+      vb_p = _mm_shuffle_epi32(vb_p, _MM_SHUFFLE(0, 3, 2, 1));
+      vb_d = _mm_shuffle_epi32(vb_d, _MM_SHUFFLE(0, 3, 2, 1));
+    }
+    if (amax <= bmax) i += 4;
+    if (bmax <= amax) j += 4;
+  }
+  alignas(16) uint32_t lanes[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), best);
+  Distance folded = std::min(std::min(lanes[0], lanes[1]),
+                             std::min(lanes[2], lanes[3]));
+  return ScalarTailFlat(ap, ad, a_n, bp, bd, b_n, i, j, folded);
+}
+
+constexpr QueryKernel kSse42Kernel{"sse4.2", &IntersectFlatSse42,
+                                   &IntersectEntriesScalar};
+
+#endif  // HOPDB_X86_KERNELS
+
+std::atomic<const QueryKernel*> g_active_kernel{nullptr};
+
+const QueryKernel* ResolveDefaultKernel() {
+  if (const char* env = std::getenv("HOPDB_QUERY_KERNEL");
+      env != nullptr && *env != '\0') {
+    if (const QueryKernel* forced = FindQueryKernel(env)) return forced;
+    HOPDB_LOG(Warning) << "HOPDB_QUERY_KERNEL='" << env
+                       << "' unknown or unsupported on this CPU; "
+                          "auto-selecting";
+  }
+#if HOPDB_X86_KERNELS
+  if (__builtin_cpu_supports("avx2")) return &kAvx2Kernel;
+  if (__builtin_cpu_supports("sse4.2")) return &kSse42Kernel;
+#endif
+  return &kScalarKernel;
+}
+
+}  // namespace
+
+std::vector<const QueryKernel*> SupportedQueryKernels() {
+  std::vector<const QueryKernel*> kernels{&kScalarKernel};
+#if HOPDB_X86_KERNELS
+  if (__builtin_cpu_supports("sse4.2")) kernels.push_back(&kSse42Kernel);
+  if (__builtin_cpu_supports("avx2")) kernels.push_back(&kAvx2Kernel);
+#endif
+  return kernels;
+}
+
+const QueryKernel* FindQueryKernel(std::string_view name) {
+  for (const QueryKernel* kernel : SupportedQueryKernels()) {
+    if (name == kernel->name) return kernel;
+  }
+  return nullptr;
+}
+
+const QueryKernel& ActiveQueryKernel() {
+  const QueryKernel* kernel = g_active_kernel.load(std::memory_order_acquire);
+  if (kernel == nullptr) {
+    // Benign race: concurrent first callers resolve the same default.
+    kernel = ResolveDefaultKernel();
+    g_active_kernel.store(kernel, std::memory_order_release);
+  }
+  return *kernel;
+}
+
+bool SetActiveQueryKernel(std::string_view name) {
+  const QueryKernel* kernel = FindQueryKernel(name);
+  if (kernel == nullptr) return false;
+  g_active_kernel.store(kernel, std::memory_order_release);
+  return true;
+}
+
+Distance LookupPivotFlat(FlatLabelStore::View label, VertexId pivot) {
+  size_t lo = 0, hi = label.size;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (label.pivots[mid] < pivot) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < label.size && label.pivots[lo] == pivot) return label.dists[lo];
+  return kInfDistance;
+}
+
+Distance QueryFlatHalves(FlatLabelStore::View out_s,
+                         FlatLabelStore::View in_t, VertexId s, VertexId t,
+                         const QueryKernel& kernel) {
+  if (s == t) return 0;
+  Distance best = kernel.intersect_flat(out_s.pivots, out_s.dists,
+                                        out_s.size, in_t.pivots, in_t.dists,
+                                        in_t.size);
+  // Implicit trivial pivots: (s, 0) in Lout(s) and (t, 0) in Lin(t).
+  const Distance direct_t = LookupPivotFlat(out_s, t);
+  if (direct_t < best) best = direct_t;
+  const Distance direct_s = LookupPivotFlat(in_t, s);
+  if (direct_s < best) best = direct_s;
+  return best;
+}
+
+}  // namespace hopdb

@@ -1,0 +1,93 @@
+// Vectorized merge-join distance kernels over 2-hop labels.
+//
+// A point query is min_{w in Lout(s) ∩ Lin(t)} d1 + d2 over two sorted
+// pivot arrays — a sorted-merge intersection. The kernels here implement
+// that primitive three ways behind one dispatch table:
+//
+//   scalar   portable two-pointer merge (the reference semantics)
+//   sse4.2   4-lane blocked merge (SSE4.1/4.2 integer ops)
+//   avx2     8-lane blocked merge (the serving default on modern x86)
+//
+// The SIMD variants use block-wise all-pairs comparison (Inoue et al.,
+// "Faster Set Intersection with SIMD instructions"): load one block per
+// side, compare every lane pairing via lane rotations, fold matching
+// d1+d2 sums into a running vector minimum, then advance the block whose
+// maximum pivot is smaller. All variants return bit-identical results —
+// including kInfDistance saturation on d1+d2 overflow — which the test
+// suite verifies pairwise on randomized labels.
+//
+// Kernel selection is runtime CPUID dispatch: the first query picks the
+// widest kernel the CPU supports, overridable with the environment
+// variable HOPDB_QUERY_KERNEL=scalar|sse4.2|avx2 (ignored when the CPU
+// lacks the requested extension) or programmatically via
+// SetActiveQueryKernel (tests and benchmarks).
+
+#ifndef HOPDB_LABELING_QUERY_KERNEL_H_
+#define HOPDB_LABELING_QUERY_KERNEL_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graph/types.h"
+#include "labeling/flat_label_store.h"
+#include "labeling/label_entry.h"
+
+namespace hopdb {
+
+/// One query-kernel implementation. Both entry points compute
+///   min over common pivots of SaturatingAdd(d1, d2)
+/// (kInfDistance when the intersection is empty) and require strictly
+/// ascending pivots on both sides — the TwoHopIndex label invariant.
+/// All functions are stateless and reentrant: safe for any number of
+/// concurrent callers.
+struct QueryKernel {
+  const char* name;
+
+  /// Structure-of-arrays form (FlatLabelStore views) — the serving hot
+  /// path. O((|a| + |b|) / lanes) block steps plus a scalar tail.
+  Distance (*intersect_flat)(const uint32_t* a_pivots,
+                             const uint32_t* a_dists, uint32_t a_size,
+                             const uint32_t* b_pivots,
+                             const uint32_t* b_dists, uint32_t b_size);
+
+  /// Array-of-structs form (LabelEntry spans) — builders, baselines and
+  /// the disk index. The AVX2 kernel deinterleaves entry blocks in
+  /// registers; narrower kernels fall back to the scalar merge.
+  Distance (*intersect_entries)(const LabelEntry* a, uint32_t a_size,
+                                const LabelEntry* b, uint32_t b_size);
+};
+
+/// Kernels this binary can run on this CPU, widest last; index 0 is
+/// always the scalar reference.
+std::vector<const QueryKernel*> SupportedQueryKernels();
+
+/// Looks up a supported kernel by name; nullptr when unknown or not
+/// supported by the running CPU.
+const QueryKernel* FindQueryKernel(std::string_view name);
+
+/// The kernel all label queries route through. First call resolves the
+/// default (HOPDB_QUERY_KERNEL override, else widest supported);
+/// subsequent calls are one atomic load.
+const QueryKernel& ActiveQueryKernel();
+
+/// Forces the active kernel (tests/benchmarks). Returns false — leaving
+/// the active kernel unchanged — when the name is unknown or unsupported
+/// on this CPU. Takes effect for queries issued after the call; do not
+/// race it against in-flight queries you need deterministic kernel
+/// attribution for.
+bool SetActiveQueryKernel(std::string_view name);
+
+/// Binary search for `pivot` in a flat label view; stored distance or
+/// kInfDistance when absent. O(log |label|).
+Distance LookupPivotFlat(FlatLabelStore::View label, VertexId pivot);
+
+/// QueryLabelHalves (two_hop_index.h) over flat views: intersection via
+/// `kernel` plus the two implicit trivial pivots and the s == t case.
+Distance QueryFlatHalves(FlatLabelStore::View out_s,
+                         FlatLabelStore::View in_t, VertexId s, VertexId t,
+                         const QueryKernel& kernel);
+
+}  // namespace hopdb
+
+#endif  // HOPDB_LABELING_QUERY_KERNEL_H_

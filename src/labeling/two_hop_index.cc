@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "labeling/query_kernel.h"
 #include "util/logging.h"
 #include "util/serde.h"
 
@@ -24,13 +25,16 @@ TwoHopIndex::TwoHopIndex(std::vector<LabelVector> out,
   } else {
     HOPDB_CHECK_EQ(out_.size(), in_.size());
   }
+  RebuildFlatStore();
 }
 
 Distance QueryLabelHalves(std::span<const LabelEntry> out_s,
                           std::span<const LabelEntry> in_t, VertexId s,
                           VertexId t) {
   if (s == t) return 0;
-  Distance best = IntersectLabels(out_s, in_t);
+  Distance best = ActiveQueryKernel().intersect_entries(
+      out_s.data(), static_cast<uint32_t>(out_s.size()), in_t.data(),
+      static_cast<uint32_t>(in_t.size()));
   // Implicit trivial pivots: (s, 0) in Lout(s) and (t, 0) in Lin(t).
   Distance direct_t = LookupPivot(out_s, t);
   if (direct_t < best) best = direct_t;
@@ -42,6 +46,10 @@ Distance QueryLabelHalves(std::span<const LabelEntry> out_s,
 Distance TwoHopIndex::Query(VertexId s, VertexId t) const {
   HOPDB_DCHECK_LT(s, num_vertices());
   HOPDB_DCHECK_LT(t, num_vertices());
+  if (flat_.built()) {
+    return QueryFlatHalves(flat_.Out(s), flat_.In(t), s, t,
+                           ActiveQueryKernel());
+  }
   return QueryLabelHalves(OutLabel(s), InLabel(t), s, t);
 }
 
@@ -62,6 +70,7 @@ uint64_t TwoHopIndex::SizeBytes() const {
   for (const auto& l : out_) bytes += l.size() * sizeof(LabelEntry);
   for (const auto& l : in_) bytes += l.size() * sizeof(LabelEntry);
   bytes += (out_.size() + in_.size()) * sizeof(LabelVector);
+  if (flat_.built()) bytes += flat_.SizeBytes();
   return bytes;
 }
 
@@ -133,6 +142,18 @@ Status TwoHopIndex::Save(const std::string& path) const {
   };
   write_side(out_);
   write_side(in_);
+  // Trailing flat-mirror section (HFS1, delta-encoded, own checksum):
+  // Load adopts it instead of rebuilding the SoA arenas from the
+  // vectors. Readers of the original HLI1 body ignored trailing bytes,
+  // so the section is backward- and forward-compatible.
+  const size_t flat_begin = buf.size();
+  if (flat_.built()) {
+    flat_.AppendTo(&buf, /*delta_pivots=*/true);
+  } else {
+    FlatLabelStore::Build(out_, in_, directed_)
+        .AppendTo(&buf, /*delta_pivots=*/true);
+  }
+  PutU64(&buf, Fnv1a64(buf.data() + flat_begin, buf.size() - flat_begin));
   return WriteStringToFile(path, buf);
 }
 
@@ -168,6 +189,35 @@ Result<TwoHopIndex> TwoHopIndex::Load(const std::string& path) {
   HOPDB_RETURN_NOT_OK(read_side(&in));
   if (out.size() != nv || (directed != 0 && in.size() != nv)) {
     return Status::InvalidArgument("corrupt index file: " + path);
+  }
+  // Adopt the trailing flat-mirror section when present (files written
+  // before the flat store existed end here; those rebuild the mirror).
+  if (reader.remaining() > 0) {
+    if (reader.remaining() < 8) {
+      return Status::InvalidArgument("truncated flat section: " + path);
+    }
+    const size_t begin = reader.position();
+    const size_t section_end = data.size() - 8;
+    const uint8_t* bytes = reinterpret_cast<const uint8_t*>(data.data());
+    if (Fnv1a64(bytes + begin, section_end - begin) !=
+        DecodeU64(bytes + section_end)) {
+      return Status::InvalidArgument("flat section checksum mismatch: " +
+                                     path);
+    }
+    ByteReader flat_reader(bytes + begin, section_end - begin);
+    HOPDB_ASSIGN_OR_RETURN(FlatLabelStore flat,
+                           FlatLabelStore::Parse(&flat_reader));
+    if (flat_reader.remaining() != 0 ||
+        !flat.MirrorsVectors(out, in, directed != 0)) {
+      return Status::InvalidArgument(
+          "flat section disagrees with label vectors: " + path);
+    }
+    TwoHopIndex index;
+    index.out_ = std::move(out);
+    index.in_ = std::move(in);
+    index.directed_ = directed != 0;
+    index.flat_ = std::move(flat);
+    return index;
   }
   return TwoHopIndex(std::move(out), std::move(in), directed != 0);
 }

@@ -1,8 +1,19 @@
 // TwoHopIndex: the queryable 2-hop label index. Produced by the HopDb
 // builders (in-memory and external) and by the PLL / IS-Label baselines;
-// all of them answer queries through the same intersection code path so
-// Table 6's "memory query time" comparisons measure label quality, not
-// implementation differences.
+// all of them answer queries through this class's Query — same storage
+// layout, same active query kernel — so Table 6's "memory query time"
+// comparisons measure label quality, not implementation differences.
+//
+// Two representations live side by side:
+//   - per-vertex LabelVectors (array-of-structs): the canonical, mutable
+//     form every builder produces and the HLI1 disk format mirrors;
+//   - a FlatLabelStore (structure-of-arrays, cache-line-aligned arenas):
+//     the read-optimized mirror the query hot path and the SIMD kernels
+//     (labeling/query_kernel.h) run on.
+// The flat mirror is built eagerly on construction and load, and
+// invalidated by mutable_out()/mutable_in(); RebuildFlatStore() restores
+// it after a post-processing pass. Queries transparently fall back to the
+// vector path while the mirror is stale.
 
 #ifndef HOPDB_LABELING_TWO_HOP_INDEX_H_
 #define HOPDB_LABELING_TWO_HOP_INDEX_H_
@@ -13,6 +24,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "labeling/flat_label_store.h"
 #include "labeling/label_entry.h"
 #include "util/status.h"
 
@@ -22,8 +34,9 @@ class TwoHopIndex {
  public:
   TwoHopIndex() = default;
 
-  /// Takes ownership of the label vectors. For undirected indexes pass an
-  /// empty `in` (queries then intersect out[s] with out[t]).
+  /// Takes ownership of the label vectors and builds the flat query
+  /// mirror (O(total entries)). For undirected indexes pass an empty
+  /// `in` (queries then intersect out[s] with out[t]).
   /// Trivial (v, 0) self-entries must NOT be stored; Query handles them
   /// implicitly (the paper's tables count non-trivial entries the same
   /// way).
@@ -35,6 +48,7 @@ class TwoHopIndex {
   }
   bool directed() const { return directed_; }
 
+  /// Label views over the canonical vectors (always current, O(1)).
   std::span<const LabelEntry> OutLabel(VertexId v) const { return out_[v]; }
   std::span<const LabelEntry> InLabel(VertexId v) const {
     return directed_ ? std::span<const LabelEntry>(in_[v])
@@ -42,7 +56,9 @@ class TwoHopIndex {
   }
 
   /// Exact distance from s to t (both internal/ranked ids);
-  /// kInfDistance when unreachable.
+  /// kInfDistance when unreachable. O(|Lout(s)| + |Lin(t)|) via the
+  /// active SIMD query kernel over the flat store (scalar fallback while
+  /// the store is stale).
   ///
   /// Thread safety: const and stateless — a pure intersection over the
   /// immutable label arrays, so concurrent readers need no
@@ -50,14 +66,15 @@ class TwoHopIndex {
   /// against a concurrent mutable_out()/mutable_in() writer.
   Distance Query(VertexId s, VertexId t) const;
 
-  /// Number of non-trivial label entries.
+  /// Number of non-trivial label entries. O(|V|).
   uint64_t TotalEntries() const;
 
   /// Average non-trivial entries per vertex; for directed graphs counts
   /// Lin and Lout together (the paper's "Avg |label| per vertex").
   double AvgLabelSize() const;
 
-  /// In-memory footprint of the label arrays.
+  /// In-memory footprint in bytes: label vectors plus the flat query
+  /// mirror when built.
   uint64_t SizeBytes() const;
 
   /// Size under the paper's disk accounting: 32-bit pivot + 8-bit
@@ -67,6 +84,7 @@ class TwoHopIndex {
 
   /// entries_per_pivot[p] = number of non-trivial entries whose pivot is
   /// p. Drives Table 7 / Figure 8 (label coverage by top-ranked pivots).
+  /// O(total entries).
   std::vector<uint64_t> EntriesPerPivot() const;
 
   /// Structural invariants: labels sorted by pivot, no duplicate pivots,
@@ -75,17 +93,40 @@ class TwoHopIndex {
   /// pivot id < owner id.
   Status Validate(bool ranked) const;
 
-  /// Serializes to the HLI1 binary format (shared with DiskIndex).
+  /// Serializes to the HLI1 binary format: the label vectors followed by
+  /// a checksummed HFS1 flat-mirror section (docs/ARCHITECTURE.md).
+  /// Load adopts the flat section after verifying it mirrors the
+  /// vectors, so a loaded index queries at full speed; section-less
+  /// files (pre-flat-store writers) rebuild the mirror instead.
   Status Save(const std::string& path) const;
   static Result<TwoHopIndex> Load(const std::string& path);
 
+  /// The flat query mirror. Check flat_store().built() before using the
+  /// views directly; it is false after mutable access until
+  /// RebuildFlatStore().
+  const FlatLabelStore& flat_store() const { return flat_; }
+
   /// Mutable access for post-processing passes (bit-parallel transform).
-  std::vector<LabelVector>* mutable_out() { return &out_; }
-  std::vector<LabelVector>* mutable_in() { return &in_; }
+  /// Invalidates the flat query mirror: queries stay correct through the
+  /// vector fallback, but lose the SIMD path until RebuildFlatStore().
+  std::vector<LabelVector>* mutable_out() {
+    flat_ = FlatLabelStore();
+    return &out_;
+  }
+  std::vector<LabelVector>* mutable_in() {
+    flat_ = FlatLabelStore();
+    return &in_;
+  }
+
+  /// Re-freezes the flat query mirror from the (possibly edited) label
+  /// vectors. O(total entries). Not thread-safe against concurrent
+  /// readers — publish the index to readers only after this returns.
+  void RebuildFlatStore() { flat_ = FlatLabelStore::Build(out_, in_, directed_); }
 
  private:
   std::vector<LabelVector> out_;
   std::vector<LabelVector> in_;  // empty when undirected
+  FlatLabelStore flat_;          // SoA mirror of out_/in_ for querying
   bool directed_ = false;
 };
 
@@ -95,6 +136,8 @@ class TwoHopIndex {
 ///               dist stored for pivot t in out_s,
 ///               dist stored for pivot s in in_t,
 ///               0 if s == t )
+/// The intersection routes through the active query kernel
+/// (labeling/query_kernel.h); results are identical for every kernel.
 Distance QueryLabelHalves(std::span<const LabelEntry> out_s,
                           std::span<const LabelEntry> in_t, VertexId s,
                           VertexId t);

@@ -4,48 +4,96 @@
 #include <utility>
 #include <vector>
 
+#include "labeling/flat_label_store.h"
 #include "util/logging.h"
 
 namespace hopdb {
 
+namespace {
+
+/// Invokes fn(pivot, dist) for every entry of the in-label of t, using
+/// the flat store when built and the label vectors otherwise.
+template <typename Fn>
+void ForEachInEntry(const TwoHopIndex& index, VertexId t, Fn&& fn) {
+  if (index.flat_store().built()) {
+    const FlatLabelStore::View view = index.flat_store().In(t);
+    for (uint32_t i = 0; i < view.size; ++i) fn(view.pivots[i], view.dists[i]);
+  } else {
+    for (const LabelEntry& e : index.InLabel(t)) fn(e.pivot, e.dist);
+  }
+}
+
+template <typename Fn>
+void ForEachOutEntry(const TwoHopIndex& index, VertexId s, Fn&& fn) {
+  if (index.flat_store().built()) {
+    const FlatLabelStore::View view = index.flat_store().Out(s);
+    for (uint32_t i = 0; i < view.size; ++i) fn(view.pivots[i], view.dists[i]);
+  } else {
+    for (const LabelEntry& e : index.OutLabel(s)) fn(e.pivot, e.dist);
+  }
+}
+
+}  // namespace
+
 OneToManyEngine::OneToManyEngine(const TwoHopIndex& index,
                                  std::vector<VertexId> targets)
     : index_(index), targets_(std::move(targets)) {
-  buckets_.resize(index_.num_vertices());
+  const VertexId n = index_.num_vertices();
+  // Pass 1: bucket sizes, counted into slot p+1 so the in-place prefix
+  // sum below turns the same array into the arena offsets. Each target
+  // contributes its in-label entries plus one trivial self-pivot entry
+  // (dist(s, t) may be certified by pivot t itself — the entry (t, d1)
+  // in Lout(s)).
+  bucket_offsets_.assign(n + 1, 0);
   for (uint32_t j = 0; j < targets_.size(); ++j) {
     const VertexId t = targets_[j];
-    HOPDB_CHECK_LT(t, index_.num_vertices()) << "target id out of range";
-    // Trivial self-pivot: dist(s, t) may be certified by pivot t itself
-    // (the entry (t, d1) in Lout(s)).
-    buckets_[t].push_back({j, 0});
-    for (const LabelEntry& e : index_.InLabel(t)) {
-      buckets_[e.pivot].push_back({j, e.dist});
-    }
+    HOPDB_CHECK_LT(t, n) << "target id out of range";
+    bucket_offsets_[t + 1]++;
+    ForEachInEntry(index_, t, [&](uint32_t pivot, uint32_t) {
+      bucket_offsets_[pivot + 1]++;
+    });
+  }
+  for (VertexId p = 0; p < n; ++p) bucket_offsets_[p + 1] += bucket_offsets_[p];
+  bucket_target_.resize(bucket_offsets_[n]);
+  bucket_dist_.resize(bucket_offsets_[n]);
+  // Pass 2: fill through per-pivot write cursors (one scratch array —
+  // the offsets stay pristine for Relax).
+  std::vector<uint64_t> cursor(bucket_offsets_.begin(),
+                               bucket_offsets_.end() - 1);
+  for (uint32_t j = 0; j < targets_.size(); ++j) {
+    const VertexId t = targets_[j];
+    const uint64_t self = cursor[t]++;
+    bucket_target_[self] = j;
+    bucket_dist_[self] = 0;
+    ForEachInEntry(index_, t, [&](uint32_t pivot, uint32_t dist) {
+      const uint64_t k = cursor[pivot]++;
+      bucket_target_[k] = j;
+      bucket_dist_[k] = dist;
+    });
+  }
+}
+
+void OneToManyEngine::Relax(VertexId pivot, Distance d1,
+                            std::vector<Distance>* result) const {
+  const uint64_t begin = bucket_offsets_[pivot];
+  const uint64_t end = bucket_offsets_[pivot + 1];
+  std::vector<Distance>& out = *result;
+  for (uint64_t k = begin; k < end; ++k) {
+    const Distance d = SaturatingAdd(d1, bucket_dist_[k]);
+    if (d < out[bucket_target_[k]]) out[bucket_target_[k]] = d;
   }
 }
 
 std::vector<Distance> OneToManyEngine::Query(VertexId s) const {
   std::vector<Distance> result(targets_.size(), kInfDistance);
   if (s >= index_.num_vertices()) return result;  // nothing reachable
-  auto relax = [&](const std::vector<TargetEntry>& bucket, Distance d1) {
-    for (const TargetEntry& te : bucket) {
-      const Distance d = SaturatingAdd(d1, te.dist);
-      if (d < result[te.target_index]) result[te.target_index] = d;
-    }
-  };
   // Trivial source pivot: (s, 0) pairs with every in-entry naming s —
   // including the self-bucket entry, so dist(s, s) == 0 falls out.
-  relax(buckets_[s], 0);
-  for (const LabelEntry& e : index_.OutLabel(s)) {
-    relax(buckets_[e.pivot], e.dist);
-  }
+  Relax(s, 0, &result);
+  ForEachOutEntry(index_, s, [&](uint32_t pivot, uint32_t dist) {
+    Relax(pivot, dist, &result);
+  });
   return result;
-}
-
-uint64_t OneToManyEngine::TotalBucketEntries() const {
-  uint64_t total = 0;
-  for (const auto& b : buckets_) total += b.size();
-  return total;
 }
 
 std::vector<std::vector<Distance>> ManyToManyDistances(

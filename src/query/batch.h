@@ -10,6 +10,11 @@
 // instead of |T| label merges, which is what makes index-backed centrality
 // and distance-matrix workloads (Section 1's motivating applications)
 // practical.
+//
+// The buckets live in one flat structure-of-arrays arena (all bucketed
+// entries contiguous, one offset per pivot) mirroring the FlatLabelStore
+// layout, so a Query(s) is a handful of contiguous range scans instead of
+// |Lout(s)| separate heap vectors.
 
 #ifndef HOPDB_QUERY_BATCH_H_
 #define HOPDB_QUERY_BATCH_H_
@@ -27,31 +32,43 @@ namespace hopdb {
 /// Repeated one-to-many queries against a fixed target set. Construction
 /// buckets the targets' in-labels by pivot; each Query(s) is then a scan
 /// of the buckets named by Lout(s).
+///
+/// Thread safety: construction is exclusive; after that Query is const
+/// over immutable arenas and safe for concurrent callers (the serving
+/// micro-batch path relies on this).
 class OneToManyEngine {
  public:
   /// The index reference is not owned and must outlive the engine.
   /// Duplicate targets are allowed (each position is answered).
+  /// Construction is O(sum |Lin(t)| + |V|).
   OneToManyEngine(const TwoHopIndex& index, std::vector<VertexId> targets);
 
   /// result[j] = dist(s, targets()[j]); kInfDistance when unreachable.
+  /// O(|Lout(s)| + touched bucket entries + |T|) per call.
   std::vector<Distance> Query(VertexId s) const;
 
   const std::vector<VertexId>& targets() const { return targets_; }
 
   /// Total bucketed entries (memory/working-set accounting).
-  uint64_t TotalBucketEntries() const;
+  uint64_t TotalBucketEntries() const {
+    return static_cast<uint64_t>(bucket_target_.size());
+  }
 
  private:
-  struct TargetEntry {
-    uint32_t target_index;
-    Distance dist;
-  };
+  /// Scans the bucket of `pivot` relaxing every (target, d2) entry with
+  /// source-side distance d1.
+  void Relax(VertexId pivot, Distance d1, std::vector<Distance>* result) const;
 
   const TwoHopIndex& index_;
   std::vector<VertexId> targets_;
-  /// buckets_[p] = {(j, d2)} with (p, d2) in Lin(targets_[j]), plus the
-  /// trivial (targets_[j], 0) entry under pivot targets_[j].
-  std::vector<std::vector<TargetEntry>> buckets_;
+  /// Flat bucket arena: entries of pivot p occupy
+  /// [bucket_offsets_[p], bucket_offsets_[p+1]) in the two parallel
+  /// arrays. Entry k covers target position bucket_target_[k] at in-label
+  /// distance bucket_dist_[k]; the trivial (t, 0) self-entry of each
+  /// target is bucketed under pivot t.
+  std::vector<uint64_t> bucket_offsets_;  // |V| + 1
+  std::vector<uint32_t> bucket_target_;
+  std::vector<uint32_t> bucket_dist_;
 };
 
 /// matrix[i][j] = dist(sources[i], targets[j]). One bucket pass over the

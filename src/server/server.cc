@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "labeling/query_kernel.h"
 #include "query/batch.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
@@ -412,6 +413,7 @@ std::string DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
   payload += " cache_capacity=" + std::to_string(cache.capacity);
   payload += " queue_depth=" + std::to_string(queue_.size());
   payload += " workers=" + std::to_string(workers_.size());
+  payload += std::string(" kernel=") + ActiveQueryKernel().name;
   payload += " reloads=" + std::to_string(metrics_.reloads());
   payload += " connections=" + std::to_string(connections_accepted());
   payload += " vertices=" + std::to_string(snapshot.index().num_vertices());

@@ -1,0 +1,264 @@
+// FlatLabelStore: builder→flat→serde→reload round trips (raw and
+// delta-encoded pivot streams), corruption detection, degenerate inputs,
+// and the TwoHopIndex flat-mirror lifecycle (eager build, invalidation on
+// mutable access, rebuild).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gen/glp.h"
+#include "graph/csr_graph.h"
+#include "graph/ranking.h"
+#include "io/temp_dir.h"
+#include "labeling/builder.h"
+#include "labeling/flat_label_store.h"
+#include "labeling/two_hop_index.h"
+#include "util/random.h"
+#include "util/serde.h"
+
+namespace hopdb {
+namespace {
+
+LabelVector RandomLabel(Rng* rng, VertexId pivot_space, size_t max_len) {
+  std::map<VertexId, Distance> entries;
+  const size_t len = rng->Below(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    entries.emplace(static_cast<VertexId>(rng->Below(pivot_space)),
+                    static_cast<Distance>(rng->Uniform(1, 200)));
+  }
+  LabelVector out;
+  for (auto [p, d] : entries) out.push_back({p, d});
+  return out;
+}
+
+void ExpectStoresEqual(const FlatLabelStore& a, const FlatLabelStore& b) {
+  ASSERT_TRUE(a.built());
+  ASSERT_TRUE(b.built());
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.directed(), b.directed());
+  ASSERT_EQ(a.TotalEntries(), b.TotalEntries());
+  auto check_view = [](FlatLabelStore::View va, FlatLabelStore::View vb,
+                       VertexId v, const char* side) {
+    ASSERT_EQ(va.size, vb.size) << side << " label of " << v;
+    for (uint32_t i = 0; i < va.size; ++i) {
+      ASSERT_EQ(va.pivots[i], vb.pivots[i]) << side << " label of " << v;
+      ASSERT_EQ(va.dists[i], vb.dists[i]) << side << " label of " << v;
+    }
+  };
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    check_view(a.Out(v), b.Out(v), v, "out");
+    check_view(a.In(v), b.In(v), v, "in");
+  }
+}
+
+void ExpectMatchesVectors(const FlatLabelStore& store,
+                          const std::vector<LabelVector>& out,
+                          const std::vector<LabelVector>& in) {
+  ASSERT_EQ(store.num_vertices(), out.size());
+  for (VertexId v = 0; v < store.num_vertices(); ++v) {
+    const FlatLabelStore::View view = store.Out(v);
+    ASSERT_EQ(view.size, out[v].size()) << "out label of " << v;
+    for (uint32_t i = 0; i < view.size; ++i) {
+      ASSERT_EQ(view.pivots[i], out[v][i].pivot);
+      ASSERT_EQ(view.dists[i], out[v][i].dist);
+    }
+    const std::vector<LabelVector>& in_side = store.directed() ? in : out;
+    const FlatLabelStore::View iview = store.In(v);
+    ASSERT_EQ(iview.size, in_side[v].size()) << "in label of " << v;
+    for (uint32_t i = 0; i < iview.size; ++i) {
+      ASSERT_EQ(iview.pivots[i], in_side[v][i].pivot);
+      ASSERT_EQ(iview.dists[i], in_side[v][i].dist);
+    }
+  }
+}
+
+std::vector<LabelVector> RandomLabels(Rng* rng, VertexId nv, size_t max_len) {
+  std::vector<LabelVector> labels(nv);
+  for (VertexId v = 0; v < nv; ++v) {
+    labels[v] = RandomLabel(rng, nv, max_len);
+  }
+  return labels;
+}
+
+TEST(FlatLabelStoreTest, BuildMatchesVectors) {
+  Rng rng(11);
+  const auto out = RandomLabels(&rng, 50, 16);
+  ExpectMatchesVectors(FlatLabelStore::Build(out, {}, false), out, {});
+  const auto in = RandomLabels(&rng, 50, 16);
+  ExpectMatchesVectors(FlatLabelStore::Build(out, in, true), out, in);
+}
+
+TEST(FlatLabelStoreTest, SerdeRoundTripRawAndDelta) {
+  Rng rng(12);
+  for (const bool directed : {false, true}) {
+    const auto out = RandomLabels(&rng, 60, 12);
+    const auto in = directed ? RandomLabels(&rng, 60, 12)
+                             : std::vector<LabelVector>{};
+    const FlatLabelStore store = FlatLabelStore::Build(out, in, directed);
+    for (const bool delta : {false, true}) {
+      std::string buf;
+      store.AppendTo(&buf, delta);
+      ByteReader reader(buf);
+      auto parsed = FlatLabelStore::Parse(&reader);
+      ASSERT_TRUE(parsed.ok()) << parsed.status();
+      EXPECT_EQ(reader.remaining(), 0u);
+      ExpectStoresEqual(store, *parsed);
+    }
+  }
+}
+
+TEST(FlatLabelStoreTest, DeltaEncodingIsSmallerOnSortedLabels) {
+  // Scale-free-ish labels: pivots concentrated near 0.
+  Rng rng(13);
+  std::vector<LabelVector> out(200);
+  for (auto& l : out) l = RandomLabel(&rng, 40, 24);
+  const FlatLabelStore store = FlatLabelStore::Build(out, {}, false);
+  std::string raw, delta;
+  store.AppendTo(&raw, false);
+  store.AppendTo(&delta, true);
+  EXPECT_LT(delta.size(), raw.size());
+}
+
+TEST(FlatLabelStoreTest, FileRoundTripAndCorruptionDetection) {
+  auto dir = TempDir::Create("flat_store_test");
+  ASSERT_TRUE(dir.ok()) << dir.status();
+  Rng rng(14);
+  const auto out = RandomLabels(&rng, 80, 10);
+  const FlatLabelStore store = FlatLabelStore::Build(out, {}, false);
+  const std::string path = dir->File("labels.hfs");
+  ASSERT_TRUE(store.Save(path).ok());
+  auto loaded = FlatLabelStore::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectStoresEqual(store, *loaded);
+
+  // Flip one payload byte: the checksum must catch it.
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes).ok());
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  const std::string bad = dir->File("corrupt.hfs");
+  ASSERT_TRUE(WriteStringToFile(bad, bytes).ok());
+  EXPECT_FALSE(FlatLabelStore::Load(bad).ok());
+
+  // Truncation must fail cleanly too.
+  const std::string trunc = dir->File("trunc.hfs");
+  ASSERT_TRUE(
+      WriteStringToFile(trunc, bytes.substr(0, bytes.size() / 3)).ok());
+  EXPECT_FALSE(FlatLabelStore::Load(trunc).ok());
+}
+
+TEST(FlatLabelStoreTest, DegenerateStores) {
+  // No vertices at all.
+  const FlatLabelStore empty = FlatLabelStore::Build({}, {}, false);
+  EXPECT_TRUE(empty.built());
+  EXPECT_EQ(empty.TotalEntries(), 0u);
+  std::string buf;
+  empty.AppendTo(&buf, true);
+  ByteReader reader(buf);
+  auto parsed = FlatLabelStore::Parse(&reader);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_vertices(), 0u);
+
+  // Vertices with all-empty labels.
+  const FlatLabelStore blank =
+      FlatLabelStore::Build(std::vector<LabelVector>(5), {}, false);
+  EXPECT_EQ(blank.TotalEntries(), 0u);
+  EXPECT_EQ(blank.Out(3).size, 0u);
+
+  // Default-constructed store is not built.
+  EXPECT_FALSE(FlatLabelStore().built());
+
+  // A single one-entry label survives both encodings.
+  std::vector<LabelVector> one(2);
+  one[1] = {{0, 7}};
+  const FlatLabelStore single = FlatLabelStore::Build(one, {}, false);
+  for (const bool delta : {false, true}) {
+    std::string b;
+    single.AppendTo(&b, delta);
+    ByteReader r(b);
+    auto p = FlatLabelStore::Parse(&r);
+    ASSERT_TRUE(p.ok()) << p.status();
+    ExpectStoresEqual(single, *p);
+  }
+}
+
+// Full pipeline: build labels with the real builder over a GLP graph,
+// flatten, serialize, reload, and require identical views and identical
+// query answers through the HLI1 save/load path as well.
+TEST(FlatLabelStoreTest, BuilderToFlatToSerdeToReload) {
+  GlpOptions glp;
+  glp.num_vertices = 300;
+  glp.target_avg_degree = 4;
+  glp.seed = 5;
+  auto edges = GenerateGlp(glp);
+  ASSERT_TRUE(edges.ok()) << edges.status();
+  auto graph = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  auto ranked =
+      RelabelByRank(*graph, ComputeRanking(*graph, RankingPolicy::kDegree));
+  ASSERT_TRUE(ranked.ok()) << ranked.status();
+  auto built = BuildHopLabeling(*ranked);
+  ASSERT_TRUE(built.ok()) << built.status();
+  TwoHopIndex index = std::move(built->index);
+  ASSERT_TRUE(index.flat_store().built());
+
+  auto dir = TempDir::Create("flat_store_pipeline");
+  ASSERT_TRUE(dir.ok()) << dir.status();
+
+  // Flat serde round trip.
+  const std::string flat_path = dir->File("labels.hfs");
+  ASSERT_TRUE(index.flat_store().Save(flat_path).ok());
+  auto flat = FlatLabelStore::Load(flat_path);
+  ASSERT_TRUE(flat.ok()) << flat.status();
+  ExpectStoresEqual(index.flat_store(), *flat);
+
+  // HLI1 round trip rebuilds an identical flat mirror.
+  const std::string hli_path = dir->File("labels.hli");
+  ASSERT_TRUE(index.Save(hli_path).ok());
+  auto reloaded = TwoHopIndex::Load(hli_path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  ASSERT_TRUE(reloaded->flat_store().built());
+  ExpectStoresEqual(index.flat_store(), reloaded->flat_store());
+
+  Rng rng(31);
+  for (int q = 0; q < 2000; ++q) {
+    const VertexId s = static_cast<VertexId>(rng.Below(index.num_vertices()));
+    const VertexId t = static_cast<VertexId>(rng.Below(index.num_vertices()));
+    ASSERT_EQ(index.Query(s, t), reloaded->Query(s, t));
+  }
+
+  // A corrupted embedded flat section must fail the load, not silently
+  // serve a wrong mirror.
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(hli_path, &bytes).ok());
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x1);  // section checksum
+  const std::string bad = dir->File("bad_section.hli");
+  ASSERT_TRUE(WriteStringToFile(bad, bytes).ok());
+  EXPECT_FALSE(TwoHopIndex::Load(bad).ok());
+}
+
+TEST(FlatLabelStoreTest, MutableAccessInvalidatesAndRebuildRestores) {
+  Rng rng(15);
+  const auto out = RandomLabels(&rng, 40, 8);
+  TwoHopIndex index(out, {}, false);
+  ASSERT_TRUE(index.flat_store().built());
+
+  // Record some answers, then poke the mutable path.
+  std::vector<Distance> before;
+  for (VertexId v = 0; v < 40; ++v) before.push_back(index.Query(0, v));
+
+  index.mutable_out();
+  EXPECT_FALSE(index.flat_store().built());
+  // The vector fallback still answers identically.
+  for (VertexId v = 0; v < 40; ++v) EXPECT_EQ(index.Query(0, v), before[v]);
+
+  index.RebuildFlatStore();
+  ASSERT_TRUE(index.flat_store().built());
+  for (VertexId v = 0; v < 40; ++v) EXPECT_EQ(index.Query(0, v), before[v]);
+}
+
+}  // namespace
+}  // namespace hopdb

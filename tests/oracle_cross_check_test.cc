@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "baselines/is_label.h"
@@ -17,6 +18,7 @@
 #include "graph/csr_graph.h"
 #include "graph/ranking.h"
 #include "hopdb.h"
+#include "labeling/query_kernel.h"
 #include "search/dijkstra.h"
 #include "util/random.h"
 
@@ -114,6 +116,55 @@ TEST(OracleCrossCheckTest, GlpDirected) {
   auto edges = GenerateDirectedGlp(options);
   ASSERT_TRUE(edges.ok()) << edges.status();
   CrossCheck(*edges, /*seed=*/25);
+}
+
+// Every query kernel (scalar and whatever SIMD widths this CPU offers)
+// must produce the BFS ground truth bit-for-bit: same index, same sampled
+// pairs, swept once per kernel. This is the randomized-graph leg of the
+// scalar-vs-SIMD agreement guarantee (the unit-level leg lives in
+// query_kernel_test).
+void KernelSweep(const EdgeList& edges, uint64_t seed) {
+  auto graph = CsrGraph::FromEdgeList(edges);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  auto hopdb = HopDbIndex::Build(*graph);
+  ASSERT_TRUE(hopdb.ok()) << hopdb.status();
+
+  const std::string original_kernel = ActiveQueryKernel().name;
+  const VertexId n = graph->num_vertices();
+  Rng rng(seed);
+  for (VertexId i = 0; i < kSampleSources && i < n; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.Below(n));
+    const std::vector<Distance> truth = ExactDistances(*graph, s);
+    for (const QueryKernel* kernel : SupportedQueryKernels()) {
+      ASSERT_TRUE(SetActiveQueryKernel(kernel->name));
+      for (VertexId t = 0; t < n; ++t) {
+        ASSERT_EQ(hopdb->Query(s, t), truth[t])
+            << "kernel " << kernel->name << " mismatch at (" << s << ", "
+            << t << ")";
+      }
+    }
+  }
+  ASSERT_TRUE(SetActiveQueryKernel(original_kernel));
+}
+
+TEST(OracleCrossCheckTest, QueryKernelsMatchOracleBa) {
+  KernelSweep(BaGraph(400, 3, /*seed=*/41), /*seed=*/51);
+}
+
+TEST(OracleCrossCheckTest, QueryKernelsMatchOracleGlpWeighted) {
+  EdgeList edges = GlpGraph(300, 4.0, /*seed=*/42);
+  AssignUniformWeights(&edges, 1, 9, /*seed=*/43);
+  KernelSweep(edges, /*seed=*/52);
+}
+
+TEST(OracleCrossCheckTest, QueryKernelsMatchOracleGlpDirected) {
+  GlpOptions options;
+  options.num_vertices = 300;
+  options.target_avg_degree = 4.0;
+  options.seed = 44;
+  auto edges = GenerateDirectedGlp(options);
+  ASSERT_TRUE(edges.ok()) << edges.status();
+  KernelSweep(*edges, /*seed=*/53);
 }
 
 // Different construction strategies must produce identical answers;

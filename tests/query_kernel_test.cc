@@ -1,0 +1,182 @@
+// Scalar-vs-SIMD agreement for the query kernels: every kernel the CPU
+// supports must return bit-identical distances on randomized labels —
+// including the kInfDistance saturation corner when d1 + d2 overflows
+// uint32 — and the flat query path must match the span-based reference.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "labeling/flat_label_store.h"
+#include "labeling/label_entry.h"
+#include "labeling/query_kernel.h"
+#include "labeling/two_hop_index.h"
+#include "util/random.h"
+
+namespace hopdb {
+namespace {
+
+LabelVector RandomLabel(Rng* rng, VertexId pivot_space, size_t max_len,
+                        Distance max_dist) {
+  std::map<VertexId, Distance> entries;
+  const size_t len = rng->Below(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    const VertexId pivot = static_cast<VertexId>(rng->Below(pivot_space));
+    const Distance dist = static_cast<Distance>(rng->Uniform(1, max_dist));
+    entries.emplace(pivot, dist);
+  }
+  LabelVector out;
+  for (auto [p, d] : entries) out.push_back({p, d});
+  return out;
+}
+
+/// SoA copy of a label for direct intersect_flat calls.
+struct SoaLabel {
+  std::vector<uint32_t> pivots;
+  std::vector<uint32_t> dists;
+
+  explicit SoaLabel(const LabelVector& label) {
+    for (const LabelEntry& e : label) {
+      pivots.push_back(e.pivot);
+      dists.push_back(e.dist);
+    }
+  }
+};
+
+Distance BruteIntersect(const LabelVector& a, const LabelVector& b) {
+  Distance best = kInfDistance;
+  for (const LabelEntry& ea : a) {
+    for (const LabelEntry& eb : b) {
+      if (ea.pivot == eb.pivot) {
+        best = std::min(best, SaturatingAdd(ea.dist, eb.dist));
+      }
+    }
+  }
+  return best;
+}
+
+void ExpectAllKernelsAgree(const LabelVector& a, const LabelVector& b,
+                           const std::string& context) {
+  const Distance want = BruteIntersect(a, b);
+  const SoaLabel sa(a), sb(b);
+  for (const QueryKernel* kernel : SupportedQueryKernels()) {
+    EXPECT_EQ(kernel->intersect_flat(
+                  sa.pivots.data(), sa.dists.data(),
+                  static_cast<uint32_t>(sa.pivots.size()), sb.pivots.data(),
+                  sb.dists.data(), static_cast<uint32_t>(sb.pivots.size())),
+              want)
+        << context << " intersect_flat kernel=" << kernel->name;
+    EXPECT_EQ(kernel->intersect_entries(a.data(),
+                                        static_cast<uint32_t>(a.size()),
+                                        b.data(),
+                                        static_cast<uint32_t>(b.size())),
+              want)
+        << context << " intersect_entries kernel=" << kernel->name;
+  }
+}
+
+TEST(QueryKernelTest, ScalarKernelIsAlwaysFirst) {
+  const auto kernels = SupportedQueryKernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_STREQ(kernels[0]->name, "scalar");
+}
+
+TEST(QueryKernelTest, FindAndSetByName) {
+  EXPECT_EQ(FindQueryKernel("no-such-kernel"), nullptr);
+  EXPECT_FALSE(SetActiveQueryKernel("no-such-kernel"));
+  const std::string before = ActiveQueryKernel().name;
+  for (const QueryKernel* kernel : SupportedQueryKernels()) {
+    ASSERT_NE(FindQueryKernel(kernel->name), nullptr);
+    ASSERT_TRUE(SetActiveQueryKernel(kernel->name));
+    EXPECT_STREQ(ActiveQueryKernel().name, kernel->name);
+  }
+  ASSERT_TRUE(SetActiveQueryKernel(before));
+}
+
+TEST(QueryKernelTest, EmptyAndDegenerateInputs) {
+  const LabelVector empty;
+  const LabelVector one{{3, 5}};
+  const LabelVector other{{3, 7}, {9, 1}};
+  ExpectAllKernelsAgree(empty, empty, "empty/empty");
+  ExpectAllKernelsAgree(empty, other, "empty/other");
+  ExpectAllKernelsAgree(one, other, "one/other");
+  ExpectAllKernelsAgree(one, one, "one/one");
+}
+
+TEST(QueryKernelTest, RandomizedAgreementAcrossSizes) {
+  Rng rng(42);
+  // Mixed sizes straddling the 4- and 8-lane block boundaries, plus
+  // skewed big-vs-small pairings that exercise the advance logic.
+  const size_t sizes[] = {0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 33, 64, 200};
+  for (const size_t la : sizes) {
+    for (const size_t lb : sizes) {
+      for (int round = 0; round < 8; ++round) {
+        // Small pivot space forces plenty of matches.
+        LabelVector a = RandomLabel(&rng, 96, la, 50);
+        LabelVector b = RandomLabel(&rng, 96, lb, 50);
+        ExpectAllKernelsAgree(a, b, "sizes " + std::to_string(la) + "x" +
+                                        std::to_string(lb) + " round " +
+                                        std::to_string(round));
+      }
+    }
+  }
+}
+
+TEST(QueryKernelTest, SaturatingOverflowAgreement) {
+  // d1 + d2 wrapping uint32 must saturate to kInfDistance in every
+  // kernel, and an overflowed match must not shadow a later real one.
+  Rng rng(7);
+  for (int round = 0; round < 200; ++round) {
+    LabelVector a = RandomLabel(&rng, 64, 24, kInfDistance - 1);
+    LabelVector b = RandomLabel(&rng, 64, 24, kInfDistance - 1);
+    // Mix in a few small distances so some sums stay finite.
+    for (LabelEntry& e : a) {
+      if (rng.Below(3) == 0) e.dist = static_cast<Distance>(rng.Uniform(1, 9));
+    }
+    for (LabelEntry& e : b) {
+      if (rng.Below(3) == 0) e.dist = static_cast<Distance>(rng.Uniform(1, 9));
+    }
+    ExpectAllKernelsAgree(a, b, "overflow round " + std::to_string(round));
+  }
+}
+
+TEST(QueryKernelTest, FlatHalvesMatchSpanHalves) {
+  Rng rng(1234);
+  const VertexId nv = 40;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<LabelVector> out(nv), in(nv);
+    for (VertexId v = 0; v < nv; ++v) {
+      out[v] = RandomLabel(&rng, nv, 12, 50);
+      in[v] = RandomLabel(&rng, nv, 12, 50);
+    }
+    const FlatLabelStore store = FlatLabelStore::Build(out, in, true);
+    for (const QueryKernel* kernel : SupportedQueryKernels()) {
+      for (int q = 0; q < 50; ++q) {
+        const VertexId s = static_cast<VertexId>(rng.Below(nv));
+        const VertexId t = static_cast<VertexId>(rng.Below(nv));
+        EXPECT_EQ(QueryFlatHalves(store.Out(s), store.In(t), s, t, *kernel),
+                  QueryLabelHalves(out[s], in[t], s, t))
+            << "kernel=" << kernel->name << " s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(QueryKernelTest, LookupPivotFlatMatchesSpanLookup) {
+  Rng rng(99);
+  for (int round = 0; round < 100; ++round) {
+    const LabelVector label = RandomLabel(&rng, 80, 30, 50);
+    const FlatLabelStore store =
+        FlatLabelStore::Build({label}, {}, /*directed=*/false);
+    for (VertexId probe = 0; probe < 85; ++probe) {
+      EXPECT_EQ(LookupPivotFlat(store.Out(0), probe),
+                LookupPivot(label, probe))
+          << "round " << round << " probe " << probe;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hopdb

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (the CI docs job).
+
+1. Intra-repo markdown links: every relative [text](target) in a *.md
+   file must point at an existing file or directory. External links
+   (http/https/mailto) and pure anchors are ignored, as is anything
+   inside fenced code blocks.
+2. CLI help drift (with --cli-bin): the block between
+   "<!-- BEGIN hopdb_cli help -->" and "<!-- END hopdb_cli help -->" in
+   README.md must byte-match the live output of `hopdb_cli help`
+   (modulo trailing whitespace). Regenerate the block from the binary
+   when the usage text changes.
+
+Exit status 0 = clean, 1 = at least one failure (each printed).
+"""
+
+import argparse
+import difflib
+import pathlib
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {"build", ".git", ".claude"}
+BEGIN_MARK = "<!-- BEGIN hopdb_cli help -->"
+END_MARK = "<!-- END hopdb_cli help -->"
+
+
+def iter_markdown_files(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.relative_to(root).parts):
+            continue
+        yield path
+
+
+def check_links(root: pathlib.Path) -> list[str]:
+    failures = []
+    for md in iter_markdown_files(root):
+        in_fence = False
+        for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                plain = target.split("#", 1)[0]
+                if not plain:
+                    continue
+                resolved = (md.parent / plain).resolve()
+                if not resolved.exists():
+                    failures.append(
+                        f"{md.relative_to(root)}:{lineno}: broken link "
+                        f"'{target}'"
+                    )
+    return failures
+
+
+def extract_readme_block(readme: pathlib.Path) -> list[str] | None:
+    lines = readme.read_text(encoding="utf-8").splitlines()
+    try:
+        begin = lines.index(BEGIN_MARK)
+        end = lines.index(END_MARK)
+    except ValueError:
+        return None
+    block = lines[begin + 1 : end]
+    # Strip the surrounding code fence.
+    if block and block[0].startswith("```"):
+        block = block[1:]
+    if block and block[-1].startswith("```"):
+        block = block[:-1]
+    return [l.rstrip() for l in block]
+
+
+def check_cli_help(root: pathlib.Path, cli_bin: str) -> list[str]:
+    readme = root / "README.md"
+    documented = extract_readme_block(readme)
+    if documented is None:
+        return [
+            f"README.md: missing '{BEGIN_MARK}' / '{END_MARK}' markers "
+            "around the CLI help block"
+        ]
+    proc = subprocess.run(
+        [cli_bin, "help"], capture_output=True, text=True, check=False
+    )
+    if proc.returncode != 0:
+        return [f"'{cli_bin} help' exited with {proc.returncode}"]
+    live = [l.rstrip() for l in proc.stdout.splitlines()]
+    # Trim leading/trailing blank lines on both sides.
+    while documented and not documented[0]:
+        documented = documented[1:]
+    while documented and not documented[-1]:
+        documented = documented[:-1]
+    while live and not live[0]:
+        live = live[1:]
+    while live and not live[-1]:
+        live = live[:-1]
+    if documented == live:
+        return []
+    diff = "\n".join(
+        difflib.unified_diff(
+            documented, live, fromfile="README.md block",
+            tofile=f"{cli_bin} help", lineterm=""
+        )
+    )
+    return [
+        "README.md CLI help block drifted from the binary — regenerate "
+        "the block between the BEGIN/END markers:\n" + diff
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root (default: this script's parent's parent)"
+    )
+    parser.add_argument(
+        "--cli-bin", default=None,
+        help="path to a built hopdb_cli; enables the help-drift check"
+    )
+    args = parser.parse_args()
+    root = (
+        pathlib.Path(args.root).resolve()
+        if args.root
+        else pathlib.Path(__file__).resolve().parent.parent
+    )
+
+    failures = check_links(root)
+    if args.cli_bin:
+        failures += check_cli_help(root, args.cli_bin)
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        checked = sum(1 for _ in iter_markdown_files(root))
+        print(
+            f"docs OK: {checked} markdown files, links resolve"
+            + (", CLI help in sync" if args.cli_bin else "")
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
