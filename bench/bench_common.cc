@@ -5,6 +5,10 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -127,6 +131,31 @@ std::string Mb(uint64_t bytes) {
 std::string SecondsOrDash(const Status& status, double seconds) {
   if (!status.ok()) return AsciiTable::Dash();
   return FormatDouble(seconds, seconds < 10 ? 2 : 1);
+}
+
+uint64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss);
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::string PhasesJson(const std::vector<PhaseTiming>& phases) {
+  std::string out = "\"phases\": {";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + phases[i].name + "\": " + FormatDouble(phases[i].seconds, 3);
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace bench

@@ -75,6 +75,26 @@ std::string Mb(uint64_t bytes);
 /// Seconds with adaptive precision, or the DNF dash on error.
 std::string SecondsOrDash(const Status& status, double seconds);
 
+// ---------------------------------------------------------------------------
+// Machine-readable (BENCH_*.json) resource accounting, shared by every
+// JSON-emitting bench so regressions in memory and per-phase time are
+// trackable across PRs, not just wall clock.
+// ---------------------------------------------------------------------------
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss);
+/// 0 when the platform doesn't report it.
+uint64_t PeakRssBytes();
+
+/// One named phase of a benchmarked pipeline.
+struct PhaseTiming {
+  std::string name;
+  double seconds = 0;
+};
+
+/// `"phases": {"gen": 1.23, ...}` — one JSON object line (no trailing
+/// comma or newline) for embedding in a bench's JSON output.
+std::string PhasesJson(const std::vector<PhaseTiming>& phases);
+
 }  // namespace bench
 }  // namespace hopdb
 

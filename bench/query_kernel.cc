@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_common.h"
 #include "eval/workload.h"
 #include "gen/glp.h"
 #include "graph/csr_graph.h"
@@ -191,6 +192,7 @@ int Run(int argc, char** argv) {
   out << "{\n"
       << "  \"bench\": \"query_kernel\",\n"
       << "  \"ci_mode\": " << (ci ? "true" : "false") << ",\n"
+      << "  \"peak_rss_bytes\": " << bench::PeakRssBytes() << ",\n"
       << "  \"graph\": {\"type\": \"glp\", \"n\": " << n
       << ", \"avg_degree\": " << FormatDouble(glp.target_avg_degree, 2)
       << ", \"seed\": " << seed << "},\n"

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_common.h"
 #include "gen/glp.h"
 #include "graph/csr_graph.h"
 #include "hopdb.h"
@@ -217,6 +218,7 @@ int Run(int argc, char** argv) {
   out << "{\n"
       << "  \"bench\": \"serve_load\",\n"
       << "  \"ci_mode\": " << (ci ? "true" : "false") << ",\n"
+      << "  \"peak_rss_bytes\": " << bench::PeakRssBytes() << ",\n"
       << "  \"graph\": {\"type\": \"glp\", \"n\": " << n
       << ", \"avg_degree\": " << FormatDouble(glp.target_avg_degree, 2)
       << ", \"seed\": " << seed << "},\n"

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <string>
@@ -40,6 +41,16 @@ class ExternalSorter {
     buffer_.reserve(std::min<size_t>(capacity_, 1 << 20));
   }
 
+  /// Replaces the in-memory run sort (std::sort with the sorter's
+  /// comparator) used by Spill/Finish. The hook MUST produce exactly
+  /// std::sort's output — callers use it to plug in a parallel sort
+  /// (labeling/candidate_partition.h) without changing merge semantics.
+  /// Not called concurrently; cold per run, so the std::function
+  /// indirection is off the per-record path.
+  void SetSortFn(std::function<void(std::vector<T>*)> fn) {
+    sort_fn_ = std::move(fn);
+  }
+
   Status Add(const T& rec) {
     buffer_.push_back(rec);
     ++total_records_;
@@ -51,7 +62,7 @@ class ExternalSorter {
   Status Finish() {
     if (runs_.empty()) {
       // Pure in-memory sort.
-      std::sort(buffer_.begin(), buffer_.end(), less_);
+      SortBuffer();
       mem_pos_ = 0;
       finished_ = true;
       return Status::OK();
@@ -128,8 +139,16 @@ class ExternalSorter {
     }
   };
 
+  void SortBuffer() {
+    if (sort_fn_) {
+      sort_fn_(&buffer_);
+    } else {
+      std::sort(buffer_.begin(), buffer_.end(), less_);
+    }
+  }
+
   Status Spill() {
-    std::sort(buffer_.begin(), buffer_.end(), less_);
+    SortBuffer();
     std::string path = scratch_prefix_ + ".run" + std::to_string(runs_.size());
     HOPDB_ASSIGN_OR_RETURN(RecordWriter<T> writer,
                            RecordWriter<T>::Open(path, block_size_));
@@ -144,6 +163,7 @@ class ExternalSorter {
   std::string scratch_prefix_;
   size_t capacity_;
   Less less_;
+  std::function<void(std::vector<T>*)> sort_fn_;
   uint64_t block_size_;
   std::vector<T> buffer_;
   size_t mem_pos_ = 0;

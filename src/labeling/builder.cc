@@ -7,6 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "labeling/candidate_partition.h"
+#include "labeling/flat_label_store.h"
+#include "labeling/query_kernel.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -49,7 +52,9 @@ std::span<const Cand> OwnerSlice(const std::vector<Cand>& cands,
 /// candidate slice; when both contain the same pivot (an in-place distance
 /// update) the smaller distance wins. This is how this iteration's
 /// candidates act as pruning witnesses (Section 4.2 keeps candidates in
-/// the outer pruning block together with old labels).
+/// the outer pruning block together with old labels). The flat witness
+/// snapshot materializes exactly this merged view; the cursor remains as
+/// the small-iteration fallback and the debug cross-check.
 class PivotCursor {
  public:
   PivotCursor(std::span<const LabelEntry> label, std::span<const Cand> cands)
@@ -87,7 +92,8 @@ class PivotCursor {
 
 /// Witness scan of Section 3.3: true iff some pivot w < beta appears on
 /// both cursors with d1 + d2 <= d. Both cursors yield pivots in
-/// increasing order, so this is a bounded sorted-merge.
+/// increasing order, so this is a bounded sorted-merge. The scalar
+/// reference semantics of QueryKernel::has_witness_flat.
 bool HasPruningWitness(PivotCursor outs_of_source, PivotCursor ins_of_dest,
                        VertexId beta, Distance d) {
   VertexId pa = kInvalidVertex, pb = kInvalidVertex;
@@ -107,6 +113,13 @@ bool HasPruningWitness(PivotCursor outs_of_source, PivotCursor ins_of_dest,
   }
   return false;
 }
+
+/// Candidate volume below which the flat witness snapshot costs more
+/// than it saves; Prune falls back to the scalar cursor scan.
+constexpr size_t kMinFlatWitnessCandidates = 2048;
+
+/// Candidate volume below which Apply stays single-partition.
+constexpr size_t kMinParallelApply = 1 << 12;
 
 class Builder {
  public:
@@ -154,28 +167,34 @@ class Builder {
 
   /// Runs `gen` over `prev` split into one chunk per thread, concatenating
   /// the per-chunk outputs in chunk order (deterministic multiset; the
-  /// dedup sort canonicalizes the order anyway).
+  /// dedup sort canonicalizes the order anyway). The per-chunk sinks are
+  /// arena members reused across iterations, so steady-state generation
+  /// reallocates nothing.
   template <typename GenFn>
   void GenerateParallel(const std::vector<Cand>& prev, GenFn gen,
-                        std::vector<Cand>* sink) const {
+                        std::vector<Cand>* sink) {
     if (threads_ <= 1 || prev.size() < 1024) {
       gen(std::span<const Cand>(prev), sink);
       return;
     }
-    std::vector<std::vector<Cand>> parts(threads_);
+    const size_t used = std::min<size_t>(threads_, prev.size());
+    if (gen_parts_.size() < used) gen_parts_.resize(used);
     ParallelChunks(threads_, prev.size(),
                    [&](size_t begin, size_t end, uint32_t chunk) {
+                     gen_parts_[chunk].clear();
                      gen(std::span<const Cand>(prev.data() + begin,
                                                end - begin),
-                         &parts[chunk]);
+                         &gen_parts_[chunk]);
                    });
-    for (const auto& part : parts) {
-      sink->insert(sink->end(), part.begin(), part.end());
+    for (size_t c = 0; c < used; ++c) {
+      sink->insert(sink->end(), gen_parts_[c].begin(), gen_parts_[c].end());
     }
   }
 
-  /// Sort + per-(owner,pivot) dedup keeping min dist, then drop candidates
-  /// dominated by an existing entry (d_existing <= d_cand).
+  /// Owner-partitioned parallel sort + per-(owner,pivot) dedup keeping
+  /// min dist, then drop candidates dominated by an existing entry
+  /// (d_existing <= d_cand). Bit-identical to the old global
+  /// std::sort + sequential scan for every thread count.
   void DedupAndFilter(std::vector<Cand>* cands, bool out_side,
                       IterationStats* st);
 
@@ -183,7 +202,28 @@ class Builder {
   void Prune(std::vector<Cand>* out_c, std::vector<Cand>* in_c,
              IterationStats* st);
 
-  /// Merges survivors into labels + inverted lists; returns survivor count.
+  /// Builds the iteration-frozen flat witness snapshots (labels merged
+  /// with this iteration's deduped candidates) for the SIMD witness
+  /// kernel. Only vertices that can appear as a witness-scan endpoint
+  /// are materialized.
+  void BuildWitnessSnapshots(const std::vector<Cand>& out_c,
+                             const std::vector<Cand>& in_c);
+  void BuildSideSnapshot(FlatLabelArena* arena,
+                         const std::vector<LabelVector>& labels,
+                         const std::vector<Cand>& cands,
+                         const std::vector<size_t>& cand_begin,
+                         const std::vector<uint8_t>& touched,
+                         bool with_cands);
+
+  /// cand_begin[v] = first index of `cands` (sorted by owner) whose
+  /// owner is >= v; cand_begin[n] = cands.size().
+  void ComputeCandBegin(const std::vector<Cand>& cands,
+                        std::vector<size_t>* cand_begin) const;
+
+  /// Merges survivors into labels + inverted lists; returns survivor
+  /// count. Label vectors merge in parallel over disjoint owner ranges;
+  /// inverted-list appends replay sequentially in candidate order, so
+  /// the result is bit-identical to the sequential merge.
   uint64_t Apply(const std::vector<Cand>& cands, bool out_side,
                  IterationStats* st);
 
@@ -211,6 +251,41 @@ class Builder {
   /// Mid-generation abort machinery (see GenerationTick).
   mutable std::atomic<uint64_t> generated_total_{0};
   mutable std::atomic<bool> generation_abort_{false};
+
+  // -------------------------------------------------------------------
+  // Iteration-scoped arenas, all reused across iterations so the
+  // steady-state loop performs no per-iteration allocation beyond label
+  // growth itself (the realloc/touch churn dominated large GLP builds).
+  // -------------------------------------------------------------------
+  /// Per-chunk generation sinks (GenerateParallel).
+  std::vector<std::vector<Cand>> gen_parts_;
+  /// Ping-pong buffer + partition plan for the owner-partitioned sort.
+  std::vector<Cand> sort_scratch_;
+  OwnerPartitionPlan sort_plan_;
+  /// Per-partition dedup counters.
+  struct DedupPartStats {
+    uint64_t deduped = 0;
+    uint64_t dropped = 0;
+    size_t kept = 0;
+  };
+  std::vector<DedupPartStats> dedup_parts_;
+  /// Pruning keep/kill marks.
+  std::vector<uint8_t> keep_;
+  /// Witness snapshot state.
+  FlatLabelArena wit_out_arena_;
+  FlatLabelArena wit_in_arena_;
+  std::vector<uint8_t> touched_out_;
+  std::vector<uint8_t> touched_in_;
+  std::vector<uint64_t> slot_sizes_;
+  std::vector<size_t> cand_begin_out_;
+  std::vector<size_t> cand_begin_in_;
+  /// Legacy witness copies for the small-iteration scalar path.
+  std::vector<Cand> wit_out_small_;
+  std::vector<Cand> wit_in_small_;
+  /// Apply-phase partition state.
+  std::vector<size_t> apply_bounds_;
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> new_inv_parts_;
+  std::vector<uint64_t> apply_updates_;
 
   BuildStats stats_;
 };
@@ -423,71 +498,221 @@ Status Builder::Generate(BuildMode mode_used, std::vector<Cand>* out_c,
 
 void Builder::DedupAndFilter(std::vector<Cand>* cands, bool out_side,
                              IterationStats* st) {
-  std::sort(cands->begin(), cands->end(), CandLess);
-  size_t w = 0;
+  // Owner-partitioned parallel sort; bounds are owner-aligned, so the
+  // per-partition scans below see every (owner, pivot) group whole.
+  OwnerPartitionedSort(
+      cands, g_.num_vertices(), threads_,
+      [](const Cand& c) { return c.owner; }, CandLess, &sort_scratch_,
+      &sort_plan_);
+  const std::vector<size_t>& bounds = sort_plan_.bounds;
+  const size_t parts = bounds.size() - 1;
   const auto& side = Side(out_side);
-  bool have_last = false;
-  VertexId last_owner = 0, last_pivot = 0;
-  for (size_t i = 0; i < cands->size(); ++i) {
-    const Cand& c = (*cands)[i];
-    if (have_last && last_owner == c.owner && last_pivot == c.pivot) {
-      continue;  // duplicate (owner, pivot); the sort kept the min dist
-    }
-    have_last = true;
-    last_owner = c.owner;
-    last_pivot = c.pivot;
-    st->deduped_candidates++;
-    Distance existing = LookupPivot(side[c.owner], c.pivot);
-    if (existing <= c.dist) {
-      st->existing_dropped++;
-      continue;  // dominated by an existing entry
-    }
-    (*cands)[w++] = c;
+
+  dedup_parts_.assign(parts, {});
+  ParallelChunks(
+      static_cast<uint32_t>(parts), parts,
+      [&](size_t pb, size_t pe, uint32_t) {
+        for (size_t p = pb; p < pe; ++p) {
+          DedupPartStats& ps = dedup_parts_[p];
+          size_t w = bounds[p];
+          bool have_last = false;
+          VertexId last_owner = 0, last_pivot = 0;
+          for (size_t i = bounds[p]; i < bounds[p + 1]; ++i) {
+            const Cand& c = (*cands)[i];
+            if (have_last && last_owner == c.owner && last_pivot == c.pivot) {
+              continue;  // duplicate (owner, pivot); the sort kept min dist
+            }
+            have_last = true;
+            last_owner = c.owner;
+            last_pivot = c.pivot;
+            ps.deduped++;
+            Distance existing = LookupPivot(side[c.owner], c.pivot);
+            if (existing <= c.dist) {
+              ps.dropped++;
+              continue;  // dominated by an existing entry
+            }
+            (*cands)[w++] = c;
+          }
+          ps.kept = w - bounds[p];
+        }
+      });
+
+  // Close the inter-partition gaps in partition order — the surviving
+  // sequence equals the sequential scan's output exactly.
+  size_t w = dedup_parts_[0].kept;
+  st->deduped_candidates += dedup_parts_[0].deduped;
+  st->existing_dropped += dedup_parts_[0].dropped;
+  for (size_t p = 1; p < parts; ++p) {
+    std::move(cands->begin() + static_cast<ptrdiff_t>(bounds[p]),
+              cands->begin() +
+                  static_cast<ptrdiff_t>(bounds[p] + dedup_parts_[p].kept),
+              cands->begin() + static_cast<ptrdiff_t>(w));
+    w += dedup_parts_[p].kept;
+    st->deduped_candidates += dedup_parts_[p].deduped;
+    st->existing_dropped += dedup_parts_[p].dropped;
   }
   cands->resize(w);
+}
+
+void Builder::ComputeCandBegin(const std::vector<Cand>& cands,
+                               std::vector<size_t>* cand_begin) const {
+  const VertexId n = g_.num_vertices();
+  cand_begin->resize(static_cast<size_t>(n) + 1);
+  size_t i = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    while (i < cands.size() && cands[i].owner < v) ++i;
+    (*cand_begin)[v] = i;
+  }
+  (*cand_begin)[n] = cands.size();
+}
+
+void Builder::BuildSideSnapshot(FlatLabelArena* arena,
+                                const std::vector<LabelVector>& labels,
+                                const std::vector<Cand>& cands,
+                                const std::vector<size_t>& cand_begin,
+                                const std::vector<uint8_t>& touched,
+                                bool with_cands) {
+  const size_t n = labels.size();
+  slot_sizes_.assign(n, 0);
+  // Pass 1: merged entry counts for the vertices the witness scans can
+  // touch (untouched slots stay empty — they are never viewed).
+  ParallelChunks(threads_, n, [&](size_t b, size_t e, uint32_t) {
+    for (size_t v = b; v < e; ++v) {
+      if (!touched[v]) continue;
+      const LabelVector& lab = labels[v];
+      if (!with_cands) {
+        slot_sizes_[v] = lab.size();
+        continue;
+      }
+      size_t li = 0, ci = cand_begin[v];
+      const size_t ce = cand_begin[v + 1];
+      uint64_t count = 0;
+      while (li < lab.size() && ci < ce) {
+        const VertexId lp = lab[li].pivot;
+        const VertexId cp = cands[ci].pivot;
+        if (lp == cp) {
+          ++li;
+          ++ci;
+        } else if (lp < cp) {
+          ++li;
+        } else {
+          ++ci;
+        }
+        ++count;
+      }
+      slot_sizes_[v] = count + (lab.size() - li) + (ce - ci);
+    }
+  });
+  arena->Reset(n, slot_sizes_.data());
+  // Pass 2: merge-fill (same min-dist collapse PivotCursor performs).
+  ParallelChunks(threads_, n, [&](size_t b, size_t e, uint32_t) {
+    for (size_t v = b; v < e; ++v) {
+      if (!touched[v]) continue;
+      uint32_t* pivots = arena->slot_pivots(v);
+      uint32_t* dists = arena->slot_dists(v);
+      const LabelVector& lab = labels[v];
+      size_t w = 0;
+      size_t li = 0;
+      size_t ci = with_cands ? cand_begin[v] : 0;
+      const size_t ce = with_cands ? cand_begin[v + 1] : 0;
+      while (li < lab.size() && ci < ce) {
+        const LabelEntry& le = lab[li];
+        const Cand& c = cands[ci];
+        if (le.pivot == c.pivot) {
+          pivots[w] = le.pivot;
+          dists[w] = std::min(le.dist, c.dist);
+          ++li;
+          ++ci;
+        } else if (le.pivot < c.pivot) {
+          pivots[w] = le.pivot;
+          dists[w] = le.dist;
+          ++li;
+        } else {
+          pivots[w] = c.pivot;
+          dists[w] = c.dist;
+          ++ci;
+        }
+        ++w;
+      }
+      for (; li < lab.size(); ++li, ++w) {
+        pivots[w] = lab[li].pivot;
+        dists[w] = lab[li].dist;
+      }
+      for (; ci < ce; ++ci, ++w) {
+        pivots[w] = cands[ci].pivot;
+        dists[w] = cands[ci].dist;
+      }
+      HOPDB_DCHECK_EQ(w, arena->slot_size(v));
+    }
+  });
+}
+
+void Builder::BuildWitnessSnapshots(const std::vector<Cand>& out_c,
+                                    const std::vector<Cand>& in_c) {
+  const VertexId n = g_.num_vertices();
+  const bool with_cands = opts_.prune_with_candidates;
+
+  ComputeCandBegin(out_c, &cand_begin_out_);
+  if (directed_) ComputeCandBegin(in_c, &cand_begin_in_);
+
+  // A vertex needs an out-snapshot iff it can be a witness-scan source
+  // (owner of an out-candidate, pivot of an in-candidate) and an
+  // in-snapshot iff it can be a destination (pivot of an out-candidate,
+  // owner of an in-candidate). Undirected scans use the out-snapshot for
+  // both endpoints.
+  touched_out_.assign(n, 0);
+  std::vector<uint8_t>& touched_in = directed_ ? touched_in_ : touched_out_;
+  if (directed_) touched_in_.assign(n, 0);
+  for (const Cand& c : out_c) {
+    touched_out_[c.owner] = 1;
+    touched_in[c.pivot] = 1;
+  }
+  for (const Cand& c : in_c) {
+    touched_out_[c.pivot] = 1;
+    touched_in[c.owner] = 1;
+  }
+
+  BuildSideSnapshot(&wit_out_arena_, out_, out_c, cand_begin_out_,
+                    touched_out_, with_cands);
+  if (directed_) {
+    BuildSideSnapshot(&wit_in_arena_, in_, in_c, cand_begin_in_, touched_in_,
+                      with_cands);
+  }
 }
 
 void Builder::Prune(std::vector<Cand>* out_c, std::vector<Cand>* in_c,
                     IterationStats* st) {
   if (!opts_.prune) return;
-  // Snapshot the deduped candidates before compaction: the witness set is
-  // fixed at the start of the pruning phase (a pruned candidate may still
-  // witness the pruning of another — safe, since every entry covers a
-  // real path and canonical entries are never pruned; see Thm. 3).
-  std::vector<Cand> wit_out, wit_in;
-  if (opts_.prune_with_candidates) {
-    wit_out = *out_c;
-    wit_in = directed_ ? *in_c : *out_c;
-  }
   const auto& ins = directed_ ? in_ : out_;
 
   // A candidate covering the directed path source ⇝ dest with pivot
   // beta = min(owner, pivot) dies iff a witness pivot w < beta exists in
   // Lout(source) ∩ Lin(dest) with d1 + d2 <= d. For out-entries the
-  // source is the owner; for in-entries the source is the pivot.
+  // source is the owner; for in-entries the source is the pivot. The
+  // witness set is frozen at the start of the phase: old labels merged
+  // with this iteration's deduped candidates (a pruned candidate may
+  // still witness the pruning of another — safe, since every entry
+  // covers a real path and canonical entries are never pruned; Thm. 3).
   //
-  // Decisions are independent (labels and witness snapshots are frozen
-  // for the whole phase), so they are marked in parallel and compacted
-  // sequentially — identical output for any thread count.
-  auto prune_list = [&](std::vector<Cand>* cands, bool is_out) {
-    std::vector<uint8_t> keep(cands->size());
+  // Decisions are independent, so they are marked in parallel and
+  // compacted sequentially — identical output for any thread count.
+  const size_t total = out_c->size() + in_c->size();
+  const bool use_flat = total >= kMinFlatWitnessCandidates;
+
+  // Shared mark-in-parallel + compact-sequentially scaffold; the two
+  // witness implementations below differ only in this callable.
+  auto prune_list = [&](std::vector<Cand>* cands, bool is_out,
+                        auto&& has_witness) {
+    keep_.assign(cands->size(), 0);
     ParallelChunks(threads_, cands->size(),
                    [&](size_t begin, size_t end, uint32_t) {
                      for (size_t i = begin; i < end; ++i) {
-                       const Cand& c = (*cands)[i];
-                       const VertexId source = is_out ? c.owner : c.pivot;
-                       const VertexId dest = is_out ? c.pivot : c.owner;
-                       const VertexId beta = c.pivot;
-                       PivotCursor outs(out_[source],
-                                        OwnerSlice(wit_out, source));
-                       PivotCursor inss(ins[dest], OwnerSlice(wit_in, dest));
-                       keep[i] =
-                           !HasPruningWitness(outs, inss, beta, c.dist);
+                       keep_[i] = !has_witness((*cands)[i], is_out);
                      }
                    });
     size_t w = 0;
     for (size_t i = 0; i < cands->size(); ++i) {
-      if (keep[i]) {
+      if (keep_[i]) {
         (*cands)[w++] = (*cands)[i];
       } else {
         st->pruned++;
@@ -496,51 +721,129 @@ void Builder::Prune(std::vector<Cand>* out_c, std::vector<Cand>* in_c,
     cands->resize(w);
   };
 
-  prune_list(out_c, /*is_out=*/true);
-  if (directed_) prune_list(in_c, /*is_out=*/false);
+  if (use_flat) {
+    // Hot path: frozen flat SoA snapshots + the bounded early-exit SIMD
+    // merge-join of the active query kernel.
+    BuildWitnessSnapshots(*out_c, *in_c);
+    const QueryKernel& kernel = ActiveQueryKernel();
+    const FlatLabelArena& dest_arena =
+        directed_ ? wit_in_arena_ : wit_out_arena_;
+    auto flat_witness = [&](const Cand& c, bool is_out) {
+      const VertexId source = is_out ? c.owner : c.pivot;
+      const VertexId dest = is_out ? c.pivot : c.owner;
+      const FlatLabelStore::View sv = wit_out_arena_.View(source);
+      const FlatLabelStore::View dv = dest_arena.View(dest);
+      return kernel.has_witness_flat(sv.pivots, sv.dists, sv.size, dv.pivots,
+                                     dv.dists, dv.size, c.pivot, c.dist);
+    };
+    prune_list(out_c, /*is_out=*/true, flat_witness);
+    if (directed_) prune_list(in_c, /*is_out=*/false, flat_witness);
+    return;
+  }
+
+  // Small-iteration fallback: the scalar cursor merge over label vectors
+  // and candidate slices (also the reference the SIMD path is
+  // cross-checked against in tests).
+  wit_out_small_.clear();
+  wit_in_small_.clear();
+  if (opts_.prune_with_candidates) {
+    wit_out_small_ = *out_c;
+    wit_in_small_ = directed_ ? *in_c : *out_c;
+  }
+  auto cursor_witness = [&](const Cand& c, bool is_out) {
+    const VertexId source = is_out ? c.owner : c.pivot;
+    const VertexId dest = is_out ? c.pivot : c.owner;
+    PivotCursor outs(out_[source], OwnerSlice(wit_out_small_, source));
+    PivotCursor inss(ins[dest], OwnerSlice(wit_in_small_, dest));
+    return HasPruningWitness(outs, inss, c.pivot, c.dist);
+  };
+  prune_list(out_c, /*is_out=*/true, cursor_witness);
+  if (directed_) prune_list(in_c, /*is_out=*/false, cursor_witness);
 }
 
 uint64_t Builder::Apply(const std::vector<Cand>& cands, bool out_side,
                         IterationStats* st) {
   auto& side = Side(out_side);
   auto& inv = out_side || !directed_ ? inv_out_ : inv_in_;
-  size_t i = 0;
-  while (i < cands.size()) {
-    const VertexId owner = cands[i].owner;
-    size_t j = i;
-    while (j < cands.size() && cands[j].owner == owner) ++j;
-    LabelVector& lab = side[owner];
-    const size_t old_size = lab.size();
-    for (size_t k = i; k < j; ++k) {
-      const Cand& c = cands[k];
-      // In-place update when the pivot already exists (possible for
-      // weighted graphs and for Hop-Doubling's overshooting paths).
-      size_t lo = 0, hi = old_size;
-      while (lo < hi) {
-        size_t mid = (lo + hi) / 2;
-        if (lab[mid].pivot < c.pivot) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
-      if (lo < old_size && lab[lo].pivot == c.pivot) {
-        HOPDB_DCHECK_GT(lab[lo].dist, c.dist);
-        lab[lo].dist = c.dist;
-        st->updates++;
-      } else {
-        lab.push_back({c.pivot, c.dist});
-        inv[c.pivot].push_back(owner);
-      }
+  if (cands.empty()) return 0;
+  const size_t m = cands.size();
+
+  // Owner-aligned partition bounds: every owner's contiguous candidate
+  // run lands in exactly one partition, so partitions touch disjoint
+  // label vectors and merge independently.
+  apply_bounds_.clear();
+  apply_bounds_.push_back(0);
+  if (threads_ > 1 && m >= kMinParallelApply) {
+    for (uint32_t k = 1; k < threads_; ++k) {
+      size_t idx = std::max<size_t>(1, m * k / threads_);
+      while (idx < m && cands[idx].owner == cands[idx - 1].owner) ++idx;
+      if (idx > apply_bounds_.back() && idx < m) apply_bounds_.push_back(idx);
     }
-    std::inplace_merge(lab.begin(), lab.begin() + static_cast<ptrdiff_t>(old_size),
-                       lab.end(),
-                       [](const LabelEntry& a, const LabelEntry& b) {
-                         return a.pivot < b.pivot;
-                       });
-    i = j;
   }
-  return cands.size();
+  apply_bounds_.push_back(m);
+  const size_t parts = apply_bounds_.size() - 1;
+  if (new_inv_parts_.size() < parts) new_inv_parts_.resize(parts);
+  apply_updates_.assign(parts, 0);
+
+  ParallelChunks(
+      static_cast<uint32_t>(parts), parts,
+      [&](size_t pb, size_t pe, uint32_t) {
+        for (size_t p = pb; p < pe; ++p) {
+          auto& new_inv = new_inv_parts_[p];
+          new_inv.clear();
+          uint64_t updates = 0;
+          size_t i = apply_bounds_[p];
+          const size_t part_end = apply_bounds_[p + 1];
+          while (i < part_end) {
+            const VertexId owner = cands[i].owner;
+            size_t j = i;
+            while (j < part_end && cands[j].owner == owner) ++j;
+            LabelVector& lab = side[owner];
+            const size_t old_size = lab.size();
+            for (size_t k = i; k < j; ++k) {
+              const Cand& c = cands[k];
+              // In-place update when the pivot already exists (possible
+              // for weighted graphs and Hop-Doubling's overshooting
+              // paths).
+              size_t lo = 0, hi = old_size;
+              while (lo < hi) {
+                size_t mid = (lo + hi) / 2;
+                if (lab[mid].pivot < c.pivot) {
+                  lo = mid + 1;
+                } else {
+                  hi = mid;
+                }
+              }
+              if (lo < old_size && lab[lo].pivot == c.pivot) {
+                HOPDB_DCHECK_GT(lab[lo].dist, c.dist);
+                lab[lo].dist = c.dist;
+                ++updates;
+              } else {
+                lab.push_back({c.pivot, c.dist});
+                new_inv.emplace_back(c.pivot, owner);
+              }
+            }
+            std::inplace_merge(
+                lab.begin(), lab.begin() + static_cast<ptrdiff_t>(old_size),
+                lab.end(), [](const LabelEntry& a, const LabelEntry& b) {
+                  return a.pivot < b.pivot;
+                });
+            i = j;
+          }
+          apply_updates_[p] = updates;
+        }
+      });
+
+  // Inverted lists are keyed by pivot — shared across owners — so their
+  // appends replay sequentially in candidate order: the lists end up
+  // byte-identical to the sequential merge for every thread count.
+  for (size_t p = 0; p < parts; ++p) {
+    for (const auto& [pivot, owner] : new_inv_parts_[p]) {
+      inv[pivot].push_back(owner);
+    }
+    st->updates += apply_updates_[p];
+  }
+  return m;
 }
 
 Result<BuildOutput> Builder::Run() {
@@ -577,13 +880,23 @@ Result<BuildOutput> Builder::Run() {
 
     out_c.clear();
     in_c.clear();
+    Stopwatch phase_watch;
     HOPDB_RETURN_NOT_OK(Generate(st.mode_used, &out_c, &in_c, &st));
+    st.generate_seconds = phase_watch.Seconds();
+
+    phase_watch.Restart();
     DedupAndFilter(&out_c, /*out_side=*/true, &st);
     if (directed_) DedupAndFilter(&in_c, /*out_side=*/false, &st);
-    Prune(&out_c, &in_c, &st);
+    st.dedup_seconds = phase_watch.Seconds();
 
+    phase_watch.Restart();
+    Prune(&out_c, &in_c, &st);
+    st.prune_seconds = phase_watch.Seconds();
+
+    phase_watch.Restart();
     st.survivors = Apply(out_c, /*out_side=*/true, &st);
     if (directed_) st.survivors += Apply(in_c, /*out_side=*/false, &st);
+    st.apply_seconds = phase_watch.Seconds();
 
     prev_out_.swap(out_c);
     prev_in_.swap(in_c);

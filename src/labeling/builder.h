@@ -2,23 +2,34 @@
 // (Sections 3 and 5 of the paper).
 //
 // The builder runs on a *rank-relabeled* graph (internal id == rank, id 0
-// = highest degree). Each iteration:
-//   1. generates candidate entries from the entries that survived the
+// = highest degree). Each iteration is a four-phase pipeline, every phase
+// parallel over BuildOptions::num_threads (docs/ARCHITECTURE.md, "Build
+// pipeline"):
+//   1. generate — candidate entries from the entries that survived the
 //      previous iteration (`prev`) joined against either all existing
 //      labels (Hop-Doubling, the 4 simplified rules of Fig. 6) or single
-//      edges (Hop-Stepping, Section 5.1);
-//   2. dedups candidates per (owner, pivot), keeping the smallest
-//      distance, and drops candidates dominated by an existing entry;
-//   3. prunes candidates that have a witness through a higher-ranked
-//      pivot (Section 3.3): candidate covering path x⇝y with pivot
+//      edges (Hop-Stepping, Section 5.1); parallel over chunks of `prev`.
+//   2. dedup — candidates sort by (owner, pivot, dist) via an
+//      owner-partitioned counting partition (candidate_partition.h), are
+//      collapsed per (owner, pivot) keeping the smallest distance, and
+//      drop when dominated by an existing entry; parallel per partition.
+//   3. prune — candidates with a witness through a higher-ranked pivot
+//      die (Section 3.3): candidate covering path x⇝y with pivot
 //      β = min(x, y) dies iff some w < β has (w,d1) ∈ Lout(x),
-//      (w,d2) ∈ Lin(y) with d1+d2 ≤ d;
-//   4. merges survivors into the labels; survivors become `prev`.
+//      (w,d2) ∈ Lin(y) with d1+d2 ≤ d. Witness scans run through the
+//      bounded early-exit SIMD merge-join of the active query kernel
+//      over a frozen flat snapshot of labels ∪ candidates, decisions in
+//      parallel (scalar cursor fallback for tiny iterations).
+//   4. apply — survivors merge into the labels; owners are partitioned
+//      into contiguous ranges so label vectors merge in parallel, then
+//      inverted lists replay sequentially in candidate order. Survivors
+//      become `prev`.
 // The loop ends when no candidate survives — at most DH iterations for
 // Stepping (Thm. 6) and 2⌈log DH⌉ for Doubling (Thm. 4).
 //
-// Per-iteration statistics (candidate counts, pruning counts, time) feed
-// Figure 10's growing/pruning-factor plots.
+// Per-iteration statistics (candidate counts, pruning counts, per-phase
+// times) feed Figure 10's growing/pruning-factor plots and
+// bench_build's phase breakdown.
 
 #ifndef HOPDB_LABELING_BUILDER_H_
 #define HOPDB_LABELING_BUILDER_H_
@@ -69,12 +80,14 @@ struct BuildOptions {
   /// both old labels and fresh candidates), pruning witnesses may be this
   /// iteration's deduped candidates as well as old entries. Ablation knob.
   bool prune_with_candidates = true;
-  /// Worker threads for candidate generation and pruning (the two
-  /// data-parallel phases; dedup and label merging stay sequential).
-  /// The output is bit-identical for every thread count: generation order
-  /// only permutes the candidate multiset, which the dedup sort
-  /// canonicalizes, and each pruning decision depends only on the
-  /// iteration-start snapshot. 0 means all hardware threads.
+  /// Worker threads for all four per-iteration phases (generation,
+  /// dedup, pruning, label merge). The output is bit-identical for every
+  /// thread count: generation order only permutes the candidate
+  /// multiset, which the owner-partitioned dedup sort canonicalizes into
+  /// one global order; pruning decisions depend only on the
+  /// iteration-start snapshot; and the apply phase merges disjoint
+  /// owner ranges, replaying inverted-list appends in candidate order.
+  /// 0 means all hardware threads.
   uint32_t num_threads = 1;
 };
 
@@ -90,6 +103,12 @@ struct IterationStats {
   uint64_t updates = 0;             // in-place distance improvements
   uint64_t total_entries_after = 0;
   double seconds = 0;
+  /// Per-phase wall clock within this iteration (bench_build's
+  /// breakdown); generate + dedup + prune + apply ≈ seconds.
+  double generate_seconds = 0;
+  double dedup_seconds = 0;
+  double prune_seconds = 0;
+  double apply_seconds = 0;
 };
 
 struct BuildStats {
@@ -100,6 +119,13 @@ struct BuildStats {
   double total_seconds = 0;
   /// Peak candidate-buffer size in entries (memory high-water mark proxy).
   uint64_t peak_candidates = 0;
+
+  /// Sum of a per-iteration phase time over all iterations.
+  double PhaseSeconds(double IterationStats::* field) const {
+    double total = 0;
+    for (const IterationStats& it : iterations) total += it.*field;
+    return total;
+  }
 };
 
 struct BuildOutput {

@@ -1,0 +1,132 @@
+// Owner-partitioned parallel sort — the dedup-phase primitive shared by
+// the in-memory builder (Builder::DedupAndFilter) and the external
+// builder's in-memory candidate runs (ExternalSorter sort hook).
+//
+// The candidate streams of both builders are sorted by (owner, pivot,
+// dist) before duplicate collapse. A global std::sort is the last
+// sequential wall in the construction pipeline, so this helper replaces
+// it with a two-pass counting partition over the owner key:
+//
+//   1. count   — per-owner record counts (relaxed atomic adds; the sums
+//                are order-insensitive), prefix-summed into owner
+//                offsets;
+//   2. scatter — records move to their owner's range in a scratch
+//                buffer (per-owner atomic cursors; in-owner order is
+//                scheduling-dependent at this point);
+//   3. sort    — the owner space is cut into ~num_threads partitions at
+//                record-count quantiles (always on owner boundaries) and
+//                each partition is sorted independently.
+//
+// Because the comparator's primary key is the owner and equal-comparing
+// records are bytewise identical (owner, pivot, dist all equal), the
+// concatenation of sorted partitions in partition order *is* the global
+// sorted sequence: the output is bit-identical to std::sort for every
+// thread count, which is what keeps the builders' any-thread-count
+// determinism guarantee intact.
+
+#ifndef HOPDB_LABELING_CANDIDATE_PARTITION_H_
+#define HOPDB_LABELING_CANDIDATE_PARTITION_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/parallel.h"
+
+namespace hopdb {
+
+/// Below this record count the counting passes cost more than the sort;
+/// OwnerPartitionedSort degenerates to std::sort.
+constexpr size_t kMinParallelSortRecords = 1 << 13;
+
+/// Reusable scratch for OwnerPartitionedSort. Hold one per builder and
+/// pass it to every call: the owner-offset table and partition bounds
+/// keep their capacity across iterations (no per-iteration allocation in
+/// steady state).
+struct OwnerPartitionPlan {
+  /// Record-index partition boundaries from the last call, owner-aligned
+  /// and ascending; bounds[0] == 0, bounds.back() == recs->size().
+  /// Callers run per-partition dedup/compaction over these.
+  std::vector<size_t> bounds;
+  /// Internal: per-owner offsets (counting pass), consumed as scatter
+  /// cursors.
+  std::vector<uint64_t> owner_offsets;
+};
+
+/// Sorts `recs` with `less` — whose primary key MUST be `owner_of(rec)`,
+/// an integer in [0, num_owners) — producing exactly std::sort's output
+/// for any thread count. `scratch` is the ping-pong buffer (resized as
+/// needed, contents garbage afterwards); `plan` receives the partition
+/// boundaries and reusable internal tables. Sequential below
+/// kMinParallelSortRecords or when num_threads <= 1.
+template <typename Rec, typename OwnerOf, typename Less>
+void OwnerPartitionedSort(std::vector<Rec>* recs, VertexId num_owners,
+                          uint32_t num_threads, OwnerOf owner_of, Less less,
+                          std::vector<Rec>* scratch,
+                          OwnerPartitionPlan* plan) {
+  const size_t m = recs->size();
+  if (num_threads <= 1 || m < kMinParallelSortRecords || num_owners == 0) {
+    std::sort(recs->begin(), recs->end(), less);
+    plan->bounds.assign({size_t{0}, m});
+    return;
+  }
+
+  // Pass 1: per-owner counts. Relaxed atomic adds — the final sums do
+  // not depend on scheduling.
+  auto& offsets = plan->owner_offsets;
+  offsets.assign(static_cast<size_t>(num_owners) + 1, 0);
+  ParallelChunks(num_threads, m, [&](size_t b, size_t e, uint32_t) {
+    for (size_t i = b; i < e; ++i) {
+      std::atomic_ref<uint64_t>(offsets[owner_of((*recs)[i]) + 1])
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t v = 0; v < num_owners; ++v) offsets[v + 1] += offsets[v];
+
+  // Partition the owner space at record-count quantiles (owner-aligned,
+  // so every partition is a contiguous run of whole owners).
+  plan->bounds.clear();
+  plan->bounds.push_back(0);
+  for (uint32_t k = 1; k < num_threads; ++k) {
+    const uint64_t target =
+        static_cast<uint64_t>(m) * k / num_threads;
+    const auto it = std::lower_bound(offsets.begin(), offsets.end(), target);
+    const size_t bound = static_cast<size_t>(*it);
+    if (bound > plan->bounds.back() && bound < m) {
+      plan->bounds.push_back(bound);
+    }
+  }
+  plan->bounds.push_back(m);
+
+  // Pass 2: scatter to owner ranges. The per-owner cursor order is
+  // scheduling-dependent; the per-partition sort below canonicalizes it.
+  scratch->resize(m);
+  ParallelChunks(num_threads, m, [&](size_t b, size_t e, uint32_t) {
+    for (size_t i = b; i < e; ++i) {
+      const Rec& r = (*recs)[i];
+      const uint64_t pos = std::atomic_ref<uint64_t>(offsets[owner_of(r)])
+                               .fetch_add(1, std::memory_order_relaxed);
+      (*scratch)[pos] = r;
+    }
+  });
+
+  // Pass 3: sort each partition, one per thread.
+  const size_t parts = plan->bounds.size() - 1;
+  ParallelChunks(static_cast<uint32_t>(parts), parts,
+                 [&](size_t pb, size_t pe, uint32_t) {
+                   for (size_t p = pb; p < pe; ++p) {
+                     std::sort(scratch->begin() +
+                                   static_cast<ptrdiff_t>(plan->bounds[p]),
+                               scratch->begin() +
+                                   static_cast<ptrdiff_t>(plan->bounds[p + 1]),
+                               less);
+                   }
+                 });
+  recs->swap(*scratch);
+}
+
+}  // namespace hopdb
+
+#endif  // HOPDB_LABELING_CANDIDATE_PARTITION_H_

@@ -9,7 +9,9 @@
 
 #include "io/external_sorter.h"
 #include "io/record_stream.h"
+#include "labeling/candidate_partition.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace hopdb {
@@ -212,6 +214,8 @@ class ExternalBuilder {
       : g_(g),
         opts_(opts),
         directed_(g.directed()),
+        threads_(opts.build.num_threads == 0 ? HardwareThreads()
+                                             : opts.build.num_threads),
         deadline_(opts.build.time_budget_seconds) {}
 
   Result<ExternalBuildResult> Run();
@@ -222,6 +226,23 @@ class ExternalBuilder {
   }
 
   Status Initialize();
+
+  /// Installs the owner-partitioned parallel run sort (shared with the
+  /// in-memory builder's dedup phase) when more than one thread is
+  /// configured. The hook reproduces std::sort's output exactly, so the
+  /// spilled runs — and everything downstream — are bit-identical to the
+  /// sequential build. Sorters are used one at a time on the build
+  /// thread, so sharing one scratch buffer is safe.
+  void ConfigureSorter(LabelSorter* sorter) {
+    if (threads_ <= 1) return;
+    sorter->SetSortFn([this](std::vector<LabelRec>* buffer) {
+      OwnerPartitionedSort(
+          buffer, g_.num_vertices(), threads_,
+          [](const LabelRec& r) { return r.a; }, ByABD{}, &sort_scratch_,
+          &sort_plan_);
+    });
+  }
+
   Status Generate(BuildMode mode, LabelSorter* out_sorter,
                   LabelSorter* in_sorter, IterationStats* st);
   /// Sorted candidates -> pending file (deduped, not dominated by old).
@@ -236,9 +257,14 @@ class ExternalBuilder {
   const CsrGraph& g_;
   ExternalBuildOptions opts_;
   bool directed_;
+  uint32_t threads_;
   Deadline deadline_;
   BuildStats stats_;
   IoStats io_;
+
+  /// Parallel run-sort scratch, reused across all sorters and iterations.
+  std::vector<LabelRec> sort_scratch_;
+  OwnerPartitionPlan sort_plan_;
 
   // Current files; "old" = all surviving entries, "bp" = pivot-sorted
   // copy, "prev" = last iteration's survivors, "pend"/"surv" = this
@@ -263,6 +289,8 @@ Status ExternalBuilder::Initialize() {
   LabelSorter out_sorter(Path("init_out"), budget, ByABD{},
                          opts_.block_size);
   LabelSorter in_sorter(Path("init_in"), budget, ByABD{}, opts_.block_size);
+  ConfigureSorter(&out_sorter);
+  ConfigureSorter(&in_sorter);
 
   for (VertexId u = 0; u < g_.num_vertices(); ++u) {
     for (const Arc& a : g_.OutArcs(u)) {
@@ -289,6 +317,9 @@ Status ExternalBuilder::Initialize() {
         auto w_prev, RecordWriter<LabelRec>::Open(prev_path, opts_.block_size));
     LabelSorter bp_sorter(bp_path + ".s", opts_.memory_budget_bytes / 4,
                           ByABD{}, opts_.block_size);
+    // Pivot-sorted records put the pivot in field a — still a vertex id,
+    // so the owner-partitioned sort hook applies unchanged.
+    ConfigureSorter(&bp_sorter);
     LabelRec rec;
     *count = 0;
     while (sorter->Next(&rec)) {
@@ -683,6 +714,7 @@ Status ExternalBuilder::Apply(bool out_side, uint64_t* side_entries) {
   {
     LabelSorter bp_sorter(surv_bp + ".s", opts_.memory_budget_bytes / 4,
                           ByABD{}, opts_.block_size);
+    ConfigureSorter(&bp_sorter);  // field a is the pivot: still a vertex id
     HOPDB_ASSIGN_OR_RETURN(auto reader, RecordReader<LabelRec>::Open(
                                             surv_path, opts_.block_size));
     LabelRec rec;
@@ -763,6 +795,8 @@ Result<ExternalBuildResult> ExternalBuilder::Run() {
                            opts_.block_size);
     LabelSorter in_sorter(Path("cand_in"), sort_budget, ByABD{},
                           opts_.block_size);
+    ConfigureSorter(&out_sorter);
+    ConfigureSorter(&in_sorter);
     HOPDB_RETURN_NOT_OK(Generate(st.mode_used, &out_sorter, &in_sorter, &st));
 
     pend_out_n_ = pend_in_n_ = 0;

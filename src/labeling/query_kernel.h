@@ -56,6 +56,19 @@ struct QueryKernel {
   /// registers; narrower kernels fall back to the scalar merge.
   Distance (*intersect_entries)(const LabelEntry* a, uint32_t a_size,
                                 const LabelEntry* b, uint32_t b_size);
+
+  /// Bounded early-exit witness probe — the builder's rule-(ii) pruning
+  /// primitive (Section 3.3). True iff some common pivot w < beta has
+  /// SaturatingAdd(d1, d2) <= d. Unlike intersect_flat it never scans
+  /// past the beta bound and returns on the first witness found, so the
+  /// common prune case touches only a prefix of each label. All kernels
+  /// return the identical boolean (existence is order-insensitive),
+  /// including the d == kInfDistance case where an overflowed d1 + d2
+  /// saturates into a valid witness.
+  bool (*has_witness_flat)(const uint32_t* a_pivots, const uint32_t* a_dists,
+                           uint32_t a_size, const uint32_t* b_pivots,
+                           const uint32_t* b_dists, uint32_t b_size,
+                           VertexId beta, Distance d);
 };
 
 /// Kernels this binary can run on this CPU, widest last; index 0 is

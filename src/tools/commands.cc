@@ -150,7 +150,7 @@ Status CmdBuild(CliFlags* flags, int argc, char** argv, std::ostream& out) {
   flags->Define("weighted", "false", "read weights from the text edge list");
   flags->Define("mode", "hybrid", "hybrid | stepping | doubling");
   flags->Define("switch", "10", "hybrid switch iteration");
-  flags->Define("threads", "1", "worker threads (0 = all cores)");
+  flags->Define("threads", "0", "worker threads (0 = all cores)");
   flags->Define("order", "auto",
                 "vertex order: auto | degree | inout | neighborhood | "
                 "degeneracy | betweenness | separator | random");
@@ -195,7 +195,11 @@ Status CmdBuild(CliFlags* flags, int argc, char** argv, std::ostream& out) {
   out << "built index over |V|=" << graph.num_vertices()
       << " |E|=" << graph.num_edges() << "\n"
       << "  mode            " << flags->GetString("mode") << " (order "
-      << order_name << ", threads " << flags->GetUint("threads") << ")\n"
+      << order_name << ", threads "
+      << (flags->GetUint("threads") == 0
+              ? std::string("auto")
+              : std::to_string(flags->GetUint("threads")))
+      << ")\n"
       << "  iterations      " << stats.num_rule_iterations << "\n"
       << "  label entries   " << index.label_index().TotalEntries() << "\n"
       << "  avg |label|     " << index.AvgLabelSize() << "\n"
@@ -418,11 +422,12 @@ void PrintUsage(std::ostream& out) {
          "         --avg-degree D --directed --weighted --seed S --out F)\n"
          "  build  build an index (--graph F --directed --weighted\n"
          "         --mode hybrid|stepping|doubling --order auto|degree|...\n"
-         "         --threads T --out F)\n"
+         "         --threads T (0 = all cores, the default) --out F)\n"
          "  query  query an index (--index F --src S --dst T | --random N)\n"
          "  stats  label statistics of an index (--index F)\n"
          "  serve  serve an index over TCP (--index F --port P --threads T\n"
-         "         --cache-capacity C); protocol: DIST/BATCH/KNN/STATS/RELOAD\n"
+         "         (0 = all cores, the default) --cache-capacity C);\n"
+         "         protocol: DIST/BATCH/KNN/STATS/RELOAD\n"
          "  client connect to a server (--host H --port P [--cmd LINE])\n"
          "  help   this text\n"
          "\n"

@@ -1,43 +1,12 @@
 #include "util/parallel.h"
 
 #include <algorithm>
-#include <cstdint>
 #include <thread>
-#include <vector>
 
 namespace hopdb {
 
 uint32_t HardwareThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
-}
-
-void ParallelChunks(
-    uint32_t num_threads, size_t n,
-    const std::function<void(size_t begin, size_t end, uint32_t chunk)>& fn) {
-  const size_t chunks =
-      std::max<size_t>(1, std::min<size_t>(num_threads, n));
-  if (chunks == 1) {
-    fn(0, n, 0);
-    return;
-  }
-  // Even split; the first (n % chunks) chunks carry one extra element.
-  const size_t base = n / chunks;
-  const size_t extra = n % chunks;
-  std::vector<std::thread> workers;
-  workers.reserve(chunks - 1);
-  size_t begin = 0;
-  for (size_t c = 0; c < chunks; ++c) {
-    const size_t len = base + (c < extra ? 1 : 0);
-    const size_t end = begin + len;
-    if (c + 1 == chunks) {
-      fn(begin, end, static_cast<uint32_t>(c));  // caller runs final chunk
-    } else {
-      workers.emplace_back(
-          [&fn, begin, end, c] { fn(begin, end, static_cast<uint32_t>(c)); });
-    }
-    begin = end;
-  }
-  for (auto& w : workers) w.join();
 }
 
 }  // namespace hopdb

@@ -8,14 +8,18 @@
 
 #include <array>
 #include <atomic>
+#include <fstream>
+#include <iterator>
 #include <mutex>
 #include <numeric>
+#include <string>
 
 #include "gen/erdos_renyi.h"
 #include "gen/glp.h"
 #include "gen/small_graphs.h"
 #include "gen/weights.h"
 #include "graph/ranking.h"
+#include "io/temp_dir.h"
 #include "labeling/builder.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -182,6 +186,57 @@ INSTANTIATE_TEST_SUITE_P(
         ParCase{"er", BuildMode::kHybrid, true, false, 56},
         ParCase{"er", BuildMode::kHopDoubling, true, true, 57}),
     ParCaseName);
+
+// The strongest form of the determinism guarantee: not just equal label
+// sets but byte-identical serialized indexes (HLI1 bytes including the
+// embedded flat-mirror section) for every thread count. Directed +
+// weighted + hybrid exercises every code path at once: both label
+// sides, in-place distance updates, and the stepping->doubling switch.
+TEST(ParallelBuildTest, SerializedIndexIsByteIdenticalAcrossThreadCounts) {
+  GlpOptions glp;
+  // Large enough that the peak iterations cross the parallel-sort,
+  // parallel-apply and flat-witness thresholds (so every parallel code
+  // path really runs), small enough for the sanitizer presets.
+  glp.num_vertices = 1500;
+  glp.seed = 71;
+  EdgeList edges = GenerateDirectedGlp(glp).ValueOrDie();
+  AssignUniformWeights(&edges, 1, 9, DeriveSeed(71, 23));
+  auto base = CsrGraph::FromEdgeList(edges);
+  base.status().CheckOK();
+  auto ranked = RelabelByRank(
+      *base, ComputeRanking(*base, RankingPolicy::kInOutProduct));
+  ranked.status().CheckOK();
+
+  auto tmp = TempDir::Create("hopdb_par_det");
+  tmp.status().CheckOK();
+
+  std::string reference_bytes;
+  for (const uint32_t threads : {1u, 2u, 3u, 8u}) {
+    BuildOptions opts;
+    opts.mode = BuildMode::kHybrid;
+    opts.hybrid_switch_iteration = 3;
+    opts.num_threads = threads;
+    auto built = BuildHopLabeling(*ranked, opts);
+    ASSERT_TRUE(built.ok()) << "threads=" << threads;
+
+    const std::string path =
+        tmp->File("index_t" + std::to_string(threads) + ".hli");
+    built->index.Save(path).CheckOK();
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_FALSE(bytes.empty());
+    if (threads == 1) {
+      reference_bytes = std::move(bytes);
+    } else {
+      ASSERT_EQ(bytes.size(), reference_bytes.size())
+          << "threads=" << threads;
+      ASSERT_TRUE(bytes == reference_bytes)
+          << "serialized index differs at threads=" << threads;
+    }
+  }
+}
 
 TEST(ParallelBuildTest, PruningDisabledIsAlsoDeterministic) {
   GlpOptions glp;
