@@ -37,14 +37,26 @@ class CompressedIndex {
  public:
   CompressedIndex() = default;
 
-  /// Compresses a plain index. Fails on empty (default-constructed) input.
+  /// Compresses a plain index — O(total entries) encode, one pass, no
+  /// mutation of the input. Fails with InvalidArgument on empty
+  /// (default-constructed) input and ResourceExhausted when the encoded
+  /// payload would overflow the u32 offset table (> 4 GiB).
   static Result<CompressedIndex> FromIndex(const TwoHopIndex& index);
 
-  /// Expands back to a plain index (exact round trip).
+  /// Expands back to a plain TwoHopIndex. Exact round trip:
+  /// Decompress(FromIndex(x)) equals x entry-for-entry (and rebuilds
+  /// the flat query mirror). O(total entries) time and full heap
+  /// footprint — use this to hand labels to code that needs the
+  /// uncompressed representation, not on the serving path.
   Result<TwoHopIndex> Decompress() const;
 
   /// Exact distance query over the compressed form; kInfDistance when
-  /// unreachable. Identical results to TwoHopIndex::Query.
+  /// unreachable. Identical results to TwoHopIndex::Query on the
+  /// source index. O(|Lout(s)| + |Lin(t)|) varint decodes inside a
+  /// sorted-merge intersection; no per-query allocation, roughly 2-3x
+  /// the flat-store query cost in exchange for the 2-3x smaller
+  /// footprint. Both ids must be < num_vertices() (internal/ranked
+  /// ids, like TwoHopIndex).
   ///
   /// Thread safety: const end-to-end (varint decode into locals, no
   /// mutable/static state) — safe for concurrent readers.
@@ -53,12 +65,17 @@ class CompressedIndex {
   VertexId num_vertices() const { return num_vertices_; }
   bool directed() const { return directed_; }
 
-  /// Total compressed footprint: payload + offset table + header.
+  /// Total compressed footprint: payload + offset table + header —
+  /// also the serialized file size minus the trailing checksum.
   uint64_t SizeBytes() const;
 
-  /// Serialized file image (header + offsets + payload + checksum).
+  /// Writes the HLC1 file image (header + offsets + payload +
+  /// fnv1a-64 checksum; byte-exact spec in docs/FORMATS.md). Const and
+  /// safe to call while other threads query.
   Status Save(const std::string& path) const;
-  /// Verifies magic and checksum; corrupt or truncated files fail cleanly.
+  /// Verifies magic and checksum before accepting any byte; corrupt or
+  /// truncated files fail cleanly with InvalidArgument. HopDbIndex::Load
+  /// dispatches here automatically on the "HLC1" magic.
   static Result<CompressedIndex> Load(const std::string& path);
 
  private:

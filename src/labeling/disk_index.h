@@ -30,23 +30,48 @@ namespace hopdb {
 
 class DiskIndex {
  public:
-  /// Serializes an in-memory index. Distances are narrowed to 8 bits when
-  /// every value fits (the paper's storage choice for unweighted graphs).
+  /// Serializes an in-memory index to the HDI1 layout above. Distances
+  /// are narrowed to 8 bits when every value fits (the paper's storage
+  /// choice for unweighted graphs). O(total entries) sequential write;
+  /// IOError on filesystem failure. The written file is immutable —
+  /// rebuild and rewrite to change labels (byte-exact spec in
+  /// docs/FORMATS.md).
   static Status Write(const TwoHopIndex& index, const std::string& path);
 
+  /// Opens an HDI1 file for positional label reads, loading only the
+  /// offset tables into memory — 8(n+1) bytes per side, the analogue of
+  /// the paper's in-memory vertex directory. `block_size` is the I/O
+  /// transfer unit the stats count. InvalidArgument on bad magic or a
+  /// malformed/truncated header; IOError on filesystem failure.
   static Result<DiskIndex> Open(const std::string& path,
                                 uint64_t block_size = kDefaultBlockSize);
 
-  /// Exact distance by two label reads (internal/ranked ids).
+  /// Exact distance by two positional label reads — Lout(s) then Lin(t)
+  /// (internal/ranked ids; both must be < num_vertices()). kInfDistance
+  /// when unreachable. This is the paper's "disk query" cost model:
+  /// exactly two random accesses plus a merged scan, with transfer
+  /// counts recorded in stats().
+  ///
+  /// Thread safety: NOT safe for concurrent callers — each query reuses
+  /// the per-instance read buffers and file cursor (the disk analogue
+  /// of one paper query thread). Open one DiskIndex per thread, or use
+  /// MappedIndex (labeling/mapped_index.h) for lock-free shared
+  /// serving.
   Distance Query(VertexId s, VertexId t);
 
   VertexId num_vertices() const { return num_vertices_; }
   bool directed() const { return directed_; }
   uint64_t file_size_bytes() const { return file_.size(); }
+
+  /// Cumulative I/O accounting (reads, bytes, block transfers) since
+  /// Open or the last ResetStats — what Table 6's block-transfer
+  /// columns report. Hardware-independent by design.
   const IoStats& stats() const { return file_.stats(); }
   void ResetStats() { file_.mutable_stats()->Reset(); }
 
-  /// Loads everything back into an in-memory index (round-trip testing).
+  /// Loads everything back into an in-memory index (round-trip
+  /// testing). O(total entries); the result is equal entry-for-entry to
+  /// the index passed to Write.
   Result<TwoHopIndex> ToMemory();
 
  private:

@@ -53,6 +53,36 @@ class FlatLabelStore {
     uint32_t size = 0;
   };
 
+  /// Non-owning view over a COMPLETE label set in the flat slot layout
+  /// (offset table + pivot arena + distance arena). This is the common
+  /// denominator between a heap-resident FlatLabelStore and a
+  /// memory-mapped HLI2 index (labeling/mapped_index.h): query engines
+  /// (query/batch.h, query/knn.h) built from a LabelSetView run
+  /// identically over either backing store. Trivially copyable; the
+  /// pointed-to arrays must outlive every engine built from the view.
+  struct LabelSetView {
+    VertexId num_vertices = 0;
+    bool directed = false;
+    const uint64_t* offsets = nullptr;  // num_slots() + 1 entries
+    const uint32_t* pivots = nullptr;
+    const uint32_t* dists = nullptr;
+
+    size_t num_slots() const {
+      return directed ? 2 * static_cast<size_t>(num_vertices) : num_vertices;
+    }
+    View Slot(size_t slot) const {
+      const uint64_t begin = offsets[slot];
+      return View{pivots + begin, dists + begin,
+                  static_cast<uint32_t>(offsets[slot + 1] - begin)};
+    }
+    /// Per-vertex label views, mirroring TwoHopIndex::OutLabel/InLabel:
+    /// undirected sets alias In(v) to Out(v).
+    View Out(VertexId v) const { return Slot(v); }
+    View In(VertexId v) const {
+      return Slot(directed ? static_cast<size_t>(num_vertices) + v : v);
+    }
+  };
+
   FlatLabelStore() = default;
 
   /// Flattens per-vertex label vectors (the TwoHopIndex representation)
@@ -79,6 +109,14 @@ class FlatLabelStore {
 
   /// In-memory footprint: both arenas plus the offset table.
   uint64_t SizeBytes() const;
+
+  /// The whole store as a LabelSetView (for engines that also accept
+  /// mapped indexes). Requires built(); valid until the store is
+  /// destroyed or reassigned.
+  LabelSetView view() const {
+    return LabelSetView{num_vertices_, directed_, offsets_.data(),
+                        pivots_.data(), dists_.data()};
+  }
 
   /// True iff this store is an exact mirror of the given label vectors
   /// (shape and every entry). O(total entries), no allocation — used by
@@ -121,6 +159,10 @@ class FlatLabelStore {
   AlignedU32Array pivots_;
   AlignedU32Array dists_;
 };
+
+/// Namespace-level shorthand: the view type is used far from the store
+/// (query engines, the server) where the qualified name is noise.
+using LabelSetView = FlatLabelStore::LabelSetView;
 
 /// Reusable SoA label arena for iteration-scoped frozen snapshots — the
 /// builder's witness store for SIMD rule-(ii) pruning. Same slot layout

@@ -1,0 +1,316 @@
+#include "labeling/mapped_index.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "labeling/query_kernel.h"
+#include "util/serde.h"
+
+namespace hopdb {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'L', 'I', '2'};
+constexpr uint32_t kHli2Version = 1;
+constexpr uint64_t kFlagDirected = 1ull << 0;
+constexpr size_t kHeaderBytes = 128;
+constexpr size_t kHeaderChecksumOff = 96;
+constexpr size_t kSectionAlign = 64;
+
+uint64_t AlignUp(uint64_t off) {
+  return (off + kSectionAlign - 1) & ~static_cast<uint64_t>(kSectionAlign - 1);
+}
+
+/// Appends zero bytes until `buf` is kSectionAlign-aligned.
+void PadToAlignment(std::string* buf) {
+  buf->resize(AlignUp(buf->size()), '\0');
+}
+
+struct Header {
+  uint64_t flags = 0;
+  uint32_t num_vertices = 0;
+  uint64_t total_entries = 0;
+  uint64_t offsets_off = 0;
+  uint64_t pivots_off = 0;
+  uint64_t dists_off = 0;
+  uint64_t rank_to_orig_off = 0;
+  uint64_t orig_to_rank_off = 0;
+  uint64_t file_size = 0;
+  uint64_t meta_checksum = 0;
+  uint64_t arena_checksum = 0;
+  uint64_t header_checksum = 0;
+};
+
+Status ParseHeader(const uint8_t* data, size_t size, const std::string& path,
+                   Header* h) {
+  if (size < kHeaderBytes) {
+    return Status::InvalidArgument("truncated HLI2 header: " + path);
+  }
+  if (std::memcmp(data, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not an HLI2 index file: " + path);
+  }
+  if (DecodeU32(data + 4) != kHli2Version) {
+    return Status::InvalidArgument(
+        "unsupported HLI2 version " + std::to_string(DecodeU32(data + 4)) +
+        " (this build reads version " + std::to_string(kHli2Version) +
+        "): " + path);
+  }
+  h->flags = DecodeU64(data + 8);
+  h->num_vertices = DecodeU32(data + 16);
+  h->total_entries = DecodeU64(data + 24);
+  h->offsets_off = DecodeU64(data + 32);
+  h->pivots_off = DecodeU64(data + 40);
+  h->dists_off = DecodeU64(data + 48);
+  h->rank_to_orig_off = DecodeU64(data + 56);
+  h->orig_to_rank_off = DecodeU64(data + 64);
+  h->file_size = DecodeU64(data + 72);
+  h->meta_checksum = DecodeU64(data + 80);
+  h->arena_checksum = DecodeU64(data + 88);
+  h->header_checksum = DecodeU64(data + kHeaderChecksumOff);
+  if (Fnv1a64(data, kHeaderChecksumOff) != h->header_checksum) {
+    return Status::InvalidArgument("HLI2 header checksum mismatch: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MappedIndex::Write(const TwoHopIndex& labels,
+                          const RankMapping& mapping,
+                          const std::string& path) {
+  const VertexId n = labels.num_vertices();
+  if (mapping.size() != n) {
+    return Status::InvalidArgument(
+        "rank mapping covers " + std::to_string(mapping.size()) +
+        " vertices but the index has " + std::to_string(n));
+  }
+  // Serialize from the flat mirror; flatten on the fly when the caller
+  // mutated labels without rebuilding it.
+  FlatLabelStore rebuilt;
+  const FlatLabelStore* flat = &labels.flat_store();
+  if (!flat->built()) {
+    std::vector<LabelVector> out(n), in;
+    if (labels.directed()) in.resize(n);
+    for (VertexId v = 0; v < n; ++v) {
+      const auto out_label = labels.OutLabel(v);
+      out[v].assign(out_label.begin(), out_label.end());
+      if (labels.directed()) {
+        const auto in_label = labels.InLabel(v);
+        in[v].assign(in_label.begin(), in_label.end());
+      }
+    }
+    rebuilt = FlatLabelStore::Build(out, in, labels.directed());
+    flat = &rebuilt;
+  }
+  const LabelSetView view = flat->view();
+  const size_t num_slots = view.num_slots();
+  const uint64_t total = labels.TotalEntries();
+
+  Header h;
+  h.flags = labels.directed() ? kFlagDirected : 0;
+  h.num_vertices = n;
+  h.total_entries = total;
+  h.offsets_off = AlignUp(kHeaderBytes);
+  h.pivots_off = AlignUp(h.offsets_off + (num_slots + 1) * sizeof(uint64_t));
+  h.dists_off = AlignUp(h.pivots_off + total * sizeof(uint32_t));
+  h.rank_to_orig_off = AlignUp(h.dists_off + total * sizeof(uint32_t));
+  h.orig_to_rank_off =
+      AlignUp(h.rank_to_orig_off + static_cast<uint64_t>(n) * sizeof(uint32_t));
+  h.file_size =
+      h.orig_to_rank_off + static_cast<uint64_t>(n) * sizeof(uint32_t);
+
+  std::string buf;
+  buf.reserve(h.file_size);
+  buf.resize(kHeaderBytes, '\0');
+
+  PadToAlignment(&buf);  // no-op (header is already aligned); documents intent
+  const size_t offsets_begin = buf.size();
+  for (size_t s = 0; s <= num_slots; ++s) PutU64(&buf, view.offsets[s]);
+  PadToAlignment(&buf);
+  const size_t pivots_begin = buf.size();
+  buf.append(reinterpret_cast<const char*>(view.pivots),
+             total * sizeof(uint32_t));
+  PadToAlignment(&buf);
+  const size_t dists_begin = buf.size();
+  buf.append(reinterpret_cast<const char*>(view.dists),
+             total * sizeof(uint32_t));
+  PadToAlignment(&buf);
+  const size_t rank_to_orig_begin = buf.size();
+  for (VertexId r = 0; r < n; ++r) PutU32(&buf, mapping.rank_to_orig[r]);
+  PadToAlignment(&buf);
+  const size_t orig_to_rank_begin = buf.size();
+  for (VertexId v = 0; v < n; ++v) PutU32(&buf, mapping.orig_to_rank[v]);
+
+  // The layout math above and the append cursor must agree exactly.
+  if (offsets_begin != h.offsets_off || pivots_begin != h.pivots_off ||
+      dists_begin != h.dists_off || rank_to_orig_begin != h.rank_to_orig_off ||
+      orig_to_rank_begin != h.orig_to_rank_off || buf.size() != h.file_size) {
+    return Status::Internal("HLI2 writer layout mismatch");
+  }
+
+  // The metadata checksum folds the permutation sections in with the
+  // offset table so a corrupt id translation is caught at open time, not
+  // query time.
+  h.meta_checksum =
+      Fnv1a64(buf.data() + h.offsets_off, h.pivots_off - h.offsets_off) ^
+      Fnv1a64(buf.data() + h.rank_to_orig_off,
+              h.file_size - h.rank_to_orig_off);
+  h.arena_checksum = Fnv1a64(buf.data() + h.pivots_off,
+                             h.rank_to_orig_off - h.pivots_off);
+
+  // Fill in the header in place.
+  uint8_t* hd = reinterpret_cast<uint8_t*>(buf.data());
+  std::memcpy(hd, kMagic, 4);
+  EncodeU32(kHli2Version, hd + 4);
+  EncodeU64(h.flags, hd + 8);
+  EncodeU32(h.num_vertices, hd + 16);
+  EncodeU32(0, hd + 20);
+  EncodeU64(h.total_entries, hd + 24);
+  EncodeU64(h.offsets_off, hd + 32);
+  EncodeU64(h.pivots_off, hd + 40);
+  EncodeU64(h.dists_off, hd + 48);
+  EncodeU64(h.rank_to_orig_off, hd + 56);
+  EncodeU64(h.orig_to_rank_off, hd + 64);
+  EncodeU64(h.file_size, hd + 72);
+  EncodeU64(h.meta_checksum, hd + 80);
+  EncodeU64(h.arena_checksum, hd + 88);
+  EncodeU64(Fnv1a64(hd, kHeaderChecksumOff), hd + kHeaderChecksumOff);
+
+  return WriteStringToFile(path, buf);
+}
+
+Result<MappedIndex> MappedIndex::Open(const std::string& path,
+                                      const OpenOptions& options) {
+  HOPDB_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+  Header h;
+  HOPDB_RETURN_NOT_OK(ParseHeader(file.data(), file.size(), path, &h));
+  if (h.file_size != file.size()) {
+    return Status::InvalidArgument(
+        "HLI2 file size mismatch (header says " + std::to_string(h.file_size) +
+        " bytes, file has " + std::to_string(file.size()) + "): " + path);
+  }
+
+  const bool directed = (h.flags & kFlagDirected) != 0;
+  const uint64_t n = h.num_vertices;
+  const uint64_t num_slots = directed ? 2 * n : n;
+  // Reject total_entries before any size arithmetic: a crafted header
+  // with total_entries near 2^62 would wrap total_entries * 4 to a tiny
+  // number and sail through the layout check below. (file_size already
+  // equals the real mapped size, so this also bounds every product
+  // computed next.)
+  if (h.total_entries > h.file_size / sizeof(uint32_t)) {
+    return Status::InvalidArgument(
+        "HLI2 total_entries exceeds what the file can hold: " + path);
+  }
+  // The section layout is canonical (Write emits exactly this order and
+  // padding), so rather than bounds-checking each claimed offset —
+  // which a crafted header can still abuse via reordered/overlapping
+  // sections whose pairwise differences underflow — recompute the whole
+  // layout from n/total_entries and require exact agreement. This
+  // subsumes ordering, overlap, alignment, and bounds in one shot.
+  Header want;
+  want.offsets_off = AlignUp(kHeaderBytes);
+  want.pivots_off =
+      AlignUp(want.offsets_off + (num_slots + 1) * sizeof(uint64_t));
+  want.dists_off =
+      AlignUp(want.pivots_off + h.total_entries * sizeof(uint32_t));
+  want.rank_to_orig_off =
+      AlignUp(want.dists_off + h.total_entries * sizeof(uint32_t));
+  want.orig_to_rank_off =
+      AlignUp(want.rank_to_orig_off + n * sizeof(uint32_t));
+  want.file_size = want.orig_to_rank_off + n * sizeof(uint32_t);
+  if (h.offsets_off != want.offsets_off ||
+      h.pivots_off != want.pivots_off || h.dists_off != want.dists_off ||
+      h.rank_to_orig_off != want.rank_to_orig_off ||
+      h.orig_to_rank_off != want.orig_to_rank_off ||
+      h.file_size != want.file_size) {
+    return Status::InvalidArgument(
+        "HLI2 section offsets disagree with the canonical layout for "
+        "num_vertices/total_entries (truncated or crafted?): " + path);
+  }
+
+  const uint8_t* base = file.data();
+  uint64_t meta = Fnv1a64(base + h.offsets_off, h.pivots_off - h.offsets_off);
+  meta ^= Fnv1a64(base + h.rank_to_orig_off, h.file_size - h.rank_to_orig_off);
+  if (meta != h.meta_checksum) {
+    return Status::InvalidArgument("HLI2 metadata checksum mismatch: " + path);
+  }
+
+  // Structural validation of everything queries index by: offsets
+  // monotone within total_entries, permutations inverse bijections.
+  // O(|V|) — this is the whole non-constant cost of an open.
+  const uint64_t* offsets =
+      reinterpret_cast<const uint64_t*>(base + h.offsets_off);
+  if (offsets[0] != 0 || offsets[num_slots] != h.total_entries) {
+    return Status::InvalidArgument("HLI2 offset table endpoints invalid: " +
+                                   path);
+  }
+  for (uint64_t s = 0; s < num_slots; ++s) {
+    if (offsets[s] > offsets[s + 1]) {
+      return Status::InvalidArgument("HLI2 offset table not monotone: " +
+                                     path);
+    }
+  }
+  const uint32_t* rank_to_orig =
+      reinterpret_cast<const uint32_t*>(base + h.rank_to_orig_off);
+  const uint32_t* orig_to_rank =
+      reinterpret_cast<const uint32_t*>(base + h.orig_to_rank_off);
+  for (uint64_t r = 0; r < n; ++r) {
+    const uint32_t orig = rank_to_orig[r];
+    if (orig >= n || orig_to_rank[orig] != r) {
+      return Status::InvalidArgument(
+          "HLI2 rank permutations are not inverse bijections: " + path);
+    }
+  }
+
+  MappedIndex index;
+  index.file_ = std::move(file);
+  index.directed_ = directed;
+  index.num_vertices_ = h.num_vertices;
+  index.total_entries_ = h.total_entries;
+  index.arena_checksum_ = h.arena_checksum;
+  const uint8_t* data = index.file_.data();
+  index.offsets_ = reinterpret_cast<const uint64_t*>(data + h.offsets_off);
+  index.pivots_ = reinterpret_cast<const uint32_t*>(data + h.pivots_off);
+  index.dists_ = reinterpret_cast<const uint32_t*>(data + h.dists_off);
+  index.rank_to_orig_ =
+      reinterpret_cast<const uint32_t*>(data + h.rank_to_orig_off);
+  index.orig_to_rank_ =
+      reinterpret_cast<const uint32_t*>(data + h.orig_to_rank_off);
+
+  if (options.verify_arenas) {
+    HOPDB_RETURN_NOT_OK(index.VerifyArenas());
+  }
+  if (options.prefault) {
+    index.file_.AdviseWillNeed();
+  }
+  return index;
+}
+
+Distance MappedIndex::Query(VertexId src, VertexId dst) const {
+  if (src >= num_vertices_ || dst >= num_vertices_) return kInfDistance;
+  const VertexId s = orig_to_rank_[src];
+  const VertexId t = orig_to_rank_[dst];
+  const LabelSetView view = labels();
+  return QueryFlatHalves(view.Out(s), view.In(t), s, t, ActiveQueryKernel());
+}
+
+Status MappedIndex::VerifyArenas() const {
+  if (!mapped()) {
+    return Status::FailedPrecondition("VerifyArenas on an unmapped index");
+  }
+  // Hash exactly what Write hashed: the contiguous byte range from the
+  // pivot section start to the rank_to_orig section start (both arenas
+  // plus their inter-section padding).
+  const uint8_t* begin = reinterpret_cast<const uint8_t*>(pivots_);
+  const uint8_t* end = reinterpret_cast<const uint8_t*>(rank_to_orig_);
+  if (Fnv1a64(begin, static_cast<size_t>(end - begin)) != arena_checksum_) {
+    return Status::InvalidArgument("HLI2 label arena checksum mismatch: " +
+                                   path());
+  }
+  return Status::OK();
+}
+
+}  // namespace hopdb

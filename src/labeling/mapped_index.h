@@ -1,0 +1,184 @@
+// MappedIndex: the zero-copy, memory-mapped serving form of a hopdb
+// label index — the HLI2 on-disk format.
+//
+// HLI1 deserializes into heap vectors on every load, so server startup
+// and RELOAD cost O(total label entries). HLI2 instead lays the
+// FlatLabelStore arenas, the per-slot offset table, and both rank
+// permutations out on disk exactly as the query kernels want them in
+// memory: little-endian, fixed-width, every section 64-byte aligned.
+// Open() mmaps the file and validates only the metadata (header + offset
+// table + permutations — O(|V|), independent of the label count), after
+// which queries run through the standard QueryKernel dispatch directly
+// over the page cache. Startup and hot-swap latency no longer scale with
+// index size, and N processes serving the same file share one physical
+// copy of the label pages.
+//
+// File layout ("HLI2", little-endian; byte-exact spec in
+// docs/FORMATS.md):
+//
+//   header (128 bytes):
+//     off   0  magic "HLI2"
+//     off   4  u32 version = 1
+//     off   8  u64 flags                  bit0 = directed
+//     off  16  u32 num_vertices
+//     off  20  u32 reserved (zero)
+//     off  24  u64 total_entries
+//     off  32  u64 offsets_off            byte offset of each section,
+//     off  40  u64 pivots_off             all 64-byte aligned
+//     off  48  u64 dists_off
+//     off  56  u64 rank_to_orig_off
+//     off  64  u64 orig_to_rank_off
+//     off  72  u64 file_size              total bytes (truncation check)
+//     off  80  u64 meta_checksum          fnv1a-64 of offsets + both
+//                                         permutation sections
+//     off  88  u64 arena_checksum         fnv1a-64 of pivot + dist arenas
+//     off  96  u64 header_checksum        fnv1a-64 of header bytes [0,96)
+//     off 104  zero padding to 128
+//   offsets section:      (num_slots + 1) x u64 entry indices, where
+//                         num_slots = 2 * |V| directed, |V| undirected
+//   pivots section:       total_entries x u32
+//   dists section:        total_entries x u32
+//   rank_to_orig section: |V| x u32   (rank -> original id)
+//   orig_to_rank section: |V| x u32   (original id -> rank)
+//
+// Integrity model: Open() always verifies the header checksum, the
+// metadata checksum, section bounds against file_size (with explicit
+// total_entries overflow rejection), offset-table monotonicity, and
+// that the two permutations are inverse bijections — so a truncated or
+// metadata-corrupt file fails with a clean Status and a malformed
+// offset table can never send a query out of bounds. The label arenas
+// are NOT hashed on open (that would re-read the whole file and defeat
+// the O(1) load); arena corruption is bounds-safe — the merge-join
+// kernels only compare pivots, and the batch/KNN engines skip
+// out-of-range pivots when building from a LabelSetView — so a corrupt
+// arena can mis-answer but never crash, and is detectable via
+// VerifyArenas() (used by `hopdb_cli convert --verify` and the
+// corruption tests) or an explicit OpenOptions::verify_arenas.
+
+#ifndef HOPDB_LABELING_MAPPED_INDEX_H_
+#define HOPDB_LABELING_MAPPED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/ranking.h"
+#include "graph/types.h"
+#include "io/mmap_file.h"
+#include "labeling/flat_label_store.h"
+#include "labeling/two_hop_index.h"
+#include "util/status.h"
+
+namespace hopdb {
+
+class MappedIndex {
+ public:
+  struct OpenOptions {
+    /// Also verify the label-arena checksum during Open (one sequential
+    /// read of the whole file — O(total entries), defeating the O(1)
+    /// load). Off by default; serving paths rely on the always-on
+    /// metadata validation for memory safety instead.
+    bool verify_arenas = false;
+    /// Ask the kernel to start readahead for the whole mapping right
+    /// after validation (MADV_WILLNEED). Trades eager I/O for faster
+    /// first queries on a cold file.
+    bool prefault = false;
+  };
+
+  MappedIndex() = default;
+
+  /// Serializes `labels` + `mapping` into a new HLI2 file at `path`.
+  /// Uses the index's flat mirror when built, otherwise flattens the
+  /// label vectors first. O(total entries) time and one file write; the
+  /// written file round-trips bit-exactly through Open(). Peak memory
+  /// is the heap index plus one full file image (the sections are
+  /// checksummed before the header is sealed) — convert on a machine
+  /// that fits both; serving needs neither.
+  static Status Write(const TwoHopIndex& labels, const RankMapping& mapping,
+                      const std::string& path);
+
+  /// Maps an HLI2 file and validates its metadata (see the integrity
+  /// model above). O(|V|) work regardless of label count. Fails with
+  /// InvalidArgument on bad magic/version/structure or checksum
+  /// mismatch and IOError when the file cannot be mapped; never crashes
+  /// on truncated or corrupt input. The returned index serves queries
+  /// immediately; no rehydration step exists.
+  static Result<MappedIndex> Open(const std::string& path,
+                                  const OpenOptions& options);
+  static Result<MappedIndex> Open(const std::string& path) {
+    return Open(path, OpenOptions{});
+  }
+
+  /// True between a successful Open and destruction/move-out.
+  bool mapped() const { return file_.mapped(); }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  bool directed() const { return directed_; }
+  uint64_t TotalEntries() const { return total_entries_; }
+  const std::string& path() const { return file_.path(); }
+
+  /// Exact distance between ORIGINAL vertex ids (the embedded
+  /// permutation translates internally); kInfDistance when unreachable.
+  /// Routed through the active SIMD query kernel over the mapped arenas
+  /// — same cost and same results as HopDbIndex::Query on the
+  /// equivalent heap index.
+  ///
+  /// Thread safety: const over an immutable read-only mapping — safe for
+  /// any number of concurrent callers, like the heap read path.
+  Distance Query(VertexId src, VertexId dst) const;
+
+  /// Id translation over the mapped permutation sections (O(1) array
+  /// reads; ids must be < num_vertices()).
+  VertexId ToInternal(VertexId orig) const { return orig_to_rank_[orig]; }
+  VertexId ToOriginal(VertexId internal) const {
+    return rank_to_orig_[internal];
+  }
+
+  /// The mapped label set (INTERNAL/rank ids) for engines that consume
+  /// LabelSetView (query/batch.h, query/knn.h). Valid while this index
+  /// is alive and unmoved.
+  LabelSetView labels() const {
+    return LabelSetView{num_vertices_, directed_, offsets_, pivots_, dists_};
+  }
+
+  /// Size of the whole mapping in bytes (== file size).
+  uint64_t MappedBytes() const { return file_.size(); }
+
+  /// Bytes of the mapping currently resident in physical memory (see
+  /// MmapFile::ResidentBytes). The honest "how much RAM does this index
+  /// use" number for an mmap-served index: near 0 right after a cold
+  /// open, growing as queries touch pages.
+  uint64_t ResidentBytes() const { return file_.ResidentBytes(); }
+
+  /// Re-hashes the pivot/dist arenas against the header's
+  /// arena_checksum. O(total entries) sequential read; InvalidArgument
+  /// on mismatch. The mutation-shaped integrity check for a format that
+  /// has no mutation path.
+  Status VerifyArenas() const;
+
+  /// HLI2 is an immutable serving format: every mutation-shaped
+  /// operation answers with this error (callers that need to edit labels
+  /// must convert back to the heap HLI1 representation). Kept as a
+  /// method so call sites read as intent, not as a stray status string.
+  static Status MutationNotSupported(const char* operation) {
+    return Status::Unimplemented(
+        std::string("HLI2 mapped indexes are read-only: ") + operation +
+        " is not supported (convert to HLI1 and rebuild to modify labels)");
+  }
+
+ private:
+  MmapFile file_;
+  bool directed_ = false;
+  VertexId num_vertices_ = 0;
+  uint64_t total_entries_ = 0;
+  uint64_t arena_checksum_ = 0;
+  // Typed section pointers into the mapping.
+  const uint64_t* offsets_ = nullptr;
+  const uint32_t* pivots_ = nullptr;
+  const uint32_t* dists_ = nullptr;
+  const uint32_t* rank_to_orig_ = nullptr;
+  const uint32_t* orig_to_rank_ = nullptr;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_LABELING_MAPPED_INDEX_H_

@@ -130,6 +130,34 @@ class TwoHopIndex {
   bool directed_ = false;
 };
 
+/// Invokes fn(pivot, dist) for every entry of one side's label of v:
+/// through `view` when `index` is null, else through the index's label
+/// vectors (the stale-flat-mirror fallback of engines constructed from
+/// a TwoHopIndex). The view path SKIPS entries whose pivot is >=
+/// view.num_vertices: a LabelSetView may alias the unhashed label
+/// arenas of a memory-mapped HLI2 file (labeling/mapped_index.h
+/// integrity model), and callers index arrays by pivot — a corrupt
+/// arena must be able to mis-answer but never write or read out of
+/// bounds. This is the single shared implementation of that
+/// safety-critical loop for every view-consuming engine
+/// (query/batch.h, query/knn.h).
+template <typename Fn>
+void ForEachLabelEntry(const TwoHopIndex* index,
+                       const FlatLabelStore::LabelSetView& view, bool in_side,
+                       VertexId v, Fn&& fn) {
+  if (index == nullptr) {
+    const FlatLabelStore::View label = in_side ? view.In(v) : view.Out(v);
+    for (uint32_t i = 0; i < label.size; ++i) {
+      if (label.pivots[i] < view.num_vertices) {
+        fn(label.pivots[i], label.dists[i]);
+      }
+    }
+  } else {
+    const auto label = in_side ? index->InLabel(v) : index->OutLabel(v);
+    for (const LabelEntry& e : label) fn(e.pivot, e.dist);
+  }
+}
+
 /// Query helper shared with builders' pruning logic: minimum of
 /// intersection plus the two implicit trivial pivots.
 ///   dist = min( min_{w in out_s ∩ in_t} d1+d2,

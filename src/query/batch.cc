@@ -9,36 +9,27 @@
 
 namespace hopdb {
 
-namespace {
-
-/// Invokes fn(pivot, dist) for every entry of the in-label of t, using
-/// the flat store when built and the label vectors otherwise.
-template <typename Fn>
-void ForEachInEntry(const TwoHopIndex& index, VertexId t, Fn&& fn) {
-  if (index.flat_store().built()) {
-    const FlatLabelStore::View view = index.flat_store().In(t);
-    for (uint32_t i = 0; i < view.size; ++i) fn(view.pivots[i], view.dists[i]);
-  } else {
-    for (const LabelEntry& e : index.InLabel(t)) fn(e.pivot, e.dist);
-  }
-}
-
-template <typename Fn>
-void ForEachOutEntry(const TwoHopIndex& index, VertexId s, Fn&& fn) {
-  if (index.flat_store().built()) {
-    const FlatLabelStore::View view = index.flat_store().Out(s);
-    for (uint32_t i = 0; i < view.size; ++i) fn(view.pivots[i], view.dists[i]);
-  } else {
-    for (const LabelEntry& e : index.OutLabel(s)) fn(e.pivot, e.dist);
-  }
-}
-
-}  // namespace
-
 OneToManyEngine::OneToManyEngine(const TwoHopIndex& index,
                                  std::vector<VertexId> targets)
-    : index_(index), targets_(std::move(targets)) {
-  const VertexId n = index_.num_vertices();
+    : num_vertices_(index.num_vertices()), targets_(std::move(targets)) {
+  if (index.flat_store().built()) {
+    view_ = index.flat_store().view();
+  } else {
+    index_ = &index;
+  }
+  BuildBuckets();
+}
+
+OneToManyEngine::OneToManyEngine(const LabelSetView& labels,
+                                 std::vector<VertexId> targets)
+    : view_(labels),
+      num_vertices_(labels.num_vertices),
+      targets_(std::move(targets)) {
+  BuildBuckets();
+}
+
+void OneToManyEngine::BuildBuckets() {
+  const VertexId n = num_vertices_;
   // Pass 1: bucket sizes, counted into slot p+1 so the in-place prefix
   // sum below turns the same array into the arena offsets. Each target
   // contributes its in-label entries plus one trivial self-pivot entry
@@ -49,9 +40,10 @@ OneToManyEngine::OneToManyEngine(const TwoHopIndex& index,
     const VertexId t = targets_[j];
     HOPDB_CHECK_LT(t, n) << "target id out of range";
     bucket_offsets_[t + 1]++;
-    ForEachInEntry(index_, t, [&](uint32_t pivot, uint32_t) {
-      bucket_offsets_[pivot + 1]++;
-    });
+    ForEachLabelEntry(index_, view_, /*in_side=*/true, t,
+                      [&](uint32_t pivot, uint32_t) {
+                        bucket_offsets_[pivot + 1]++;
+                      });
   }
   for (VertexId p = 0; p < n; ++p) bucket_offsets_[p + 1] += bucket_offsets_[p];
   bucket_target_.resize(bucket_offsets_[n]);
@@ -65,11 +57,12 @@ OneToManyEngine::OneToManyEngine(const TwoHopIndex& index,
     const uint64_t self = cursor[t]++;
     bucket_target_[self] = j;
     bucket_dist_[self] = 0;
-    ForEachInEntry(index_, t, [&](uint32_t pivot, uint32_t dist) {
-      const uint64_t k = cursor[pivot]++;
-      bucket_target_[k] = j;
-      bucket_dist_[k] = dist;
-    });
+    ForEachLabelEntry(index_, view_, /*in_side=*/true, t,
+                      [&](uint32_t pivot, uint32_t dist) {
+                        const uint64_t k = cursor[pivot]++;
+                        bucket_target_[k] = j;
+                        bucket_dist_[k] = dist;
+                      });
   }
 }
 
@@ -86,13 +79,14 @@ void OneToManyEngine::Relax(VertexId pivot, Distance d1,
 
 std::vector<Distance> OneToManyEngine::Query(VertexId s) const {
   std::vector<Distance> result(targets_.size(), kInfDistance);
-  if (s >= index_.num_vertices()) return result;  // nothing reachable
+  if (s >= num_vertices_) return result;  // nothing reachable
   // Trivial source pivot: (s, 0) pairs with every in-entry naming s —
   // including the self-bucket entry, so dist(s, s) == 0 falls out.
   Relax(s, 0, &result);
-  ForEachOutEntry(index_, s, [&](uint32_t pivot, uint32_t dist) {
-    Relax(pivot, dist, &result);
-  });
+  ForEachLabelEntry(index_, view_, /*in_side=*/false, s,
+                    [&](uint32_t pivot, uint32_t dist) {
+                      Relax(pivot, dist, &result);
+                    });
   return result;
 }
 

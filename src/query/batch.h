@@ -40,8 +40,18 @@ class OneToManyEngine {
  public:
   /// The index reference is not owned and must outlive the engine.
   /// Duplicate targets are allowed (each position is answered).
-  /// Construction is O(sum |Lin(t)| + |V|).
+  /// Construction is O(sum |Lin(t)| + |V|). When the index's flat
+  /// mirror is built, the engine snapshots pointers into it — the
+  /// engine must not be used across a mutable_out()/mutable_in()/
+  /// RebuildFlatStore() cycle on the index (rebuild frees the arenas
+  /// the engine reads); construct a fresh engine after label edits.
   OneToManyEngine(const TwoHopIndex& index, std::vector<VertexId> targets);
+
+  /// Same engine over a bare flat label set — the form shared by heap
+  /// flat stores and memory-mapped HLI2 indexes
+  /// (MappedIndex::labels()). The arrays behind the view must outlive
+  /// the engine. Vertex ids are the view's (internal/rank) ids.
+  OneToManyEngine(const LabelSetView& labels, std::vector<VertexId> targets);
 
   /// result[j] = dist(s, targets()[j]); kInfDistance when unreachable.
   /// O(|Lout(s)| + touched bucket entries + |T|) per call.
@@ -59,7 +69,16 @@ class OneToManyEngine {
   /// source-side distance d1.
   void Relax(VertexId pivot, Distance d1, std::vector<Distance>* result) const;
 
-  const TwoHopIndex& index_;
+  /// Fills the bucket arena from whichever label representation this
+  /// engine was constructed over.
+  void BuildBuckets();
+
+  /// Non-null only for indexes whose flat mirror is stale (the vector
+  /// fallback); engines over a built flat store or a mapped index use
+  /// view_ exclusively.
+  const TwoHopIndex* index_ = nullptr;
+  LabelSetView view_{};
+  VertexId num_vertices_ = 0;
   std::vector<VertexId> targets_;
   /// Flat bucket arena: entries of pivot p occupy
   /// [bucket_offsets_[p], bucket_offsets_[p+1]) in the two parallel

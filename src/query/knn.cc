@@ -8,18 +8,34 @@
 namespace hopdb {
 
 KnnEngine::KnnEngine(const TwoHopIndex& index, Direction direction)
-    : index_(index), direction_(direction) {
-  const VertexId n = index_.num_vertices();
+    : num_vertices_(index.num_vertices()), direction_(direction) {
+  if (index.flat_store().built()) {
+    view_ = index.flat_store().view();
+  } else {
+    index_ = &index;
+  }
+  BuildInverted();
+}
+
+KnnEngine::KnnEngine(const LabelSetView& labels, Direction direction)
+    : view_(labels),
+      num_vertices_(labels.num_vertices),
+      direction_(direction) {
+  BuildInverted();
+}
+
+void KnnEngine::BuildInverted() {
+  const VertexId n = num_vertices_;
   inv_.resize(n);
   for (VertexId v = 0; v < n; ++v) {
     // Forward kNN intersects Lout(s) with Lin(v), so the inverted side is
     // the in-labels; backward swaps the roles.
-    const auto label = direction_ == Direction::kForward ? index_.InLabel(v)
-                                                         : index_.OutLabel(v);
+    const bool in_side = direction_ == Direction::kForward;
     inv_[v].push_back({0, v});  // trivial (v, 0) self-entry
-    for (const LabelEntry& e : label) {
-      inv_[e.pivot].push_back({e.dist, v});
-    }
+    ForEachLabelEntry(index_, view_, in_side, v,
+                      [&](uint32_t pivot, uint32_t dist) {
+                        inv_[pivot].push_back({dist, v});
+                      });
   }
   for (auto& list : inv_) {
     std::sort(list.begin(), list.end(),
@@ -30,11 +46,24 @@ KnnEngine::KnnEngine(const TwoHopIndex& index, Direction direction)
   }
 }
 
+void KnnEngine::CollectSeeds(VertexId s,
+                             std::vector<LabelEntry>* seeds) const {
+  const bool out_side = direction_ == Direction::kForward;
+  ForEachLabelEntry(index_, view_, /*in_side=*/!out_side, s,
+                    [&](uint32_t pivot, uint32_t dist) {
+                      seeds->push_back({pivot, dist});
+                    });
+  seeds->push_back({s, 0});  // trivial (s, 0) source pivot
+}
+
 std::vector<KnnEngine::Neighbor> KnnEngine::Query(VertexId s, uint32_t k,
                                                   bool include_source) const {
   std::vector<Neighbor> result;
-  if (s >= index_.num_vertices() || k == 0) return result;
-  result.reserve(k);
+  if (s >= num_vertices_ || k == 0) return result;
+  // k is client-controlled on the serving path; at most n vertices can
+  // ever be emitted, so clamp the reservation (a bare reserve(k) would
+  // let one "KNN 0 4294967295" request attempt a ~34 GB allocation).
+  result.reserve(std::min<uint64_t>(k, num_vertices_));
 
   // Frontier of (total distance, seed index, position in the seed's
   // inverted list); the pop order enumerates all (source entry, inverted
@@ -50,10 +79,7 @@ std::vector<KnnEngine::Neighbor> KnnEngine::Query(VertexId s, uint32_t k,
   // d1_of_pivot is needed when advancing a cursor; store alongside the
   // seed list (sorted by pivot — Lout(s) order — for lookup by index).
   std::vector<LabelEntry> seeds;
-  const auto label = direction_ == Direction::kForward ? index_.OutLabel(s)
-                                                       : index_.InLabel(s);
-  seeds.assign(label.begin(), label.end());
-  seeds.push_back({s, 0});  // trivial (s, 0) source pivot
+  CollectSeeds(s, &seeds);
 
   for (uint32_t i = 0; i < seeds.size(); ++i) {
     const auto& list = inv_[seeds[i].pivot];
@@ -62,7 +88,7 @@ std::vector<KnnEngine::Neighbor> KnnEngine::Query(VertexId s, uint32_t k,
     }
   }
 
-  std::vector<bool> emitted(index_.num_vertices(), false);
+  std::vector<bool> emitted(num_vertices_, false);
   while (!pq.empty() && result.size() < k) {
     const Frontier f = pq.top();
     pq.pop();

@@ -44,8 +44,18 @@ class KnnEngine {
 
   /// Builds the inverted pivot lists (one pass over the index). The index
   /// reference is not owned and must outlive the engine. For undirected
-  /// indexes both directions coincide.
+  /// indexes both directions coincide. When the index's flat mirror is
+  /// built, the engine snapshots pointers into it — the engine must not
+  /// be used across a mutable_out()/mutable_in()/RebuildFlatStore()
+  /// cycle on the index (rebuild frees the arenas the engine reads);
+  /// construct a fresh engine after label edits.
   KnnEngine(const TwoHopIndex& index, Direction direction);
+
+  /// Same engine over a bare flat label set — the form shared by heap
+  /// flat stores and memory-mapped HLI2 indexes (MappedIndex::labels()).
+  /// The arrays behind the view must outlive the engine; vertex ids are
+  /// the view's (internal/rank) ids.
+  KnnEngine(const LabelSetView& labels, Direction direction);
 
   /// The (up to) k nearest vertices from/to s in non-decreasing distance
   /// order. Ties are broken arbitrarily. `s` itself (distance 0) is
@@ -65,7 +75,19 @@ class KnnEngine {
     VertexId owner;
   };
 
-  const TwoHopIndex& index_;
+  /// Fills inv_ from whichever label representation this engine was
+  /// constructed over.
+  void BuildInverted();
+  /// Appends the seed entries for a query from s (the relevant label of
+  /// s plus the trivial (s, 0) pivot).
+  void CollectSeeds(VertexId s, std::vector<LabelEntry>* seeds) const;
+
+  /// Non-null only for indexes whose flat mirror is stale (the vector
+  /// fallback); engines over a built flat store or a mapped index use
+  /// view_ exclusively.
+  const TwoHopIndex* index_ = nullptr;
+  LabelSetView view_{};
+  VertexId num_vertices_ = 0;
   Direction direction_;
   /// inv_[p] = owners whose relevant label names pivot p, sorted by dist.
   std::vector<std::vector<InvEntry>> inv_;

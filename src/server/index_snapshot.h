@@ -9,6 +9,16 @@
 // in-flight requests finish on the snapshot they started with, and the
 // old index is freed when the last such request drops its reference.
 // Zero downtime, no reader-side locks held across a query.
+//
+// A snapshot is backed by exactly one of two index forms:
+//   - heap: a HopDbIndex (HLI1/HLC1 deserialized into label vectors +
+//     flat mirror) — RELOAD re-reads and re-deserializes the file;
+//   - mmap: a MappedIndex over an HLI2 file — the label arenas live in
+//     the page cache, resident bytes grow with the touched working set,
+//     and RELOAD is an O(1) remap.
+// Everything above the snapshot (server, registry, caches) is agnostic:
+// the snapshot exposes query entry points that dispatch internally, so
+// DIST/BATCH/KNN behave identically over either backing.
 
 #ifndef HOPDB_SERVER_INDEX_SNAPSHOT_H_
 #define HOPDB_SERVER_INDEX_SNAPSHOT_H_
@@ -18,8 +28,10 @@
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "hopdb.h"
+#include "labeling/mapped_index.h"
 #include "query/knn.h"
 #include "server/result_cache.h"
 
@@ -27,16 +39,68 @@ namespace hopdb {
 
 class ServingSnapshot {
  public:
-  /// `source_path` is the file RELOAD-without-argument re-reads; may be
-  /// empty for in-memory indexes (RELOAD then requires an explicit path).
-  /// `cache_capacity` sizes this snapshot's result cache (0 disables).
+  /// Heap-backed snapshot. `source_path` is the file RELOAD-without-
+  /// argument re-reads; may be empty for in-memory indexes (RELOAD then
+  /// requires an explicit path). `cache_capacity` sizes this snapshot's
+  /// result cache (0 disables).
   ServingSnapshot(HopDbIndex index, std::string source_path,
                   size_t cache_capacity)
       : index_(std::move(index)),
         source_path_(std::move(source_path)),
         cache_(cache_capacity) {}
 
-  const HopDbIndex& index() const { return index_; }
+  /// Mmap-backed snapshot over an opened HLI2 index. Same contract;
+  /// RELOAD on this snapshot is an O(1) remap of source_path.
+  ServingSnapshot(MappedIndex index, std::string source_path,
+                  size_t cache_capacity)
+      : mapped_(std::make_unique<MappedIndex>(std::move(index))),
+        source_path_(std::move(source_path)),
+        cache_(cache_capacity) {}
+
+  /// True for mmap-backed snapshots.
+  bool mapped() const { return mapped_ != nullptr; }
+
+  /// STATS-facing storage mode: "mmap" or "heap".
+  const char* map_mode() const { return mapped() ? "mmap" : "heap"; }
+
+  VertexId num_vertices() const {
+    return mapped() ? mapped_->num_vertices() : index_.num_vertices();
+  }
+  bool directed() const {
+    return mapped() ? mapped_->directed() : index_.directed();
+  }
+
+  /// Bytes of index data this snapshot holds in RAM. Heap snapshots
+  /// report their full in-memory footprint (label vectors + flat
+  /// mirror); mmap snapshots report the currently resident page-cache
+  /// bytes (an mincore walk — near 0 cold, up to MappedBytes() warm).
+  uint64_t ResidentBytes() const;
+
+  /// Exact distance between ORIGINAL vertex ids — the single-pair query
+  /// entry point every DIST funnels through. Const and lock-free for
+  /// concurrent callers on either backing.
+  Distance Query(VertexId s, VertexId t) const {
+    return mapped() ? mapped_->Query(s, t) : index_.Query(s, t);
+  }
+
+  /// One-to-many distances from s to every target (ORIGINAL ids, all of
+  /// which must be < num_vertices()), answered by one pivot-bucket join
+  /// (query/batch.h) over this snapshot's labels. Backs BATCH requests
+  /// and same-source DIST micro-batches.
+  std::vector<Distance> QueryOneToMany(VertexId s,
+                                       const std::vector<VertexId>& targets)
+      const;
+
+  /// The k nearest reachable vertices from s (ORIGINAL ids) via this
+  /// snapshot's lazily built KNN engine.
+  std::vector<std::pair<VertexId, Distance>> QueryKnn(VertexId s,
+                                                      uint32_t k) const;
+
+  /// The heap index. Only valid for !mapped() snapshots (checked);
+  /// in-process embedders that need the full HopDbIndex API should gate
+  /// on mapped() first.
+  const HopDbIndex& index() const;
+
   const std::string& source_path() const { return source_path_; }
 
   /// The snapshot's own (s, t) -> distance cache. Owning the cache here
@@ -46,20 +110,15 @@ class ServingSnapshot {
   /// it — no clear/fill race, no stale answers after RELOAD.
   ResultCache& cache() const { return cache_; }
 
-  /// Forward-direction KNN engine over this snapshot's labels, built on
-  /// first use (RELOAD stays cheap for DIST-only workloads) and shared by
-  /// all subsequent KNN requests. Thread-safe via call_once; the engine
-  /// itself is read-only after construction.
-  const KnnEngine& knn_engine() const {
-    std::call_once(knn_once_, [this] {
-      knn_ = std::make_unique<KnnEngine>(index_.label_index(),
-                                         KnnEngine::Direction::kForward);
-    });
-    return *knn_;
-  }
-
  private:
-  HopDbIndex index_;
+  /// Forward-direction KNN engine over this snapshot's labels, built on
+  /// first use (RELOAD stays cheap for DIST-only workloads) and shared
+  /// by all subsequent KNN requests. Thread-safe via call_once; the
+  /// engine itself is read-only after construction.
+  const KnnEngine& knn_engine() const;
+
+  HopDbIndex index_;                      // heap backing (when !mapped_)
+  std::unique_ptr<MappedIndex> mapped_;   // mmap backing (when set)
   std::string source_path_;
   mutable ResultCache cache_;
   mutable std::once_flag knn_once_;

@@ -33,6 +33,12 @@ Result<VertexId> ParseVertex(const std::string& token) {
   return static_cast<VertexId>(v);
 }
 
+/// Parses one request from `tokens` (already split). `routed` is true
+/// when the tokens follow a USE prefix, which restricts the verb set to
+/// the per-index ones and forbids nested USE.
+Result<Request> ParseTokens(const std::vector<std::string>& tokens,
+                            size_t first, bool routed);
+
 }  // namespace
 
 Result<Request> ParseRequest(const std::string& line) {
@@ -40,62 +46,105 @@ Result<Request> ParseRequest(const std::string& line) {
   if (tokens.empty()) {
     return Status::InvalidArgument("empty request");
   }
-  const std::string& verb = tokens[0];
+  return ParseTokens(tokens, 0, /*routed=*/false);
+}
+
+namespace {
+
+Result<Request> ParseTokens(const std::vector<std::string>& tokens,
+                            size_t first, bool routed) {
+  const std::string& verb = tokens[first];
+  const size_t count = tokens.size() - first;
+  auto token = [&](size_t i) -> const std::string& {
+    return tokens[first + i];
+  };
   Request request;
   if (verb == "DIST") {
-    if (tokens.size() != 3) {
+    if (count != 3) {
       return Status::InvalidArgument("usage: DIST <src> <dst>");
     }
     request.kind = RequestKind::kDist;
-    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(tokens[1]));
+    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(token(1)));
     request.targets.resize(1);
-    HOPDB_ASSIGN_OR_RETURN(request.targets[0], ParseVertex(tokens[2]));
+    HOPDB_ASSIGN_OR_RETURN(request.targets[0], ParseVertex(token(2)));
     return request;
   }
   if (verb == "BATCH") {
-    if (tokens.size() < 3) {
+    if (count < 3) {
       return Status::InvalidArgument("usage: BATCH <src> <t1> [t2 ...]");
     }
     request.kind = RequestKind::kBatch;
-    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(tokens[1]));
-    request.targets.reserve(tokens.size() - 2);
-    for (size_t i = 2; i < tokens.size(); ++i) {
-      HOPDB_ASSIGN_OR_RETURN(VertexId t, ParseVertex(tokens[i]));
+    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(token(1)));
+    request.targets.reserve(count - 2);
+    for (size_t i = 2; i < count; ++i) {
+      HOPDB_ASSIGN_OR_RETURN(VertexId t, ParseVertex(token(i)));
       request.targets.push_back(t);
     }
     return request;
   }
   if (verb == "KNN") {
-    if (tokens.size() != 3) {
+    if (count != 3) {
       return Status::InvalidArgument("usage: KNN <src> <k>");
     }
     request.kind = RequestKind::kKnn;
-    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(tokens[1]));
+    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(token(1)));
     uint64_t k = 0;
-    if (!ParseUint64(tokens[2], &k) || k == 0 ||
+    if (!ParseUint64(token(2), &k) || k == 0 ||
         k > std::numeric_limits<uint32_t>::max()) {
-      return Status::InvalidArgument("bad neighbor count '" + tokens[2] + "'");
+      return Status::InvalidArgument("bad neighbor count '" + token(2) + "'");
     }
     request.k = static_cast<uint32_t>(k);
     return request;
   }
+  if (verb == "RELOAD") {
+    if (count > 2) {
+      return Status::InvalidArgument("usage: RELOAD [<path>]");
+    }
+    request.kind = RequestKind::kReload;
+    if (count == 2) request.path = token(1);
+    return request;
+  }
+  if (routed) {
+    // Everything below is whole-server scoped and must not carry a USE
+    // prefix; nested USE is caught here too.
+    return Status::InvalidArgument("USE can only prefix DIST, BATCH, KNN, "
+                                   "or RELOAD (got '" + verb + "')");
+  }
+  if (verb == "USE") {
+    if (count < 3) {
+      return Status::InvalidArgument("usage: USE <index> <request>");
+    }
+    HOPDB_ASSIGN_OR_RETURN(Request routed_request,
+                           ParseTokens(tokens, first + 2, /*routed=*/true));
+    routed_request.index_name = token(1);
+    return routed_request;
+  }
+  if (verb == "ATTACH") {
+    if (count != 3) {
+      return Status::InvalidArgument("usage: ATTACH <name> <path>");
+    }
+    request.kind = RequestKind::kAttach;
+    request.index_name = token(1);
+    request.path = token(2);
+    return request;
+  }
+  if (verb == "DETACH") {
+    if (count != 2) {
+      return Status::InvalidArgument("usage: DETACH <name>");
+    }
+    request.kind = RequestKind::kDetach;
+    request.index_name = token(1);
+    return request;
+  }
   if (verb == "STATS") {
-    if (tokens.size() != 1) {
+    if (count != 1) {
       return Status::InvalidArgument("usage: STATS");
     }
     request.kind = RequestKind::kStats;
     return request;
   }
-  if (verb == "RELOAD") {
-    if (tokens.size() > 2) {
-      return Status::InvalidArgument("usage: RELOAD [<path>]");
-    }
-    request.kind = RequestKind::kReload;
-    if (tokens.size() == 2) request.path = tokens[1];
-    return request;
-  }
   if (verb == "PING") {
-    if (tokens.size() != 1) {
+    if (count != 1) {
       return Status::InvalidArgument("usage: PING");
     }
     request.kind = RequestKind::kPing;
@@ -103,6 +152,8 @@ Result<Request> ParseRequest(const std::string& line) {
   }
   return Status::InvalidArgument("unknown verb '" + verb + "'");
 }
+
+}  // namespace
 
 std::string FormatDistance(Distance d) {
   return d == kInfDistance ? "INF" : std::to_string(d);

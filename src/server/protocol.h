@@ -7,6 +7,9 @@
 //   KNN <s> <k>              the k nearest vertices reachable from s
 //   STATS                    server counters (key=value pairs)
 //   RELOAD [<path>]          hot-swap the index (default: reload source)
+//   ATTACH <name> <path>     load <path> and serve it as index <name>
+//   DETACH <name>            stop serving index <name>
+//   USE <name> <request>     route DIST/BATCH/KNN/RELOAD to index <name>
 //   PING                     liveness probe
 //
 // Responses:
@@ -37,6 +40,8 @@ enum class RequestKind : uint8_t {
   kKnn,
   kStats,
   kReload,
+  kAttach,
+  kDetach,
   kPing,
 };
 
@@ -48,9 +53,12 @@ struct Request {
   std::vector<VertexId> targets;
   /// KNN neighbor count.
   uint32_t k = 0;
-  /// RELOAD path; empty means "reload the path the server was started
-  /// from".
+  /// RELOAD/ATTACH file path; for RELOAD, empty means "reload the path
+  /// the index was loaded from".
   std::string path;
+  /// Target index name: the ATTACH/DETACH operand, or the USE prefix of
+  /// a routed DIST/BATCH/KNN/RELOAD. Empty means the default index.
+  std::string index_name;
 };
 
 /// Parses one request line (without the trailing newline). Returns

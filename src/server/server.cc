@@ -14,7 +14,6 @@
 #include <vector>
 
 #include "labeling/query_kernel.h"
-#include "query/batch.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -50,9 +49,40 @@ bool SendAll(int fd, const std::string& data) {
 Distance CachedQuery(const ServingSnapshot& snapshot, VertexId s, VertexId t) {
   Distance d = kInfDistance;
   if (snapshot.cache().Lookup(s, t, &d)) return d;
-  d = snapshot.index().Query(s, t);
+  d = snapshot.Query(s, t);
   snapshot.cache().Insert(s, t, d);
   return d;
+}
+
+// ---------------------------------------------------------------------------
+// STATS payload helpers. Every key the server emits goes through one of
+// these two appenders; tools/check_docs.py parses the call sites to keep
+// the key table in docs/OPERATIONS.md from drifting.
+// ---------------------------------------------------------------------------
+
+void AppendStat(std::string* payload, const char* key,
+                const std::string& value) {
+  if (!payload->empty()) payload->push_back(' ');
+  payload->append(key);
+  payload->push_back('=');
+  payload->append(value);
+}
+
+/// Emits `index.<name>.<key>=<value>` for the per-index STATS section.
+void AppendIndexStat(std::string* payload, const std::string& name,
+                     const char* key, const std::string& value) {
+  if (!payload->empty()) payload->push_back(' ');
+  payload->append("index.");
+  payload->append(name);
+  payload->push_back('.');
+  payload->append(key);
+  payload->push_back('=');
+  payload->append(value);
+}
+
+std::string ErrNoSuchIndex(const std::string& name) {
+  return ErrResponse("no index named '" + name + "' (see STATS, or ATTACH "
+                     "it first)");
 }
 
 }  // namespace
@@ -61,10 +91,11 @@ DistanceServer::DistanceServer(const ServerOptions& options)
     : options_(options), queue_(options.queue_capacity) {}
 
 Result<std::unique_ptr<DistanceServer>> DistanceServer::Start(
-    HopDbIndex index, const ServerOptions& options) {
+    std::shared_ptr<const ServingSnapshot> snapshot,
+    const ServerOptions& options) {
   std::unique_ptr<DistanceServer> server(new DistanceServer(options));
-  server->handle_.Set(std::make_shared<const ServingSnapshot>(
-      std::move(index), options.source_path, options.cache_capacity));
+  HOPDB_RETURN_NOT_OK(
+      server->registry_.Attach(kDefaultIndexName, std::move(snapshot)));
   HOPDB_RETURN_NOT_OK(server->Listen());
   const uint32_t workers =
       options.num_workers == 0 ? HardwareThreads() : options.num_workers;
@@ -72,6 +103,14 @@ Result<std::unique_ptr<DistanceServer>> DistanceServer::Start(
                          [srv = server.get()](uint32_t) { srv->WorkerLoop(); });
   server->acceptor_ = std::thread([srv = server.get()] { srv->AcceptLoop(); });
   return server;
+}
+
+Result<std::unique_ptr<DistanceServer>> DistanceServer::Start(
+    HopDbIndex index, const ServerOptions& options) {
+  return Start(std::make_shared<const ServingSnapshot>(
+                   std::move(index), options.source_path,
+                   options.cache_capacity),
+               options);
 }
 
 DistanceServer::~DistanceServer() { Stop(); }
@@ -222,26 +261,50 @@ void DistanceServer::Finish(WorkItem* item, std::string response) {
 }
 
 void DistanceServer::ExecuteWorkBatch(std::vector<WorkItem>* items) {
-  // One snapshot for the whole micro-batch: every request in it is
-  // answered against the same immutable index + cache.
-  const std::shared_ptr<const ServingSnapshot> snap = handle_.Get();
-  const HopDbIndex& index = snap->index();
-  const VertexId n = index.num_vertices();
-
-  // DIST requests that miss the cache are deferred and grouped by source
-  // so one OneToManyEngine pass can answer a whole group.
+  // DIST requests that miss the cache are deferred and grouped by
+  // (snapshot, source) so one OneToManyEngine pass can answer a whole
+  // group. Requests for different indexes in the same drain resolve to
+  // different snapshots and therefore never mix. Each pending entry
+  // keeps its snapshot shared_ptr: even if the index is DETACHed or
+  // RELOADed mid-batch, the group is answered (coherently) on the
+  // snapshot it resolved.
   struct PendingDist {
     size_t item_index;
+    std::shared_ptr<const ServingSnapshot> snap;
     VertexId s, t;
   };
   std::vector<PendingDist> pending;
+
+  // Memoize name -> snapshot for this drain: most batches target one or
+  // two indexes, and resolving per item would pay a registry mutex +
+  // map lookup on every DIST. A whole drain intentionally sees one
+  // consistent snapshot per name (same RCU semantics as a single
+  // in-flight request).
+  std::vector<std::pair<const std::string*,
+                        std::shared_ptr<const ServingSnapshot>>> resolved;
+  // Returns by value (one refcount bump): a reference into `resolved`
+  // would dangle across the push_back of the next distinct name.
+  auto resolve = [&](const std::string& name)
+      -> std::shared_ptr<const ServingSnapshot> {
+    for (const auto& [known, snap] : resolved) {
+      if (*known == name) return snap;
+    }
+    resolved.emplace_back(&name, registry_.Find(name));
+    return resolved.back().second;
+  };
 
   for (size_t i = 0; i < items->size(); ++i) {
     WorkItem& item = (*items)[i];
     const Request& req = item.request;
     if (req.kind == RequestKind::kDist) {
+      std::shared_ptr<const ServingSnapshot> snap = resolve(req.index_name);
+      if (snap == nullptr) {
+        Finish(&item, ErrNoSuchIndex(req.index_name));
+        continue;
+      }
       const VertexId s = req.src;
       const VertexId t = req.targets[0];
+      const VertexId n = snap->num_vertices();
       if (s >= n || t >= n) {
         Finish(&item, ErrResponse("vertex id out of range (|V|=" +
                                   std::to_string(n) + ")"));
@@ -252,50 +315,63 @@ void DistanceServer::ExecuteWorkBatch(std::vector<WorkItem>* items) {
       if (snap->cache().Lookup(s, t, &d)) {
         Finish(&item, OkResponse(FormatDistance(d)));
       } else {
-        pending.push_back(PendingDist{i, s, t});
+        pending.push_back(PendingDist{i, std::move(snap), s, t});
+      }
+    } else if (req.kind == RequestKind::kBatch ||
+               req.kind == RequestKind::kKnn) {
+      // The other routed verbs share the memoized resolution so the
+      // whole drain sees one snapshot per name and pays the registry
+      // mutex once, same as DIST.
+      const std::shared_ptr<const ServingSnapshot> snap =
+          resolve(req.index_name);
+      if (snap == nullptr) {
+        Finish(&item, ErrNoSuchIndex(req.index_name));
+      } else {
+        Finish(&item, ExecuteOn(req, *snap));
       }
     } else {
-      Finish(&item, ExecuteOn(req, *snap));
+      Finish(&item, Execute(req));
     }
   }
   if (pending.empty()) return;
 
   std::stable_sort(pending.begin(), pending.end(),
                    [](const PendingDist& a, const PendingDist& b) {
+                     if (a.snap.get() != b.snap.get()) {
+                       return a.snap.get() < b.snap.get();
+                     }
                      return a.s < b.s;
                    });
-  const RankMapping& mapping = index.ranking();
   size_t group_start = 0;
   while (group_start < pending.size()) {
     size_t group_end = group_start + 1;
     while (group_end < pending.size() &&
+           pending[group_end].snap.get() == pending[group_start].snap.get() &&
            pending[group_end].s == pending[group_start].s) {
       ++group_end;
     }
     const size_t group_size = group_end - group_start;
+    const ServingSnapshot& snap = *pending[group_start].snap;
     const VertexId s = pending[group_start].s;
     if (group_size >= kMicroBatchGroupMin) {
       // One bucket join answers every queued query from this source.
-      std::vector<VertexId> internal_targets;
-      internal_targets.reserve(group_size);
+      std::vector<VertexId> targets;
+      targets.reserve(group_size);
       for (size_t j = group_start; j < group_end; ++j) {
-        internal_targets.push_back(mapping.ToInternal(pending[j].t));
+        targets.push_back(pending[j].t);
       }
-      OneToManyEngine engine(index.label_index(),
-                             std::move(internal_targets));
-      const std::vector<Distance> dists =
-          engine.Query(mapping.ToInternal(s));
+      const std::vector<Distance> dists = snap.QueryOneToMany(s, targets);
       for (size_t j = group_start; j < group_end; ++j) {
         const Distance d = dists[j - group_start];
-        snap->cache().Insert(s, pending[j].t, d);
+        snap.cache().Insert(s, pending[j].t, d);
         Finish(&(*items)[pending[j].item_index],
                OkResponse(FormatDistance(d)));
       }
       metrics_.RecordMicroBatch(group_size);
     } else {
       const VertexId t = pending[group_start].t;
-      const Distance d = index.Query(s, t);
-      snap->cache().Insert(s, t, d);
+      const Distance d = snap.Query(s, t);
+      snap.cache().Insert(s, t, d);
       Finish(&(*items)[pending[group_start].item_index],
              OkResponse(FormatDistance(d)));
     }
@@ -304,21 +380,31 @@ void DistanceServer::ExecuteWorkBatch(std::vector<WorkItem>* items) {
 }
 
 std::string DistanceServer::Execute(const Request& request) {
-  const std::shared_ptr<const ServingSnapshot> snap = handle_.Get();
+  // Registry-scoped admin verbs resolve no snapshot.
+  switch (request.kind) {
+    case RequestKind::kReload:
+      return HandleReload(request.index_name, request.path);
+    case RequestKind::kAttach:
+      return HandleAttach(request.index_name, request.path);
+    case RequestKind::kDetach:
+      return HandleDetach(request.index_name);
+    default:
+      break;
+  }
+  const std::shared_ptr<const ServingSnapshot> snap =
+      registry_.Find(request.index_name);
+  if (snap == nullptr) return ErrNoSuchIndex(request.index_name);
   return ExecuteOn(request, *snap);
 }
 
 std::string DistanceServer::ExecuteOn(const Request& request,
                                       const ServingSnapshot& snapshot) {
-  const HopDbIndex& index = snapshot.index();
-  const VertexId n = index.num_vertices();
+  const VertexId n = snapshot.num_vertices();
   switch (request.kind) {
     case RequestKind::kPing:
       return OkResponse("pong");
     case RequestKind::kStats:
       return StatsResponse(snapshot);
-    case RequestKind::kReload:
-      return HandleReload(request.path);
     case RequestKind::kDist: {
       const VertexId s = request.src;
       const VertexId t = request.targets[0];
@@ -344,21 +430,13 @@ std::string DistanceServer::ExecuteOn(const Request& request,
       metrics_.RecordBatch();
       metrics_.RecordDist(request.targets.size());
       std::vector<Distance> dists;
-      dists.reserve(request.targets.size());
       if (request.targets.size() >= kBatchEngineMin) {
-        const RankMapping& mapping = index.ranking();
-        std::vector<VertexId> internal_targets;
-        internal_targets.reserve(request.targets.size());
-        for (VertexId t : request.targets) {
-          internal_targets.push_back(mapping.ToInternal(t));
-        }
-        OneToManyEngine engine(index.label_index(),
-                               std::move(internal_targets));
-        dists = engine.Query(mapping.ToInternal(s));
+        dists = snapshot.QueryOneToMany(s, request.targets);
         for (size_t j = 0; j < request.targets.size(); ++j) {
           snapshot.cache().Insert(s, request.targets[j], dists[j]);
         }
       } else {
+        dists.reserve(request.targets.size());
         for (VertexId t : request.targets) {
           dists.push_back(CachedQuery(snapshot, s, t));
         }
@@ -372,16 +450,12 @@ std::string DistanceServer::ExecuteOn(const Request& request,
                            std::to_string(n) + ")");
       }
       metrics_.RecordKnn();
-      const RankMapping& mapping = index.ranking();
-      const std::vector<KnnEngine::Neighbor> neighbors =
-          snapshot.knn_engine().Query(mapping.ToInternal(s), request.k);
-      std::vector<std::pair<VertexId, Distance>> result;
-      result.reserve(neighbors.size());
-      for (const KnnEngine::Neighbor& nb : neighbors) {
-        result.emplace_back(mapping.ToOriginal(nb.vertex), nb.dist);
-      }
-      return FormatKnnResponse(result);
+      return FormatKnnResponse(snapshot.QueryKnn(s, request.k));
     }
+    case RequestKind::kReload:
+    case RequestKind::kAttach:
+    case RequestKind::kDetach:
+      break;  // handled in Execute before snapshot resolution
   }
   return ErrResponse("unhandled request kind");
 }
@@ -391,67 +465,157 @@ std::string DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
   const uint64_t requests = metrics_.requests();
   const ResultCache::Stats cache = snapshot.cache().GetStats();
   std::string payload;
-  payload += "uptime_s=" + FormatDouble(uptime, 1);
-  payload += " requests=" + std::to_string(requests);
-  payload += " errors=" + std::to_string(metrics_.errors());
-  payload += " qps=" + FormatDouble(
-                           uptime > 0 ? static_cast<double>(requests) / uptime
-                                      : 0.0,
-                           1);
-  payload += " p50_us=" + std::to_string(metrics_.LatencyPercentileUs(50));
-  payload += " p99_us=" + std::to_string(metrics_.LatencyPercentileUs(99));
-  payload += " dist_queries=" + std::to_string(metrics_.dist_queries());
-  payload += " batch_requests=" + std::to_string(metrics_.batch_requests());
-  payload += " knn_requests=" + std::to_string(metrics_.knn_requests());
-  payload += " micro_batches=" + std::to_string(metrics_.micro_batches());
-  payload +=
-      " micro_batched_queries=" + std::to_string(metrics_.micro_batched_queries());
-  payload += " cache_hits=" + std::to_string(cache.hits);
-  payload += " cache_misses=" + std::to_string(cache.misses);
-  payload += " cache_hit_rate=" + FormatDouble(cache.HitRate(), 4);
-  payload += " cache_entries=" + std::to_string(cache.entries);
-  payload += " cache_capacity=" + std::to_string(cache.capacity);
-  payload += " queue_depth=" + std::to_string(queue_.size());
-  payload += " workers=" + std::to_string(workers_.size());
-  payload += std::string(" kernel=") + ActiveQueryKernel().name;
-  payload += " reloads=" + std::to_string(metrics_.reloads());
-  payload += " connections=" + std::to_string(connections_accepted());
-  payload += " vertices=" + std::to_string(snapshot.index().num_vertices());
-  payload += std::string(" directed=") +
-             (snapshot.index().directed() ? "1" : "0");
+  AppendStat(&payload, "uptime_s", FormatDouble(uptime, 1));
+  AppendStat(&payload, "requests", std::to_string(requests));
+  AppendStat(&payload, "errors", std::to_string(metrics_.errors()));
+  AppendStat(&payload, "qps",
+             FormatDouble(uptime > 0
+                              ? static_cast<double>(requests) / uptime
+                              : 0.0,
+                          1));
+  AppendStat(&payload, "p50_us",
+             std::to_string(metrics_.LatencyPercentileUs(50)));
+  AppendStat(&payload, "p99_us",
+             std::to_string(metrics_.LatencyPercentileUs(99)));
+  AppendStat(&payload, "dist_queries", std::to_string(metrics_.dist_queries()));
+  AppendStat(&payload, "batch_requests",
+             std::to_string(metrics_.batch_requests()));
+  AppendStat(&payload, "knn_requests",
+             std::to_string(metrics_.knn_requests()));
+  AppendStat(&payload, "micro_batches",
+             std::to_string(metrics_.micro_batches()));
+  AppendStat(&payload, "micro_batched_queries",
+             std::to_string(metrics_.micro_batched_queries()));
+  AppendStat(&payload, "cache_hits", std::to_string(cache.hits));
+  AppendStat(&payload, "cache_misses", std::to_string(cache.misses));
+  AppendStat(&payload, "cache_hit_rate", FormatDouble(cache.HitRate(), 4));
+  AppendStat(&payload, "cache_entries", std::to_string(cache.entries));
+  AppendStat(&payload, "cache_capacity", std::to_string(cache.capacity));
+  AppendStat(&payload, "queue_depth", std::to_string(queue_.size()));
+  AppendStat(&payload, "workers", std::to_string(workers_.size()));
+  AppendStat(&payload, "kernel", ActiveQueryKernel().name);
+  AppendStat(&payload, "reloads", std::to_string(metrics_.reloads()));
+  AppendStat(&payload, "connections", std::to_string(connections_accepted()));
+  AppendStat(&payload, "vertices", std::to_string(snapshot.num_vertices()));
+  AppendStat(&payload, "directed", snapshot.directed() ? "1" : "0");
+  // Per-index section: one group of keys per attached index, so an
+  // operator sees every graph's footprint and storage mode in one line.
+  const std::vector<std::string> names = registry_.Names();
+  AppendStat(&payload, "indexes", std::to_string(names.size()));
+  for (const std::string& name : names) {
+    const std::shared_ptr<const ServingSnapshot> snap = registry_.Find(name);
+    if (snap == nullptr) continue;  // detached between Names() and Find()
+    AppendIndexStat(&payload, name, "vertices",
+                    std::to_string(snap->num_vertices()));
+    AppendIndexStat(&payload, name, "mode", snap->map_mode());
+    AppendIndexStat(&payload, name, "resident_bytes",
+                    std::to_string(snap->ResidentBytes()));
+  }
   return OkResponse(payload);
 }
 
-std::string DistanceServer::HandleReload(const std::string& path) {
-  const Status status = Reload(path);
+std::string DistanceServer::HandleReload(const std::string& name,
+                                         const std::string& path) {
+  // Format the response from the snapshot this reload itself published,
+  // not a re-lookup: a concurrent DETACH right after the publish must
+  // not turn a committed reload into an "ERR no index named" answer.
+  std::shared_ptr<const ServingSnapshot> snap;
+  const Status status = ReloadInternal(name, path, &snap);
   if (!status.ok()) return ErrResponse(status.ToString());
-  const std::shared_ptr<const ServingSnapshot> snap = handle_.Get();
   return OkResponse("reloaded " + snap->source_path() +
-                    " vertices=" + std::to_string(snap->index().num_vertices()));
+                    " vertices=" + std::to_string(snap->num_vertices()) +
+                    " mode=" + snap->map_mode());
 }
 
-Status DistanceServer::Reload(const std::string& path) {
-  // Serialize reloads so two concurrent RELOADs can't interleave their
-  // load-then-publish sequences (last publisher would silently win with
-  // a torn view of "source_path"). Queries never take this lock.
-  std::lock_guard<std::mutex> lock(reload_mu_);
+std::string DistanceServer::HandleAttach(const std::string& name,
+                                         const std::string& path) {
+  std::shared_ptr<const ServingSnapshot> snap;
+  const Status status = AttachInternal(name, path, &snap);
+  if (!status.ok()) return ErrResponse(status.ToString());
+  return OkResponse("attached " + name + " " + path +
+                    " vertices=" + std::to_string(snap->num_vertices()) +
+                    " mode=" + snap->map_mode());
+}
+
+std::string DistanceServer::HandleDetach(const std::string& name) {
+  const Status status = DetachIndex(name);
+  if (!status.ok()) return ErrResponse(status.ToString());
+  return OkResponse("detached " + name);
+}
+
+Status DistanceServer::AttachInternal(
+    const std::string& name, const std::string& path,
+    std::shared_ptr<const ServingSnapshot>* published) {
+  HOPDB_RETURN_NOT_OK(ValidateIndexName(name));
+  if (name == kDefaultIndexName) {
+    return Status::InvalidArgument(
+        "'default' names the startup index; RELOAD it instead of "
+        "attaching over it");
+  }
+  // Cheap availability pre-check: a duplicate ATTACH must not pay a
+  // full index load (seconds + the whole heap footprint for HLI1) just
+  // to be told the name is taken. registry_.Attach below remains the
+  // authoritative check for the race where another ATTACH lands between
+  // here and there.
+  if (registry_.Find(name) != nullptr) {
+    return Status::InvalidArgument("index '" + name +
+                                   "' is already attached (DETACH it or "
+                                   "RELOAD it instead)");
+  }
+  HOPDB_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ServingSnapshot> snapshot,
+      LoadServingSnapshot(path, options_.cache_capacity));
+  if (published != nullptr) *published = snapshot;
+  return registry_.Attach(name, std::move(snapshot));
+}
+
+Status DistanceServer::DetachIndex(const std::string& name) {
+  return registry_.Detach(name);
+}
+
+Status DistanceServer::ReloadInternal(
+    const std::string& name, const std::string& path,
+    std::shared_ptr<const ServingSnapshot>* published) {
+  const std::string resolved = name.empty() ? kDefaultIndexName : name;
+  // Serialize reloads PER NAME so two concurrent RELOADs of one index
+  // can't interleave their load-then-publish sequences (last publisher
+  // would silently win with a torn view of "source_path") — but a slow
+  // heap reload of one index never blocks another index's O(1) remap.
+  // Queries never take either lock. Lock entries are tiny and reused,
+  // so they are simply left in the map after a DETACH.
+  std::shared_ptr<std::mutex> name_mu;
+  {
+    std::lock_guard<std::mutex> lock(reload_mu_);
+    std::shared_ptr<std::mutex>& slot = reload_locks_[resolved];
+    if (slot == nullptr) slot = std::make_shared<std::mutex>();
+    name_mu = slot;
+  }
+  std::lock_guard<std::mutex> lock(*name_mu);
   std::string load_path = path;
   if (load_path.empty()) {
-    load_path = handle_.Get()->source_path();
+    const std::shared_ptr<const ServingSnapshot> current =
+        registry_.Find(resolved);
+    if (current == nullptr) {
+      return Status::NotFound("no index named '" + resolved + "'");
+    }
+    load_path = current->source_path();
     if (load_path.empty()) {
       return Status::InvalidArgument(
-          "RELOAD needs a path: server was started from an in-memory index");
+          "RELOAD needs a path: index '" + resolved +
+          "' was started from an in-memory index");
     }
   }
-  HOPDB_ASSIGN_OR_RETURN(HopDbIndex index, HopDbIndex::Load(load_path));
-  handle_.Set(std::make_shared<const ServingSnapshot>(
-      std::move(index), load_path, options_.cache_capacity));
+  HOPDB_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ServingSnapshot> snapshot,
+      LoadServingSnapshot(load_path, options_.cache_capacity));
+  if (published != nullptr) *published = snapshot;
+  HOPDB_RETURN_NOT_OK(registry_.Publish(resolved, std::move(snapshot)));
   metrics_.RecordReload();
   return Status::OK();
 }
 
 ResultCache::Stats DistanceServer::cache_stats() const {
-  return handle_.Get()->cache().GetStats();
+  return registry_.Find("")->cache().GetStats();
 }
 
 void DistanceServer::Stop() {

@@ -1,5 +1,5 @@
-// DistanceServer: a concurrent TCP query server over one immutable
-// HopDbIndex snapshot.
+// DistanceServer: a concurrent TCP query server over a registry of
+// immutable index snapshots.
 //
 // Architecture (README "Serving" has the full sketch):
 //
@@ -9,7 +9,7 @@
 //   BoundedQueue<WorkItem>  ◀── backpressure when full
 //        │
 //        ▼  PopBatch (micro-batching)
-//   worker pool (N threads) ── snapshot = handle.Get()
+//   worker pool (N threads) ── snapshot = registry lookup (per request)
 //        │                       ├─ per-snapshot sharded LRU cache
 //        │                       ├─ same-source DIST groups answered via
 //        │                       │  OneToManyEngine (one label scan for
@@ -17,6 +17,12 @@
 //        │                       └─ KNN via the snapshot's lazy KnnEngine
 //        ▼
 //   promise/future ── connection thread writes the response line
+//
+// The registry (index_registry.h) holds one RCU-swappable snapshot per
+// index name. Unprefixed requests hit the default index; `USE <name>`
+// routes to any attached one; ATTACH/DETACH manage the set at runtime.
+// Snapshots are heap (HLI1/HLC1) or mmap (HLI2, zero-copy page-cache
+// serving with O(1) RELOAD) — the server never cares which.
 //
 // The result cache is owned by the snapshot, not the server: a RELOAD
 // publishes a fresh snapshot with an empty cache, so a worker still
@@ -30,6 +36,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +45,7 @@
 #include <vector>
 
 #include "hopdb.h"
+#include "server/index_registry.h"
 #include "server/index_snapshot.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
@@ -62,15 +70,22 @@ struct ServerOptions {
   size_t cache_capacity = 1 << 16;
   /// Max requests one worker drains per wakeup (micro-batch size).
   uint32_t max_micro_batch = 32;
-  /// Path RELOAD-without-argument re-reads; typically the file the index
-  /// was loaded from. Empty = bare RELOAD is refused.
+  /// Path RELOAD-without-argument re-reads for the default index;
+  /// typically the file the index was loaded from. Empty = bare RELOAD
+  /// is refused.
   std::string source_path;
 };
 
 class DistanceServer {
  public:
-  /// Binds, listens, and starts the accept loop and worker pool. The
-  /// index is moved into the first serving snapshot.
+  /// Binds, listens, and starts the accept loop and worker pool, with
+  /// `snapshot` serving as the default index. This is the general entry
+  /// point (heap or mmap snapshots both work; see LoadServingSnapshot).
+  static Result<std::unique_ptr<DistanceServer>> Start(
+      std::shared_ptr<const ServingSnapshot> snapshot,
+      const ServerOptions& options = {});
+
+  /// Convenience: wraps an in-memory index into the default snapshot.
   static Result<std::unique_ptr<DistanceServer>> Start(
       HopDbIndex index, const ServerOptions& options = {});
 
@@ -86,24 +101,45 @@ class DistanceServer {
   /// threads, drain the queue, join workers. Idempotent.
   void Stop();
 
-  /// Loads a new index from `path` (empty = options.source_path) and
-  /// atomically publishes it. In-flight queries finish on the snapshot
-  /// they started with. Serialized against concurrent reloads.
-  Status Reload(const std::string& path);
+  /// Loads the file at `path` and attaches it as index `name`
+  /// (the ATTACH verb funnels here; also used by `serve --index
+  /// name=path` startup attachment). Heap vs mmap is decided by the file
+  /// magic. Fails without disturbing serving.
+  Status AttachIndex(const std::string& name, const std::string& path) {
+    return AttachInternal(name, path, nullptr);
+  }
+
+  /// Detaches index `name` (the DETACH verb). In-flight queries on it
+  /// finish on their snapshot; the memory is released when the last
+  /// reference drops. The default index cannot be detached.
+  Status DetachIndex(const std::string& name);
+
+  /// Hot-swaps index `name` ("" = default) from `path` (empty = that
+  /// index's source path) and atomically publishes it. In-flight queries
+  /// finish on the snapshot they started with. Serialized against
+  /// concurrent reloads; O(1) remap when the source is an HLI2 file.
+  Status Reload(const std::string& name, const std::string& path) {
+    return ReloadInternal(name, path, nullptr);
+  }
+  /// Back-compat shorthand: reload the default index.
+  Status Reload(const std::string& path) { return Reload("", path); }
 
   const ServerMetrics& metrics() const { return metrics_; }
-  /// Cache stats of the currently published snapshot.
+  /// Cache stats of the currently published default snapshot.
   ResultCache::Stats cache_stats() const;
+  /// The current default snapshot.
   std::shared_ptr<const ServingSnapshot> snapshot() const {
-    return handle_.Get();
+    return registry_.Find("");
   }
+  /// The index registry (named snapshots; read-mostly).
+  const IndexRegistry& registry() const { return registry_; }
   uint64_t connections_accepted() const {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
   uint32_t num_workers() const { return workers_.size(); }
   double uptime_seconds() const { return uptime_.Seconds(); }
 
-  /// Executes one already-parsed request against the current snapshot,
+  /// Executes one already-parsed request against the current snapshots,
   /// bypassing the socket layer (used by the in-process micro-batch path
   /// and by tests; the TCP path funnels into the same code).
   std::string Execute(const Request& request);
@@ -126,10 +162,20 @@ class DistanceServer {
   std::string ExecuteOn(const Request& request,
                         const ServingSnapshot& snapshot);
   std::string StatsResponse(const ServingSnapshot& snapshot);
-  std::string HandleReload(const std::string& path);
+  std::string HandleReload(const std::string& name, const std::string& path);
+  std::string HandleAttach(const std::string& name, const std::string& path);
+  std::string HandleDetach(const std::string& name);
+  /// The AttachIndex/Reload workhorses; on success `*published` (when
+  /// non-null) receives the snapshot this operation installed, so
+  /// response formatting reflects the operation's own outcome even if a
+  /// concurrent DETACH/RELOAD changes the registry right after.
+  Status AttachInternal(const std::string& name, const std::string& path,
+                        std::shared_ptr<const ServingSnapshot>* published);
+  Status ReloadInternal(const std::string& name, const std::string& path,
+                        std::shared_ptr<const ServingSnapshot>* published);
 
   ServerOptions options_;
-  IndexHandle handle_;
+  IndexRegistry registry_;
   BoundedQueue<WorkItem> queue_;
   ServerMetrics metrics_;
   ThreadPool workers_;
@@ -149,7 +195,13 @@ class DistanceServer {
   size_t active_connections_ = 0;
   std::unordered_set<int> open_fds_;
 
+  // Reloads are serialized PER INDEX NAME (two concurrent RELOADs of
+  // one name must not interleave their load-then-publish sequences),
+  // but never across names — a multi-second heap reload of one index
+  // must not stall the O(1) remap of another. reload_mu_ only guards
+  // the lock map itself.
   std::mutex reload_mu_;
+  std::map<std::string, std::shared_ptr<std::mutex>> reload_locks_;
   std::once_flag stop_once_;
 };
 

@@ -17,10 +17,13 @@
 #include "graph/ordering.h"
 #include "hopdb.h"
 #include "labeling/compressed_index.h"
+#include "labeling/mapped_index.h"
 #include "server/client.h"
+#include "server/index_registry.h"
 #include "server/server.h"
 #include "util/cli.h"
 #include "util/random.h"
+#include "util/serde.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -320,11 +323,122 @@ Status CmdStats(CliFlags* flags, int argc, char** argv, std::ostream& out) {
 }
 
 // ---------------------------------------------------------------------------
+// convert
+// ---------------------------------------------------------------------------
+
+Status CmdConvert(CliFlags* flags, int argc, char** argv, std::ostream& out) {
+  flags->Define("in", "", "input index (HLI1/HLC1, from hopdb_cli build)");
+  flags->Define("out", "", "output HLI2 (memory-mappable) index path");
+  flags->Define("verify", "true",
+                "re-open the output, checksum the label arenas, and "
+                "cross-check sample queries against the input");
+  flags->Define("samples", "1000",
+                "random query pairs cross-checked with --verify");
+  flags->Define("seed", "7", "verification sampling seed");
+  HOPDB_RETURN_NOT_OK(flags->Parse(argc, argv));
+  if (flags->help_requested()) return Status::OK();
+
+  const std::string in_path = flags->GetString("in");
+  const std::string out_path = flags->GetString("out");
+  if (in_path.empty() || out_path.empty()) {
+    return Status::InvalidArgument("convert requires --in and --out");
+  }
+  HOPDB_ASSIGN_OR_RETURN(HopDbIndex index, HopDbIndex::Load(in_path));
+  HOPDB_RETURN_NOT_OK(
+      MappedIndex::Write(index.label_index(), index.ranking(), out_path));
+  HOPDB_ASSIGN_OR_RETURN(const uint64_t in_bytes, FileSizeBytes(in_path));
+  HOPDB_ASSIGN_OR_RETURN(const uint64_t out_bytes, FileSizeBytes(out_path));
+
+  if (flags->GetBool("verify")) {
+    MappedIndex::OpenOptions options;
+    options.verify_arenas = true;
+    HOPDB_ASSIGN_OR_RETURN(MappedIndex mapped,
+                           MappedIndex::Open(out_path, options));
+    Rng rng(flags->GetUint("seed"));
+    const uint64_t samples = flags->GetUint("samples");
+    const VertexId n = index.num_vertices();
+    for (uint64_t i = 0; i < samples && n > 0; ++i) {
+      const VertexId s = static_cast<VertexId>(rng.Below(n));
+      const VertexId t = static_cast<VertexId>(rng.Below(n));
+      if (mapped.Query(s, t) != index.Query(s, t)) {
+        return Status::Internal(
+            "converted index disagrees with input on dist(" +
+            std::to_string(s) + ", " + std::to_string(t) + ")");
+      }
+    }
+    out << "verified arena checksum + " << samples
+        << " sampled queries against " << in_path << "\n";
+  }
+  out << "converted " << in_path << " -> " << out_path << " (HLI2)\n"
+      << "  vertices        " << index.num_vertices() << "\n"
+      << "  label entries   " << index.label_index().TotalEntries() << "\n"
+      << "  input size      " << in_bytes << " bytes (+ .perm sidecar)\n"
+      << "  output size     " << out_bytes
+      << " bytes (self-contained, mmap-servable)\n";
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // serve
 // ---------------------------------------------------------------------------
 
+/// One "--index" occurrence: "PATH" (the default index) or "NAME=PATH"
+/// (attached under NAME, servable via USE/ATTACH-style routing).
+struct IndexSpec {
+  std::string name;  // empty = default index
+  std::string path;
+};
+
+Result<std::vector<IndexSpec>> ParseIndexSpecs(
+    const std::vector<std::string>& values) {
+  std::vector<IndexSpec> specs;
+  size_t defaults = 0;
+  for (const std::string& value : values) {
+    IndexSpec spec;
+    const size_t eq = value.find('=');
+    if (eq == std::string::npos) {
+      spec.path = value;
+    } else {
+      spec.name = value.substr(0, eq);
+      spec.path = value.substr(eq + 1);
+      if (spec.name == kDefaultIndexName) spec.name.clear();
+      if (!spec.name.empty()) {
+        HOPDB_RETURN_NOT_OK(ValidateIndexName(spec.name));
+      }
+    }
+    if (spec.path.empty()) {
+      return Status::InvalidArgument("--index '" + value +
+                                     "' has an empty path");
+    }
+    // Fail duplicates here, before the server binds its port — the
+    // registry would reject the second attach anyway, but mid-startup
+    // and with a runtime-verb-flavored message.
+    for (const IndexSpec& prior : specs) {
+      if (!spec.name.empty() && prior.name == spec.name) {
+        return Status::InvalidArgument("--index name '" + spec.name +
+                                       "' given more than once");
+      }
+    }
+    if (spec.name.empty()) ++defaults;
+    specs.push_back(std::move(spec));
+  }
+  if (defaults != 1) {
+    return Status::InvalidArgument(
+        "serve requires exactly one default --index PATH (plus any number "
+        "of --index NAME=PATH), got " + std::to_string(defaults) +
+        " defaults");
+  }
+  // Serve the default first so Start() sees it before any attachment.
+  std::stable_partition(specs.begin(), specs.end(),
+                        [](const IndexSpec& s) { return s.name.empty(); });
+  return specs;
+}
+
 Status CmdServe(CliFlags* flags, int argc, char** argv, std::ostream& out) {
-  flags->Define("index", "", "index path (from hopdb_cli build)");
+  flags->DefineRepeatable(
+      "index",
+      "index to serve: PATH (the default index) or NAME=PATH (additional "
+      "named index; repeat for more). HLI2 files are mmap-served");
   flags->Define("host", "127.0.0.1", "numeric IPv4 listen address");
   flags->Define("port", "0", "listen port (0 = pick an ephemeral port)");
   flags->Define("threads", "0", "query worker threads (0 = all cores)");
@@ -337,11 +451,13 @@ Status CmdServe(CliFlags* flags, int argc, char** argv, std::ostream& out) {
   HOPDB_RETURN_NOT_OK(flags->Parse(argc, argv));
   if (flags->help_requested()) return Status::OK();
 
-  const std::string index_path = flags->GetString("index");
-  if (index_path.empty()) {
-    return Status::InvalidArgument("serve requires --index");
+  const std::vector<std::string>& index_values = flags->GetStrings("index");
+  if (index_values.empty()) {
+    return Status::InvalidArgument(
+        "serve requires --index PATH (or --index NAME=PATH, repeatable)");
   }
-  HOPDB_ASSIGN_OR_RETURN(HopDbIndex index, HopDbIndex::Load(index_path));
+  HOPDB_ASSIGN_OR_RETURN(std::vector<IndexSpec> specs,
+                         ParseIndexSpecs(index_values));
 
   ServerOptions options;
   options.host = flags->GetString("host");
@@ -350,16 +466,37 @@ Status CmdServe(CliFlags* flags, int argc, char** argv, std::ostream& out) {
   options.cache_capacity = flags->GetUint("cache-capacity");
   options.queue_capacity = flags->GetUint("queue-capacity");
   options.max_micro_batch = static_cast<uint32_t>(flags->GetUint("batch"));
-  options.source_path = index_path;
+  options.source_path = specs[0].path;
 
+  // The default index loads by file magic: HLI2 maps zero-copy, HLI1 /
+  // HLC1 deserialize onto the heap.
+  HOPDB_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ServingSnapshot> snapshot,
+      LoadServingSnapshot(specs[0].path, options.cache_capacity));
   HOPDB_ASSIGN_OR_RETURN(std::unique_ptr<DistanceServer> server,
-                         DistanceServer::Start(std::move(index), options));
-  out << "serving " << index_path << " on " << options.host << ":"
-      << server->port() << " (|V|=" << server->snapshot()->index().num_vertices()
+                         DistanceServer::Start(std::move(snapshot), options));
+  for (size_t i = 1; i < specs.size(); ++i) {
+    HOPDB_RETURN_NOT_OK(server->AttachIndex(specs[i].name, specs[i].path));
+  }
+
+  const std::shared_ptr<const ServingSnapshot> def = server->snapshot();
+  out << "serving " << specs[0].path << " on " << options.host << ":"
+      << server->port() << " (|V|=" << def->num_vertices() << ", mode="
+      << def->map_mode()
       << ", workers=" << (options.num_workers == 0 ? std::string("auto")
                                                    : std::to_string(
                                                          options.num_workers))
       << ", cache=" << options.cache_capacity << ")\n";
+  for (size_t i = 1; i < specs.size(); ++i) {
+    const std::shared_ptr<const ServingSnapshot> snap =
+        server->registry().Find(specs[i].name);
+    // The server is already accepting: a fast client can DETACH between
+    // the attach above and this announcement lookup.
+    if (snap == nullptr) continue;
+    out << "  attached " << specs[i].name << " = " << specs[i].path
+        << " (|V|=" << snap->num_vertices() << ", mode=" << snap->map_mode()
+        << ")\n";
+  }
   out.flush();
 
   const double duration = flags->GetDouble("duration");
@@ -418,18 +555,22 @@ void PrintUsage(std::ostream& out) {
          "usage: hopdb_cli <command> [flags]\n"
          "\n"
          "commands:\n"
-         "  gen    generate a synthetic graph (--type glp|ba|er --n N\n"
-         "         --avg-degree D --directed --weighted --seed S --out F)\n"
-         "  build  build an index (--graph F --directed --weighted\n"
-         "         --mode hybrid|stepping|doubling --order auto|degree|...\n"
-         "         --threads T (0 = all cores, the default) --out F)\n"
-         "  query  query an index (--index F --src S --dst T | --random N)\n"
-         "  stats  label statistics of an index (--index F)\n"
-         "  serve  serve an index over TCP (--index F --port P --threads T\n"
-         "         (0 = all cores, the default) --cache-capacity C);\n"
-         "         protocol: DIST/BATCH/KNN/STATS/RELOAD\n"
-         "  client connect to a server (--host H --port P [--cmd LINE])\n"
-         "  help   this text\n"
+         "  gen     generate a synthetic graph (--type glp|ba|er --n N\n"
+         "          --avg-degree D --directed --weighted --seed S --out F)\n"
+         "  build   build an index (--graph F --directed --weighted\n"
+         "          --mode hybrid|stepping|doubling --order auto|degree|...\n"
+         "          --threads T (0 = all cores, the default) --out F)\n"
+         "  convert convert an index to the mmap-servable HLI2 format\n"
+         "          (--in F --out F.hli2 [--verify true|false])\n"
+         "  query   query an index (--index F --src S --dst T | --random N)\n"
+         "  stats   label statistics of an index (--index F)\n"
+         "  serve   serve indexes over TCP (--index F | --index NAME=F,\n"
+         "          repeatable; --port P --threads T (0 = all cores, the\n"
+         "          default) --cache-capacity C); HLI2 files are served\n"
+         "          zero-copy from the page cache;\n"
+         "          protocol: DIST/BATCH/KNN/STATS/RELOAD/ATTACH/DETACH/USE\n"
+         "  client  connect to a server (--host H --port P [--cmd LINE])\n"
+         "  help    this text\n"
          "\n"
          "Run 'hopdb_cli <command> --help' for the full flag list.\n";
 }
@@ -456,6 +597,8 @@ int RunCli(int argc, char** argv, std::ostream& out, std::ostream& err) {
     status = CmdGen(&flags, sub_argc, sub_argv, out);
   } else if (command == "build") {
     status = CmdBuild(&flags, sub_argc, sub_argv, out);
+  } else if (command == "convert") {
+    status = CmdConvert(&flags, sub_argc, sub_argv, out);
   } else if (command == "query") {
     status = CmdQuery(&flags, sub_argc, sub_argv, out);
   } else if (command == "stats") {

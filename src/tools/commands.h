@@ -3,13 +3,15 @@
 // two-line main().
 //
 // Subcommands:
-//   gen    generate a synthetic graph (GLP / BA / ER) to an edge-list file
-//   build  build a HopDb index from an edge-list file and save it
-//   query  answer distance queries against a saved index
-//   stats  print label statistics of a saved index (Table 7-style)
-//   serve  serve an index over TCP (DIST/BATCH/KNN/STATS/RELOAD protocol)
-//   client send protocol lines to a running server
-//   help   usage
+//   gen     generate a synthetic graph (GLP / BA / ER) to an edge-list file
+//   build   build a HopDb index from an edge-list file and save it
+//   convert rewrite an HLI1/HLC1 index as a memory-mappable HLI2 file
+//   query   answer distance queries against a saved index
+//   stats   print label statistics of a saved index (Table 7-style)
+//   serve   serve one or more indexes over TCP
+//           (DIST/BATCH/KNN/STATS/RELOAD/ATTACH/DETACH/USE protocol)
+//   client  send protocol lines to a running server
+//   help    usage
 //
 // All argument errors funnel through one usage-printing path in RunCli:
 // the status message plus the subcommand's flag table go to `err` and the

@@ -19,6 +19,14 @@ void CliFlags::Define(const std::string& name,
   flags_[name] = f;
 }
 
+void CliFlags::DefineRepeatable(const std::string& name,
+                                const std::string& help) {
+  Flag f;
+  f.help = help;
+  f.repeatable = true;
+  flags_[name] = f;
+}
+
 Status CliFlags::Parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -60,6 +68,7 @@ Status CliFlags::Parse(int argc, char** argv) {
       return Status::InvalidArgument("unknown flag --" + name);
     }
     it->second.value = value;
+    if (it->second.repeatable) it->second.values.push_back(value);
   }
   return Status::OK();
 }
@@ -88,6 +97,15 @@ double CliFlags::GetDouble(const std::string& name) const {
   return v;
 }
 
+const std::vector<std::string>& CliFlags::GetStrings(
+    const std::string& name) const {
+  auto it = flags_.find(name);
+  HOPDB_CHECK(it != flags_.end()) << "undefined flag " << name;
+  HOPDB_CHECK(it->second.repeatable) << "flag --" << name
+                                     << " is not repeatable";
+  return it->second.values;
+}
+
 bool CliFlags::GetBool(const std::string& name) const {
   std::string v = GetString(name);
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
@@ -99,8 +117,14 @@ bool CliFlags::GetBool(const std::string& name) const {
 std::string CliFlags::Usage(const std::string& program_description) const {
   std::string out = program_description + "\n\nFlags:\n";
   for (const auto& [name, flag] : flags_) {
-    out += "  --" + name + " (default: " +
-           (flag.default_value.empty() ? "\"\"" : flag.default_value) + ")\n";
+    out += "  --" + name +
+           (flag.repeatable
+                ? " (repeatable)"
+                : " (default: " +
+                      (flag.default_value.empty() ? "\"\""
+                                                  : flag.default_value) +
+                      ")") +
+           "\n";
     out += "      " + flag.help + "\n";
   }
   return out;

@@ -25,6 +25,11 @@ class CliFlags {
   void Define(const std::string& name, const std::string& default_value,
               const std::string& help);
 
+  /// Registers a flag that may be given multiple times; every occurrence
+  /// is collected in order and read back with GetStrings. GetString on a
+  /// repeatable flag returns the last occurrence (or "" when unset).
+  void DefineRepeatable(const std::string& name, const std::string& help);
+
   /// Parses argv. Unknown flags are errors; positional args are collected.
   /// "--help" sets help_requested() and is not an error.
   Status Parse(int argc, char** argv);
@@ -35,6 +40,9 @@ class CliFlags {
   double GetDouble(const std::string& name) const;
   /// true/1/yes/on are true; false/0/no/off are false.
   bool GetBool(const std::string& name) const;
+  /// All occurrences of a repeatable flag, in command-line order (empty
+  /// when the flag was never given).
+  const std::vector<std::string>& GetStrings(const std::string& name) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
   bool help_requested() const { return help_requested_; }
@@ -47,6 +55,8 @@ class CliFlags {
     std::string value;
     std::string default_value;
     std::string help;
+    bool repeatable = false;
+    std::vector<std::string> values;  // repeatable flags only
   };
   std::map<std::string, Flag> flags_;
   std::vector<std::string> positional_;

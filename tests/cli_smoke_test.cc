@@ -130,14 +130,14 @@ TEST_F(CliSmokeTest, ServeClientRoundTrip) {
                 .exit_code,
             0);
 
-  // One shell pipeline (RunCommand's popen runs it via /bin/sh): a 3s
+  // One shell pipeline (RunCommand's popen runs it via /bin/sh): a 6s
   // server in the background on an OS-assigned port (--port 0, parsed
   // back from its announcement line — no collision flakiness), clients
   // against it, teardown via the duration expiry.
   const std::string serve_log = tmp->path() + "/serve.log";
   const std::string script =
       cli_ + " serve --index " + index_path +
-      " --port 0 --threads 2 --duration 3 > " + serve_log +
+      " --port 0 --threads 2 --duration 6 > " + serve_log +
       " & srv=$!; sleep 1; "
       "port=$(sed -n 's/.*on 127\\.0\\.0\\.1:\\([0-9]*\\).*/\\1/p' " +
       serve_log + "); " + cli_ +
@@ -161,6 +161,67 @@ TEST_F(CliSmokeTest, ServeClientRoundTrip) {
     ++ok_lines;
   }
   EXPECT_GE(ok_lines, 6u) << run.output;
+}
+
+TEST_F(CliSmokeTest, ConvertAndMultiIndexServe) {
+  auto tmp = TempDir::Create("hopdb_cli_multi");
+  ASSERT_TRUE(tmp.ok()) << tmp.status();
+  const std::string graph_a = tmp->path() + "/a.txt";
+  const std::string graph_b = tmp->path() + "/b.txt";
+  const std::string index_a = tmp->path() + "/a.hopdb";
+  const std::string index_b = tmp->path() + "/b.hopdb";
+  const std::string hli2_b = tmp->path() + "/b.hli2";
+
+  ASSERT_EQ(RunCommand(cli_ + " gen --type glp --n 150 --avg-degree 5"
+                             " --seed 21 --out " + graph_a)
+                .exit_code,
+            0);
+  ASSERT_EQ(RunCommand(cli_ + " gen --type glp --n 90 --avg-degree 4"
+                             " --seed 33 --out " + graph_b)
+                .exit_code,
+            0);
+  ASSERT_EQ(RunCommand(cli_ + " build --graph " + graph_a + " --out " +
+                       index_a).exit_code,
+            0);
+  ASSERT_EQ(RunCommand(cli_ + " build --graph " + graph_b + " --out " +
+                       index_b).exit_code,
+            0);
+
+  // convert verifies the round trip itself (arena checksum + sampled
+  // query cross-check) and fails nonzero on any mismatch.
+  RunResult convert = RunCommand(cli_ + " convert --in " + index_b +
+                                 " --out " + hli2_b);
+  ASSERT_EQ(convert.exit_code, 0) << convert.output;
+  EXPECT_NE(convert.output.find("mmap-servable"), std::string::npos);
+
+  // Serve the heap index as default plus the HLI2 one under a name;
+  // exercise routed queries and runtime ATTACH/DETACH over the wire.
+  const std::string serve_log = tmp->path() + "/serve.log";
+  const std::string script =
+      cli_ + " serve --index " + index_a + " --index second=" + hli2_b +
+      " --port 0 --threads 2 --duration 6 > " + serve_log +
+      " & srv=$!; sleep 1; "
+      "port=$(sed -n 's/.*on 127\\.0\\.0\\.1:\\([0-9]*\\).*/\\1/p' " +
+      serve_log + "); " + cli_ +
+      " client --port $port --cmd 'USE second DIST 0 1'; " + cli_ +
+      " client --port $port --cmd 'USE second RELOAD'; " + cli_ +
+      " client --port $port --cmd 'ATTACH third " + index_b + "'; " + cli_ +
+      " client --port $port --cmd 'USE third DIST 0 1'; " + cli_ +
+      " client --port $port --cmd 'DETACH third'; " + cli_ +
+      " client --port $port --cmd 'STATS'; wait $srv; cat " + serve_log;
+  RunResult run = RunCommand(script);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("attached second = " + hli2_b),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("mode=mmap"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("attached third"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("detached third"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("index.second.mode=mmap"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("indexes=2"), std::string::npos) << run.output;
 }
 
 TEST_F(CliSmokeTest, HelpAndUsageErrors) {

@@ -220,6 +220,74 @@ TEST(CliTest, ServeHelpListsServingFlags) {
   EXPECT_NE(out.find("--cache-capacity"), std::string::npos);
   EXPECT_NE(out.find("--queue-capacity"), std::string::npos);
   EXPECT_NE(out.find("--batch"), std::string::npos);
+  EXPECT_NE(out.find("repeatable"), std::string::npos);
+}
+
+TEST(CliTest, ConvertRoundTripIsQueryIdentical) {
+  TempDir dir = TempDir::Create("cli_convert").ValueOrDie();
+  const std::string graph = dir.File("g.txt");
+  const std::string index = dir.File("g.hli");
+  const std::string hli2 = dir.File("g.hli2");
+
+  std::string out;
+  ASSERT_EQ(RunTool({"gen", "--type", "glp", "--n", "400", "--avg-degree",
+                     "5", "--seed", "9", "--out", graph}),
+            0);
+  ASSERT_EQ(RunTool({"build", "--graph", graph, "--out", index}), 0);
+  // convert --verify (the default) checksums the arenas and cross-checks
+  // sampled queries against the input index; a nonzero exit here means
+  // the round trip broke.
+  ASSERT_EQ(RunTool({"convert", "--in", index, "--out", hli2}, &out), 0);
+  EXPECT_NE(out.find("converted"), std::string::npos);
+  EXPECT_NE(out.find("verified arena checksum"), std::string::npos);
+  EXPECT_NE(out.find("HLI2"), std::string::npos);
+}
+
+TEST(CliTest, ConvertRequiresInAndOut) {
+  std::string err;
+  EXPECT_EQ(RunTool({"convert"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("--in"), std::string::npos);
+  EXPECT_NE(err.find("--out"), std::string::npos);
+}
+
+TEST(CliTest, ConvertMissingInputFails) {
+  TempDir dir = TempDir::Create("cli_convert_missing").ValueOrDie();
+  std::string err;
+  EXPECT_EQ(RunTool({"convert", "--in", dir.File("nope.hli"), "--out",
+                     dir.File("out.hli2")},
+                    nullptr, &err),
+            1);
+}
+
+TEST(CliTest, ServeRejectsBadIndexSpecs) {
+  std::string err;
+  // No --index at all.
+  EXPECT_EQ(RunTool({"serve"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("--index"), std::string::npos);
+  // Two defaults.
+  EXPECT_EQ(RunTool({"serve", "--index", "/tmp/a.hli", "--index",
+                     "/tmp/b.hli"},
+                    nullptr, &err),
+            1);
+  EXPECT_NE(err.find("exactly one default"), std::string::npos);
+  // Named index with an empty path.
+  EXPECT_EQ(RunTool({"serve", "--index", "road="}, nullptr, &err), 1);
+  EXPECT_NE(err.find("empty path"), std::string::npos);
+  // Malformed name.
+  EXPECT_EQ(RunTool({"serve", "--index", "/tmp/a.hli", "--index",
+                     "bad/name=/tmp/b.hli"},
+                    nullptr, &err),
+            1);
+  // Only named indexes, no default.
+  EXPECT_EQ(RunTool({"serve", "--index", "one=/tmp/a.hli"}, nullptr, &err),
+            1);
+  EXPECT_NE(err.find("exactly one default"), std::string::npos);
+  // Duplicate names fail at flag parsing, before any server starts.
+  EXPECT_EQ(RunTool({"serve", "--index", "/tmp/a.hli", "--index",
+                     "road=/tmp/b.hli", "--index", "road=/tmp/c.hli"},
+                    nullptr, &err),
+            1);
+  EXPECT_NE(err.find("given more than once"), std::string::npos);
 }
 
 }  // namespace

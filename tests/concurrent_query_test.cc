@@ -19,6 +19,7 @@
 #include "graph/csr_graph.h"
 #include "hopdb.h"
 #include "io/temp_dir.h"
+#include "labeling/mapped_index.h"
 #include "search/dijkstra.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -280,6 +281,88 @@ TEST(ConcurrentQueryTest, WireReloadChangesVertexCountAtomically) {
   querier.join();
   swapper.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// Concurrent queries racing DETACH/re-ATTACH of an mmap-backed index:
+// a routed answer must be either a correct distance from the attached
+// snapshot or a clean "no index named" error — never a crash, a hang,
+// or a wrong distance (a worker that resolved the snapshot before the
+// DETACH legitimately finishes on it; the mapping must stay alive until
+// that last reference drops).
+TEST(ConcurrentQueryTest, ConcurrentQueriesDuringDetach) {
+  constexpr VertexId kN = 150;
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 250;
+  constexpr int kCycles = 10;
+
+  const EdgeList edges_a = MakeGraph(kN, 5.0, /*seed=*/61, false);
+  const EdgeList edges_x = MakeGraph(kN, 4.0, /*seed=*/62, false);
+  const CsrGraph graph_x = CsrGraph::FromEdgeList(edges_x).ValueOrDie();
+  const auto truth_x = FullOracle(graph_x);
+
+  auto tmp = TempDir::Create("detach_race").ValueOrDie();
+  HopDbIndex index_x = HopDbIndex::Build(graph_x).ValueOrDie();
+  const std::string path_x = tmp.File("x.hli2");
+  ASSERT_TRUE(MappedIndex::Write(index_x.label_index(), index_x.ranking(),
+                                 path_x)
+                  .ok());
+
+  ServerOptions options;
+  options.num_workers = 3;
+  options.cache_capacity = 256;
+  auto server =
+      DistanceServer::Start(HopDbIndex::Build(edges_a).ValueOrDie(), options)
+          .ValueOrDie();
+  ASSERT_TRUE(server->AttachIndex("extra", path_x).ok());
+
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> ok_answers{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = DistanceClient::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      Rng rng(500 + c);
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        const VertexId s = static_cast<VertexId>(rng.Below(kN));
+        const VertexId t = static_cast<VertexId>(rng.Below(kN));
+        auto response = client->RoundTrip("USE extra DIST " +
+                                          std::to_string(s) + " " +
+                                          std::to_string(t));
+        if (!response.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (StartsWith(*response, "OK ")) {
+          auto d = ParseDistanceToken(response->substr(3));
+          if (!d.ok() || *d != truth_x[s][t]) {
+            failures.fetch_add(1);
+            return;
+          }
+          ok_answers.fetch_add(1);
+        } else if (response->find("no index named") == std::string::npos) {
+          failures.fetch_add(1);  // only the detach window may error
+          return;
+        }
+      }
+    });
+  }
+
+  for (int r = 0; r < kCycles; ++r) {
+    ASSERT_TRUE(server->DetachIndex("extra").ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(server->AttachIndex("extra", path_x).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The storm actually got routed answers (the windows are short).
+  EXPECT_GT(ok_answers.load(), 0u);
+  server->Stop();
 }
 
 }  // namespace

@@ -10,6 +10,12 @@
    README.md must byte-match the live output of `hopdb_cli help`
    (modulo trailing whitespace). Regenerate the block from the binary
    when the usage text changes.
+3. Format magic/version drift: every on-disk format magic defined in
+   src/ (the kMagic constants) must be documented in docs/FORMATS.md
+   and vice versa, and the HLI2 version constant must match the doc.
+4. STATS key drift: every key the server emits (the AppendStat /
+   AppendIndexStat call sites in src/server/server.cc) must appear in
+   the key-reference table of docs/OPERATIONS.md and vice versa.
 
 Exit status 0 = clean, 1 = at least one failure (each printed).
 """
@@ -25,6 +31,24 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SKIP_DIRS = {"build", ".git", ".claude"}
 BEGIN_MARK = "<!-- BEGIN hopdb_cli help -->"
 END_MARK = "<!-- END hopdb_cli help -->"
+
+# constexpr char kMagic[4] = {'H', 'L', 'I', '1'};
+CHAR_MAGIC_RE = re.compile(
+    r"constexpr\s+char\s+kMagic\[4\]\s*=\s*\{\s*'(.)',\s*'(.)',\s*'(.)',"
+    r"\s*'(.)'\s*\}"
+)
+# constexpr uint32_t kMagic = 0x...;  // "HLC1" little-endian
+U32_MAGIC_RE = re.compile(
+    r'constexpr\s+uint32_t\s+kMagic\s*=\s*0x[0-9a-fA-F]+;\s*//\s*"([A-Z0-9]{4})"'
+)
+HLI2_VERSION_RE = re.compile(r"constexpr\s+uint32_t\s+kHli2Version\s*=\s*(\d+)")
+# FORMATS.md table row: | `HLI1` | ... (the magic inventory table)
+DOC_MAGIC_ROW_RE = re.compile(r"^\|\s*`([A-Z0-9]{4})`\s*\|")
+# server.cc:  AppendStat(&payload, "key", ...) / AppendIndexStat(..., "key", ...)
+APPEND_STAT_RE = re.compile(r'AppendStat\(&payload,\s*"([a-z0-9_]+)"')
+APPEND_INDEX_STAT_RE = re.compile(r'AppendIndexStat\(&payload,[^,]+,\s*"([a-z0-9_]+)"')
+# OPERATIONS.md table rows: | `key` | ... |
+DOC_STAT_ROW_RE = re.compile(r"^\|\s*`((?:index\.<name>\.)?[a-z0-9_]+)`\s*\|")
 
 
 def iter_markdown_files(root: pathlib.Path):
@@ -114,6 +138,94 @@ def check_cli_help(root: pathlib.Path, cli_bin: str) -> list[str]:
     ]
 
 
+def iter_source_files(root: pathlib.Path):
+    for pattern in ("*.h", "*.cc"):
+        yield from sorted((root / "src").rglob(pattern))
+
+
+def check_format_magics(root: pathlib.Path) -> list[str]:
+    """The magic constants in src/ and the table in FORMATS.md must agree."""
+    failures = []
+    code_magics: dict[str, str] = {}  # magic -> defining file
+    hli2_version = None
+    for path in iter_source_files(root):
+        text = path.read_text(encoding="utf-8")
+        rel = str(path.relative_to(root))
+        for m in CHAR_MAGIC_RE.finditer(text):
+            code_magics["".join(m.groups())] = rel
+        for m in U32_MAGIC_RE.finditer(text):
+            code_magics[m.group(1)] = rel
+        for m in HLI2_VERSION_RE.finditer(text):
+            hli2_version = int(m.group(1))
+
+    formats_md = root / "docs" / "FORMATS.md"
+    if not formats_md.exists():
+        return ["docs/FORMATS.md is missing (format reference is required)"]
+    doc_text = formats_md.read_text(encoding="utf-8")
+    doc_magics = {
+        m.group(1)
+        for line in doc_text.splitlines()
+        if (m := DOC_MAGIC_ROW_RE.match(line.strip()))
+    }
+
+    for magic, where in sorted(code_magics.items()):
+        if magic not in doc_magics:
+            failures.append(
+                f"format magic '{magic}' (defined in {where}) is not in the "
+                "docs/FORMATS.md magic table"
+            )
+    for magic in sorted(doc_magics - set(code_magics)):
+        failures.append(
+            f"docs/FORMATS.md documents magic '{magic}' but no kMagic "
+            "constant in src/ defines it"
+        )
+    if hli2_version is None:
+        failures.append("kHli2Version constant not found in src/")
+    elif f"u32 version = {hli2_version}" not in doc_text:
+        failures.append(
+            f"docs/FORMATS.md does not document 'u32 version = "
+            f"{hli2_version}' for HLI2 (code has kHli2Version = "
+            f"{hli2_version})"
+        )
+    return failures
+
+
+def check_stats_keys(root: pathlib.Path) -> list[str]:
+    """Every STATS key the server emits must be documented, and vice versa."""
+    server_cc = root / "src" / "server" / "server.cc"
+    operations_md = root / "docs" / "OPERATIONS.md"
+    if not operations_md.exists():
+        return ["docs/OPERATIONS.md is missing (STATS reference is required)"]
+    code = server_cc.read_text(encoding="utf-8")
+    code_keys = set(APPEND_STAT_RE.findall(code))
+    code_keys |= {
+        f"index.<name>.{k}" for k in APPEND_INDEX_STAT_RE.findall(code)
+    }
+    doc_keys = {
+        m.group(1)
+        for line in operations_md.read_text(encoding="utf-8").splitlines()
+        if (m := DOC_STAT_ROW_RE.match(line.strip()))
+    }
+    # Drop table rows that are not STATS keys (e.g. the incident table
+    # has no backticked single-word first column, so no filtering needed
+    # beyond the regex shape).
+    failures = []
+    for key in sorted(code_keys - doc_keys):
+        failures.append(
+            f"server.cc emits STATS key '{key}' but docs/OPERATIONS.md does "
+            "not document it"
+        )
+    for key in sorted(doc_keys - code_keys):
+        failures.append(
+            f"docs/OPERATIONS.md documents STATS key '{key}' but server.cc "
+            "does not emit it"
+        )
+    if not code_keys:
+        failures.append("no AppendStat call sites found in server.cc "
+                        "(parser drifted?)")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -132,6 +244,8 @@ def main() -> int:
     )
 
     failures = check_links(root)
+    failures += check_format_magics(root)
+    failures += check_stats_keys(root)
     if args.cli_bin:
         failures += check_cli_help(root, args.cli_bin)
 
@@ -140,7 +254,8 @@ def main() -> int:
     if not failures:
         checked = sum(1 for _ in iter_markdown_files(root))
         print(
-            f"docs OK: {checked} markdown files, links resolve"
+            f"docs OK: {checked} markdown files, links resolve, format "
+            "magics + STATS keys in sync"
             + (", CLI help in sync" if args.cli_bin else "")
         )
     return 1 if failures else 0
