@@ -1,25 +1,46 @@
-// Closed-loop load generator for the distance server: C client threads
-// over real loopback TCP, each firing the next request as soon as the
-// previous answer lands, against an in-process DistanceServer. The
-// workload is skewed (a configurable fraction of requests hits a small
-// hot pair set — the scale-free serving pattern the result cache is
-// for), with a slice of BATCH traffic mixed in.
+// Open-loop load generator for the distance server, sweeping connection
+// tiers against an in-process DistanceServer over real loopback TCP.
 //
-// Emits machine-readable results to --out (default BENCH_serve.json):
-// QPS, client-observed p50/p90/p99/max latency, cache hit rate, and the
-// server's own STATS counters — the perf-trajectory data points CI
-// archives per commit.
+// Open loop means arrivals are scheduled by a clock, not by responses:
+// every request has an injection deadline drawn from a fixed aggregate
+// rate, is pipelined onto its connection whether or not earlier answers
+// have landed, and its latency is measured from the SCHEDULED time — so
+// queueing delay shows up in p99 instead of silently throttling the
+// generator (the coordinated-omission trap of closed-loop harnesses).
 //
-//   bench_serve_load            # full run (~4s of traffic)
-//   bench_serve_load --ci       # seconds-long CI mode, same JSON shape
+// One epoll thread drives every client connection (mirroring the
+// server's own I/O model); each tier opens its connections, runs the
+// same schedule, and reports independently:
+//
+//   {"tiers": [{"connections": 100, "qps": ..., "latency_us": {...},
+//               "busy": ..., "errors_nonbusy": ...}, ...]}
+//
+// BUSY responses (admission-control shedding) are counted separately
+// and are NOT failures; the process exits nonzero only on transport
+// errors or non-BUSY error responses — the invariant CI gates on.
+//
+//   bench_serve_load            # full run, tiers 100,1000,4000
+//   bench_serve_load --ci       # seconds-long CI mode, tiers 100,1000
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
-#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdint>
+#include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -27,7 +48,7 @@
 #include "gen/glp.h"
 #include "graph/csr_graph.h"
 #include "hopdb.h"
-#include "server/client.h"
+#include "server/protocol.h"
 #include "server/server.h"
 #include "util/cli.h"
 #include "util/random.h"
@@ -37,51 +58,392 @@
 namespace hopdb {
 namespace {
 
-struct ClientResult {
-  std::vector<double> latencies_us;
-  uint64_t requests = 0;
-  uint64_t errors = 0;
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+struct TierResult {
+  size_t connections = 0;
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t busy = 0;
+  uint64_t errors_nonbusy = 0;  // transport + non-BUSY ERR responses
+  double elapsed_seconds = 0;
+  double qps = 0;
+  double p50 = 0, p90 = 0, p99 = 0, max_us = 0;
 };
 
-double Percentile(std::vector<double>* sorted, double p) {
-  if (sorted->empty()) return 0.0;
-  const size_t rank = static_cast<size_t>(
-      p / 100.0 * static_cast<double>(sorted->size() - 1));
-  return (*sorted)[rank];
-}
+// One generator-side connection: pending output, buffered input, and
+// the scheduled injection time of every request still awaiting its
+// (in-order) response.
+struct GenConn {
+  int fd = -1;
+  std::string out;
+  size_t out_off = 0;
+  std::string in;
+  std::deque<double> scheduled_us;
+  bool writable_armed = false;
+};
+
+class OpenLoopGenerator {
+ public:
+  OpenLoopGenerator(uint16_t port, bool v2, VertexId n, uint64_t seed,
+                    double hot_fraction, uint32_t hot_pairs,
+                    uint64_t batch_every)
+      : port_(port), v2_(v2), n_(n), rng_(DeriveSeed(seed, 100)),
+        hot_fraction_(hot_fraction), batch_every_(batch_every) {
+    Rng hot_rng(DeriveSeed(seed, 7));
+    hot_.reserve(hot_pairs);
+    for (uint32_t i = 0; i < hot_pairs; ++i) {
+      hot_.emplace_back(static_cast<VertexId>(hot_rng.Below(n)),
+                        static_cast<VertexId>(hot_rng.Below(n)));
+    }
+  }
+
+  /// Runs one tier: `connections` sockets, `rate` aggregate requests/s
+  /// for `seconds`, then a drain grace period. Returns the tier stats.
+  TierResult RunTier(size_t connections, double rate, double seconds) {
+    TierResult result;
+    result.connections = connections;
+    latencies_.clear();
+
+    epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      result.errors_nonbusy++;
+      return result;
+    }
+    conns_.assign(connections, GenConn{});
+    for (size_t i = 0; i < connections; ++i) {
+      if (!OpenConn(&conns_[i])) {
+        // Partial tiers still report; the error count flags the miss.
+        result.errors_nonbusy++;
+        conns_.resize(i);
+        break;
+      }
+    }
+
+    const double start_us = NowUs();
+    const double stop_us = start_us + seconds * 1e6;
+    const double interval_us = rate > 0 ? 1e6 / rate : 0;
+    double next_send_us = start_us;
+    uint64_t round_robin = 0;
+
+    epoll_event events[256];
+    while (!conns_.empty()) {
+      const double now = NowUs();
+      // Inject every request whose deadline has passed (open loop: we
+      // never wait for responses to do this).
+      while (interval_us > 0 && next_send_us <= now && now < stop_us) {
+        GenConn& conn = conns_[round_robin++ % conns_.size()];
+        if (conn.fd >= 0) {
+          AppendRequest(&conn, next_send_us);
+          result.sent++;
+          FlushConn(&conn, &result);
+        }
+        next_send_us += interval_us;
+      }
+      const bool injecting = now < stop_us;
+      if (!injecting && Outstanding() == 0) break;
+      if (!injecting && now > stop_us + 3e6) break;  // drain grace over
+
+      int timeout_ms = 1;
+      if (injecting) {
+        const double until = (next_send_us - NowUs()) / 1000.0;
+        timeout_ms = until <= 0 ? 0 : static_cast<int>(std::min(until, 10.0));
+      }
+      const int ready = epoll_wait(epoll_fd_, events, 256, timeout_ms);
+      for (int e = 0; e < ready; ++e) {
+        GenConn* conn = static_cast<GenConn*>(events[e].data.ptr);
+        if (conn->fd < 0) continue;
+        if (events[e].events & EPOLLOUT) FlushConn(conn, &result);
+        if (events[e].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+          ReadConn(conn, &result);
+        }
+      }
+    }
+    result.elapsed_seconds = (NowUs() - start_us) / 1e6;
+
+    for (GenConn& conn : conns_) {
+      // Requests still unanswered at teardown are transport losses.
+      result.errors_nonbusy += conn.scheduled_us.size();
+      CloseConn(&conn);
+    }
+    conns_.clear();
+    close(epoll_fd_);
+    epoll_fd_ = -1;
+
+    std::sort(latencies_.begin(), latencies_.end());
+    result.received = latencies_.size();
+    result.qps = result.elapsed_seconds > 0
+                     ? static_cast<double>(result.received) /
+                           result.elapsed_seconds
+                     : 0;
+    result.p50 = Percentile(latencies_, 50);
+    result.p90 = Percentile(latencies_, 90);
+    result.p99 = Percentile(latencies_, 99);
+    result.max_us = latencies_.empty() ? 0 : latencies_.back();
+    return result;
+  }
+
+ private:
+  bool OpenConn(GenConn* conn) {
+    conn->fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (conn->fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (connect(conn->fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+      close(conn->fd);
+      conn->fd = -1;
+      return false;
+    }
+    int one = 1;
+    setsockopt(conn->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fcntl(conn->fd, F_SETFL, fcntl(conn->fd, F_GETFL, 0) | O_NONBLOCK);
+    if (v2_) conn->out.append(kV2Magic, sizeof(kV2Magic));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev) < 0) {
+      close(conn->fd);
+      conn->fd = -1;
+      return false;
+    }
+    return true;
+  }
+
+  void CloseConn(GenConn* conn) {
+    if (conn->fd < 0) return;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    close(conn->fd);
+    conn->fd = -1;
+  }
+
+  void AppendRequest(GenConn* conn, double scheduled_us) {
+    Request request;
+    VertexId s, t;
+    if (static_cast<double>(rng_.Below(1000)) < hot_fraction_ * 1000.0) {
+      const auto& pair = hot_[rng_.Below(hot_.size())];
+      s = pair.first;
+      t = pair.second;
+    } else {
+      s = static_cast<VertexId>(rng_.Below(n_));
+      t = static_cast<VertexId>(rng_.Below(n_));
+    }
+    if (batch_every_ > 0 && ++request_counter_ % batch_every_ == 0) {
+      request.kind = RequestKind::kBatch;
+      request.src = s;
+      for (int j = 0; j < 8; ++j) {
+        request.targets.push_back(static_cast<VertexId>(rng_.Below(n_)));
+      }
+    } else {
+      request.kind = RequestKind::kDist;
+      request.src = s;
+      request.targets.push_back(t);
+    }
+    if (v2_) {
+      EncodeRequestV2(request, &conn->out);
+    } else {
+      conn->out += FormatRequestV1(request);
+      conn->out += '\n';
+    }
+    conn->scheduled_us.push_back(scheduled_us);
+  }
+
+  void FlushConn(GenConn* conn, TierResult* result) {
+    while (conn->out_off < conn->out.size()) {
+      const ssize_t n = send(conn->fd, conn->out.data() + conn->out_off,
+                             conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        ArmWritable(conn, true);
+        return;
+      }
+      result->errors_nonbusy += conn->scheduled_us.size();
+      conn->scheduled_us.clear();
+      CloseConn(conn);
+      return;
+    }
+    conn->out.clear();
+    conn->out_off = 0;
+    ArmWritable(conn, false);
+  }
+
+  void ArmWritable(GenConn* conn, bool want) {
+    if (conn->writable_armed == want) return;
+    conn->writable_armed = want;
+    epoll_event ev{};
+    ev.events = want ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+    ev.data.ptr = conn;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+
+  void ReadConn(GenConn* conn, TierResult* result) {
+    char chunk[65536];
+    while (conn->fd >= 0) {
+      const ssize_t n = recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        conn->in.append(chunk, static_cast<size_t>(n));
+        ParseResponses(conn, result);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      // EOF or error with requests outstanding: transport loss.
+      result->errors_nonbusy += conn->scheduled_us.size();
+      conn->scheduled_us.clear();
+      CloseConn(conn);
+      return;
+    }
+  }
+
+  void ParseResponses(GenConn* conn, TierResult* result) {
+    size_t off = 0;
+    while (!conn->scheduled_us.empty()) {
+      bool is_busy = false, is_err = false;
+      if (v2_) {
+        size_t consumed = 0;
+        WireResponse response;
+        std::string error;
+        const FrameParse verdict =
+            ParseResponseFrameV2(conn->in.data() + off, conn->in.size() - off,
+                                 &consumed, &response, &error);
+        if (verdict == FrameParse::kNeedMore) break;
+        if (verdict == FrameParse::kError) {
+          result->errors_nonbusy += conn->scheduled_us.size();
+          conn->scheduled_us.clear();
+          conn->in.clear();
+          CloseConn(conn);
+          return;
+        }
+        off += consumed;
+        is_busy = response.status == WireStatus::kBusy;
+        is_err = response.status == WireStatus::kErr;
+      } else {
+        const size_t newline = conn->in.find('\n', off);
+        if (newline == std::string::npos) break;
+        is_busy = conn->in.compare(off, 9, "ERR BUSY ") == 0;
+        is_err = !is_busy && conn->in.compare(off, 4, "ERR ") == 0;
+        off = newline + 1;
+      }
+      const double scheduled = conn->scheduled_us.front();
+      conn->scheduled_us.pop_front();
+      if (is_busy) {
+        result->busy++;
+      } else if (is_err) {
+        result->errors_nonbusy++;
+      }
+      latencies_.push_back(NowUs() - scheduled);
+    }
+    if (off > 0) conn->in.erase(0, off);
+  }
+
+  size_t Outstanding() const {
+    size_t total = 0;
+    for (const GenConn& conn : conns_) total += conn.scheduled_us.size();
+    return total;
+  }
+
+  const uint16_t port_;
+  const bool v2_;
+  const VertexId n_;
+  Rng rng_;
+  const double hot_fraction_;
+  const uint64_t batch_every_;
+  uint64_t request_counter_ = 0;
+  std::vector<std::pair<VertexId, VertexId>> hot_;
+  std::vector<GenConn> conns_;
+  std::vector<double> latencies_;
+  int epoll_fd_ = -1;
+};
 
 int Run(int argc, char** argv) {
   CliFlags flags;
   flags.Define("n", "2000", "graph vertices (GLP)");
   flags.Define("avg-degree", "6", "graph average degree");
   flags.Define("seed", "1", "graph + workload seed");
-  flags.Define("clients", "4", "concurrent closed-loop TCP clients");
-  flags.Define("seconds", "4", "traffic duration per run");
+  flags.Define("tiers", "100,1000,4000",
+               "comma-separated connection counts to sweep");
+  flags.Define("rate", "5000", "aggregate injected requests/second");
+  flags.Define("seconds", "4", "traffic duration per tier");
+  flags.Define("protocol", "v1", "wire framing: v1 (lines) or v2 (binary)");
   flags.Define("workers", "0", "server worker threads (0 = all cores)");
+  flags.Define("io-threads", "0", "server epoll threads (0 = auto)");
   flags.Define("cache", "65536", "server result-cache capacity (0 = off)");
+  flags.Define("queue-capacity", "1024",
+               "server work-queue bound (overflow sheds BUSY)");
   flags.Define("hot-fraction", "0.8",
                "share of requests drawn from the hot pair set");
   flags.Define("hot-pairs", "128", "size of the hot pair set");
   flags.Define("batch-every", "16",
                "every k-th request is a BATCH of 8 (0 = never)");
   flags.Define("out", "BENCH_serve.json", "machine-readable output path");
-  flags.Define("ci", "false", "CI mode: small graph, short run");
+  flags.Define("ci", "false", "CI mode: small graph, short run, tiers "
+                              "100,1000");
   if (!flags.Parse(argc, argv).ok() || flags.help_requested()) {
     std::cout << flags.Usage("bench_serve_load — distance-server load "
-                             "generator (closed loop over TCP)");
+                             "generator (open loop over TCP, tier sweep)");
     return flags.help_requested() ? 0 : 1;
   }
 
   const bool ci = flags.GetBool("ci");
-  const VertexId n =
-      ci ? 600 : static_cast<VertexId>(flags.GetUint("n"));
+  const VertexId n = ci ? 600 : static_cast<VertexId>(flags.GetUint("n"));
   const double seconds = ci ? 1.0 : flags.GetDouble("seconds");
-  const uint32_t num_clients =
-      ci ? 3 : static_cast<uint32_t>(flags.GetUint("clients"));
+  const double rate = ci ? 2000.0 : flags.GetDouble("rate");
   const uint64_t seed = flags.GetUint("seed");
-  const double hot_fraction = flags.GetDouble("hot-fraction");
-  const uint32_t hot_pairs = static_cast<uint32_t>(flags.GetUint("hot-pairs"));
-  const uint64_t batch_every = flags.GetUint("batch-every");
+  const std::string protocol = flags.GetString("protocol");
+  if (protocol != "v1" && protocol != "v2") {
+    std::cerr << "--protocol must be v1 or v2\n";
+    return 1;
+  }
+  const bool v2 = protocol == "v2";
+
+  std::vector<size_t> tiers;
+  {
+    const std::string spec = ci ? "100,1000" : flags.GetString("tiers");
+    for (const std::string& token : SplitString(spec, ',')) {
+      uint64_t value = 0;
+      if (!ParseUint64(TrimString(token), &value) || value == 0) {
+        std::cerr << "bad --tiers entry '" << token << "'\n";
+        return 1;
+      }
+      tiers.push_back(value);
+    }
+  }
+
+  // Both ends of every connection live in this process: each tier costs
+  // 2 fds per connection. Lift the soft limit, then clamp.
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) == 0) {
+    limit.rlim_cur = limit.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &limit);
+    const size_t max_conns = limit.rlim_cur == RLIM_INFINITY
+                                 ? SIZE_MAX
+                                 : (static_cast<size_t>(limit.rlim_cur) -
+                                    256) / 2;
+    for (size_t& tier : tiers) {
+      if (tier > max_conns) {
+        std::cerr << "clamping tier " << tier << " to " << max_conns
+                  << " (fd limit " << limit.rlim_cur << ")\n";
+        tier = max_conns;
+      }
+    }
+  }
 
   // Build the serving index.
   GlpOptions glp;
@@ -103,7 +465,10 @@ int Run(int argc, char** argv) {
 
   ServerOptions options;
   options.num_workers = static_cast<uint32_t>(flags.GetUint("workers"));
+  options.num_io_threads =
+      static_cast<uint32_t>(flags.GetUint("io-threads"));
   options.cache_capacity = flags.GetUint("cache");
+  options.queue_capacity = flags.GetUint("queue-capacity");
   auto server = DistanceServer::Start(std::move(*index), options);
   if (!server.ok()) {
     std::cerr << "server start failed: " << server.status() << "\n";
@@ -111,103 +476,36 @@ int Run(int argc, char** argv) {
   }
   const uint16_t port = (*server)->port();
   std::cout << "serving |V|=" << n << " on 127.0.0.1:" << port << ", "
-            << num_clients << " clients, " << seconds << "s\n";
+            << protocol << " framing, " << FormatDouble(rate, 0)
+            << " req/s open loop, " << seconds << "s per tier\n";
 
-  // A shared hot set makes the cache-hit story reproducible.
-  std::vector<std::pair<VertexId, VertexId>> hot;
-  {
-    Rng rng(DeriveSeed(seed, 7));
-    hot.reserve(hot_pairs);
-    for (uint32_t i = 0; i < hot_pairs; ++i) {
-      hot.emplace_back(static_cast<VertexId>(rng.Below(n)),
-                       static_cast<VertexId>(rng.Below(n)));
-    }
+  OpenLoopGenerator generator(port, v2, n, seed, flags.GetDouble("hot-fraction"),
+                              static_cast<uint32_t>(flags.GetUint("hot-pairs")),
+                              flags.GetUint("batch-every"));
+  std::vector<TierResult> results;
+  for (const size_t tier : tiers) {
+    TierResult result = generator.RunTier(tier, rate, seconds);
+    std::cout << "  tier " << tier << ": qps " << FormatDouble(result.qps, 0)
+              << ", p50/p99 " << FormatDouble(result.p50, 1) << "/"
+              << FormatDouble(result.p99, 1) << " us, busy " << result.busy
+              << ", errors " << result.errors_nonbusy << "\n";
+    results.push_back(result);
   }
 
-  std::atomic<bool> stop{false};
-  std::vector<ClientResult> results(num_clients);
-  std::vector<std::thread> threads;
-  for (uint32_t c = 0; c < num_clients; ++c) {
-    threads.emplace_back([&, c] {
-      ClientResult& result = results[c];
-      auto client = DistanceClient::Connect("127.0.0.1", port);
-      if (!client.ok()) {
-        result.errors++;
-        return;
-      }
-      Rng rng(DeriveSeed(seed, 100 + c));
-      while (!stop.load(std::memory_order_relaxed)) {
-        VertexId s, t;
-        if (static_cast<double>(rng.Below(1000)) < hot_fraction * 1000.0) {
-          const auto& pair = hot[rng.Below(hot.size())];
-          s = pair.first;
-          t = pair.second;
-        } else {
-          s = static_cast<VertexId>(rng.Below(n));
-          t = static_cast<VertexId>(rng.Below(n));
-        }
-        Stopwatch watch;
-        if (batch_every > 0 && result.requests % batch_every == 0) {
-          std::string line = "BATCH " + std::to_string(s);
-          for (int j = 0; j < 8; ++j) {
-            line += ' ';
-            line += std::to_string(rng.Below(n));
-          }
-          auto response = client->RoundTrip(line);
-          if (!response.ok() || !StartsWith(*response, "OK")) {
-            result.errors++;
-            if (!response.ok()) break;  // connection lost
-          }
-        } else {
-          auto d = client->QueryDistance(s, t);
-          if (!d.ok()) {
-            result.errors++;
-            break;
-          }
-        }
-        result.latencies_us.push_back(watch.Micros());
-        result.requests++;
-      }
-    });
-  }
-
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-  stop.store(true);
-  for (auto& t : threads) t.join();
-
-  // Pull the server-side view before shutdown.
+  // Server-side view before shutdown.
   Request stats_request;
   stats_request.kind = RequestKind::kStats;
   const std::string stats_line = (*server)->Execute(stats_request);
   const ResultCache::Stats cache = (*server)->cache_stats();
-  const ServerMetrics& metrics = (*server)->metrics();
-  const uint64_t server_requests = metrics.requests();
-  const uint64_t micro_batches = metrics.micro_batches();
+  const uint64_t server_requests = (*server)->metrics().requests();
+  const uint64_t server_shed = (*server)->metrics().shed();
+  const uint64_t micro_batches = (*server)->metrics().micro_batches();
   const uint32_t workers = (*server)->num_workers();
+  const uint32_t io_threads = (*server)->num_io_threads();
   (*server)->Stop();
 
-  std::vector<double> all;
-  uint64_t requests = 0, errors = 0;
-  for (ClientResult& r : results) {
-    all.insert(all.end(), r.latencies_us.begin(), r.latencies_us.end());
-    requests += r.requests;
-    errors += r.errors;
-  }
-  std::sort(all.begin(), all.end());
-  const double qps = seconds > 0 ? static_cast<double>(requests) / seconds : 0;
-  const double p50 = Percentile(&all, 50);
-  const double p90 = Percentile(&all, 90);
-  const double p99 = Percentile(&all, 99);
-  const double max_us = all.empty() ? 0 : all.back();
-
-  std::cout << "  requests      " << requests << " (" << errors
-            << " errors)\n"
-            << "  qps           " << FormatDouble(qps, 0) << "\n"
-            << "  p50 / p99     " << FormatDouble(p50, 1) << " / "
-            << FormatDouble(p99, 1) << " us\n"
-            << "  cache hits    " << cache.hits << " ("
-            << FormatDouble(cache.HitRate() * 100, 1) << "%)\n"
-            << "  micro-batches " << micro_batches << "\n";
+  uint64_t errors_nonbusy = 0;
+  for (const TierResult& r : results) errors_nonbusy += r.errors_nonbusy;
 
   const std::string out_path = flags.GetString("out");
   std::ofstream out(out_path);
@@ -217,24 +515,37 @@ int Run(int argc, char** argv) {
   }
   out << "{\n"
       << "  \"bench\": \"serve_load\",\n"
+      << "  \"mode\": \"open_loop\",\n"
       << "  \"ci_mode\": " << (ci ? "true" : "false") << ",\n"
+      << "  \"protocol\": \"" << protocol << "\",\n"
       << "  \"peak_rss_bytes\": " << bench::PeakRssBytes() << ",\n"
       << "  \"graph\": {\"type\": \"glp\", \"n\": " << n
       << ", \"avg_degree\": " << FormatDouble(glp.target_avg_degree, 2)
       << ", \"seed\": " << seed << "},\n"
       << "  \"server\": {\"workers\": " << workers
+      << ", \"io_threads\": " << io_threads
       << ", \"cache_capacity\": " << options.cache_capacity
+      << ", \"queue_capacity\": " << options.queue_capacity
       << ", \"build_seconds\": " << FormatDouble(build_seconds, 3) << "},\n"
-      << "  \"clients\": " << num_clients << ",\n"
-      << "  \"seconds\": " << FormatDouble(seconds, 2) << ",\n"
-      << "  \"requests\": " << requests << ",\n"
+      << "  \"rate\": " << FormatDouble(rate, 1) << ",\n"
+      << "  \"seconds_per_tier\": " << FormatDouble(seconds, 2) << ",\n"
+      << "  \"tiers\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const TierResult& r = results[i];
+    out << "    {\"connections\": " << r.connections << ", \"sent\": "
+        << r.sent << ", \"received\": " << r.received << ", \"busy\": "
+        << r.busy << ", \"errors_nonbusy\": " << r.errors_nonbusy
+        << ", \"qps\": " << FormatDouble(r.qps, 1)
+        << ", \"latency_us\": {\"p50\": " << FormatDouble(r.p50, 1)
+        << ", \"p90\": " << FormatDouble(r.p90, 1) << ", \"p99\": "
+        << FormatDouble(r.p99, 1) << ", \"max\": "
+        << FormatDouble(r.max_us, 1) << "}}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
       << "  \"server_requests\": " << server_requests << ",\n"
-      << "  \"errors\": " << errors << ",\n"
-      << "  \"qps\": " << FormatDouble(qps, 1) << ",\n"
-      << "  \"latency_us\": {\"p50\": " << FormatDouble(p50, 1)
-      << ", \"p90\": " << FormatDouble(p90, 1) << ", \"p99\": "
-      << FormatDouble(p99, 1) << ", \"max\": " << FormatDouble(max_us, 1)
-      << "},\n"
+      << "  \"server_shed\": " << server_shed << ",\n"
+      << "  \"errors_nonbusy\": " << errors_nonbusy << ",\n"
       << "  \"cache\": {\"hits\": " << cache.hits << ", \"misses\": "
       << cache.misses << ", \"hit_rate\": "
       << FormatDouble(cache.HitRate(), 4) << ", \"entries\": "
@@ -243,7 +554,8 @@ int Run(int argc, char** argv) {
       << "  \"server_stats\": \"" << stats_line << "\"\n"
       << "}\n";
   std::cout << "wrote " << out_path << "\n";
-  return errors == 0 ? 0 : 1;
+  // BUSY is load shedding doing its job; anything else is a failure.
+  return errors_nonbusy == 0 ? 0 : 1;
 }
 
 }  // namespace

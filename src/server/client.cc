@@ -18,6 +18,7 @@ DistanceClient& DistanceClient::operator=(DistanceClient&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    protocol_ = other.protocol_;
     buffer_ = std::move(other.buffer_);
     other.fd_ = -1;
     other.buffer_.clear();
@@ -26,7 +27,8 @@ DistanceClient& DistanceClient::operator=(DistanceClient&& other) noexcept {
 }
 
 Result<DistanceClient> DistanceClient::Connect(const std::string& host,
-                                               uint16_t port) {
+                                               uint16_t port,
+                                               Protocol protocol) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
@@ -50,7 +52,28 @@ Result<DistanceClient> DistanceClient::Connect(const std::string& host,
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   DistanceClient client;
   client.fd_ = fd;
+  client.protocol_ = protocol;
+  if (protocol == Protocol::kV2) {
+    // The magic is the whole negotiation; frames follow immediately.
+    HOPDB_RETURN_NOT_OK(
+        client.SendAll(std::string(kV2Magic, sizeof(kV2Magic))));
+  }
   return client;
+}
+
+Status DistanceClient::SendAll(const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      Close();
+      return Status::IOError("send failed: connection lost");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
 }
 
 void DistanceClient::Close() {
@@ -63,19 +86,13 @@ void DistanceClient::Close() {
 
 Result<std::string> DistanceClient::RoundTrip(const std::string& line) {
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  if (protocol_ != Protocol::kV1) {
+    return Status::FailedPrecondition(
+        "RoundTrip is the v1 line API; use Call() on a v2 connection");
+  }
   std::string request = line;
   request += '\n';
-  size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n = send(fd_, request.data() + sent, request.size() - sent,
-                           MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      Close();
-      return Status::IOError("send failed: connection lost");
-    }
-    sent += static_cast<size_t>(n);
-  }
+  HOPDB_RETURN_NOT_OK(SendAll(request));
   while (true) {
     const size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
@@ -104,7 +121,52 @@ Result<Distance> ParseDistanceToken(const std::string& token) {
   return static_cast<Distance>(v);
 }
 
+Result<WireResponse> DistanceClient::Call(const Request& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  if (protocol_ != Protocol::kV2) {
+    return Status::FailedPrecondition(
+        "Call is the v2 frame API; use RoundTrip() on a v1 connection");
+  }
+  std::string frame;
+  EncodeRequestV2(request, &frame);
+  HOPDB_RETURN_NOT_OK(SendAll(frame));
+  while (true) {
+    size_t consumed = 0;
+    WireResponse response;
+    std::string error;
+    const FrameParse verdict = ParseResponseFrameV2(
+        buffer_.data(), buffer_.size(), &consumed, &response, &error);
+    if (verdict == FrameParse::kDone) {
+      buffer_.erase(0, consumed);
+      return response;
+    }
+    if (verdict == FrameParse::kError) {
+      Close();
+      return Status::Internal("bad v2 response frame: " + error);
+    }
+    char chunk[4096];
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      return Status::IOError("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
 Result<Distance> DistanceClient::QueryDistance(VertexId s, VertexId t) {
+  if (protocol_ == Protocol::kV2) {
+    Request request;
+    request.kind = RequestKind::kDist;
+    request.src = s;
+    request.targets.assign(1, t);
+    HOPDB_ASSIGN_OR_RETURN(WireResponse response, Call(request));
+    if (response.status != WireStatus::kOk) {
+      return Status::Internal("server error: " + response.text);
+    }
+    return response.distance;
+  }
   HOPDB_ASSIGN_OR_RETURN(
       std::string response,
       RoundTrip("DIST " + std::to_string(s) + " " + std::to_string(t)));

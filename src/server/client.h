@@ -1,7 +1,9 @@
-// Minimal blocking client for the distance server protocol. One TCP
-// connection, synchronous request/response (the single-line framing
-// means exactly one readline per request). Used by `hopdb_cli client`,
-// the serve tests, and the load-generator bench.
+// Minimal blocking client for the distance server protocols. One TCP
+// connection, synchronous request/response. Speaks either framing: v1
+// (ASCII lines; RoundTrip) or v2 (binary frames; Call) — the protocol
+// is picked at Connect time, because a v2 connection opens with the
+// magic bytes and keeps the framing for life. Used by `hopdb_cli
+// client`, the serve tests, and the load-generator bench.
 
 #ifndef HOPDB_SERVER_CLIENT_H_
 #define HOPDB_SERVER_CLIENT_H_
@@ -11,12 +13,15 @@
 #include <utility>
 
 #include "graph/types.h"
+#include "server/protocol.h"
 #include "util/status.h"
 
 namespace hopdb {
 
 class DistanceClient {
  public:
+  enum class Protocol : uint8_t { kV1, kV2 };
+
   DistanceClient() = default;
   ~DistanceClient() { Close(); }
 
@@ -25,22 +30,32 @@ class DistanceClient {
   DistanceClient(const DistanceClient&) = delete;
   DistanceClient& operator=(const DistanceClient&) = delete;
 
-  /// Connects to a numeric IPv4 host.
-  static Result<DistanceClient> Connect(const std::string& host,
-                                        uint16_t port);
+  /// Connects to a numeric IPv4 host. A kV2 connection sends the
+  /// version-negotiation magic immediately.
+  static Result<DistanceClient> Connect(const std::string& host, uint16_t port,
+                                        Protocol protocol = Protocol::kV1);
 
   bool connected() const { return fd_ >= 0; }
+  Protocol protocol() const { return protocol_; }
   void Close();
 
-  /// Sends `line` (newline appended) and returns the one response line.
+  /// v1 only: sends `line` (newline appended), returns the response line.
   Result<std::string> RoundTrip(const std::string& line);
 
-  /// DIST convenience: parses "OK <d>" into a Distance.
+  /// v2 only: sends one binary frame, returns the decoded response.
+  /// A WireStatus::kErr/kBusy answer is a successful Call — the Result
+  /// is an error only for transport or framing failures.
+  Result<WireResponse> Call(const Request& request);
+
+  /// DIST convenience on either protocol.
   Result<Distance> QueryDistance(VertexId s, VertexId t);
 
  private:
+  Status SendAll(const std::string& data);
+
   int fd_ = -1;
-  std::string buffer_;  // bytes received past the last response line
+  Protocol protocol_ = Protocol::kV1;
+  std::string buffer_;  // bytes received past the last response
 };
 
 /// Parses a server distance token ("INF" or decimal) — shared with tests

@@ -35,6 +35,9 @@ class ServerMetrics {
   }
 
   void RecordError() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  /// One request shed with BUSY by admission control (distinct from
+  /// errors(): shed load is expected under overload, not a fault).
+  void RecordShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
   void RecordDist(uint64_t n = 1) {
     dist_queries_.fetch_add(n, std::memory_order_relaxed);
   }
@@ -51,6 +54,7 @@ class ServerMetrics {
     return requests_.load(std::memory_order_relaxed);
   }
   uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
   uint64_t dist_queries() const {
     return dist_queries_.load(std::memory_order_relaxed);
   }
@@ -75,6 +79,7 @@ class ServerMetrics {
  private:
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> dist_queries_{0};
   std::atomic<uint64_t> batch_requests_{0};
   std::atomic<uint64_t> knn_requests_{0};

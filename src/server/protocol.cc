@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <cstring>
 #include <limits>
 #include <string>
 #include <utility>
@@ -189,6 +190,415 @@ std::string FormatKnnResponse(
                FormatDistance(neighbors[i].second);
   }
   return OkResponse(payload);
+}
+
+std::string BusyResponse(const std::string& detail) {
+  return ErrResponse("BUSY " + detail);
+}
+
+std::string FormatRequestV1(const Request& request) {
+  std::string line;
+  if (!request.index_name.empty() && request.kind != RequestKind::kAttach &&
+      request.kind != RequestKind::kDetach) {
+    line = "USE " + request.index_name + " ";
+  }
+  switch (request.kind) {
+    case RequestKind::kDist:
+      line += "DIST " + std::to_string(request.src) + " " +
+              std::to_string(request.targets.empty() ? 0
+                                                     : request.targets[0]);
+      break;
+    case RequestKind::kBatch:
+      line += "BATCH " + std::to_string(request.src);
+      for (VertexId t : request.targets) {
+        line += ' ';
+        line += std::to_string(t);
+      }
+      break;
+    case RequestKind::kKnn:
+      line += "KNN " + std::to_string(request.src) + " " +
+              std::to_string(request.k);
+      break;
+    case RequestKind::kStats:
+      line += "STATS";
+      break;
+    case RequestKind::kReload:
+      line += "RELOAD";
+      if (!request.path.empty()) line += " " + request.path;
+      break;
+    case RequestKind::kAttach:
+      line += "ATTACH " + request.index_name + " " + request.path;
+      break;
+    case RequestKind::kDetach:
+      line += "DETACH " + request.index_name;
+      break;
+    case RequestKind::kPing:
+      line += "PING";
+      break;
+  }
+  return line;
+}
+
+// ---------------------------------------------------------------------------
+// WireResponse constructors and the v1 encoder.
+// ---------------------------------------------------------------------------
+
+WireResponse WireOk(std::string payload) {
+  WireResponse r;
+  r.text = std::move(payload);
+  return r;
+}
+
+WireResponse WireErr(std::string message) {
+  WireResponse r;
+  r.status = WireStatus::kErr;
+  r.text = std::move(message);
+  return r;
+}
+
+WireResponse WireBusy() {
+  WireResponse r;
+  r.status = WireStatus::kBusy;
+  r.text = "work queue full; retry";
+  return r;
+}
+
+WireResponse WireDistanceResponse(Distance d) {
+  WireResponse r;
+  r.payload = WirePayload::kDistance;
+  r.distance = d;
+  return r;
+}
+
+WireResponse WireDistancesResponse(std::vector<Distance> dists) {
+  WireResponse r;
+  r.payload = WirePayload::kDistances;
+  r.distances = std::move(dists);
+  return r;
+}
+
+WireResponse WireNeighborsResponse(
+    std::vector<std::pair<VertexId, Distance>> neighbors) {
+  WireResponse r;
+  r.payload = WirePayload::kNeighbors;
+  r.neighbors = std::move(neighbors);
+  return r;
+}
+
+std::string EncodeResponseV1(const WireResponse& response) {
+  if (response.status == WireStatus::kBusy) {
+    return BusyResponse(response.text);
+  }
+  if (response.status == WireStatus::kErr) {
+    return ErrResponse(response.text);
+  }
+  switch (response.payload) {
+    case WirePayload::kDistance:
+      return OkResponse(FormatDistance(response.distance));
+    case WirePayload::kDistances:
+      return FormatBatchResponse(response.distances);
+    case WirePayload::kNeighbors:
+      return FormatKnnResponse(response.neighbors);
+    case WirePayload::kText:
+      break;
+  }
+  return OkResponse(response.text);
+}
+
+// ---------------------------------------------------------------------------
+// Binary protocol v2.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  char b[2];
+  std::memcpy(b, &v, 2);
+  out->append(b, 2);
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+uint16_t GetU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+void EncodeRequestV2(const Request& request, std::string* out) {
+  V2Opcode opcode = V2Opcode::kPing;
+  uint32_t src = 0;
+  uint32_t arg = 0;
+  std::string aux;
+  switch (request.kind) {
+    case RequestKind::kDist:
+      opcode = V2Opcode::kDist;
+      src = request.src;
+      arg = request.targets.empty() ? 0 : request.targets[0];
+      break;
+    case RequestKind::kBatch:
+      opcode = V2Opcode::kBatch;
+      src = request.src;
+      arg = static_cast<uint32_t>(request.targets.size());
+      aux.reserve(request.targets.size() * 4);
+      for (VertexId t : request.targets) PutU32(&aux, t);
+      break;
+    case RequestKind::kKnn:
+      opcode = V2Opcode::kKnn;
+      src = request.src;
+      arg = request.k;
+      break;
+    case RequestKind::kPing:
+      opcode = V2Opcode::kPing;
+      break;
+    case RequestKind::kStats:
+      opcode = V2Opcode::kStats;
+      break;
+    case RequestKind::kReload:
+      opcode = V2Opcode::kReload;
+      aux = request.path;
+      break;
+    case RequestKind::kAttach:
+      opcode = V2Opcode::kAttach;
+      aux = request.path;
+      break;
+    case RequestKind::kDetach:
+      opcode = V2Opcode::kDetach;
+      break;
+  }
+  out->push_back(static_cast<char>(opcode));
+  out->push_back('\0');  // reserved
+  PutU16(out, static_cast<uint16_t>(request.index_name.size()));
+  PutU32(out, static_cast<uint32_t>(aux.size()));
+  PutU32(out, src);
+  PutU32(out, arg);
+  out->append(request.index_name);
+  out->append(aux);
+}
+
+void EncodeResponseV2(const WireResponse& response, std::string* out) {
+  uint32_t value = 0;
+  size_t aux_len = 0;
+  switch (response.payload) {
+    case WirePayload::kText:
+      aux_len = response.text.size();
+      break;
+    case WirePayload::kDistance:
+      value = response.distance;
+      break;
+    case WirePayload::kDistances:
+      value = static_cast<uint32_t>(response.distances.size());
+      aux_len = response.distances.size() * 4;
+      break;
+    case WirePayload::kNeighbors:
+      value = static_cast<uint32_t>(response.neighbors.size());
+      aux_len = response.neighbors.size() * 8;
+      break;
+  }
+  if (response.status != WireStatus::kOk) {
+    value = 0;
+    aux_len = response.text.size();
+  }
+  out->push_back(static_cast<char>(response.status));
+  out->push_back(static_cast<char>(response.status == WireStatus::kOk
+                                       ? response.payload
+                                       : WirePayload::kText));
+  PutU16(out, 0);  // reserved
+  PutU32(out, value);
+  PutU32(out, static_cast<uint32_t>(aux_len));
+  if (response.status != WireStatus::kOk) {
+    out->append(response.text);
+    return;
+  }
+  switch (response.payload) {
+    case WirePayload::kText:
+      out->append(response.text);
+      break;
+    case WirePayload::kDistance:
+      break;
+    case WirePayload::kDistances:
+      for (Distance d : response.distances) PutU32(out, d);
+      break;
+    case WirePayload::kNeighbors:
+      for (const auto& [v, d] : response.neighbors) {
+        PutU32(out, v);
+        PutU32(out, d);
+      }
+      break;
+  }
+}
+
+FrameParse ParseRequestFrameV2(const char* data, size_t size,
+                               size_t* consumed, Request* out,
+                               std::string* error) {
+  if (size < kV2RequestHeaderBytes) return FrameParse::kNeedMore;
+  const uint8_t opcode = static_cast<uint8_t>(data[0]);
+  const uint8_t reserved = static_cast<uint8_t>(data[1]);
+  const uint16_t name_len = GetU16(data + 2);
+  const uint32_t aux_len = GetU32(data + 4);
+  const uint32_t src = GetU32(data + 8);
+  const uint32_t arg = GetU32(data + 12);
+  if (reserved != 0) {
+    *error = "v2 frame: nonzero reserved byte (framing desync?)";
+    return FrameParse::kError;
+  }
+  if (static_cast<size_t>(name_len) + aux_len > kV2MaxFrameBytes) {
+    *error = "v2 frame too large";
+    return FrameParse::kError;
+  }
+  const size_t total =
+      kV2RequestHeaderBytes + static_cast<size_t>(name_len) + aux_len;
+  if (size < total) return FrameParse::kNeedMore;
+  const char* name = data + kV2RequestHeaderBytes;
+  const char* aux = name + name_len;
+
+  Request request;
+  request.index_name.assign(name, name_len);
+  switch (static_cast<V2Opcode>(opcode)) {
+    case V2Opcode::kDist:
+      if (aux_len != 0) {
+        *error = "v2 DIST frame carries a payload";
+        return FrameParse::kError;
+      }
+      request.kind = RequestKind::kDist;
+      request.src = src;
+      request.targets.assign(1, arg);
+      if (src >= kInvalidVertex || arg >= kInvalidVertex) {
+        *error = "bad vertex id";
+        return FrameParse::kError;
+      }
+      break;
+    case V2Opcode::kBatch:
+      if (arg == 0 || aux_len != static_cast<size_t>(arg) * 4) {
+        *error = "v2 BATCH frame: payload length != 4 * target count";
+        return FrameParse::kError;
+      }
+      request.kind = RequestKind::kBatch;
+      request.src = src;
+      request.targets.resize(arg);
+      std::memcpy(request.targets.data(), aux, aux_len);
+      break;
+    case V2Opcode::kKnn:
+      if (aux_len != 0 || arg == 0) {
+        *error = "v2 KNN frame: bad k or stray payload";
+        return FrameParse::kError;
+      }
+      request.kind = RequestKind::kKnn;
+      request.src = src;
+      request.k = arg;
+      break;
+    case V2Opcode::kPing:
+    case V2Opcode::kStats:
+      if (name_len != 0 || aux_len != 0 || src != 0 || arg != 0) {
+        *error = "v2 PING/STATS frame carries operands";
+        return FrameParse::kError;
+      }
+      request.kind = static_cast<V2Opcode>(opcode) == V2Opcode::kPing
+                         ? RequestKind::kPing
+                         : RequestKind::kStats;
+      break;
+    case V2Opcode::kReload:
+      request.kind = RequestKind::kReload;
+      request.path.assign(aux, aux_len);
+      break;
+    case V2Opcode::kAttach:
+      if (name_len == 0 || aux_len == 0) {
+        *error = "v2 ATTACH frame needs a name and a path";
+        return FrameParse::kError;
+      }
+      request.kind = RequestKind::kAttach;
+      request.path.assign(aux, aux_len);
+      break;
+    case V2Opcode::kDetach:
+      if (name_len == 0 || aux_len != 0) {
+        *error = "v2 DETACH frame needs a name and no payload";
+        return FrameParse::kError;
+      }
+      request.kind = RequestKind::kDetach;
+      break;
+    default:
+      *error = "unknown v2 opcode " + std::to_string(opcode);
+      return FrameParse::kError;
+  }
+  *consumed = total;
+  *out = std::move(request);
+  return FrameParse::kDone;
+}
+
+FrameParse ParseResponseFrameV2(const char* data, size_t size,
+                                size_t* consumed, WireResponse* out,
+                                std::string* error) {
+  if (size < kV2ResponseHeaderBytes) return FrameParse::kNeedMore;
+  const uint8_t status = static_cast<uint8_t>(data[0]);
+  const uint8_t payload = static_cast<uint8_t>(data[1]);
+  const uint16_t reserved = GetU16(data + 2);
+  const uint32_t value = GetU32(data + 4);
+  const uint32_t aux_len = GetU32(data + 8);
+  if (status > static_cast<uint8_t>(WireStatus::kBusy) ||
+      payload > static_cast<uint8_t>(WirePayload::kNeighbors) ||
+      reserved != 0) {
+    *error = "v2 response frame: bad header";
+    return FrameParse::kError;
+  }
+  if (aux_len > kV2MaxFrameBytes) {
+    *error = "v2 response frame too large";
+    return FrameParse::kError;
+  }
+  const size_t total = kV2ResponseHeaderBytes + aux_len;
+  if (size < total) return FrameParse::kNeedMore;
+  const char* aux = data + kV2ResponseHeaderBytes;
+
+  WireResponse response;
+  response.status = static_cast<WireStatus>(status);
+  response.payload = static_cast<WirePayload>(payload);
+  switch (response.payload) {
+    case WirePayload::kText:
+      response.text.assign(aux, aux_len);
+      break;
+    case WirePayload::kDistance:
+      if (aux_len != 0) {
+        *error = "v2 distance response carries a payload";
+        return FrameParse::kError;
+      }
+      response.distance = value;
+      break;
+    case WirePayload::kDistances:
+      if (aux_len != static_cast<size_t>(value) * 4) {
+        *error = "v2 distances response: count/length mismatch";
+        return FrameParse::kError;
+      }
+      response.distances.resize(value);
+      if (aux_len > 0) {
+        std::memcpy(response.distances.data(), aux, aux_len);
+      }
+      break;
+    case WirePayload::kNeighbors: {
+      if (aux_len != static_cast<size_t>(value) * 8) {
+        *error = "v2 neighbors response: count/length mismatch";
+        return FrameParse::kError;
+      }
+      response.neighbors.resize(value);
+      for (uint32_t i = 0; i < value; ++i) {
+        response.neighbors[i] = {GetU32(aux + i * 8), GetU32(aux + i * 8 + 4)};
+      }
+      break;
+    }
+  }
+  *consumed = total;
+  *out = std::move(response);
+  return FrameParse::kDone;
 }
 
 }  // namespace hopdb

@@ -1,7 +1,8 @@
-// Wire protocol of the hopdb distance server: newline-delimited ASCII
-// requests, one single-line response per request.
+// Wire protocols of the hopdb distance server. Two framings share one
+// request/response model; a connection picks its framing with its very
+// first bytes (see kV2Magic) and keeps it for life.
 //
-// Requests (tokens separated by spaces/tabs, case-sensitive verbs):
+// v1 — newline-delimited ASCII, one single-line response per request:
 //   DIST <s> <t>             exact distance from s to t
 //   BATCH <s> <t1> ... <tk>  distances from s to every listed target
 //   KNN <s> <k>              the k nearest vertices reachable from s
@@ -11,15 +12,23 @@
 //   DETACH <name>            stop serving index <name>
 //   USE <name> <request>     route DIST/BATCH/KNN/RELOAD to index <name>
 //   PING                     liveness probe
-//
 // Responses:
 //   OK <payload>             success; payload shape depends on the verb
+//   ERR BUSY <detail>        shed by admission control; retry later
 //   ERR <message>            parse or execution failure
-//
 // Distances are rendered in decimal; unreachable pairs render as "INF".
-// KNN neighbors render as "<vertex>:<distance>" pairs. The single-line
-// framing keeps client code trivial (one readline per request) and makes
-// pipelining safe: responses come back in request order.
+// KNN neighbors render as "<vertex>:<distance>" pairs.
+//
+// v2 — compact little-endian binary frames (docs/PROTOCOL.md has the
+// byte-exact grammar): a 16-byte fixed request header that fully
+// contains a DIST (the hot path decodes with two loads, no tokenizing),
+// plus an optional index-name / payload tail for the other verbs; a
+// 12-byte response header that fully contains a DIST answer. The
+// response model (WireResponse below) is shared, so both framings are
+// encoded from the same execution result and answers are identical.
+//
+// Both framings answer strictly in request order per connection, so
+// pipelining is safe under either.
 
 #ifndef HOPDB_SERVER_PROTOCOL_H_
 #define HOPDB_SERVER_PROTOCOL_H_
@@ -65,6 +74,10 @@ struct Request {
 /// InvalidArgument with a client-safe message on malformed input.
 Result<Request> ParseRequest(const std::string& line);
 
+/// Renders a Request back into one v1 protocol line (the inverse of
+/// ParseRequest; used by clients and the load generator).
+std::string FormatRequestV1(const Request& request);
+
 /// "INF" or the decimal distance.
 std::string FormatDistance(Distance d);
 
@@ -74,12 +87,138 @@ std::string OkResponse(const std::string& payload);
 /// "ERR <message>" with the message flattened to one line.
 std::string ErrResponse(const std::string& message);
 
+/// "ERR BUSY <detail>" — the admission-control shed response. Distinct
+/// from other errors so clients can retry instead of alerting; clients
+/// match on the "ERR BUSY" prefix (v1) or WireStatus::kBusy (v2).
+std::string BusyResponse(const std::string& detail);
+
 /// "OK d1 d2 ... dk" for a BATCH answer.
 std::string FormatBatchResponse(const std::vector<Distance>& dists);
 
 /// "OK v1:d1 v2:d2 ..." for a KNN answer (possibly "OK" when empty).
 std::string FormatKnnResponse(
     const std::vector<std::pair<VertexId, Distance>>& neighbors);
+
+// ---------------------------------------------------------------------------
+// Framing-independent response model. Workers produce a WireResponse;
+// the connection encodes it for whichever framing that socket
+// negotiated, so v1 and v2 can never drift apart in content.
+// ---------------------------------------------------------------------------
+
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kErr = 1,
+  /// Shed by admission control (work queue full); safe to retry.
+  kBusy = 2,
+};
+
+/// Shape of the response payload (drives both encoders).
+enum class WirePayload : uint8_t {
+  kText = 0,       // OK payload text / ERR message
+  kDistance = 1,   // one DIST answer
+  kDistances = 2,  // BATCH answer vector
+  kNeighbors = 3,  // KNN (vertex, distance) pairs
+};
+
+struct WireResponse {
+  WireStatus status = WireStatus::kOk;
+  WirePayload payload = WirePayload::kText;
+  std::string text;
+  Distance distance = 0;
+  std::vector<Distance> distances;
+  std::vector<std::pair<VertexId, Distance>> neighbors;
+};
+
+WireResponse WireOk(std::string payload);
+WireResponse WireErr(std::string message);
+WireResponse WireBusy();
+WireResponse WireDistanceResponse(Distance d);
+WireResponse WireDistancesResponse(std::vector<Distance> dists);
+WireResponse WireNeighborsResponse(
+    std::vector<std::pair<VertexId, Distance>> neighbors);
+
+/// v1 rendering; byte-identical to the OkResponse/ErrResponse/
+/// FormatBatchResponse/FormatKnnResponse formatters above (without the
+/// trailing newline).
+std::string EncodeResponseV1(const WireResponse& response);
+
+// ---------------------------------------------------------------------------
+// Binary protocol v2 framing.
+//
+// Negotiation: a v2 client's first four bytes are kV2Magic. 0x02 (STX)
+// can never begin a v1 line, so the server decides the framing from the
+// first byte without waiting. The server sends no banner; frames flow
+// immediately after the magic.
+//
+// Request frame: 16-byte header, then name_len bytes of index name
+// (USE-style routing; the ATTACH/DETACH operand), then aux_len payload
+// bytes (BATCH target ids / RELOAD-ATTACH path).
+//   u8  opcode      V2Opcode below
+//   u8  reserved    must be 0
+//   u16 name_len
+//   u32 aux_len
+//   u32 src         DIST/BATCH/KNN source vertex
+//   u32 arg         DIST: dst; BATCH: target count; KNN: k
+//
+// Response frame: 12-byte header, then aux_len payload bytes.
+//   u8  status      WireStatus
+//   u8  payload     WirePayload
+//   u16 reserved    0
+//   u32 value       kDistance: the distance; kDistances/kNeighbors:
+//                   element count; kText: 0
+//   u32 aux_len     bytes that follow (text / u32 distances /
+//                   (u32 vertex, u32 distance) pairs)
+// ---------------------------------------------------------------------------
+
+/// First bytes of a v2 connection (client -> server, once).
+inline constexpr char kV2Magic[4] = {'\x02', 'H', 'B', '2'};
+
+/// v2 request opcodes (values are wire bytes; keep PROTOCOL.md's opcode
+/// table in sync — tools/check_docs.py cross-checks).
+enum class V2Opcode : uint8_t {
+  kDist = 1,
+  kBatch = 2,
+  kKnn = 3,
+  kPing = 4,
+  kStats = 5,
+  kReload = 6,
+  kAttach = 7,
+  kDetach = 8,
+};
+
+inline constexpr size_t kV2RequestHeaderBytes = 16;
+inline constexpr size_t kV2ResponseHeaderBytes = 12;
+/// Upper bound on name_len + aux_len of a single frame (mirrors the v1
+/// 1 MiB line cap; hostile frames above it are rejected, not buffered).
+inline constexpr size_t kV2MaxFrameBytes = 1 << 20;
+
+/// v1 line-length cap: a connection streaming a longer "line" is
+/// answered with an error and closed instead of buffering unboundedly.
+inline constexpr size_t kMaxLineBytes = 1 << 20;
+
+/// Incremental frame-parser verdict over a byte buffer.
+enum class FrameParse : uint8_t {
+  kNeedMore,  // incomplete frame; read more bytes
+  kDone,      // one frame consumed, output filled
+  kError,     // malformed frame; connection must close after the error
+};
+
+/// Appends one encoded v2 request frame to `out`.
+void EncodeRequestV2(const Request& request, std::string* out);
+
+/// Appends one encoded v2 response frame to `out`.
+void EncodeResponseV2(const WireResponse& response, std::string* out);
+
+/// Parses one request frame from data[0, size). On kDone sets
+/// *consumed and *out; on kError sets *error (client-safe message).
+FrameParse ParseRequestFrameV2(const char* data, size_t size,
+                               size_t* consumed, Request* out,
+                               std::string* error);
+
+/// Parses one response frame (the client side of the above).
+FrameParse ParseResponseFrameV2(const char* data, size_t size,
+                                size_t* consumed, WireResponse* out,
+                                std::string* error);
 
 }  // namespace hopdb
 

@@ -1,6 +1,8 @@
 // A bounded multi-producer / multi-consumer FIFO built on a mutex and two
-// condition variables. Producers block while the queue is full
-// (backpressure toward slow clients instead of unbounded memory growth);
+// condition variables. Producers either block while the queue is full
+// (Push — backpressure toward slow clients instead of unbounded memory
+// growth) or fail fast (TryPush — so an event-loop producer can shed
+// load with a BUSY response instead of stalling its whole I/O thread);
 // consumers block while it is empty. Close() wakes everyone: pending
 // items still drain, further pushes are refused.
 //
@@ -39,6 +41,23 @@ class BoundedQueue {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// TryPush outcome: the two failure modes need different client-facing
+  /// answers (kFull -> BUSY, retryable; kClosed -> shutting down).
+  enum class PushResult : uint8_t { kOk, kFull, kClosed };
+
+  /// Never blocks. Moves from *item only on kOk; on kFull/kClosed the
+  /// item is left intact so the caller can answer it inline.
+  PushResult TryPush(T* item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(*item));
+    }
+    not_empty_.notify_one();
+    return PushResult::kOk;
   }
 
   /// Blocks while empty. Returns false only when closed AND drained.

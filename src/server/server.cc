@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -21,29 +22,12 @@ namespace hopdb {
 
 namespace {
 
-/// Protects against a hostile/buggy client streaming an unbounded line.
-constexpr size_t kMaxLineBytes = 1 << 20;
-
 /// Same-source DIST groups at or above this size go through the
 /// OneToManyEngine instead of independent label intersections.
 constexpr size_t kMicroBatchGroupMin = 2;
 
 /// BATCH requests with at least this many targets use the bucket join.
 constexpr size_t kBatchEngineMin = 4;
-
-bool SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
 
 /// Answers one (s, t) pair through the snapshot's cache.
 Distance CachedQuery(const ServingSnapshot& snapshot, VertexId s, VertexId t) {
@@ -80,9 +64,13 @@ void AppendIndexStat(std::string* payload, const std::string& name,
   payload->append(value);
 }
 
-std::string ErrNoSuchIndex(const std::string& name) {
-  return ErrResponse("no index named '" + name + "' (see STATS, or ATTACH "
-                     "it first)");
+WireResponse ErrNoSuchIndex(const std::string& name) {
+  return WireErr("no index named '" + name + "' (see STATS, or ATTACH "
+                 "it first)");
+}
+
+WireResponse ErrVertexOutOfRange(VertexId n) {
+  return WireErr("vertex id out of range (|V|=" + std::to_string(n) + ")");
 }
 
 }  // namespace
@@ -97,6 +85,14 @@ Result<std::unique_ptr<DistanceServer>> DistanceServer::Start(
   HOPDB_RETURN_NOT_OK(
       server->registry_.Attach(kDefaultIndexName, std::move(snapshot)));
   HOPDB_RETURN_NOT_OK(server->Listen());
+  server->num_io_threads_ =
+      options.num_io_threads == 0
+          ? std::min<uint32_t>(4, HardwareThreads())
+          : options.num_io_threads;
+  IoGroupOptions io_options;
+  io_options.num_threads = server->num_io_threads_;
+  io_options.max_inflight_per_conn = options.max_inflight_per_conn;
+  HOPDB_RETURN_NOT_OK(server->io_group_.Start(io_options, server.get()));
   const uint32_t workers =
       options.num_workers == 0 ? HardwareThreads() : options.num_workers;
   server->workers_.Start(workers,
@@ -139,7 +135,7 @@ Status DistanceServer::Listen() {
     return Status::IOError("bind " + options_.host + ":" +
                            std::to_string(options_.port) + ": " + err);
   }
-  if (listen(listen_fd_, 128) < 0) {
+  if (listen(listen_fd_, std::max(1, options_.listen_backlog)) < 0) {
     const std::string err = std::strerror(errno);
     close(listen_fd_);
     listen_fd_ = -1;
@@ -157,7 +153,13 @@ void DistanceServer::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     const int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors: back off briefly instead of dying — the
+        // I/O group keeps serving, and closing connections frees fds.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       // The listen socket was shut down (Stop) or broke; either way the
       // accept loop is done.
       break;
@@ -169,80 +171,44 @@ void DistanceServer::AcceptLoop() {
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      open_fds_.insert(fd);
-      ++active_connections_;
-    }
-    // Detached: finished handlers release all resources immediately
-    // instead of lingering as joinable zombies until Stop(). Stop()
-    // waits on active_connections_ instead of join().
-    std::thread([this, fd] { ConnectionLoop(fd); }).detach();
+    io_group_.Adopt(fd);
   }
 }
 
-void DistanceServer::ConnectionLoop(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool alive = true;
-  while (alive) {
-    // Extract complete lines already buffered before reading more.
-    size_t newline;
-    while (alive && (newline = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (TrimString(line).empty()) continue;  // telnet-friendly
+// ---------------------------------------------------------------------------
+// RequestSink: the I/O threads deliver parsed requests here. Never
+// blocks — admission control answers inline when the queue can't take
+// the work.
+// ---------------------------------------------------------------------------
 
-      Result<Request> parsed = ParseRequest(line);
-      std::string response;
-      if (!parsed.ok()) {
-        // Malformed input is answered inline: it never consumes a queue
-        // slot a well-formed request could use.
-        metrics_.RecordError();
-        metrics_.RecordRequest(0);
-        response = ErrResponse(parsed.status().message());
-      } else {
-        WorkItem item;
-        item.request = std::move(*parsed);
-        std::future<std::string> future = item.response.get_future();
-        if (!queue_.Push(std::move(item))) {
-          response = ErrResponse("server shutting down");
-          alive = false;
-        } else {
-          response = future.get();
-        }
-      }
-      response += '\n';
-      if (!SendAll(fd, response)) alive = false;
-    }
-    if (!alive) break;
-    if (buffer.size() > kMaxLineBytes) {
-      SendAll(fd, ErrResponse("request line too long") + "\n");
-      break;
-    }
-    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF, error, or Stop()'s shutdown()
-    buffer.append(chunk, static_cast<size_t>(n));
+void DistanceServer::HandleRequest(const std::shared_ptr<Connection>& conn,
+                                   uint64_t seq, Request request) {
+  WorkItem item;
+  item.request = std::move(request);
+  item.conn = conn;
+  item.seq = seq;
+  switch (queue_.TryPush(&item)) {
+    case BoundedQueue<WorkItem>::PushResult::kOk:
+      return;
+    case BoundedQueue<WorkItem>::PushResult::kFull:
+      // Saturated, not broken: shed with the retryable BUSY answer.
+      metrics_.RecordShed();
+      metrics_.RecordRequest(0);
+      conn->Complete(seq, WireBusy());
+      return;
+    case BoundedQueue<WorkItem>::PushResult::kClosed:
+      conn->Complete(seq, WireErr("server shutting down"));
+      return;
   }
-  // Deregister before close: Stop() shutdown()s every fd still in the
-  // set, and the fd number could be reused the instant close() returns.
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    open_fds_.erase(fd);
-  }
-  close(fd);
-  // Notify while holding the lock: this thread is detached, so the
-  // moment Stop() observes the count at zero the server (and this
-  // condition variable) may be destroyed — an unlocked notify could
-  // touch a dead cv. Under the lock, Stop() cannot wake-and-return
-  // until the notify has fully completed.
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    --active_connections_;
-    conns_done_.notify_all();
-  }
+}
+
+void DistanceServer::HandleParseError(const std::shared_ptr<Connection>& conn,
+                                      uint64_t seq, std::string message) {
+  // Malformed input is answered inline: it never consumes a queue slot
+  // a well-formed request could use.
+  metrics_.RecordError();
+  metrics_.RecordRequest(0);
+  conn->Complete(seq, WireErr(std::move(message)));
 }
 
 void DistanceServer::WorkerLoop() {
@@ -254,13 +220,16 @@ void DistanceServer::WorkerLoop() {
   }
 }
 
-void DistanceServer::Finish(WorkItem* item, std::string response) {
-  if (response.compare(0, 3, "ERR") == 0) metrics_.RecordError();
+void DistanceServer::Finish(WorkItem* item, WireResponse response) {
+  if (response.status != WireStatus::kOk) metrics_.RecordError();
   metrics_.RecordRequest(item->enqueue_watch.Micros());
-  item->response.set_value(std::move(response));
+  item->conn->Complete(item->seq, std::move(response));
 }
 
 void DistanceServer::ExecuteWorkBatch(std::vector<WorkItem>* items) {
+  if (options_.pre_execute_hook) {
+    for (const WorkItem& item : *items) options_.pre_execute_hook(item.request);
+  }
   // DIST requests that miss the cache are deferred and grouped by
   // (snapshot, source) so one OneToManyEngine pass can answer a whole
   // group. Requests for different indexes in the same drain resolve to
@@ -306,14 +275,13 @@ void DistanceServer::ExecuteWorkBatch(std::vector<WorkItem>* items) {
       const VertexId t = req.targets[0];
       const VertexId n = snap->num_vertices();
       if (s >= n || t >= n) {
-        Finish(&item, ErrResponse("vertex id out of range (|V|=" +
-                                  std::to_string(n) + ")"));
+        Finish(&item, ErrVertexOutOfRange(n));
         continue;
       }
       metrics_.RecordDist();
       Distance d = kInfDistance;
       if (snap->cache().Lookup(s, t, &d)) {
-        Finish(&item, OkResponse(FormatDistance(d)));
+        Finish(&item, WireDistanceResponse(d));
       } else {
         pending.push_back(PendingDist{i, std::move(snap), s, t});
       }
@@ -327,10 +295,10 @@ void DistanceServer::ExecuteWorkBatch(std::vector<WorkItem>* items) {
       if (snap == nullptr) {
         Finish(&item, ErrNoSuchIndex(req.index_name));
       } else {
-        Finish(&item, ExecuteOn(req, *snap));
+        Finish(&item, ExecuteOnWire(req, *snap));
       }
     } else {
-      Finish(&item, Execute(req));
+      Finish(&item, ExecuteWire(req));
     }
   }
   if (pending.empty()) return;
@@ -364,8 +332,7 @@ void DistanceServer::ExecuteWorkBatch(std::vector<WorkItem>* items) {
       for (size_t j = group_start; j < group_end; ++j) {
         const Distance d = dists[j - group_start];
         snap.cache().Insert(s, pending[j].t, d);
-        Finish(&(*items)[pending[j].item_index],
-               OkResponse(FormatDistance(d)));
+        Finish(&(*items)[pending[j].item_index], WireDistanceResponse(d));
       }
       metrics_.RecordMicroBatch(group_size);
     } else {
@@ -373,13 +340,17 @@ void DistanceServer::ExecuteWorkBatch(std::vector<WorkItem>* items) {
       const Distance d = snap.Query(s, t);
       snap.cache().Insert(s, t, d);
       Finish(&(*items)[pending[group_start].item_index],
-             OkResponse(FormatDistance(d)));
+             WireDistanceResponse(d));
     }
     group_start = group_end;
   }
 }
 
 std::string DistanceServer::Execute(const Request& request) {
+  return EncodeResponseV1(ExecuteWire(request));
+}
+
+WireResponse DistanceServer::ExecuteWire(const Request& request) {
   // Registry-scoped admin verbs resolve no snapshot.
   switch (request.kind) {
     case RequestKind::kReload:
@@ -394,38 +365,29 @@ std::string DistanceServer::Execute(const Request& request) {
   const std::shared_ptr<const ServingSnapshot> snap =
       registry_.Find(request.index_name);
   if (snap == nullptr) return ErrNoSuchIndex(request.index_name);
-  return ExecuteOn(request, *snap);
+  return ExecuteOnWire(request, *snap);
 }
 
-std::string DistanceServer::ExecuteOn(const Request& request,
-                                      const ServingSnapshot& snapshot) {
+WireResponse DistanceServer::ExecuteOnWire(const Request& request,
+                                           const ServingSnapshot& snapshot) {
   const VertexId n = snapshot.num_vertices();
   switch (request.kind) {
     case RequestKind::kPing:
-      return OkResponse("pong");
+      return WireOk("pong");
     case RequestKind::kStats:
       return StatsResponse(snapshot);
     case RequestKind::kDist: {
       const VertexId s = request.src;
       const VertexId t = request.targets[0];
-      if (s >= n || t >= n) {
-        return ErrResponse("vertex id out of range (|V|=" +
-                           std::to_string(n) + ")");
-      }
+      if (s >= n || t >= n) return ErrVertexOutOfRange(n);
       metrics_.RecordDist();
-      return OkResponse(FormatDistance(CachedQuery(snapshot, s, t)));
+      return WireDistanceResponse(CachedQuery(snapshot, s, t));
     }
     case RequestKind::kBatch: {
       const VertexId s = request.src;
-      if (s >= n) {
-        return ErrResponse("vertex id out of range (|V|=" +
-                           std::to_string(n) + ")");
-      }
+      if (s >= n) return ErrVertexOutOfRange(n);
       for (VertexId t : request.targets) {
-        if (t >= n) {
-          return ErrResponse("vertex id out of range (|V|=" +
-                             std::to_string(n) + ")");
-        }
+        if (t >= n) return ErrVertexOutOfRange(n);
       }
       metrics_.RecordBatch();
       metrics_.RecordDist(request.targets.size());
@@ -441,26 +403,23 @@ std::string DistanceServer::ExecuteOn(const Request& request,
           dists.push_back(CachedQuery(snapshot, s, t));
         }
       }
-      return FormatBatchResponse(dists);
+      return WireDistancesResponse(std::move(dists));
     }
     case RequestKind::kKnn: {
       const VertexId s = request.src;
-      if (s >= n) {
-        return ErrResponse("vertex id out of range (|V|=" +
-                           std::to_string(n) + ")");
-      }
+      if (s >= n) return ErrVertexOutOfRange(n);
       metrics_.RecordKnn();
-      return FormatKnnResponse(snapshot.QueryKnn(s, request.k));
+      return WireNeighborsResponse(snapshot.QueryKnn(s, request.k));
     }
     case RequestKind::kReload:
     case RequestKind::kAttach:
     case RequestKind::kDetach:
-      break;  // handled in Execute before snapshot resolution
+      break;  // handled in ExecuteWire before snapshot resolution
   }
-  return ErrResponse("unhandled request kind");
+  return WireErr("unhandled request kind");
 }
 
-std::string DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
+WireResponse DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
   const double uptime = uptime_.Seconds();
   const uint64_t requests = metrics_.requests();
   const ResultCache::Stats cache = snapshot.cache().GetStats();
@@ -468,6 +427,7 @@ std::string DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
   AppendStat(&payload, "uptime_s", FormatDouble(uptime, 1));
   AppendStat(&payload, "requests", std::to_string(requests));
   AppendStat(&payload, "errors", std::to_string(metrics_.errors()));
+  AppendStat(&payload, "shed", std::to_string(metrics_.shed()));
   AppendStat(&payload, "qps",
              FormatDouble(uptime > 0
                               ? static_cast<double>(requests) / uptime
@@ -492,7 +452,11 @@ std::string DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
   AppendStat(&payload, "cache_entries", std::to_string(cache.entries));
   AppendStat(&payload, "cache_capacity", std::to_string(cache.capacity));
   AppendStat(&payload, "queue_depth", std::to_string(queue_.size()));
+  AppendStat(&payload, "queue_capacity", std::to_string(queue_.capacity()));
   AppendStat(&payload, "workers", std::to_string(workers_.size()));
+  AppendStat(&payload, "io_threads", std::to_string(num_io_threads_));
+  AppendStat(&payload, "open_connections",
+             std::to_string(open_connections()));
   AppendStat(&payload, "kernel", ActiveQueryKernel().name);
   AppendStat(&payload, "reloads", std::to_string(metrics_.reloads()));
   AppendStat(&payload, "connections", std::to_string(connections_accepted()));
@@ -511,36 +475,36 @@ std::string DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
     AppendIndexStat(&payload, name, "resident_bytes",
                     std::to_string(snap->ResidentBytes()));
   }
-  return OkResponse(payload);
+  return WireOk(std::move(payload));
 }
 
-std::string DistanceServer::HandleReload(const std::string& name,
-                                         const std::string& path) {
+WireResponse DistanceServer::HandleReload(const std::string& name,
+                                          const std::string& path) {
   // Format the response from the snapshot this reload itself published,
   // not a re-lookup: a concurrent DETACH right after the publish must
   // not turn a committed reload into an "ERR no index named" answer.
   std::shared_ptr<const ServingSnapshot> snap;
   const Status status = ReloadInternal(name, path, &snap);
-  if (!status.ok()) return ErrResponse(status.ToString());
-  return OkResponse("reloaded " + snap->source_path() +
-                    " vertices=" + std::to_string(snap->num_vertices()) +
-                    " mode=" + snap->map_mode());
+  if (!status.ok()) return WireErr(status.ToString());
+  return WireOk("reloaded " + snap->source_path() +
+                " vertices=" + std::to_string(snap->num_vertices()) +
+                " mode=" + snap->map_mode());
 }
 
-std::string DistanceServer::HandleAttach(const std::string& name,
-                                         const std::string& path) {
+WireResponse DistanceServer::HandleAttach(const std::string& name,
+                                          const std::string& path) {
   std::shared_ptr<const ServingSnapshot> snap;
   const Status status = AttachInternal(name, path, &snap);
-  if (!status.ok()) return ErrResponse(status.ToString());
-  return OkResponse("attached " + name + " " + path +
-                    " vertices=" + std::to_string(snap->num_vertices()) +
-                    " mode=" + snap->map_mode());
+  if (!status.ok()) return WireErr(status.ToString());
+  return WireOk("attached " + name + " " + path +
+                " vertices=" + std::to_string(snap->num_vertices()) +
+                " mode=" + snap->map_mode());
 }
 
-std::string DistanceServer::HandleDetach(const std::string& name) {
+WireResponse DistanceServer::HandleDetach(const std::string& name) {
   const Status status = DetachIndex(name);
-  if (!status.ok()) return ErrResponse(status.ToString());
-  return OkResponse("detached " + name);
+  if (!status.ok()) return WireErr(status.ToString());
+  return WireOk("detached " + name);
 }
 
 Status DistanceServer::AttachInternal(
@@ -628,17 +592,17 @@ void DistanceServer::Stop() {
       close(listen_fd_);
       listen_fd_ = -1;
     }
-    // 2. Unblock connection readers and wait for the (detached) handlers
-    // to drain; workers are still running, so any in-flight future still
-    // gets its value before its reader exits.
-    {
-      std::unique_lock<std::mutex> lock(conns_mu_);
-      for (int fd : open_fds_) shutdown(fd, SHUT_RDWR);
-      conns_done_.wait(lock, [this] { return active_connections_ == 0; });
-    }
-    // 3. No producers remain: close the queue and join the workers.
+    // 2. Stop reading new requests; anything already parsed may still
+    // land in the queue behind us.
+    io_group_.ShutdownReads();
+    // 3. Close the queue (late submissions get "server shutting down"
+    // inline) and run the workers dry: every accepted request gets its
+    // response completed into its connection.
     queue_.Close();
     workers_.Join();
+    // 4. The I/O threads flush those final responses and close every
+    // socket, so clients see answer-then-EOF rather than a hang.
+    io_group_.Stop();
   });
 }
 

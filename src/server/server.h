@@ -3,11 +3,16 @@
 //
 // Architecture (README "Serving" has the full sketch):
 //
-//   accept loop ── 1 thread per connection: read line, parse, enqueue
-//        │                                   │
-//        ▼                                   ▼
-//   BoundedQueue<WorkItem>  ◀── backpressure when full
+//   accept loop ── hands each socket to the epoll I/O group
 //        │
+//        ▼
+//   IoGroup (few epoll threads, event_loop.h) ── reads, parses v1
+//        │    lines / v2 frames, opens an ordered response slot per
+//        │    request; pauses reading at the per-connection in-flight
+//        │    cap (admission control)
+//        ▼
+//   BoundedQueue<WorkItem>  ◀── TryPush: full queue sheds with BUSY
+//        │                      instead of stalling an I/O thread
 //        ▼  PopBatch (micro-batching)
 //   worker pool (N threads) ── snapshot = registry lookup (per request)
 //        │                       ├─ per-snapshot sharded LRU cache
@@ -16,7 +21,10 @@
 //        │                       │  the whole group)
 //        │                       └─ KNN via the snapshot's lazy KnnEngine
 //        ▼
-//   promise/future ── connection thread writes the response line
+//   Connection::Complete(seq, WireResponse) ── the owning I/O thread
+//        encodes (v1 or v2, whichever the socket negotiated) and writes
+//        completed slots in request order; pipelined requests on one
+//        connection execute concurrently, only their bytes re-serialize
 //
 // The registry (index_registry.h) holds one RCU-swappable snapshot per
 // index name. Unprefixed requests hit the default index; `USE <name>`
@@ -33,18 +41,17 @@
 #define HOPDB_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <future>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_set>
 #include <thread>
 #include <vector>
 
 #include "hopdb.h"
+#include "server/event_loop.h"
 #include "server/index_registry.h"
 #include "server/index_snapshot.h"
 #include "server/metrics.h"
@@ -64,8 +71,18 @@ struct ServerOptions {
   uint16_t port = 0;
   /// Query worker threads; 0 = one per hardware thread.
   uint32_t num_workers = 0;
-  /// Bounded request queue length (producers block when full).
+  /// Epoll I/O threads owning the client sockets;
+  /// 0 = min(4, hardware threads).
+  uint32_t num_io_threads = 0;
+  /// Bounded request queue length; requests arriving while it is full
+  /// are shed with `ERR BUSY` (counted in the `shed` STATS key).
   size_t queue_capacity = 1024;
+  /// listen(2) backlog: pending-connection queue length before the
+  /// kernel refuses new SYNs (accept-side admission control).
+  int listen_backlog = 1024;
+  /// Max unanswered requests per connection before its socket stops
+  /// being read (pipelining backpressure; resumes as responses drain).
+  uint32_t max_inflight_per_conn = 128;
   /// Result-cache capacity in (s, t) pairs per snapshot; 0 disables.
   size_t cache_capacity = 1 << 16;
   /// Max requests one worker drains per wakeup (micro-batch size).
@@ -74,13 +91,19 @@ struct ServerOptions {
   /// typically the file the index was loaded from. Empty = bare RELOAD
   /// is refused.
   std::string source_path;
+  /// Test hook, called by a worker for each request just before it
+  /// executes (after dequeue). Lets tests hold one request in place
+  /// while its pipelined neighbors proceed — the completion-driven
+  /// ordering proof. Must be thread-safe; null in production.
+  std::function<void(const Request&)> pre_execute_hook;
 };
 
-class DistanceServer {
+class DistanceServer : public RequestSink {
  public:
-  /// Binds, listens, and starts the accept loop and worker pool, with
-  /// `snapshot` serving as the default index. This is the general entry
-  /// point (heap or mmap snapshots both work; see LoadServingSnapshot).
+  /// Binds, listens, and starts the accept loop, I/O group, and worker
+  /// pool, with `snapshot` serving as the default index. This is the
+  /// general entry point (heap or mmap snapshots both work; see
+  /// LoadServingSnapshot).
   static Result<std::unique_ptr<DistanceServer>> Start(
       std::shared_ptr<const ServingSnapshot> snapshot,
       const ServerOptions& options = {});
@@ -89,7 +112,7 @@ class DistanceServer {
   static Result<std::unique_ptr<DistanceServer>> Start(
       HopDbIndex index, const ServerOptions& options = {});
 
-  ~DistanceServer();
+  ~DistanceServer() override;
 
   DistanceServer(const DistanceServer&) = delete;
   DistanceServer& operator=(const DistanceServer&) = delete;
@@ -97,8 +120,9 @@ class DistanceServer {
   /// The bound TCP port (resolves port 0 requests).
   uint16_t port() const { return port_; }
 
-  /// Graceful shutdown: stop accepting, unblock and join connection
-  /// threads, drain the queue, join workers. Idempotent.
+  /// Graceful shutdown: stop accepting, shut down connection reads,
+  /// drain the queue through the workers, flush and close every
+  /// connection, join everything. Idempotent.
   void Stop();
 
   /// Loads the file at `path` and attaches it as index `name`
@@ -136,18 +160,28 @@ class DistanceServer {
   uint64_t connections_accepted() const {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
+  /// Currently open client connections across the I/O group.
+  size_t open_connections() const { return io_group_.open_connections(); }
   uint32_t num_workers() const { return workers_.size(); }
+  uint32_t num_io_threads() const { return num_io_threads_; }
   double uptime_seconds() const { return uptime_.Seconds(); }
 
-  /// Executes one already-parsed request against the current snapshots,
-  /// bypassing the socket layer (used by the in-process micro-batch path
-  /// and by tests; the TCP path funnels into the same code).
+  /// Executes one already-parsed request against the current snapshots
+  /// and renders the v1 response line, bypassing the socket layer and
+  /// the queue (tests and in-worker admin verbs funnel here).
   std::string Execute(const Request& request);
+
+  // RequestSink (called from I/O threads):
+  void HandleRequest(const std::shared_ptr<Connection>& conn, uint64_t seq,
+                     Request request) override;
+  void HandleParseError(const std::shared_ptr<Connection>& conn, uint64_t seq,
+                        std::string message) override;
 
  private:
   struct WorkItem {
     Request request;
-    std::promise<std::string> response;
+    std::shared_ptr<Connection> conn;
+    uint64_t seq = 0;
     Stopwatch enqueue_watch;
   };
 
@@ -155,16 +189,17 @@ class DistanceServer {
 
   Status Listen();
   void AcceptLoop();
-  void ConnectionLoop(int fd);
   void WorkerLoop();
   void ExecuteWorkBatch(std::vector<WorkItem>* items);
-  void Finish(WorkItem* item, std::string response);
-  std::string ExecuteOn(const Request& request,
-                        const ServingSnapshot& snapshot);
-  std::string StatsResponse(const ServingSnapshot& snapshot);
-  std::string HandleReload(const std::string& name, const std::string& path);
-  std::string HandleAttach(const std::string& name, const std::string& path);
-  std::string HandleDetach(const std::string& name);
+  void Finish(WorkItem* item, WireResponse response);
+  /// Framing-independent execution; Execute() is its v1 rendering.
+  WireResponse ExecuteWire(const Request& request);
+  WireResponse ExecuteOnWire(const Request& request,
+                             const ServingSnapshot& snapshot);
+  WireResponse StatsResponse(const ServingSnapshot& snapshot);
+  WireResponse HandleReload(const std::string& name, const std::string& path);
+  WireResponse HandleAttach(const std::string& name, const std::string& path);
+  WireResponse HandleDetach(const std::string& name);
   /// The AttachIndex/Reload workhorses; on success `*published` (when
   /// non-null) receives the snapshot this operation installed, so
   /// response formatting reflects the operation's own outcome even if a
@@ -179,21 +214,15 @@ class DistanceServer {
   BoundedQueue<WorkItem> queue_;
   ServerMetrics metrics_;
   ThreadPool workers_;
+  IoGroup io_group_;
   Stopwatch uptime_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  uint32_t num_io_threads_ = 0;
   std::thread acceptor_;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> connections_accepted_{0};
-
-  // Connection handler threads run detached so a long-lived server does
-  // not accumulate joinable zombies; Stop() instead waits for
-  // active_connections_ to drain to zero (signaled via conns_done_).
-  std::mutex conns_mu_;
-  std::condition_variable conns_done_;
-  size_t active_connections_ = 0;
-  std::unordered_set<int> open_fds_;
 
   // Reloads are serialized PER INDEX NAME (two concurrent RELOADs of
   // one name must not interleave their load-then-publish sequences),

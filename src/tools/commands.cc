@@ -442,9 +442,17 @@ Status CmdServe(CliFlags* flags, int argc, char** argv, std::ostream& out) {
   flags->Define("host", "127.0.0.1", "numeric IPv4 listen address");
   flags->Define("port", "0", "listen port (0 = pick an ephemeral port)");
   flags->Define("threads", "0", "query worker threads (0 = all cores)");
+  flags->Define("io-threads", "0",
+                "epoll I/O threads (0 = min(4, cores))");
   flags->Define("cache-capacity", "65536",
                 "result cache entries per snapshot (0 disables)");
-  flags->Define("queue-capacity", "1024", "bounded request queue length");
+  flags->Define("queue-capacity", "1024",
+                "bounded request queue length (requests beyond it are "
+                "shed with ERR BUSY)");
+  flags->Define("backlog", "1024", "listen(2) pending-connection backlog");
+  flags->Define("max-inflight", "128",
+                "max unanswered pipelined requests per connection before "
+                "its socket pauses");
   flags->Define("batch", "32", "max requests per worker wakeup (micro-batch)");
   flags->Define("duration", "0",
                 "seconds to serve before exiting (0 = until killed)");
@@ -463,8 +471,12 @@ Status CmdServe(CliFlags* flags, int argc, char** argv, std::ostream& out) {
   options.host = flags->GetString("host");
   options.port = static_cast<uint16_t>(flags->GetUint("port"));
   options.num_workers = static_cast<uint32_t>(flags->GetUint("threads"));
+  options.num_io_threads = static_cast<uint32_t>(flags->GetUint("io-threads"));
   options.cache_capacity = flags->GetUint("cache-capacity");
   options.queue_capacity = flags->GetUint("queue-capacity");
+  options.listen_backlog = static_cast<int>(flags->GetUint("backlog"));
+  options.max_inflight_per_conn =
+      static_cast<uint32_t>(flags->GetUint("max-inflight"));
   options.max_micro_batch = static_cast<uint32_t>(flags->GetUint("batch"));
   options.source_path = specs[0].path;
 
@@ -522,6 +534,10 @@ Status CmdClient(CliFlags* flags, int argc, char** argv, std::ostream& out) {
   flags->Define("cmd", "",
                 "single protocol line to send (default: read lines from "
                 "stdin until EOF)");
+  flags->Define("protocol", "v1",
+                "wire protocol: v1 (ASCII lines) or v2 (binary frames; "
+                "requests are still typed as v1 lines, responses printed "
+                "in v1 form)");
   HOPDB_RETURN_NOT_OK(flags->Parse(argc, argv));
   if (flags->help_requested()) return Status::OK();
 
@@ -529,20 +545,37 @@ Status CmdClient(CliFlags* flags, int argc, char** argv, std::ostream& out) {
   if (port == 0) {
     return Status::InvalidArgument("client requires --port");
   }
-  HOPDB_ASSIGN_OR_RETURN(DistanceClient client,
-                         DistanceClient::Connect(flags->GetString("host"),
-                                                 port));
+  const std::string protocol = flags->GetString("protocol");
+  if (protocol != "v1" && protocol != "v2") {
+    return Status::InvalidArgument("--protocol must be v1 or v2");
+  }
+  const bool v2 = protocol == "v2";
+  HOPDB_ASSIGN_OR_RETURN(
+      DistanceClient client,
+      DistanceClient::Connect(flags->GetString("host"), port,
+                              v2 ? DistanceClient::Protocol::kV2
+                                 : DistanceClient::Protocol::kV1));
+
+  // One line in, one line out, on either framing: v2 round-trips the
+  // parsed request as a binary frame and renders the response in the v1
+  // form, so the two protocols are interchangeable at this prompt.
+  auto round_trip = [&](const std::string& line) -> Result<std::string> {
+    if (!v2) return client.RoundTrip(line);
+    HOPDB_ASSIGN_OR_RETURN(Request request, ParseRequest(line));
+    HOPDB_ASSIGN_OR_RETURN(WireResponse response, client.Call(request));
+    return EncodeResponseV1(response);
+  };
 
   const std::string cmd = flags->GetString("cmd");
   if (!cmd.empty()) {
-    HOPDB_ASSIGN_OR_RETURN(std::string response, client.RoundTrip(cmd));
+    HOPDB_ASSIGN_OR_RETURN(std::string response, round_trip(cmd));
     out << response << "\n";
     return Status::OK();
   }
   std::string line;
   while (std::getline(std::cin, line)) {
     if (TrimString(line).empty()) continue;
-    HOPDB_ASSIGN_OR_RETURN(std::string response, client.RoundTrip(line));
+    HOPDB_ASSIGN_OR_RETURN(std::string response, round_trip(line));
     out << response << "\n";
     out.flush();
   }
@@ -566,10 +599,13 @@ void PrintUsage(std::ostream& out) {
          "  stats   label statistics of an index (--index F)\n"
          "  serve   serve indexes over TCP (--index F | --index NAME=F,\n"
          "          repeatable; --port P --threads T (0 = all cores, the\n"
-         "          default) --cache-capacity C); HLI2 files are served\n"
-         "          zero-copy from the page cache;\n"
+         "          default) --io-threads I --cache-capacity C --backlog B\n"
+         "          --max-inflight M); HLI2 files are served zero-copy from\n"
+         "          the page cache;\n"
          "          protocol: DIST/BATCH/KNN/STATS/RELOAD/ATTACH/DETACH/USE\n"
-         "  client  connect to a server (--host H --port P [--cmd LINE])\n"
+         "          (ASCII lines, or the v2 binary framing after the magic)\n"
+         "  client  connect to a server (--host H --port P [--cmd LINE]\n"
+         "          [--protocol v1|v2])\n"
          "  help    this text\n"
          "\n"
          "Run 'hopdb_cli <command> --help' for the full flag list.\n";

@@ -158,6 +158,159 @@ TEST(ProtocolTest, DistanceTokenRoundTrip) {
   EXPECT_FALSE(ParseDistanceToken("4x2").ok());
 }
 
+TEST(ProtocolTest, FormatRequestV1RoundTrips) {
+  for (const char* line :
+       {"DIST 3 17", "BATCH 5 1 2 3", "KNN 9 4", "STATS", "PING", "RELOAD",
+        "RELOAD /tmp/x.hli", "ATTACH road /data/road.hli2", "DETACH road",
+        "USE road DIST 3 17", "USE g2 BATCH 5 1 2", "USE g2 KNN 9 4",
+        "USE g2 RELOAD /x.hli2"}) {
+    auto parsed = ParseRequest(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_EQ(FormatRequestV1(*parsed), line);
+  }
+}
+
+TEST(ProtocolTest, BusyResponseIsDistinctRetryableError) {
+  EXPECT_EQ(BusyResponse("work queue full"), "ERR BUSY work queue full");
+  // v1 rendering of the wire-level BUSY status carries the same marker.
+  EXPECT_TRUE(StartsWith(EncodeResponseV1(WireBusy()), "ERR BUSY "));
+}
+
+// ---------------------------------------------------------------------------
+// WireResponse + binary protocol v2
+// ---------------------------------------------------------------------------
+
+TEST(WireResponseTest, V1EncodingMatchesLegacyFormatters) {
+  EXPECT_EQ(EncodeResponseV1(WireOk("pong")), OkResponse("pong"));
+  EXPECT_EQ(EncodeResponseV1(WireOk("")), OkResponse(""));
+  EXPECT_EQ(EncodeResponseV1(WireErr("bad vertex")), ErrResponse("bad vertex"));
+  EXPECT_EQ(EncodeResponseV1(WireDistanceResponse(7)),
+            OkResponse(FormatDistance(7)));
+  EXPECT_EQ(EncodeResponseV1(WireDistanceResponse(kInfDistance)),
+            OkResponse("INF"));
+  EXPECT_EQ(EncodeResponseV1(WireDistancesResponse({1, kInfDistance, 3})),
+            FormatBatchResponse({1, kInfDistance, 3}));
+  EXPECT_EQ(EncodeResponseV1(WireNeighborsResponse({{4, 1}, {9, 2}})),
+            FormatKnnResponse({{4, 1}, {9, 2}}));
+}
+
+/// Round-trips one request through the v2 encoder and parser.
+Request V2RequestRoundTrip(const Request& request) {
+  std::string frame;
+  EncodeRequestV2(request, &frame);
+  size_t consumed = 0;
+  Request out;
+  std::string error;
+  const FrameParse verdict = ParseRequestFrameV2(frame.data(), frame.size(),
+                                                 &consumed, &out, &error);
+  EXPECT_EQ(verdict, FrameParse::kDone) << error;
+  EXPECT_EQ(consumed, frame.size());
+  return out;
+}
+
+TEST(ProtocolV2Test, RequestFramesRoundTrip) {
+  for (const char* line :
+       {"DIST 3 17", "BATCH 5 1 2 3", "KNN 9 4", "STATS", "PING", "RELOAD",
+        "RELOAD /tmp/x.hli", "ATTACH road /data/road.hli2", "DETACH road",
+        "USE road DIST 3 17", "USE g2 BATCH 5 1 2", "USE g2 KNN 9 4",
+        "USE g2 RELOAD /x.hli2"}) {
+    const Request request = ParseRequest(line).ValueOrDie();
+    const Request round = V2RequestRoundTrip(request);
+    // The v1 rendering is a canonical form covering every field.
+    EXPECT_EQ(FormatRequestV1(round), line);
+  }
+}
+
+TEST(ProtocolV2Test, ResponseFramesRoundTrip) {
+  const std::vector<WireResponse> cases = {
+      WireOk("pong"),
+      WireOk(""),
+      WireErr("vertex id out of range (|V|=10)"),
+      WireBusy(),
+      WireDistanceResponse(7),
+      WireDistanceResponse(kInfDistance),
+      WireDistancesResponse({1, kInfDistance, 3}),
+      WireDistancesResponse({}),
+      WireNeighborsResponse({{4, 1}, {9, 2}}),
+      WireNeighborsResponse({}),
+  };
+  for (const WireResponse& response : cases) {
+    std::string frame;
+    EncodeResponseV2(response, &frame);
+    size_t consumed = 0;
+    WireResponse out;
+    std::string error;
+    ASSERT_EQ(ParseResponseFrameV2(frame.data(), frame.size(), &consumed,
+                                   &out, &error),
+              FrameParse::kDone)
+        << error;
+    EXPECT_EQ(consumed, frame.size());
+    // The shared v1 rendering is a full content comparison.
+    EXPECT_EQ(EncodeResponseV1(out), EncodeResponseV1(response));
+    EXPECT_EQ(out.status, response.status);
+    EXPECT_EQ(out.payload, response.payload);
+  }
+}
+
+TEST(ProtocolV2Test, TruncatedFramesWantMoreBytes) {
+  Request request = ParseRequest("BATCH 5 1 2 3").ValueOrDie();
+  std::string frame;
+  EncodeRequestV2(request, &frame);
+  // Every proper prefix must come back kNeedMore, never kError: a slow
+  // (or hostile slow-loris) writer is indistinguishable from a fast one
+  // mid-frame.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    size_t consumed = 0;
+    Request out;
+    std::string error;
+    EXPECT_EQ(ParseRequestFrameV2(frame.data(), len, &consumed, &out, &error),
+              FrameParse::kNeedMore)
+        << "len=" << len;
+  }
+}
+
+TEST(ProtocolV2Test, MalformedFramesAreRejected) {
+  auto parse = [](std::string frame) {
+    size_t consumed = 0;
+    Request out;
+    std::string error;
+    return ParseRequestFrameV2(frame.data(), frame.size(), &consumed, &out,
+                               &error);
+  };
+  // Unknown opcode.
+  std::string frame(kV2RequestHeaderBytes, '\0');
+  frame[0] = '\x7f';
+  EXPECT_EQ(parse(frame), FrameParse::kError);
+  // Nonzero reserved byte.
+  std::string ping;
+  EncodeRequestV2(ParseRequest("PING").ValueOrDie(), &ping);
+  std::string bad_reserved = ping;
+  bad_reserved[1] = '\x01';
+  EXPECT_EQ(parse(bad_reserved), FrameParse::kError);
+  // DIST with trailing payload bytes it must not have.
+  std::string dist;
+  EncodeRequestV2(ParseRequest("DIST 1 2").ValueOrDie(), &dist);
+  std::string bad_aux = dist;
+  bad_aux[4] = '\x04';  // aux_len = 4
+  bad_aux += "????";
+  EXPECT_EQ(parse(bad_aux), FrameParse::kError);
+  // BATCH whose count disagrees with its payload length.
+  std::string batch;
+  EncodeRequestV2(ParseRequest("BATCH 1 2 3").ValueOrDie(), &batch);
+  std::string bad_count = batch;
+  bad_count[12] = '\x07';  // arg (target count) = 7, aux still 2 targets
+  EXPECT_EQ(parse(bad_count), FrameParse::kError);
+  // A frame claiming more payload than the 1 MiB cap is rejected from
+  // the header alone (nothing that large is ever buffered).
+  std::string huge(kV2RequestHeaderBytes, '\0');
+  huge[0] = '\x06';  // RELOAD
+  huge[4] = '\xff';
+  huge[5] = '\xff';
+  huge[6] = '\xff';
+  huge[7] = '\x7f';  // aux_len = 0x7fffffff
+  EXPECT_EQ(parse(huge), FrameParse::kError);
+}
+
 // ---------------------------------------------------------------------------
 // BoundedQueue
 // ---------------------------------------------------------------------------
@@ -199,6 +352,31 @@ TEST(BoundedQueueTest, BlockedProducerUnblocksOnPop) {
   producer.join();
   EXPECT_TRUE(q.Pop(&v));
   EXPECT_EQ(v, 2);
+}
+
+TEST(BoundedQueueTest, TryPushNeverBlocksAndReportsWhy) {
+  using IntQueue = BoundedQueue<int>;
+  IntQueue q(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_EQ(q.TryPush(&a), IntQueue::PushResult::kOk);
+  EXPECT_EQ(q.TryPush(&b), IntQueue::PushResult::kOk);
+  // Full is reported immediately — no blocking — and the item stays
+  // with the caller so it can be answered BUSY inline.
+  EXPECT_EQ(q.TryPush(&c), IntQueue::PushResult::kFull);
+  EXPECT_EQ(c, 3);
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(q.TryPush(&c), IntQueue::PushResult::kOk);
+  q.Close();
+  int d = 4;
+  EXPECT_EQ(q.TryPush(&d), IntQueue::PushResult::kClosed);
+  EXPECT_EQ(d, 4);
+  // Close still drains what TryPush queued.
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 3);
+  EXPECT_FALSE(q.Pop(&v));
 }
 
 TEST(BoundedQueueTest, ManyProducersManyConsumers) {
@@ -465,6 +643,75 @@ TEST_F(ServerEndToEndTest, PipelinedRequestsAnswerInOrder) {
   auto r2 = client_.RoundTrip("PING");  // drains DIST response first
   ASSERT_TRUE(r2.ok());
   EXPECT_TRUE(StartsWith(*r2, "OK "));
+}
+
+TEST_F(ServerEndToEndTest, StatsExportsServingCoreKeys) {
+  const std::string stats = *client_.RoundTrip("STATS");
+  EXPECT_NE(stats.find("shed=0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("io_threads="), std::string::npos);
+  EXPECT_NE(stats.find("open_connections="), std::string::npos);
+  EXPECT_NE(stats.find("queue_capacity="), std::string::npos);
+}
+
+TEST_F(ServerEndToEndTest, V2ServesIdenticalAnswersToV1) {
+  auto v2 = DistanceClient::Connect("127.0.0.1", server_->port(),
+                                    DistanceClient::Protocol::kV2)
+                .ValueOrDie();
+  // Every deterministic verb must answer byte-identically across the
+  // framings (the shared v1 rendering is the comparison space).
+  std::string big_batch = "BATCH 9";
+  for (VertexId t = 0; t < 25; ++t) {
+    big_batch += ' ';
+    big_batch += std::to_string(t);
+  }
+  const std::vector<std::string> lines = {
+      "PING",          "DIST 5 20", "BATCH 9 1 2",          "DIST 20 5",
+      "DIST 0 999999", big_batch,   "USE nosuch DIST 1 2",  "KNN 7 6"};
+  for (const std::string& line : lines) {
+    const std::string v1_answer = *client_.RoundTrip(line);
+    const WireResponse v2_answer =
+        v2.Call(ParseRequest(line).ValueOrDie()).ValueOrDie();
+    EXPECT_EQ(EncodeResponseV1(v2_answer), v1_answer) << line;
+  }
+  // The convenience helper speaks whichever framing the client opened.
+  EXPECT_EQ(*v2.QueryDistance(5, 20), *client_.QueryDistance(5, 20));
+  // STATS carries live counters (not byte-stable between two calls);
+  // check the status and payload shape instead.
+  const WireResponse stats = *v2.Call(ParseRequest("STATS").ValueOrDie());
+  EXPECT_EQ(stats.status, WireStatus::kOk);
+  EXPECT_NE(stats.text.find("io_threads="), std::string::npos);
+}
+
+TEST_F(ServerEndToEndTest, V2AdminVerbsMatchV1Semantics) {
+  auto tmp = TempDir::Create("server_v2_admin");
+  ASSERT_TRUE(tmp.ok());
+  const std::string path = tmp->File("x.hli");
+  ASSERT_TRUE(index_.Save(path).ok());
+  auto v2 = DistanceClient::Connect("127.0.0.1", server_->port(),
+                                    DistanceClient::Protocol::kV2)
+                .ValueOrDie();
+
+  const WireResponse attach =
+      *v2.Call(ParseRequest("ATTACH v2idx " + path).ValueOrDie());
+  ASSERT_EQ(attach.status, WireStatus::kOk) << attach.text;
+  EXPECT_TRUE(StartsWith(attach.text, "attached v2idx"));
+
+  // Routed queries against the attached index agree across framings.
+  const std::string routed_v1 = *client_.RoundTrip("USE v2idx DIST 7 1");
+  const WireResponse routed_v2 =
+      *v2.Call(ParseRequest("USE v2idx DIST 7 1").ValueOrDie());
+  EXPECT_EQ(EncodeResponseV1(routed_v2), routed_v1);
+
+  const WireResponse reload =
+      *v2.Call(ParseRequest("USE v2idx RELOAD").ValueOrDie());
+  EXPECT_EQ(reload.status, WireStatus::kOk) << reload.text;
+
+  const WireResponse detach =
+      *v2.Call(ParseRequest("DETACH v2idx").ValueOrDie());
+  EXPECT_EQ(detach.status, WireStatus::kOk);
+  EXPECT_EQ(detach.text, "detached v2idx");
+  EXPECT_EQ(v2.Call(ParseRequest("USE v2idx DIST 7 1").ValueOrDie())->status,
+            WireStatus::kErr);
 }
 
 TEST_F(ServerEndToEndTest, ReloadSwapsIndexAndInvalidatesCache) {

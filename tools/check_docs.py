@@ -16,6 +16,9 @@
 4. STATS key drift: every key the server emits (the AppendStat /
    AppendIndexStat call sites in src/server/server.cc) must appear in
    the key-reference table of docs/OPERATIONS.md and vice versa.
+5. v2 opcode drift: the V2Opcode enum in src/server/protocol.h and the
+   opcode table in docs/PROTOCOL.md must agree on every value <-> verb
+   pair.
 
 Exit status 0 = clean, 1 = at least one failure (each printed).
 """
@@ -49,6 +52,13 @@ APPEND_STAT_RE = re.compile(r'AppendStat\(&payload,\s*"([a-z0-9_]+)"')
 APPEND_INDEX_STAT_RE = re.compile(r'AppendIndexStat\(&payload,[^,]+,\s*"([a-z0-9_]+)"')
 # OPERATIONS.md table rows: | `key` | ... |
 DOC_STAT_ROW_RE = re.compile(r"^\|\s*`((?:index\.<name>\.)?[a-z0-9_]+)`\s*\|")
+# protocol.h: enum class V2Opcode : uint8_t { kDist = 1, ... };
+V2_ENUM_RE = re.compile(
+    r"enum\s+class\s+V2Opcode\s*:\s*uint8_t\s*\{([^}]*)\}", re.DOTALL
+)
+V2_ENUMERATOR_RE = re.compile(r"k([A-Za-z]+)\s*=\s*(\d+)")
+# PROTOCOL.md opcode table rows: | 1 | DIST | ... |
+DOC_OPCODE_ROW_RE = re.compile(r"^\|\s*(\d+)\s*\|\s*([A-Z]+)\s*\|")
 
 
 def iter_markdown_files(root: pathlib.Path):
@@ -226,6 +236,45 @@ def check_stats_keys(root: pathlib.Path) -> list[str]:
     return failures
 
 
+def check_v2_opcodes(root: pathlib.Path) -> list[str]:
+    """The V2Opcode enum and the PROTOCOL.md opcode table must agree."""
+    protocol_h = root / "src" / "server" / "protocol.h"
+    protocol_md = root / "docs" / "PROTOCOL.md"
+    if not protocol_md.exists():
+        return ["docs/PROTOCOL.md is missing (wire reference is required)"]
+    enum_match = V2_ENUM_RE.search(protocol_h.read_text(encoding="utf-8"))
+    if enum_match is None:
+        return ["enum class V2Opcode not found in src/server/protocol.h "
+                "(parser drifted?)"]
+    code_opcodes = {
+        int(value): name.upper()
+        for name, value in V2_ENUMERATOR_RE.findall(enum_match.group(1))
+    }
+    doc_opcodes = {
+        int(m.group(1)): m.group(2)
+        for line in protocol_md.read_text(encoding="utf-8").splitlines()
+        if (m := DOC_OPCODE_ROW_RE.match(line.strip()))
+    }
+    failures = []
+    for value, verb in sorted(code_opcodes.items()):
+        if value not in doc_opcodes:
+            failures.append(
+                f"v2 opcode {value} ({verb}) is not in the docs/PROTOCOL.md "
+                "opcode table"
+            )
+        elif doc_opcodes[value] != verb:
+            failures.append(
+                f"v2 opcode {value} is {verb} in protocol.h but "
+                f"{doc_opcodes[value]} in docs/PROTOCOL.md"
+            )
+    for value in sorted(set(doc_opcodes) - set(code_opcodes)):
+        failures.append(
+            f"docs/PROTOCOL.md documents v2 opcode {value} "
+            f"({doc_opcodes[value]}) but V2Opcode does not define it"
+        )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -246,6 +295,7 @@ def main() -> int:
     failures = check_links(root)
     failures += check_format_magics(root)
     failures += check_stats_keys(root)
+    failures += check_v2_opcodes(root)
     if args.cli_bin:
         failures += check_cli_help(root, args.cli_bin)
 
@@ -255,7 +305,7 @@ def main() -> int:
         checked = sum(1 for _ in iter_markdown_files(root))
         print(
             f"docs OK: {checked} markdown files, links resolve, format "
-            "magics + STATS keys in sync"
+            "magics + STATS keys + v2 opcodes in sync"
             + (", CLI help in sync" if args.cli_bin else "")
         )
     return 1 if failures else 0
