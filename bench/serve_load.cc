@@ -19,6 +19,16 @@
 // and are NOT failures; the process exits nonzero only on transport
 // errors or non-BUSY error responses — the invariant CI gates on.
 //
+// Before the sweep, a paired tier-100 run measures the cost of the
+// tracing layer: one server with --trace-sample-rate 0, one at the
+// default rate, same schedule. The run fails (exit nonzero) when the
+// sampled p99 exceeds the unsampled p99 by more than 1% plus a small
+// absolute floor that absorbs loopback scheduling jitter — the
+// "observability is effectively free" invariant CI gates on. The sweep
+// itself runs with default sampling, and the per-stage (queue-wait /
+// execute / write) histograms the server keeps for every request are
+// reported in the JSON as "stages".
+//
 //   bench_serve_load            # full run, tiers 100,1000,4000
 //   bench_serve_load --ci       # seconds-long CI mode, tiers 100,1000
 
@@ -48,6 +58,8 @@
 #include "gen/glp.h"
 #include "graph/csr_graph.h"
 #include "hopdb.h"
+#include "server/index_snapshot.h"
+#include "server/metrics.h"
 #include "server/protocol.h"
 #include "server/server.h"
 #include "util/cli.h"
@@ -462,6 +474,10 @@ int Run(int argc, char** argv) {
     return 1;
   }
   const double build_seconds = build_watch.Seconds();
+  // One immutable snapshot feeds every server below (the overhead pair
+  // and the sweep server), so all runs query identical data.
+  const auto snapshot = std::make_shared<const ServingSnapshot>(
+      std::move(*index), "", flags.GetUint("cache"));
 
   ServerOptions options;
   options.num_workers = static_cast<uint32_t>(flags.GetUint("workers"));
@@ -469,7 +485,52 @@ int Run(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetUint("io-threads"));
   options.cache_capacity = flags.GetUint("cache");
   options.queue_capacity = flags.GetUint("queue-capacity");
-  auto server = DistanceServer::Start(std::move(*index), options);
+
+  // --- Tracing-overhead pair: tier 100, sampling off vs default on.
+  // Loopback p99 at this tier is dominated by scheduler jitter, so one
+  // run per config flakes; instead both servers share the snapshot and
+  // three interleaved repetitions take the min p99 per config (min is
+  // the noise-robust statistic for "how fast can this config go").
+  const size_t overhead_tier = std::min<size_t>(100, tiers.front());
+  const double overhead_seconds = std::min(seconds, 2.0);
+  double p99_off = 0, p99_on = 0;
+  {
+    std::unique_ptr<DistanceServer> pair_servers[2];
+    for (int pass = 0; pass < 2; ++pass) {
+      ServerOptions pair_options = options;
+      pair_options.trace_sample_rate = pass == 0 ? 0.0 : 0.01;
+      auto pair_server = DistanceServer::Start(snapshot, pair_options);
+      if (!pair_server.ok()) {
+        std::cerr << "server start failed: " << pair_server.status() << "\n";
+        return 1;
+      }
+      pair_servers[pass] = std::move(*pair_server);
+    }
+    for (int rep = 0; rep < 3; ++rep) {
+      for (int pass = 0; pass < 2; ++pass) {
+        OpenLoopGenerator pair_gen(
+            pair_servers[pass]->port(), v2, n, seed,
+            flags.GetDouble("hot-fraction"),
+            static_cast<uint32_t>(flags.GetUint("hot-pairs")),
+            flags.GetUint("batch-every"));
+        const TierResult r =
+            pair_gen.RunTier(overhead_tier, rate, overhead_seconds);
+        double& best = pass == 0 ? p99_off : p99_on;
+        if (rep == 0 || r.p99 < best) best = r.p99;
+      }
+    }
+    pair_servers[0]->Stop();
+    pair_servers[1]->Stop();
+  }
+  // 1% relative budget plus a small absolute floor absorbing the jitter
+  // that survives min-of-3 — stamping eight timestamps costs far less.
+  const bool overhead_ok = p99_on <= p99_off * 1.01 + 200.0;
+  std::cout << "trace overhead @ tier " << overhead_tier << ": p99 "
+            << FormatDouble(p99_off, 1) << " us off, "
+            << FormatDouble(p99_on, 1) << " us on ("
+            << (overhead_ok ? "within" : "OVER") << " budget)\n";
+
+  auto server = DistanceServer::Start(snapshot, options);
   if (!server.ok()) {
     std::cerr << "server start failed: " << server.status() << "\n";
     return 1;
@@ -502,6 +563,20 @@ int Run(int argc, char** argv) {
   const uint64_t micro_batches = (*server)->metrics().micro_batches();
   const uint32_t workers = (*server)->num_workers();
   const uint32_t io_threads = (*server)->num_io_threads();
+  // Per-stage pipeline histograms (fed for every request, not just
+  // sampled ones) — the server-side decomposition of client latency.
+  struct StageView {
+    const char* name;
+    uint64_t count, p50, p99;
+  };
+  const auto stage_view = [&](const char* name, const LatencyHistogram& h) {
+    return StageView{name, h.count(), h.PercentileUs(50), h.PercentileUs(99)};
+  };
+  const StageView stages[] = {
+      stage_view("queue_wait", (*server)->metrics().queue_wait_histogram()),
+      stage_view("execute", (*server)->metrics().execute_histogram()),
+      stage_view("write", (*server)->metrics().write_histogram()),
+  };
   (*server)->Stop();
 
   uint64_t errors_nonbusy = 0;
@@ -543,6 +618,19 @@ int Run(int argc, char** argv) {
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"trace_overhead\": {\"connections\": " << overhead_tier
+      << ", \"p99_us_sampling_off\": " << FormatDouble(p99_off, 1)
+      << ", \"p99_us_sampling_on\": " << FormatDouble(p99_on, 1)
+      << ", \"within_budget\": " << (overhead_ok ? "true" : "false")
+      << "},\n"
+      << "  \"stages\": {";
+  for (size_t i = 0; i < 3; ++i) {
+    const StageView& s = stages[i];
+    out << (i > 0 ? ", " : "") << "\"" << s.name << "\": {\"count\": "
+        << s.count << ", \"p50_us\": " << s.p50 << ", \"p99_us\": " << s.p99
+        << "}";
+  }
+  out << "},\n"
       << "  \"server_requests\": " << server_requests << ",\n"
       << "  \"server_shed\": " << server_shed << ",\n"
       << "  \"errors_nonbusy\": " << errors_nonbusy << ",\n"
@@ -554,8 +642,9 @@ int Run(int argc, char** argv) {
       << "  \"server_stats\": \"" << stats_line << "\"\n"
       << "}\n";
   std::cout << "wrote " << out_path << "\n";
-  // BUSY is load shedding doing its job; anything else is a failure.
-  return errors_nonbusy == 0 ? 0 : 1;
+  // BUSY is load shedding doing its job; anything else is a failure —
+  // including tracing costing more than its budget.
+  return errors_nonbusy == 0 && overhead_ok ? 0 : 1;
 }
 
 }  // namespace

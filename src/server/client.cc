@@ -84,6 +84,20 @@ void DistanceClient::Close() {
   buffer_.clear();
 }
 
+Status DistanceClient::FillBuffer() {
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      return Status::IOError("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return Status::OK();
+  }
+}
+
 Result<std::string> DistanceClient::RoundTrip(const std::string& line) {
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");
   if (protocol_ != Protocol::kV1) {
@@ -95,20 +109,27 @@ Result<std::string> DistanceClient::RoundTrip(const std::string& line) {
   HOPDB_RETURN_NOT_OK(SendAll(request));
   while (true) {
     const size_t newline = buffer_.find('\n');
-    if (newline != std::string::npos) {
-      std::string response = buffer_.substr(0, newline);
-      buffer_.erase(0, newline + 1);
-      if (!response.empty() && response.back() == '\r') response.pop_back();
-      return response;
+    if (newline == std::string::npos) {
+      HOPDB_RETURN_NOT_OK(FillBuffer());
+      continue;
     }
-    char chunk[4096];
-    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      Close();
-      return Status::IOError("connection closed by server");
+    std::string response = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    if (!response.empty() && response.back() == '\r') response.pop_back();
+    // Multi-line payloads (METRICS, TRACE) arrive as "OK BLOB <n>"
+    // followed by n raw bytes and a closing newline; hand the body back
+    // verbatim so callers see the exposition text itself.
+    uint64_t blob_len = 0;
+    if (StartsWith(response, "OK BLOB ") &&
+        ParseUint64(response.substr(8), &blob_len)) {
+      while (buffer_.size() < blob_len + 1) {
+        HOPDB_RETURN_NOT_OK(FillBuffer());
+      }
+      std::string body = buffer_.substr(0, blob_len);
+      buffer_.erase(0, blob_len + 1);  // body plus the framing newline
+      return body;
     }
-    buffer_.append(chunk, static_cast<size_t>(n));
+    return response;
   }
 }
 

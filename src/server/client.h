@@ -39,7 +39,9 @@ class DistanceClient {
   Protocol protocol() const { return protocol_; }
   void Close();
 
-  /// v1 only: sends `line` (newline appended), returns the response line.
+  /// v1 only: sends `line` (newline appended), returns the response
+  /// line. For blob responses ("OK BLOB <n>" — METRICS, TRACE) the
+  /// returned string is the n-byte body itself, not the header line.
   Result<std::string> RoundTrip(const std::string& line);
 
   /// v2 only: sends one binary frame, returns the decoded response.
@@ -52,6 +54,8 @@ class DistanceClient {
 
  private:
   Status SendAll(const std::string& data);
+  /// Blocks for at least one more byte from the socket into buffer_.
+  Status FillBuffer();
 
   int fd_ = -1;
   Protocol protocol_ = Protocol::kV1;

@@ -37,6 +37,10 @@ void EncodeForWire(WireVersion version, const WireResponse& response,
   }
 }
 
+/// Trace ids are process-global so ids stay unique across I/O threads
+/// and connections (ring entries and slow-query log lines correlate).
+std::atomic<uint64_t> g_next_trace_id{1};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -49,7 +53,9 @@ uint64_t Connection::OpenSlot() {
   return next_seq_++;
 }
 
-void Connection::Complete(uint64_t seq, WireResponse response) {
+void Connection::Complete(uint64_t seq, WireResponse response,
+                          RequestTrace trace) {
+  trace.status = response.status;
   bool notify = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -57,6 +63,7 @@ void Connection::Complete(uint64_t seq, WireResponse response) {
     const size_t idx = static_cast<size_t>(seq - base_seq_);
     if (idx >= slots_.size()) return;  // defensive; cannot happen
     slots_[idx].response = std::move(response);
+    slots_[idx].trace = trace;
     slots_[idx].done = true;
     // Only a completed HEAD makes bytes writable; completions behind an
     // unfinished slot will be picked up when the head completes.
@@ -79,6 +86,7 @@ Status IoThread::Start(const IoGroupOptions& options, RequestSink* sink) {
   max_inflight_ = options.max_inflight_per_conn == 0
                       ? 1
                       : options.max_inflight_per_conn;
+  trace_sample_every_ = options.trace_sample_every;
   epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {
     return Status::IOError(std::string("epoll_create1: ") +
@@ -260,10 +268,23 @@ void IoThread::ProcessInput(const std::shared_ptr<Connection>& conn) {
   }
 }
 
+RequestTrace IoThread::BeginTrace(uint64_t accepted_ns) {
+  RequestTrace trace;
+  trace.accepted_ns = accepted_ns;
+  if (trace_sample_every_ > 0 &&
+      trace_counter_++ % trace_sample_every_ == 0) {
+    trace.trace_id = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return trace;
+}
+
 bool IoThread::ParseBuffered(const std::shared_ptr<Connection>& conn) {
   std::string& in = conn->in_;
   size_t off = 0;
   bool fatal = false;
+  // One accepted stamp per parse pass: the moment this thread turned to
+  // the buffered bytes. Requests split out of the same read share it.
+  const uint64_t accepted_ns = MonotonicNowNs();
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(conn->mu_);
@@ -282,7 +303,8 @@ bool IoThread::ParseBuffered(const std::shared_ptr<Connection>& conn) {
       if (in[off] == kV2Magic[0]) {
         if (in.size() - off < sizeof(kV2Magic)) break;  // need full magic
         if (std::memcmp(in.data() + off, kV2Magic, sizeof(kV2Magic)) != 0) {
-          FatalProtocolError(conn, "bad protocol magic");
+          FatalProtocolError(conn, "bad protocol magic",
+                             BeginTrace(accepted_ns));
           fatal = true;
           break;
         }
@@ -297,7 +319,8 @@ bool IoThread::ParseBuffered(const std::shared_ptr<Connection>& conn) {
       const size_t newline = in.find('\n', off);
       if (newline == std::string::npos) {
         if (in.size() - off > kMaxLineBytes) {
-          FatalProtocolError(conn, "request line too long");
+          FatalProtocolError(conn, "request line too long",
+                             BeginTrace(accepted_ns));
           fatal = true;
         }
         break;
@@ -306,14 +329,16 @@ bool IoThread::ParseBuffered(const std::shared_ptr<Connection>& conn) {
       off = newline + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (TrimString(line).empty()) continue;  // telnet-friendly
+      RequestTrace trace = BeginTrace(accepted_ns);
       Result<Request> parsed = ParseRequest(line);
+      trace.parsed_ns = MonotonicNowNs();
       const uint64_t seq = conn->OpenSlot();
       if (parsed.ok()) {
-        sink_->HandleRequest(conn, seq, std::move(*parsed));
+        sink_->HandleRequest(conn, seq, std::move(*parsed), trace);
       } else {
         // Malformed v1 input is answered in order and the connection
         // stays up — the line framing resynchronizes at the newline.
-        sink_->HandleParseError(conn, seq, parsed.status().message());
+        sink_->HandleParseError(conn, seq, parsed.status().message(), trace);
       }
       continue;
     }
@@ -321,26 +346,29 @@ bool IoThread::ParseBuffered(const std::shared_ptr<Connection>& conn) {
     size_t consumed = 0;
     Request request;
     std::string error;
+    RequestTrace trace = BeginTrace(accepted_ns);
     const FrameParse verdict = ParseRequestFrameV2(
         in.data() + off, in.size() - off, &consumed, &request, &error);
     if (verdict == FrameParse::kNeedMore) break;
     if (verdict == FrameParse::kError) {
       // A bad frame desynchronizes the byte stream; the connection
       // cannot be salvaged after the (ordered) error answer.
-      FatalProtocolError(conn, std::move(error));
+      FatalProtocolError(conn, std::move(error), trace);
       fatal = true;
       break;
     }
+    trace.parsed_ns = MonotonicNowNs();
     off += consumed;
     const uint64_t seq = conn->OpenSlot();
-    sink_->HandleRequest(conn, seq, std::move(request));
+    sink_->HandleRequest(conn, seq, std::move(request), trace);
   }
   if (off > 0) in.erase(0, off);
   return !fatal;
 }
 
 void IoThread::FatalProtocolError(const std::shared_ptr<Connection>& conn,
-                                  std::string message) {
+                                  std::string message, RequestTrace trace) {
+  trace.parsed_ns = MonotonicNowNs();
   const uint64_t seq = conn->OpenSlot();
   {
     std::lock_guard<std::mutex> lock(conn->mu_);
@@ -349,20 +377,31 @@ void IoThread::FatalProtocolError(const std::shared_ptr<Connection>& conn,
   }
   // Through the sink so the error is counted like any other parse
   // error; the sink completes the slot inline, which queues the flush.
-  sink_->HandleParseError(conn, seq, std::move(message));
+  sink_->HandleParseError(conn, seq, std::move(message), trace);
 }
 
 void IoThread::FlushConnection(const std::shared_ptr<Connection>& conn) {
   bool resume_read = false;
+  bool close_now = false;
+  // Traces whose last response byte the kernel just accepted; delivered
+  // to the sink outside the connection lock.
+  std::vector<RequestTrace> finished;
   {
     std::unique_lock<std::mutex> lock(conn->mu_);
     if (conn->closed_) return;
     conn->flush_queued_ = false;
-    while (!conn->slots_.empty() && conn->slots_.front().done) {
-      EncodeForWire(conn->version_, conn->slots_.front().response,
-                    &conn->out_);
-      conn->slots_.pop_front();
-      ++conn->base_seq_;
+    if (!conn->slots_.empty() && conn->slots_.front().done) {
+      const uint64_t encoded_ns = MonotonicNowNs();
+      do {
+        Connection::Slot& slot = conn->slots_.front();
+        const size_t before = conn->out_.size();
+        EncodeForWire(conn->version_, slot.response, &conn->out_);
+        conn->total_encoded_ += conn->out_.size() - before;
+        slot.trace.encoded_ns = encoded_ns;
+        conn->pending_writes_.push_back({conn->total_encoded_, slot.trace});
+        conn->slots_.pop_front();
+        ++conn->base_seq_;
+      } while (!conn->slots_.empty() && conn->slots_.front().done);
     }
     while (conn->out_off_ < conn->out_.size()) {
       const ssize_t n =
@@ -370,6 +409,7 @@ void IoThread::FlushConnection(const std::shared_ptr<Connection>& conn) {
                conn->out_.size() - conn->out_off_, MSG_NOSIGNAL);
       if (n > 0) {
         conn->out_off_ += static_cast<size_t>(n);
+        conn->total_written_ += static_cast<uint64_t>(n);
         continue;
       }
       if (n < 0 && errno == EINTR) continue;
@@ -387,19 +427,34 @@ void IoThread::FlushConnection(const std::shared_ptr<Connection>& conn) {
       conn->out_.erase(0, conn->out_off_);
       conn->out_off_ = 0;
     }
+    if (!conn->pending_writes_.empty() &&
+        conn->pending_writes_.front().end <= conn->total_written_) {
+      const uint64_t written_ns = MonotonicNowNs();
+      do {
+        Connection::PendingWrite& pending = conn->pending_writes_.front();
+        pending.trace.written_ns = written_ns;
+        finished.push_back(pending.trace);
+        conn->pending_writes_.pop_front();
+      } while (!conn->pending_writes_.empty() &&
+               conn->pending_writes_.front().end <= conn->total_written_);
+    }
     const bool drained = conn->out_.empty();
     if (drained && conn->close_after_flush_ && conn->slots_.empty()) {
-      lock.unlock();
-      CloseConnection(conn);
-      return;
+      close_now = true;
+    } else {
+      if (conn->read_paused_ && !conn->read_shutdown_ &&
+          conn->slots_.size() < max_inflight_ &&
+          conn->out_.size() - conn->out_off_ <= kMaxBufferedOutBytes) {
+        conn->read_paused_ = false;
+        resume_read = true;
+      }
+      UpdateInterestLocked(conn.get());
     }
-    if (conn->read_paused_ && !conn->read_shutdown_ &&
-        conn->slots_.size() < max_inflight_ &&
-        conn->out_.size() - conn->out_off_ <= kMaxBufferedOutBytes) {
-      conn->read_paused_ = false;
-      resume_read = true;
-    }
-    UpdateInterestLocked(conn.get());
+  }
+  for (const RequestTrace& trace : finished) sink_->HandleTraceDone(trace);
+  if (close_now) {
+    CloseConnection(conn);
+    return;
   }
   // A resumed connection may hold fully buffered requests that will
   // never raise EPOLLIN again; parse them now.
@@ -425,6 +480,7 @@ void IoThread::CloseConnection(const std::shared_ptr<Connection>& conn) {
     if (conn->closed_) return;
     conn->closed_ = true;
     conn->slots_.clear();  // late Complete()s see closed_ and drop
+    conn->pending_writes_.clear();  // never fully written; never delivered
     conn->out_.clear();
     conn->out_off_ = 0;
   }

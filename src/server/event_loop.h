@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "server/protocol.h"
+#include "server/trace.h"
 #include "util/status.h"
 
 namespace hopdb {
@@ -67,7 +68,13 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// from any thread). The owning I/O thread writes slots to the
   /// socket strictly in seq order; completing out of order is fine.
   /// Safe after the connection died — late responses are dropped.
-  void Complete(uint64_t seq, WireResponse response);
+  /// The request's trace rides along; once the response's last byte is
+  /// accepted by the kernel the trace (with status and written_ns
+  /// filled) is delivered to RequestSink::HandleTraceDone.
+  void Complete(uint64_t seq, WireResponse response, RequestTrace trace);
+  void Complete(uint64_t seq, WireResponse response) {
+    Complete(seq, std::move(response), RequestTrace{});
+  }
 
   int fd() const { return fd_; }
 
@@ -76,7 +83,16 @@ class Connection : public std::enable_shared_from_this<Connection> {
 
   struct Slot {
     WireResponse response;
+    RequestTrace trace;
     bool done = false;
+  };
+
+  /// A response encoded into out_ but not yet fully written; `end` is
+  /// the absolute (connection-lifetime) byte offset one past its last
+  /// byte. Writes drain strictly in order, so a FIFO suffices.
+  struct PendingWrite {
+    uint64_t end = 0;
+    RequestTrace trace;
   };
 
   /// Appends an empty slot and returns its seq (owner thread, while
@@ -98,6 +114,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   uint64_t next_seq_ = 0;
   std::string out_;           // encoded, not yet written
   size_t out_off_ = 0;
+  std::deque<PendingWrite> pending_writes_;  // encoded, awaiting written_ns
+  uint64_t total_encoded_ = 0;  // lifetime bytes encoded into out_
+  uint64_t total_written_ = 0;  // lifetime bytes accepted by send()
   bool closed_ = false;            // fd closed; drop everything late
   bool close_after_flush_ = false; // EOF/fatal: close once slots drain
   bool read_shutdown_ = false;     // permanent: EOF or fatal error
@@ -112,13 +131,21 @@ class RequestSink {
  public:
   virtual ~RequestSink() = default;
   /// A well-formed request for slot `seq`. The sink must arrange for
-  /// conn->Complete(seq, ...) to be called exactly once.
+  /// conn->Complete(seq, ...) to be called exactly once. `trace` has
+  /// accepted/parsed stamped (and trace_id when sampled); the sink owns
+  /// the remaining stages.
   virtual void HandleRequest(const std::shared_ptr<Connection>& conn,
-                             uint64_t seq, Request request) = 0;
+                             uint64_t seq, Request request,
+                             RequestTrace trace) = 0;
   /// A malformed request (still owns slot `seq`, so the error answer
   /// stays ordered among its pipelined neighbors).
   virtual void HandleParseError(const std::shared_ptr<Connection>& conn,
-                                uint64_t seq, std::string message) = 0;
+                                uint64_t seq, std::string message,
+                                RequestTrace trace) = 0;
+  /// The response for a traced request was fully handed to the kernel;
+  /// `trace` has every stage timestamp and the final status. Called on
+  /// the connection's I/O thread outside any lock; must not block.
+  virtual void HandleTraceDone(const RequestTrace& trace) { (void)trace; }
 };
 
 struct IoGroupOptions {
@@ -127,6 +154,10 @@ struct IoGroupOptions {
   /// Per-connection unanswered-request cap; a connection at the cap is
   /// not read again until responses drain (pipelining backpressure).
   uint32_t max_inflight_per_conn = 128;
+  /// Assign a trace id to every Nth parsed request (0 disables
+  /// sampling). Stage timestamps are stamped regardless; sampling only
+  /// decides which traces enter the in-memory trace ring.
+  uint32_t trace_sample_every = 0;
 };
 
 /// One epoll loop plus the cross-thread mailboxes feeding it.
@@ -170,13 +201,18 @@ class IoThread {
   /// Opens an error slot, completes it inline through the sink, and
   /// marks the connection to close once everything before it flushed.
   void FatalProtocolError(const std::shared_ptr<Connection>& conn,
-                          std::string message);
+                          std::string message, RequestTrace trace);
   void UpdateInterestLocked(Connection* conn);
+  /// Starts a trace for the request being parsed right now: stamps
+  /// accepted_ns and allocates a trace id on the sampling cadence.
+  RequestTrace BeginTrace(uint64_t accepted_ns);
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   RequestSink* sink_ = nullptr;
   uint32_t max_inflight_ = 128;
+  uint32_t trace_sample_every_ = 0;
+  uint64_t trace_counter_ = 0;  // owner-thread-only sampling cadence
   std::thread thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<size_t> open_count_{0};

@@ -2,25 +2,45 @@
 
 namespace hopdb {
 
-uint64_t ServerMetrics::LatencyPercentileUs(double p) const {
-  std::array<uint64_t, kLatencyBuckets> counts;
+uint64_t LatencyHistogram::PercentileUs(double p) const {
+  std::array<uint64_t, kBuckets> counts;
   uint64_t total = 0;
-  for (size_t i = 0; i < kLatencyBuckets; ++i) {
-    counts[i] = latency_histogram_[i].load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
     total += counts[i];
   }
   if (total == 0) return 0;
   if (p < 0) p = 0;
   if (p > 100) p = 100;
-  // Rank of the percentile request, 1-based ceil so p=100 is the max.
+  // Rank of the percentile sample, 1-based ceil so p=100 is the max.
   uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
   if (rank == 0) rank = 1;
   uint64_t seen = 0;
-  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+  for (size_t i = 0; i < kBuckets; ++i) {
     seen += counts[i];
-    if (seen >= rank) return 2ull << i;  // bucket upper bound
+    if (seen >= rank) return BucketUpperBoundUs(i);
   }
-  return 2ull << (kLatencyBuckets - 1);
+  return BucketUpperBoundUs(kBuckets - 1);
+}
+
+void ServerMetrics::RecordTrace(const RequestTrace& trace) {
+  const uint64_t total_us = trace.total_us();
+  if (trace.status == WireStatus::kOk) {
+    latency_.Record(total_us);
+  } else {
+    degraded_.Record(total_us);
+  }
+  if (!trace.parse_error) {
+    verb_latency_[static_cast<size_t>(trace.kind)].Record(total_us);
+    if (!trace.shed) {
+      queue_wait_.Record(trace.queue_wait_us());
+      execute_.Record(trace.execute_us());
+    }
+  }
+  write_.Record(trace.write_us());
+  if (trace.sampled()) {
+    traces_sampled_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace hopdb

@@ -144,6 +144,26 @@ Result<Request> ParseTokens(const std::vector<std::string>& tokens,
     request.kind = RequestKind::kStats;
     return request;
   }
+  if (verb == "METRICS") {
+    if (count != 1) {
+      return Status::InvalidArgument("usage: METRICS");
+    }
+    request.kind = RequestKind::kMetrics;
+    return request;
+  }
+  if (verb == "TRACE") {
+    if (count != 3 || token(1) != "LAST") {
+      return Status::InvalidArgument("usage: TRACE LAST <n>");
+    }
+    uint64_t n = 0;
+    if (!ParseUint64(token(2), &n) || n == 0 ||
+        n > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("bad trace count '" + token(2) + "'");
+    }
+    request.kind = RequestKind::kTrace;
+    request.k = static_cast<uint32_t>(n);
+    return request;
+  }
   if (verb == "PING") {
     if (count != 1) {
       return Status::InvalidArgument("usage: PING");
@@ -155,6 +175,32 @@ Result<Request> ParseTokens(const std::vector<std::string>& tokens,
 }
 
 }  // namespace
+
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kDist:
+      return "dist";
+    case RequestKind::kBatch:
+      return "batch";
+    case RequestKind::kKnn:
+      return "knn";
+    case RequestKind::kStats:
+      return "stats";
+    case RequestKind::kReload:
+      return "reload";
+    case RequestKind::kAttach:
+      return "attach";
+    case RequestKind::kDetach:
+      return "detach";
+    case RequestKind::kPing:
+      return "ping";
+    case RequestKind::kMetrics:
+      return "metrics";
+    case RequestKind::kTrace:
+      return "trace";
+  }
+  return "unknown";
+}
 
 std::string FormatDistance(Distance d) {
   return d == kInfDistance ? "INF" : std::to_string(d);
@@ -222,6 +268,12 @@ std::string FormatRequestV1(const Request& request) {
     case RequestKind::kStats:
       line += "STATS";
       break;
+    case RequestKind::kMetrics:
+      line += "METRICS";
+      break;
+    case RequestKind::kTrace:
+      line += "TRACE LAST " + std::to_string(request.k);
+      break;
     case RequestKind::kReload:
       line += "RELOAD";
       if (!request.path.empty()) line += " " + request.path;
@@ -253,6 +305,13 @@ WireResponse WireErr(std::string message) {
   WireResponse r;
   r.status = WireStatus::kErr;
   r.text = std::move(message);
+  return r;
+}
+
+WireResponse WireBlobResponse(std::string text) {
+  WireResponse r;
+  r.payload = WirePayload::kBlob;
+  r.text = std::move(text);
   return r;
 }
 
@@ -299,6 +358,12 @@ std::string EncodeResponseV1(const WireResponse& response) {
       return FormatBatchResponse(response.distances);
     case WirePayload::kNeighbors:
       return FormatKnnResponse(response.neighbors);
+    case WirePayload::kBlob:
+      // "OK BLOB <n>\n" then exactly n raw bytes; the connection appends
+      // one more '\n' after the whole response, terminating the blob
+      // with a blank line for interactive (telnet) readers.
+      return "OK BLOB " + std::to_string(response.text.size()) + "\n" +
+             response.text;
     case WirePayload::kText:
       break;
   }
@@ -377,6 +442,13 @@ void EncodeRequestV2(const Request& request, std::string* out) {
     case RequestKind::kDetach:
       opcode = V2Opcode::kDetach;
       break;
+    case RequestKind::kMetrics:
+      opcode = V2Opcode::kMetrics;
+      break;
+    case RequestKind::kTrace:
+      opcode = V2Opcode::kTrace;
+      arg = request.k;
+      break;
   }
   out->push_back(static_cast<char>(opcode));
   out->push_back('\0');  // reserved
@@ -393,6 +465,7 @@ void EncodeResponseV2(const WireResponse& response, std::string* out) {
   size_t aux_len = 0;
   switch (response.payload) {
     case WirePayload::kText:
+    case WirePayload::kBlob:
       aux_len = response.text.size();
       break;
     case WirePayload::kDistance:
@@ -424,6 +497,7 @@ void EncodeResponseV2(const WireResponse& response, std::string* out) {
   }
   switch (response.payload) {
     case WirePayload::kText:
+    case WirePayload::kBlob:
       out->append(response.text);
       break;
     case WirePayload::kDistance:
@@ -528,6 +602,21 @@ FrameParse ParseRequestFrameV2(const char* data, size_t size,
       }
       request.kind = RequestKind::kDetach;
       break;
+    case V2Opcode::kMetrics:
+      if (name_len != 0 || aux_len != 0 || src != 0 || arg != 0) {
+        *error = "v2 METRICS frame carries operands";
+        return FrameParse::kError;
+      }
+      request.kind = RequestKind::kMetrics;
+      break;
+    case V2Opcode::kTrace:
+      if (name_len != 0 || aux_len != 0 || src != 0 || arg == 0) {
+        *error = "v2 TRACE frame: bad count or stray operands";
+        return FrameParse::kError;
+      }
+      request.kind = RequestKind::kTrace;
+      request.k = arg;
+      break;
     default:
       *error = "unknown v2 opcode " + std::to_string(opcode);
       return FrameParse::kError;
@@ -547,7 +636,7 @@ FrameParse ParseResponseFrameV2(const char* data, size_t size,
   const uint32_t value = GetU32(data + 4);
   const uint32_t aux_len = GetU32(data + 8);
   if (status > static_cast<uint8_t>(WireStatus::kBusy) ||
-      payload > static_cast<uint8_t>(WirePayload::kNeighbors) ||
+      payload > static_cast<uint8_t>(WirePayload::kBlob) ||
       reserved != 0) {
     *error = "v2 response frame: bad header";
     return FrameParse::kError;
@@ -565,6 +654,7 @@ FrameParse ParseResponseFrameV2(const char* data, size_t size,
   response.payload = static_cast<WirePayload>(payload);
   switch (response.payload) {
     case WirePayload::kText:
+    case WirePayload::kBlob:
       response.text.assign(aux, aux_len);
       break;
     case WirePayload::kDistance:

@@ -7,6 +7,8 @@
 //   BATCH <s> <t1> ... <tk>  distances from s to every listed target
 //   KNN <s> <k>              the k nearest vertices reachable from s
 //   STATS                    server counters (key=value pairs)
+//   METRICS                  Prometheus text exposition (blob response)
+//   TRACE LAST <n>           span breakdowns of recent sampled requests
 //   RELOAD [<path>]          hot-swap the index (default: reload source)
 //   ATTACH <name> <path>     load <path> and serve it as index <name>
 //   DETACH <name>            stop serving index <name>
@@ -14,6 +16,9 @@
 //   PING                     liveness probe
 // Responses:
 //   OK <payload>             success; payload shape depends on the verb
+//   OK BLOB <n>              header of a multi-line response: exactly n
+//                            bytes of raw text follow, then one blank
+//                            line (METRICS / TRACE answers)
 //   ERR BUSY <detail>        shed by admission control; retry later
 //   ERR <message>            parse or execution failure
 // Distances are rendered in decimal; unreachable pairs render as "INF".
@@ -52,7 +57,15 @@ enum class RequestKind : uint8_t {
   kAttach,
   kDetach,
   kPing,
+  kMetrics,
+  kTrace,
 };
+
+/// Number of RequestKind enumerators (per-verb metrics arrays size).
+inline constexpr size_t kNumRequestKinds = 10;
+
+/// Lowercase verb name for metrics labels ("dist", "batch", ...).
+const char* RequestKindName(RequestKind kind);
 
 /// One parsed client request.
 struct Request {
@@ -60,7 +73,7 @@ struct Request {
   VertexId src = 0;
   /// BATCH target list (at least one entry).
   std::vector<VertexId> targets;
-  /// KNN neighbor count.
+  /// KNN neighbor count; TRACE LAST count.
   uint32_t k = 0;
   /// RELOAD/ATTACH file path; for RELOAD, empty means "reload the path
   /// the index was loaded from".
@@ -118,6 +131,7 @@ enum class WirePayload : uint8_t {
   kDistance = 1,   // one DIST answer
   kDistances = 2,  // BATCH answer vector
   kNeighbors = 3,  // KNN (vertex, distance) pairs
+  kBlob = 4,       // multi-line raw text (METRICS / TRACE answers)
 };
 
 struct WireResponse {
@@ -131,6 +145,8 @@ struct WireResponse {
 
 WireResponse WireOk(std::string payload);
 WireResponse WireErr(std::string message);
+/// Multi-line raw-text response ("OK BLOB <n>" framing in v1).
+WireResponse WireBlobResponse(std::string text);
 WireResponse WireBusy();
 WireResponse WireDistanceResponse(Distance d);
 WireResponse WireDistancesResponse(std::vector<Distance> dists);
@@ -184,6 +200,8 @@ enum class V2Opcode : uint8_t {
   kReload = 6,
   kAttach = 7,
   kDetach = 8,
+  kMetrics = 9,
+  kTrace = 10,
 };
 
 inline constexpr size_t kV2RequestHeaderBytes = 16;

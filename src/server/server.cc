@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "labeling/query_kernel.h"
+#include "util/build_info.h"
+#include "util/log.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -64,6 +66,81 @@ void AppendIndexStat(std::string* payload, const std::string& name,
   payload->append(value);
 }
 
+// ---------------------------------------------------------------------------
+// Prometheus text-exposition helpers (the METRICS verb). Every family
+// the server exports is declared through PromFamily; tools/check_docs.py
+// parses those call sites to keep the metric table in docs/OPERATIONS.md
+// from drifting, and tools/check_metrics.py lints the rendered output.
+// ---------------------------------------------------------------------------
+
+void PromFamily(std::string* text, const char* name, const char* type,
+                const char* help) {
+  text->append("# HELP ");
+  text->append(name);
+  text->push_back(' ');
+  text->append(help);
+  text->append("\n# TYPE ");
+  text->append(name);
+  text->push_back(' ');
+  text->append(type);
+  text->push_back('\n');
+}
+
+/// Escapes a label value per the exposition format (\\, \", \n).
+std::string PromLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out.append("\\n");
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void PromSample(std::string* text, const std::string& name,
+                const std::string& labels, const std::string& value) {
+  text->append(name);
+  if (!labels.empty()) {
+    text->push_back('{');
+    text->append(labels);
+    text->push_back('}');
+  }
+  text->push_back(' ');
+  text->append(value);
+  text->push_back('\n');
+}
+
+/// Renders one log-scale histogram as cumulative le-buckets + _sum +
+/// _count. The +Inf bucket and _count are the sum of the bucket
+/// snapshot (not the separate count_ atomic) so the exposition is
+/// internally consistent even while writers race the render.
+void PromHistogram(std::string* text, const std::string& name,
+                   const std::string& labels, const LatencyHistogram& hist) {
+  const std::array<uint64_t, LatencyHistogram::kBuckets> buckets =
+      hist.BucketSnapshot();
+  const std::string bucket_name = name + "_bucket";
+  const std::string label_prefix = labels.empty() ? "" : labels + ",";
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    cumulative += buckets[i];
+    PromSample(text, bucket_name,
+               label_prefix + "le=\"" +
+                   std::to_string(LatencyHistogram::BucketUpperBoundUs(i)) +
+                   "\"",
+               std::to_string(cumulative));
+  }
+  PromSample(text, bucket_name, label_prefix + "le=\"+Inf\"",
+             std::to_string(cumulative));
+  PromSample(text, name + "_sum", labels, std::to_string(hist.sum_us()));
+  PromSample(text, name + "_count", labels, std::to_string(cumulative));
+}
+
 WireResponse ErrNoSuchIndex(const std::string& name) {
   return WireErr("no index named '" + name + "' (see STATS, or ATTACH "
                  "it first)");
@@ -73,10 +150,33 @@ WireResponse ErrVertexOutOfRange(VertexId n) {
   return WireErr("vertex id out of range (|V|=" + std::to_string(n) + ")");
 }
 
+/// --trace-sample-rate as a 1-in-N cadence for the I/O threads.
+uint32_t TraceSampleEvery(double rate) {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return 1;
+  const double every = 1.0 / rate;
+  if (every >= 4e9) return 0;  // effectively never
+  return static_cast<uint32_t>(every + 0.5);
+}
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "ok";
+    case WireStatus::kErr:
+      return "err";
+    case WireStatus::kBusy:
+      return "busy";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 DistanceServer::DistanceServer(const ServerOptions& options)
-    : options_(options), queue_(options.queue_capacity) {}
+    : options_(options),
+      queue_(options.queue_capacity),
+      trace_ring_(options.trace_ring_capacity) {}
 
 Result<std::unique_ptr<DistanceServer>> DistanceServer::Start(
     std::shared_ptr<const ServingSnapshot> snapshot,
@@ -92,12 +192,22 @@ Result<std::unique_ptr<DistanceServer>> DistanceServer::Start(
   IoGroupOptions io_options;
   io_options.num_threads = server->num_io_threads_;
   io_options.max_inflight_per_conn = options.max_inflight_per_conn;
+  io_options.trace_sample_every = TraceSampleEvery(options.trace_sample_rate);
   HOPDB_RETURN_NOT_OK(server->io_group_.Start(io_options, server.get()));
   const uint32_t workers =
       options.num_workers == 0 ? HardwareThreads() : options.num_workers;
   server->workers_.Start(workers,
                          [srv = server.get()](uint32_t) { srv->WorkerLoop(); });
   server->acceptor_ = std::thread([srv = server.get()] { srv->AcceptLoop(); });
+  JsonLogLine(JsonLogLevel::kInfo, "server_start")
+      .Str("host", options.host)
+      .Num("port", server->port_)
+      .Num("workers", workers)
+      .Num("io_threads", server->num_io_threads_)
+      .Num("queue_capacity", options.queue_capacity)
+      .Fixed("trace_sample_rate", options.trace_sample_rate, 4)
+      .Num("slow_query_us", options.slow_query_us)
+      .Str("git_sha", BuildGitSha());
   return server;
 }
 
@@ -182,33 +292,65 @@ void DistanceServer::AcceptLoop() {
 // ---------------------------------------------------------------------------
 
 void DistanceServer::HandleRequest(const std::shared_ptr<Connection>& conn,
-                                   uint64_t seq, Request request) {
+                                   uint64_t seq, Request request,
+                                   RequestTrace trace) {
+  trace.kind = request.kind;
+  trace.enqueued_ns = MonotonicNowNs();
   WorkItem item;
   item.request = std::move(request);
   item.conn = conn;
   item.seq = seq;
+  item.trace = trace;
   switch (queue_.TryPush(&item)) {
     case BoundedQueue<WorkItem>::PushResult::kOk:
       return;
     case BoundedQueue<WorkItem>::PushResult::kFull:
-      // Saturated, not broken: shed with the retryable BUSY answer.
+      // Saturated, not broken: shed with the retryable BUSY answer. The
+      // shed request still traces end to end (its queue/execute stages
+      // are zero-width) so overload latency lands in the degraded
+      // histogram instead of vanishing.
       metrics_.RecordShed();
-      metrics_.RecordRequest(0);
-      conn->Complete(seq, WireBusy());
+      metrics_.CountRequest();
+      trace.shed = true;
+      trace.dequeued_ns = trace.executed_ns = trace.enqueued_ns;
+      conn->Complete(seq, WireBusy(), trace);
       return;
     case BoundedQueue<WorkItem>::PushResult::kClosed:
-      conn->Complete(seq, WireErr("server shutting down"));
+      trace.dequeued_ns = trace.executed_ns = trace.enqueued_ns;
+      conn->Complete(seq, WireErr("server shutting down"), trace);
       return;
   }
 }
 
 void DistanceServer::HandleParseError(const std::shared_ptr<Connection>& conn,
-                                      uint64_t seq, std::string message) {
+                                      uint64_t seq, std::string message,
+                                      RequestTrace trace) {
   // Malformed input is answered inline: it never consumes a queue slot
   // a well-formed request could use.
   metrics_.RecordError();
-  metrics_.RecordRequest(0);
-  conn->Complete(seq, WireErr(std::move(message)));
+  metrics_.CountRequest();
+  trace.parse_error = true;
+  trace.enqueued_ns = trace.dequeued_ns = trace.executed_ns = MonotonicNowNs();
+  conn->Complete(seq, WireErr(std::move(message)), trace);
+}
+
+void DistanceServer::HandleTraceDone(const RequestTrace& trace) {
+  metrics_.RecordTrace(trace);
+  if (trace.sampled()) trace_ring_.Push(trace);
+  const uint64_t total_us = trace.total_us();
+  if (options_.slow_query_us > 0 && total_us >= options_.slow_query_us) {
+    metrics_.RecordSlowQuery();
+    JsonLogLine(JsonLogLevel::kWarning, "slow_query")
+        .Num("trace_id", trace.trace_id)
+        .Str("verb", trace.parse_error ? "parse_error"
+                                       : RequestKindName(trace.kind))
+        .Str("status", WireStatusName(trace.status))
+        .Num("total_us", total_us)
+        .Num("parse_us", trace.parse_us())
+        .Num("queue_us", trace.queue_wait_us())
+        .Num("execute_us", trace.execute_us())
+        .Num("write_us", trace.write_us());
+  }
 }
 
 void DistanceServer::WorkerLoop() {
@@ -222,11 +364,14 @@ void DistanceServer::WorkerLoop() {
 
 void DistanceServer::Finish(WorkItem* item, WireResponse response) {
   if (response.status != WireStatus::kOk) metrics_.RecordError();
-  metrics_.RecordRequest(item->enqueue_watch.Micros());
-  item->conn->Complete(item->seq, std::move(response));
+  metrics_.CountRequest();
+  item->trace.executed_ns = MonotonicNowNs();
+  item->conn->Complete(item->seq, std::move(response), item->trace);
 }
 
 void DistanceServer::ExecuteWorkBatch(std::vector<WorkItem>* items) {
+  const uint64_t dequeued_ns = MonotonicNowNs();
+  for (WorkItem& item : *items) item.trace.dequeued_ns = dequeued_ns;
   if (options_.pre_execute_hook) {
     for (const WorkItem& item : *items) options_.pre_execute_hook(item.request);
   }
@@ -351,7 +496,7 @@ std::string DistanceServer::Execute(const Request& request) {
 }
 
 WireResponse DistanceServer::ExecuteWire(const Request& request) {
-  // Registry-scoped admin verbs resolve no snapshot.
+  // Registry-scoped admin/telemetry verbs resolve no snapshot.
   switch (request.kind) {
     case RequestKind::kReload:
       return HandleReload(request.index_name, request.path);
@@ -359,6 +504,10 @@ WireResponse DistanceServer::ExecuteWire(const Request& request) {
       return HandleAttach(request.index_name, request.path);
     case RequestKind::kDetach:
       return HandleDetach(request.index_name);
+    case RequestKind::kMetrics:
+      return MetricsResponse();
+    case RequestKind::kTrace:
+      return TraceResponse(request.k);
     default:
       break;
   }
@@ -414,6 +563,8 @@ WireResponse DistanceServer::ExecuteOnWire(const Request& request,
     case RequestKind::kReload:
     case RequestKind::kAttach:
     case RequestKind::kDetach:
+    case RequestKind::kMetrics:
+    case RequestKind::kTrace:
       break;  // handled in ExecuteWire before snapshot resolution
   }
   return WireErr("unhandled request kind");
@@ -424,7 +575,8 @@ WireResponse DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
   const uint64_t requests = metrics_.requests();
   const ResultCache::Stats cache = snapshot.cache().GetStats();
   std::string payload;
-  AppendStat(&payload, "uptime_s", FormatDouble(uptime, 1));
+  AppendStat(&payload, "uptime_seconds", FormatDouble(uptime, 1));
+  AppendStat(&payload, "build_git_sha", BuildGitSha());
   AppendStat(&payload, "requests", std::to_string(requests));
   AppendStat(&payload, "errors", std::to_string(metrics_.errors()));
   AppendStat(&payload, "shed", std::to_string(metrics_.shed()));
@@ -437,6 +589,23 @@ WireResponse DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
              std::to_string(metrics_.LatencyPercentileUs(50)));
   AppendStat(&payload, "p99_us",
              std::to_string(metrics_.LatencyPercentileUs(99)));
+  AppendStat(&payload, "degraded_p99_us",
+             std::to_string(metrics_.degraded_histogram().PercentileUs(99)));
+  AppendStat(&payload, "queue_wait_p50_us",
+             std::to_string(metrics_.queue_wait_histogram().PercentileUs(50)));
+  AppendStat(&payload, "queue_wait_p99_us",
+             std::to_string(metrics_.queue_wait_histogram().PercentileUs(99)));
+  AppendStat(&payload, "execute_p50_us",
+             std::to_string(metrics_.execute_histogram().PercentileUs(50)));
+  AppendStat(&payload, "execute_p99_us",
+             std::to_string(metrics_.execute_histogram().PercentileUs(99)));
+  AppendStat(&payload, "write_p50_us",
+             std::to_string(metrics_.write_histogram().PercentileUs(50)));
+  AppendStat(&payload, "write_p99_us",
+             std::to_string(metrics_.write_histogram().PercentileUs(99)));
+  AppendStat(&payload, "slow_queries", std::to_string(metrics_.slow_queries()));
+  AppendStat(&payload, "traces_sampled",
+             std::to_string(metrics_.traces_sampled()));
   AppendStat(&payload, "dist_queries", std::to_string(metrics_.dist_queries()));
   AppendStat(&payload, "batch_requests",
              std::to_string(metrics_.batch_requests()));
@@ -476,6 +645,176 @@ WireResponse DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
                     std::to_string(snap->ResidentBytes()));
   }
   return WireOk(std::move(payload));
+}
+
+WireResponse DistanceServer::MetricsResponse() {
+  std::string text;
+  text.reserve(32 * 1024);
+
+  PromFamily(&text, "hopdb_build_info", "gauge",
+             "Build provenance; value is always 1, the labels carry the "
+             "information.");
+  PromSample(&text, "hopdb_build_info",
+             "git_sha=\"" + PromLabelValue(BuildGitSha()) + "\",version=\"" +
+                 PromLabelValue(BuildVersion()) + "\",kernel=\"" +
+                 PromLabelValue(ActiveQueryKernel().name) + "\"",
+             "1");
+  PromFamily(&text, "hopdb_uptime_seconds", "gauge",
+             "Seconds since the server started.");
+  PromSample(&text, "hopdb_uptime_seconds", "",
+             FormatDouble(uptime_.Seconds(), 3));
+
+  PromFamily(&text, "hopdb_requests_total", "counter",
+             "Requests completed, including shed and errored ones.");
+  PromSample(&text, "hopdb_requests_total", "",
+             std::to_string(metrics_.requests()));
+  PromFamily(&text, "hopdb_errors_total", "counter",
+             "Requests answered with ERR (parse or execution failure).");
+  PromSample(&text, "hopdb_errors_total", "",
+             std::to_string(metrics_.errors()));
+  PromFamily(&text, "hopdb_shed_total", "counter",
+             "Requests shed with BUSY by admission control.");
+  PromSample(&text, "hopdb_shed_total", "", std::to_string(metrics_.shed()));
+  PromFamily(&text, "hopdb_slow_queries_total", "counter",
+             "Requests at or above --slow-query-us, emitted to the "
+             "slow-query log.");
+  PromSample(&text, "hopdb_slow_queries_total", "",
+             std::to_string(metrics_.slow_queries()));
+  PromFamily(&text, "hopdb_traces_sampled_total", "counter",
+             "Requests sampled into the TRACE LAST ring.");
+  PromSample(&text, "hopdb_traces_sampled_total", "",
+             std::to_string(metrics_.traces_sampled()));
+  PromFamily(&text, "hopdb_connections_total", "counter",
+             "Client connections accepted since start.");
+  PromSample(&text, "hopdb_connections_total", "",
+             std::to_string(connections_accepted()));
+  PromFamily(&text, "hopdb_reloads_total", "counter",
+             "Successful index hot-swaps (RELOAD).");
+  PromSample(&text, "hopdb_reloads_total", "",
+             std::to_string(metrics_.reloads()));
+
+  PromFamily(&text, "hopdb_open_connections", "gauge",
+             "Currently open client connections.");
+  PromSample(&text, "hopdb_open_connections", "",
+             std::to_string(open_connections()));
+  PromFamily(&text, "hopdb_queue_depth", "gauge",
+             "Requests waiting in the work queue right now.");
+  PromSample(&text, "hopdb_queue_depth", "", std::to_string(queue_.size()));
+  PromFamily(&text, "hopdb_queue_capacity", "gauge",
+             "Work queue capacity (requests beyond it are shed).");
+  PromSample(&text, "hopdb_queue_capacity", "",
+             std::to_string(queue_.capacity()));
+  PromFamily(&text, "hopdb_workers", "gauge", "Query worker threads.");
+  PromSample(&text, "hopdb_workers", "", std::to_string(workers_.size()));
+  PromFamily(&text, "hopdb_io_threads", "gauge", "Epoll I/O threads.");
+  PromSample(&text, "hopdb_io_threads", "", std::to_string(num_io_threads_));
+
+  PromFamily(&text, "hopdb_dist_queries_total", "counter",
+             "Point-to-point distance queries executed (BATCH targets "
+             "count individually).");
+  PromSample(&text, "hopdb_dist_queries_total", "",
+             std::to_string(metrics_.dist_queries()));
+  PromFamily(&text, "hopdb_batch_requests_total", "counter",
+             "BATCH requests executed.");
+  PromSample(&text, "hopdb_batch_requests_total", "",
+             std::to_string(metrics_.batch_requests()));
+  PromFamily(&text, "hopdb_knn_requests_total", "counter",
+             "KNN requests executed.");
+  PromSample(&text, "hopdb_knn_requests_total", "",
+             std::to_string(metrics_.knn_requests()));
+  PromFamily(&text, "hopdb_micro_batches_total", "counter",
+             "Same-source DIST groups answered by one one-to-many scan.");
+  PromSample(&text, "hopdb_micro_batches_total", "",
+             std::to_string(metrics_.micro_batches()));
+  PromFamily(&text, "hopdb_micro_batched_queries_total", "counter",
+             "DIST queries answered inside those micro-batches.");
+  PromSample(&text, "hopdb_micro_batched_queries_total", "",
+             std::to_string(metrics_.micro_batched_queries()));
+
+  // Latency histograms. Buckets are powers of two in microseconds (the
+  // le bound is the bucket's inclusive upper edge).
+  PromFamily(&text, "hopdb_request_latency_us", "histogram",
+             "Accepted-to-written latency of requests answered OK.");
+  PromHistogram(&text, "hopdb_request_latency_us", "",
+                metrics_.latency_histogram());
+  PromFamily(&text, "hopdb_degraded_latency_us", "histogram",
+             "Accepted-to-written latency of shed/error answers.");
+  PromHistogram(&text, "hopdb_degraded_latency_us", "",
+                metrics_.degraded_histogram());
+  PromFamily(&text, "hopdb_stage_duration_us", "histogram",
+             "Per-stage request time: queue_wait (enqueued->dequeued), "
+             "execute (dequeued->executed), write (executed->written).");
+  PromHistogram(&text, "hopdb_stage_duration_us", "stage=\"queue_wait\"",
+                metrics_.queue_wait_histogram());
+  PromHistogram(&text, "hopdb_stage_duration_us", "stage=\"execute\"",
+                metrics_.execute_histogram());
+  PromHistogram(&text, "hopdb_stage_duration_us", "stage=\"write\"",
+                metrics_.write_histogram());
+  PromFamily(&text, "hopdb_verb_latency_us", "histogram",
+             "Accepted-to-written latency per verb.");
+  for (size_t i = 0; i < kNumRequestKinds; ++i) {
+    const RequestKind kind = static_cast<RequestKind>(i);
+    PromHistogram(&text, "hopdb_verb_latency_us",
+                  std::string("verb=\"") + RequestKindName(kind) + "\"",
+                  metrics_.verb_histogram(kind));
+  }
+
+  // Per-index gauges/counters via the registry.
+  PromFamily(&text, "hopdb_index_vertices", "gauge",
+             "Vertices served by each attached index.");
+  PromFamily(&text, "hopdb_index_resident_bytes", "gauge",
+             "Resident memory of each attached index snapshot.");
+  PromFamily(&text, "hopdb_index_cache_hits_total", "counter",
+             "Result-cache hits per index (current snapshot).");
+  PromFamily(&text, "hopdb_index_cache_misses_total", "counter",
+             "Result-cache misses per index (current snapshot).");
+  PromFamily(&text, "hopdb_index_cache_entries", "gauge",
+             "Result-cache entries per index (current snapshot).");
+  for (const std::string& name : registry_.Names()) {
+    const std::shared_ptr<const ServingSnapshot> snap = registry_.Find(name);
+    if (snap == nullptr) continue;  // detached between Names() and Find()
+    const std::string label = "index=\"" + PromLabelValue(name) + "\"";
+    const ResultCache::Stats cache = snap->cache().GetStats();
+    PromSample(&text, "hopdb_index_vertices", label,
+               std::to_string(snap->num_vertices()));
+    PromSample(&text, "hopdb_index_resident_bytes", label,
+               std::to_string(snap->ResidentBytes()));
+    PromSample(&text, "hopdb_index_cache_hits_total", label,
+               std::to_string(cache.hits));
+    PromSample(&text, "hopdb_index_cache_misses_total", label,
+               std::to_string(cache.misses));
+    PromSample(&text, "hopdb_index_cache_entries", label,
+               std::to_string(cache.entries));
+  }
+  return WireBlobResponse(std::move(text));
+}
+
+WireResponse DistanceServer::TraceResponse(uint32_t n) {
+  const std::vector<RequestTrace> traces = trace_ring_.Last(n);
+  std::string text =
+      "trace_id verb status total_us parse_us queue_us execute_us write_us\n";
+  if (traces.empty()) {
+    text += "(no sampled traces yet; is --trace-sample-rate 0?)\n";
+  }
+  for (const RequestTrace& trace : traces) {
+    text += std::to_string(trace.trace_id);
+    text += ' ';
+    text += trace.parse_error ? "parse_error" : RequestKindName(trace.kind);
+    text += ' ';
+    text += WireStatusName(trace.status);
+    text += ' ';
+    text += std::to_string(trace.total_us());
+    text += ' ';
+    text += std::to_string(trace.parse_us());
+    text += ' ';
+    text += std::to_string(trace.queue_wait_us());
+    text += ' ';
+    text += std::to_string(trace.execute_us());
+    text += ' ';
+    text += std::to_string(trace.write_us());
+    text += '\n';
+  }
+  return WireBlobResponse(std::move(text));
 }
 
 WireResponse DistanceServer::HandleReload(const std::string& name,
@@ -530,11 +869,23 @@ Status DistanceServer::AttachInternal(
       std::shared_ptr<const ServingSnapshot> snapshot,
       LoadServingSnapshot(path, options_.cache_capacity));
   if (published != nullptr) *published = snapshot;
-  return registry_.Attach(name, std::move(snapshot));
+  const Status status = registry_.Attach(name, snapshot);
+  if (status.ok()) {
+    JsonLogLine(JsonLogLevel::kInfo, "index_attach")
+        .Str("name", name)
+        .Str("path", path)
+        .Str("mode", snapshot->map_mode())
+        .Num("vertices", snapshot->num_vertices());
+  }
+  return status;
 }
 
 Status DistanceServer::DetachIndex(const std::string& name) {
-  return registry_.Detach(name);
+  const Status status = registry_.Detach(name);
+  if (status.ok()) {
+    JsonLogLine(JsonLogLevel::kInfo, "index_detach").Str("name", name);
+  }
+  return status;
 }
 
 Status DistanceServer::ReloadInternal(
@@ -573,8 +924,15 @@ Status DistanceServer::ReloadInternal(
       std::shared_ptr<const ServingSnapshot> snapshot,
       LoadServingSnapshot(load_path, options_.cache_capacity));
   if (published != nullptr) *published = snapshot;
+  const std::string mode = snapshot->map_mode();
+  const VertexId vertices = snapshot->num_vertices();
   HOPDB_RETURN_NOT_OK(registry_.Publish(resolved, std::move(snapshot)));
   metrics_.RecordReload();
+  JsonLogLine(JsonLogLevel::kInfo, "index_reload")
+      .Str("name", resolved)
+      .Str("path", load_path)
+      .Str("mode", mode)
+      .Num("vertices", vertices);
   return Status::OK();
 }
 
@@ -585,6 +943,11 @@ ResultCache::Stats DistanceServer::cache_stats() const {
 void DistanceServer::Stop() {
   std::call_once(stop_once_, [this] {
     stopping_.store(true, std::memory_order_release);
+    JsonLogLine(JsonLogLevel::kInfo, "server_stop")
+        .Fixed("uptime_seconds", uptime_.Seconds(), 1)
+        .Num("requests", metrics_.requests())
+        .Num("errors", metrics_.errors())
+        .Num("shed", metrics_.shed());
     // 1. Stop accepting: shutdown unblocks accept(), then join.
     if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
     if (acceptor_.joinable()) acceptor_.join();

@@ -91,6 +91,17 @@ struct ServerOptions {
   /// typically the file the index was loaded from. Empty = bare RELOAD
   /// is refused.
   std::string source_path;
+  /// Fraction of requests assigned a trace id and recorded into the
+  /// in-memory trace ring (TRACE LAST n). Stage timestamps and the
+  /// per-stage histograms cover every request regardless; sampling only
+  /// bounds the ring-push cost. 0 disables the ring entirely.
+  double trace_sample_rate = 0.01;
+  /// Capacity of the sampled-trace ring.
+  size_t trace_ring_capacity = 1024;
+  /// Requests whose accepted->written latency reaches this many
+  /// microseconds are emitted to the structured JSON slow-query log
+  /// (util/log.h) and counted in `slow_queries`. 0 disables.
+  uint64_t slow_query_us = 0;
   /// Test hook, called by a worker for each request just before it
   /// executes (after dequeue). Lets tests hold one request in place
   /// while its pipelined neighbors proceed — the completion-driven
@@ -165,6 +176,11 @@ class DistanceServer : public RequestSink {
   uint32_t num_workers() const { return workers_.size(); }
   uint32_t num_io_threads() const { return num_io_threads_; }
   double uptime_seconds() const { return uptime_.Seconds(); }
+  /// Up to n most recent sampled traces, newest first (the TRACE LAST
+  /// verb renders these; tests assert on them directly).
+  std::vector<RequestTrace> RecentTraces(size_t n) const {
+    return trace_ring_.Last(n);
+  }
 
   /// Executes one already-parsed request against the current snapshots
   /// and renders the v1 response line, bypassing the socket layer and
@@ -173,16 +189,17 @@ class DistanceServer : public RequestSink {
 
   // RequestSink (called from I/O threads):
   void HandleRequest(const std::shared_ptr<Connection>& conn, uint64_t seq,
-                     Request request) override;
+                     Request request, RequestTrace trace) override;
   void HandleParseError(const std::shared_ptr<Connection>& conn, uint64_t seq,
-                        std::string message) override;
+                        std::string message, RequestTrace trace) override;
+  void HandleTraceDone(const RequestTrace& trace) override;
 
  private:
   struct WorkItem {
     Request request;
     std::shared_ptr<Connection> conn;
     uint64_t seq = 0;
-    Stopwatch enqueue_watch;
+    RequestTrace trace;
   };
 
   explicit DistanceServer(const ServerOptions& options);
@@ -197,6 +214,11 @@ class DistanceServer : public RequestSink {
   WireResponse ExecuteOnWire(const Request& request,
                              const ServingSnapshot& snapshot);
   WireResponse StatsResponse(const ServingSnapshot& snapshot);
+  /// Prometheus text exposition of every counter/gauge/histogram the
+  /// server owns (the METRICS verb; whole-server scoped).
+  WireResponse MetricsResponse();
+  /// Span table of the n most recent sampled traces (TRACE LAST n).
+  WireResponse TraceResponse(uint32_t n);
   WireResponse HandleReload(const std::string& name, const std::string& path);
   WireResponse HandleAttach(const std::string& name, const std::string& path);
   WireResponse HandleDetach(const std::string& name);
@@ -213,6 +235,7 @@ class DistanceServer : public RequestSink {
   IndexRegistry registry_;
   BoundedQueue<WorkItem> queue_;
   ServerMetrics metrics_;
+  TraceRing trace_ring_;
   ThreadPool workers_;
   IoGroup io_group_;
   Stopwatch uptime_;

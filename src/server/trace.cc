@@ -1,0 +1,29 @@
+#include "server/trace.h"
+
+#include <algorithm>
+
+namespace hopdb {
+
+TraceRing::TraceRing(size_t capacity) : ring_(std::max<size_t>(capacity, 1)) {}
+
+void TraceRing::Push(const RequestTrace& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = trace;
+  next_ = (next_ + 1) % ring_.size();
+  size_ = std::min(size_ + 1, ring_.size());
+}
+
+std::vector<RequestTrace> TraceRing::Last(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestTrace> out;
+  const size_t count = std::min(n, size_);
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // next_ - 1 is the newest entry; walk backwards.
+    const size_t idx = (next_ + ring_.size() - 1 - i) % ring_.size();
+    out.push_back(ring_[idx]);
+  }
+  return out;
+}
+
+}  // namespace hopdb

@@ -1,0 +1,92 @@
+// Per-request tracing primitives.
+//
+// Every request that enters the server carries a RequestTrace by value.
+// The I/O thread stamps accepted/parsed, the sink stamps enqueued, the
+// worker stamps dequeued/executed, and the owning I/O thread stamps
+// encoded/written as the response bytes leave the socket.  Once the last
+// byte of a response has been handed to the kernel the completed trace is
+// delivered to RequestSink::HandleTraceDone, which feeds the stage
+// histograms, the slow-query log, and (for sampled requests) the in-memory
+// trace ring served by `TRACE LAST n`.
+//
+// All timestamps are steady-clock nanoseconds (never wall clock), so
+// differences are meaningful even across NTP slews.  trace_id is nonzero
+// only for sampled requests; stage timestamps are stamped unconditionally
+// because a steady_clock read is a few nanoseconds and the per-stage
+// histograms must cover every request, not a sample.
+
+#ifndef HOPDB_SERVER_TRACE_H_
+#define HOPDB_SERVER_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace hopdb {
+
+// Steady-clock now, in nanoseconds.
+inline uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// One request's journey through the pipeline.  Plain value type; copied
+// into the work queue and the completion slot alongside the response.
+struct RequestTrace {
+  uint64_t trace_id = 0;  // nonzero iff sampled into the trace ring
+  RequestKind kind = RequestKind::kPing;
+  WireStatus status = WireStatus::kOk;
+  bool parse_error = false;  // request never parsed; kind is meaningless
+  bool shed = false;         // rejected at admission (BUSY); never queued
+
+  // Stage timestamps, steady-clock ns.  Monotonically non-decreasing in
+  // declaration order for every delivered trace.
+  uint64_t accepted_ns = 0;  // bytes for this request seen on the socket
+  uint64_t parsed_ns = 0;    // framing + verb parse finished
+  uint64_t enqueued_ns = 0;  // pushed to (or rejected by) the work queue
+  uint64_t dequeued_ns = 0;  // popped by a worker
+  uint64_t executed_ns = 0;  // response computed
+  uint64_t encoded_ns = 0;   // response serialized to the output buffer
+  uint64_t written_ns = 0;   // last response byte accepted by the kernel
+
+  bool sampled() const { return trace_id != 0; }
+  uint64_t total_us() const { return StageUs(accepted_ns, written_ns); }
+  uint64_t parse_us() const { return StageUs(accepted_ns, parsed_ns); }
+  uint64_t queue_wait_us() const { return StageUs(enqueued_ns, dequeued_ns); }
+  uint64_t execute_us() const { return StageUs(dequeued_ns, executed_ns); }
+  uint64_t write_us() const { return StageUs(executed_ns, written_ns); }
+
+  // Saturating stage width in microseconds (0 if the clock stamps are
+  // out of order, which only happens for stages a request skipped).
+  static uint64_t StageUs(uint64_t begin_ns, uint64_t end_ns) {
+    return end_ns > begin_ns ? (end_ns - begin_ns) / 1000 : 0;
+  }
+};
+
+// Fixed-capacity ring of recently completed sampled traces.  Mutex-guarded:
+// it is only touched for sampled requests (default 1-in-100), so contention
+// is negligible next to the socket write that precedes each push.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+
+  void Push(const RequestTrace& trace);
+
+  // Up to n most recent traces, newest first.
+  std::vector<RequestTrace> Last(size_t n) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RequestTrace> ring_;
+  size_t next_ = 0;  // slot the next push writes
+  size_t size_ = 0;  // number of valid entries (<= ring_.size())
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_SERVER_TRACE_H_

@@ -22,6 +22,7 @@
 #include "server/index_registry.h"
 #include "server/server.h"
 #include "util/cli.h"
+#include "util/log.h"
 #include "util/random.h"
 #include "util/serde.h"
 #include "util/string_util.h"
@@ -454,6 +455,14 @@ Status CmdServe(CliFlags* flags, int argc, char** argv, std::ostream& out) {
                 "max unanswered pipelined requests per connection before "
                 "its socket pauses");
   flags->Define("batch", "32", "max requests per worker wakeup (micro-batch)");
+  flags->Define("trace-sample-rate", "0.01",
+                "fraction of requests recorded into the TRACE LAST ring "
+                "(0 disables sampling; per-stage metrics are always on)");
+  flags->Define("trace-ring", "1024",
+                "capacity of the sampled-trace ring TRACE LAST reads");
+  flags->Define("slow-query-us", "0",
+                "emit a JSON slow_query log line for requests at or above "
+                "this accepted-to-written latency in microseconds (0 off)");
   flags->Define("duration", "0",
                 "seconds to serve before exiting (0 = until killed)");
   HOPDB_RETURN_NOT_OK(flags->Parse(argc, argv));
@@ -478,7 +487,14 @@ Status CmdServe(CliFlags* flags, int argc, char** argv, std::ostream& out) {
   options.max_inflight_per_conn =
       static_cast<uint32_t>(flags->GetUint("max-inflight"));
   options.max_micro_batch = static_cast<uint32_t>(flags->GetUint("batch"));
+  options.trace_sample_rate = flags->GetDouble("trace-sample-rate");
+  options.trace_ring_capacity = flags->GetUint("trace-ring");
+  options.slow_query_us = flags->GetUint("slow-query-us");
   options.source_path = specs[0].path;
+
+  // A foreground server wants its lifecycle events (start/stop,
+  // attach/detach/reload) on stderr, not just warnings.
+  SetJsonLogMinLevel(JsonLogLevel::kInfo);
 
   // The default index loads by file magic: HLI2 maps zero-copy, HLI1 /
   // HLC1 deserialize onto the heap.
@@ -563,20 +579,31 @@ Status CmdClient(CliFlags* flags, int argc, char** argv, std::ostream& out) {
     if (!v2) return client.RoundTrip(line);
     HOPDB_ASSIGN_OR_RETURN(Request request, ParseRequest(line));
     HOPDB_ASSIGN_OR_RETURN(WireResponse response, client.Call(request));
+    // Blob payloads (METRICS, TRACE) print as their body, matching what
+    // RoundTrip returns on a v1 connection.
+    if (response.status == WireStatus::kOk &&
+        response.payload == WirePayload::kBlob) {
+      return response.text;
+    }
     return EncodeResponseV1(response);
+  };
+  auto print_response = [&](std::string response) {
+    // Blob bodies end in their own newline; avoid printing a blank line.
+    while (!response.empty() && response.back() == '\n') response.pop_back();
+    out << response << "\n";
   };
 
   const std::string cmd = flags->GetString("cmd");
   if (!cmd.empty()) {
     HOPDB_ASSIGN_OR_RETURN(std::string response, round_trip(cmd));
-    out << response << "\n";
+    print_response(std::move(response));
     return Status::OK();
   }
   std::string line;
   while (std::getline(std::cin, line)) {
     if (TrimString(line).empty()) continue;
     HOPDB_ASSIGN_OR_RETURN(std::string response, round_trip(line));
-    out << response << "\n";
+    print_response(std::move(response));
     out.flush();
   }
   return Status::OK();
@@ -600,10 +627,11 @@ void PrintUsage(std::ostream& out) {
          "  serve   serve indexes over TCP (--index F | --index NAME=F,\n"
          "          repeatable; --port P --threads T (0 = all cores, the\n"
          "          default) --io-threads I --cache-capacity C --backlog B\n"
-         "          --max-inflight M); HLI2 files are served zero-copy from\n"
-         "          the page cache;\n"
-         "          protocol: DIST/BATCH/KNN/STATS/RELOAD/ATTACH/DETACH/USE\n"
-         "          (ASCII lines, or the v2 binary framing after the magic)\n"
+         "          --max-inflight M --trace-sample-rate R --slow-query-us\n"
+         "          U); HLI2 files are served zero-copy from the page cache;\n"
+         "          protocol: DIST/BATCH/KNN/STATS/METRICS/TRACE/RELOAD/\n"
+         "          ATTACH/DETACH/USE (ASCII lines, or the v2 binary\n"
+         "          framing after the magic)\n"
          "  client  connect to a server (--host H --port P [--cmd LINE]\n"
          "          [--protocol v1|v2])\n"
          "  help    this text\n"

@@ -1,0 +1,25 @@
+#include "util/build_info.h"
+
+// HOPDB_GIT_SHA / HOPDB_VERSION are injected as compile definitions on
+// this one translation unit by CMakeLists.txt, so touching the sha only
+// recompiles this file.
+
+namespace hopdb {
+
+const char* BuildGitSha() {
+#ifdef HOPDB_GIT_SHA
+  return HOPDB_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+const char* BuildVersion() {
+#ifdef HOPDB_VERSION
+  return HOPDB_VERSION;
+#else
+  return "0.0.0";
+#endif
+}
+
+}  // namespace hopdb

@@ -1,0 +1,19 @@
+// Build provenance, surfaced by STATS (build_git_sha=...) and the
+// Prometheus hopdb_build_info gauge so dashboards can correlate a
+// latency change with the exact binary that caused it.
+
+#ifndef HOPDB_UTIL_BUILD_INFO_H_
+#define HOPDB_UTIL_BUILD_INFO_H_
+
+namespace hopdb {
+
+/// Short git commit sha the binary was configured from, or "unknown"
+/// when the source tree was not a git checkout at configure time.
+const char* BuildGitSha();
+
+/// Project version (CMake PROJECT_VERSION).
+const char* BuildVersion();
+
+}  // namespace hopdb
+
+#endif  // HOPDB_UTIL_BUILD_INFO_H_

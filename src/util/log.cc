@@ -1,0 +1,148 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "util/string_util.h"
+
+namespace hopdb {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(JsonLogLevel::kWarning)};
+
+// Guards emission (one write per line keeps lines whole anyway, but the
+// sink override makes the mutex the simple correct choice) and the sink.
+std::mutex g_emit_mu;
+std::function<void(const std::string&)>& Sink() {
+  static std::function<void(const std::string&)> sink;
+  return sink;
+}
+
+const char* LevelName(JsonLogLevel level) {
+  switch (level) {
+    case JsonLogLevel::kDebug:
+      return "debug";
+    case JsonLogLevel::kInfo:
+      return "info";
+    case JsonLogLevel::kWarning:
+      return "warning";
+    case JsonLogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void SetJsonLogMinLevel(JsonLogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+JsonLogLevel GetJsonLogMinLevel() {
+  return static_cast<JsonLogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetJsonLogSink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(g_emit_mu);
+  Sink() = std::move(sink);
+}
+
+JsonLogLine::JsonLogLine(JsonLogLevel level, std::string_view event)
+    : enabled_(static_cast<int>(level) >=
+               g_min_level.load(std::memory_order_relaxed)) {
+  if (!enabled_) return;
+  const double ts =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count() /
+      1000.0;
+  line_ = "{\"ts\":" + FormatDouble(ts, 3) + ",\"level\":\"";
+  line_ += LevelName(level);
+  line_ += "\",\"event\":\"";
+  AppendJsonEscaped(&line_, event);
+  line_ += '"';
+}
+
+JsonLogLine::~JsonLogLine() {
+  if (!enabled_) return;
+  line_ += '}';
+  std::lock_guard<std::mutex> lock(g_emit_mu);
+  if (Sink()) {
+    Sink()(line_);
+  } else {
+    std::fprintf(stderr, "%s\n", line_.c_str());
+  }
+}
+
+void JsonLogLine::AppendKey(std::string_view key) {
+  line_ += ",\"";
+  AppendJsonEscaped(&line_, key);
+  line_ += "\":";
+}
+
+JsonLogLine& JsonLogLine::Str(std::string_view key, std::string_view value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_ += '"';
+  AppendJsonEscaped(&line_, value);
+  line_ += '"';
+  return *this;
+}
+
+JsonLogLine& JsonLogLine::Num(std::string_view key, uint64_t value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_ += std::to_string(value);
+  return *this;
+}
+
+JsonLogLine& JsonLogLine::Fixed(std::string_view key, double value,
+                                int decimals) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_ += FormatDouble(value, decimals);
+  return *this;
+}
+
+JsonLogLine& JsonLogLine::Bool(std::string_view key, bool value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
+}  // namespace hopdb

@@ -1,0 +1,71 @@
+// Structured JSON event log: one self-describing JSON object per line on
+// stderr, machine-parseable by log shippers and greppable by humans.
+// Used server-wide for operational events (start/stop, index lifecycle,
+// slow queries) instead of ad-hoc stderr prints.
+//
+// Usage:
+//   JsonLogLine(JsonLogLevel::kWarning, "slow_query")
+//       .Num("total_us", total)
+//       .Str("verb", "dist");
+// emits (atomically, on destruction):
+//   {"ts":1723111845.123,"level":"warning","event":"slow_query",
+//    "total_us":1234,"verb":"dist"}
+//
+// Lines below the process-wide minimum level are dropped at construction
+// time, so a disabled line costs one relaxed atomic load and builds no
+// string. The default minimum is kWarning: a library user sees nothing
+// unless something is wrong; `hopdb_cli serve` raises verbosity to kInfo
+// so operators get lifecycle events.
+
+#ifndef HOPDB_UTIL_LOG_H_
+#define HOPDB_UTIL_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace hopdb {
+
+enum class JsonLogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Process-wide minimum level; lines below it are dropped.
+void SetJsonLogMinLevel(JsonLogLevel level);
+JsonLogLevel GetJsonLogMinLevel();
+
+/// Test hook: redirect emitted lines (without the trailing newline) to
+/// `sink` instead of stderr. Pass nullptr to restore stderr. Not
+/// thread-safe against concurrent emission; install before starting the
+/// server under test.
+void SetJsonLogSink(std::function<void(const std::string&)> sink);
+
+/// One JSON log line, built field by field and emitted on destruction.
+class JsonLogLine {
+ public:
+  JsonLogLine(JsonLogLevel level, std::string_view event);
+  ~JsonLogLine();
+
+  JsonLogLine(const JsonLogLine&) = delete;
+  JsonLogLine& operator=(const JsonLogLine&) = delete;
+
+  JsonLogLine& Str(std::string_view key, std::string_view value);
+  JsonLogLine& Num(std::string_view key, uint64_t value);
+  /// Fixed-point double (FormatDouble semantics), e.g. ratios/seconds.
+  JsonLogLine& Fixed(std::string_view key, double value, int decimals);
+  JsonLogLine& Bool(std::string_view key, bool value);
+
+ private:
+  void AppendKey(std::string_view key);
+
+  bool enabled_;
+  std::string line_;
+};
+
+}  // namespace hopdb
+
+#endif  // HOPDB_UTIL_LOG_H_

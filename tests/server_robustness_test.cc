@@ -31,6 +31,7 @@
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
+#include "server/trace.h"
 #include "util/string_util.h"
 
 namespace hopdb {
@@ -204,6 +205,69 @@ TEST_F(ServerRobustnessTest, PipelinedRequestsExecuteConcurrently) {
   EXPECT_TRUE(overlap_seen)
       << "later pipelined requests never executed while the first was "
          "in flight";
+}
+
+// Stage timestamps must stay monotonic even when pipelined requests
+// overlap on the workers and their responses are buffered in completion
+// slots out of execution order: request N+1 can finish executing before
+// request N, but every delivered trace still reads
+// accepted ≤ parsed ≤ enqueued ≤ dequeued ≤ executed ≤ encoded ≤ written
+// because each stamp is taken by the thread that owns that stage.
+TEST_F(ServerRobustnessTest, TraceTimestampsMonotonicUnderPipelining) {
+  constexpr VertexId kBlockedSrc = 111;
+  std::mutex mu;
+  std::condition_variable cv;
+  int others_dispatched = 0;
+
+  ServerOptions options;
+  options.num_workers = 4;
+  options.max_micro_batch = 1;
+  options.trace_sample_rate = 1.0;
+  options.trace_ring_capacity = 16;
+  options.pre_execute_hook = [&](const Request& request) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (request.kind == RequestKind::kDist && request.src == kBlockedSrc) {
+      cv.wait_for(lock, std::chrono::seconds(10),
+                  [&] { return others_dispatched >= 3; });
+      return;
+    }
+    ++others_dispatched;
+    cv.notify_all();
+  };
+  StartServer(std::move(options));
+
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server_->port()));
+  ASSERT_TRUE(
+      conn.SendAll("DIST 111 999999\nDIST 5 6\nDIST 7 8\nDIST 9 10\n"));
+  std::string line;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(conn.RecvLine(&line));
+  }
+
+  // Traces are delivered after the response bytes hit the kernel, so
+  // the client being done does not mean the ring is full yet.
+  std::vector<RequestTrace> traces;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    traces = server_->RecentTraces(16);
+    if (traces.size() >= 4) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(traces.size(), 4u);
+  for (const RequestTrace& trace : traces) {
+    SCOPED_TRACE("trace_id=" + std::to_string(trace.trace_id));
+    EXPECT_GT(trace.accepted_ns, 0u);
+    EXPECT_LE(trace.accepted_ns, trace.parsed_ns);
+    EXPECT_LE(trace.parsed_ns, trace.enqueued_ns);
+    EXPECT_LE(trace.enqueued_ns, trace.dequeued_ns);
+    EXPECT_LE(trace.dequeued_ns, trace.executed_ns);
+    EXPECT_LE(trace.executed_ns, trace.encoded_ns);
+    EXPECT_LE(trace.encoded_ns, trace.written_ns);
+    EXPECT_FALSE(trace.shed);
+    EXPECT_FALSE(trace.parse_error);
+  }
 }
 
 // Saturating the work queue must shed with a distinct, retryable BUSY

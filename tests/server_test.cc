@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -26,7 +27,9 @@
 #include "server/request_queue.h"
 #include "server/result_cache.h"
 #include "server/server.h"
+#include "server/trace.h"
 #include "io/temp_dir.h"
+#include "util/log.h"
 #include "util/string_util.h"
 
 namespace hopdb {
@@ -520,6 +523,113 @@ TEST(MetricsTest, PercentilesFromHistogram) {
             metrics.LatencyPercentileUs(50));
 }
 
+TEST(MetricsTest, PercentileEdgeCases) {
+  LatencyHistogram hist;
+  // Empty: every percentile (clamped or not) answers 0.
+  EXPECT_EQ(hist.PercentileUs(0), 0u);
+  EXPECT_EQ(hist.PercentileUs(50), 0u);
+  EXPECT_EQ(hist.PercentileUs(100), 0u);
+
+  hist.Record(3);  // bucket [2, 4)
+  // p=0 and out-of-range p clamp, and the rank floors at 1, so a
+  // single-sample histogram answers that sample's bucket everywhere.
+  EXPECT_EQ(hist.PercentileUs(0), 4u);
+  EXPECT_EQ(hist.PercentileUs(-10), 4u);
+  EXPECT_EQ(hist.PercentileUs(100), 4u);
+  EXPECT_EQ(hist.PercentileUs(640), 4u);
+}
+
+TEST(MetricsTest, TopBucketSaturates) {
+  LatencyHistogram hist;
+  // Values beyond the last bucket boundary land in the top bucket
+  // instead of being dropped or indexing out of range.
+  hist.Record(UINT64_MAX);
+  hist.Record(LatencyHistogram::BucketUpperBoundUs(
+      LatencyHistogram::kBuckets - 1));
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(
+      hist.PercentileUs(100),
+      LatencyHistogram::BucketUpperBoundUs(LatencyHistogram::kBuckets - 1));
+  const auto buckets = hist.BucketSnapshot();
+  EXPECT_EQ(buckets[LatencyHistogram::kBuckets - 1], 2u);
+}
+
+RequestTrace MakeTrace(RequestKind kind, WireStatus status) {
+  RequestTrace trace;
+  trace.kind = kind;
+  trace.status = status;
+  trace.accepted_ns = 1000;
+  trace.parsed_ns = 2000;
+  trace.enqueued_ns = 3000;
+  trace.dequeued_ns = 53000;     // 50us queue wait
+  trace.executed_ns = 153000;    // 100us execute
+  trace.encoded_ns = 154000;
+  trace.written_ns = 163000;     // 10us write, 162us total
+  return trace;
+}
+
+TEST(MetricsTest, RecordTraceRoutesOkAndDegraded) {
+  ServerMetrics metrics;
+  metrics.RecordTrace(MakeTrace(RequestKind::kDist, WireStatus::kOk));
+  EXPECT_EQ(metrics.latency_histogram().count(), 1u);
+  EXPECT_EQ(metrics.degraded_histogram().count(), 0u);
+  EXPECT_EQ(metrics.queue_wait_histogram().count(), 1u);
+  EXPECT_EQ(metrics.execute_histogram().count(), 1u);
+  EXPECT_EQ(metrics.write_histogram().count(), 1u);
+  EXPECT_EQ(metrics.verb_histogram(RequestKind::kDist).count(), 1u);
+
+  // An ERR answer goes to the degraded histogram but still carries its
+  // verb and stage durations (it traversed the whole pipeline).
+  metrics.RecordTrace(MakeTrace(RequestKind::kKnn, WireStatus::kErr));
+  EXPECT_EQ(metrics.latency_histogram().count(), 1u);
+  EXPECT_EQ(metrics.degraded_histogram().count(), 1u);
+  EXPECT_EQ(metrics.verb_histogram(RequestKind::kKnn).count(), 1u);
+  EXPECT_EQ(metrics.queue_wait_histogram().count(), 2u);
+
+  // Shed requests never traverse the queue: degraded + verb only.
+  RequestTrace shed = MakeTrace(RequestKind::kDist, WireStatus::kBusy);
+  shed.shed = true;
+  metrics.RecordTrace(shed);
+  EXPECT_EQ(metrics.degraded_histogram().count(), 2u);
+  EXPECT_EQ(metrics.queue_wait_histogram().count(), 2u);
+  EXPECT_EQ(metrics.execute_histogram().count(), 2u);
+  EXPECT_EQ(metrics.verb_histogram(RequestKind::kDist).count(), 2u);
+
+  // Parse errors have no meaningful verb: degraded + write only.
+  RequestTrace bad = MakeTrace(RequestKind::kPing, WireStatus::kErr);
+  bad.parse_error = true;
+  metrics.RecordTrace(bad);
+  EXPECT_EQ(metrics.degraded_histogram().count(), 3u);
+  EXPECT_EQ(metrics.verb_histogram(RequestKind::kPing).count(), 0u);
+  EXPECT_EQ(metrics.write_histogram().count(), 4u);
+
+  // Sampling is orthogonal to recording.
+  EXPECT_EQ(metrics.traces_sampled(), 0u);
+  RequestTrace sampled = MakeTrace(RequestKind::kDist, WireStatus::kOk);
+  sampled.trace_id = 7;
+  metrics.RecordTrace(sampled);
+  EXPECT_EQ(metrics.traces_sampled(), 1u);
+}
+
+TEST(TraceRingTest, WrapsAndReturnsNewestFirst) {
+  TraceRing ring(4);
+  EXPECT_TRUE(ring.Last(8).empty());
+  for (uint64_t id = 1; id <= 6; ++id) {
+    RequestTrace trace;
+    trace.trace_id = id;
+    ring.Push(trace);
+  }
+  const std::vector<RequestTrace> last = ring.Last(8);
+  ASSERT_EQ(last.size(), 4u);  // capacity bounds the answer
+  EXPECT_EQ(last[0].trace_id, 6u);
+  EXPECT_EQ(last[1].trace_id, 5u);
+  EXPECT_EQ(last[2].trace_id, 4u);
+  EXPECT_EQ(last[3].trace_id, 3u);
+  const std::vector<RequestTrace> two = ring.Last(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].trace_id, 6u);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end server
 // ---------------------------------------------------------------------------
@@ -881,6 +991,158 @@ TEST(ServerLifecycleTest, PortZeroPicksEphemeralPortAndRebinds) {
   EXPECT_NE(a->port(), 0);
   EXPECT_NE(b->port(), 0);
   EXPECT_NE(a->port(), b->port());
+}
+
+// ---------------------------------------------------------------------------
+// Tracing + telemetry end to end
+// ---------------------------------------------------------------------------
+
+// Completed traces are delivered on the I/O thread *after* the response
+// bytes reach the kernel, so a client that has read its answer may still
+// be a few microseconds ahead of HandleTraceDone.  Poll, don't assert.
+template <typename Pred>
+bool WaitFor(Pred pred, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+class TracingEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = CsrGraph::FromEdgeList(TestGraph(200, /*seed=*/23)).ValueOrDie();
+    ServerOptions options;
+    options.num_workers = 2;
+    options.trace_sample_rate = 1.0;  // every request lands in the ring
+    options.trace_ring_capacity = 64;
+    server_ = DistanceServer::Start(HopDbIndex::Build(graph_).ValueOrDie(),
+                                    options)
+                  .ValueOrDie();
+    client_ = DistanceClient::Connect("127.0.0.1", server_->port())
+                  .ValueOrDie();
+  }
+
+  CsrGraph graph_;
+  std::unique_ptr<DistanceServer> server_;
+  DistanceClient client_;
+};
+
+TEST_F(TracingEndToEndTest, MetricsBlobIsPrometheusText) {
+  ASSERT_TRUE(StartsWith(*client_.RoundTrip("DIST 5 20"), "OK "));
+  const std::string body = *client_.RoundTrip("METRICS");
+  // RoundTrip unwraps the blob framing: the body is the exposition text.
+  EXPECT_TRUE(StartsWith(body, "# HELP ")) << body.substr(0, 200);
+  EXPECT_NE(body.find("# TYPE hopdb_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("hopdb_build_info{"), std::string::npos);
+  EXPECT_NE(body.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(body.find("hopdb_stage_duration_us_bucket{stage=\"execute\""),
+            std::string::npos);
+  // v2 carries the same bytes as a blob payload.
+  auto v2 = DistanceClient::Connect("127.0.0.1", server_->port(),
+                                    DistanceClient::Protocol::kV2)
+                .ValueOrDie();
+  const WireResponse response =
+      *v2.Call(ParseRequest("METRICS").ValueOrDie());
+  EXPECT_EQ(response.status, WireStatus::kOk);
+  EXPECT_EQ(response.payload, WirePayload::kBlob);
+  EXPECT_NE(response.text.find("hopdb_requests_total"), std::string::npos);
+}
+
+TEST_F(TracingEndToEndTest, TraceRingCapturesMonotonicStages) {
+  ASSERT_TRUE(StartsWith(*client_.RoundTrip("DIST 5 20"), "OK "));
+  ASSERT_EQ(*client_.RoundTrip("PING"), "OK pong");
+  ASSERT_TRUE(WaitFor([&] { return server_->RecentTraces(8).size() >= 2; }));
+
+  for (const RequestTrace& trace : server_->RecentTraces(8)) {
+    EXPECT_NE(trace.trace_id, 0u);
+    EXPECT_GT(trace.accepted_ns, 0u);
+    EXPECT_LE(trace.accepted_ns, trace.parsed_ns);
+    EXPECT_LE(trace.parsed_ns, trace.enqueued_ns);
+    EXPECT_LE(trace.enqueued_ns, trace.dequeued_ns);
+    EXPECT_LE(trace.dequeued_ns, trace.executed_ns);
+    EXPECT_LE(trace.executed_ns, trace.encoded_ns);
+    EXPECT_LE(trace.encoded_ns, trace.written_ns);
+    EXPECT_EQ(trace.status, WireStatus::kOk);
+  }
+
+  // The TRACE verb renders the same ring as a blob span table.
+  const std::string table = *client_.RoundTrip("TRACE LAST 8");
+  EXPECT_TRUE(StartsWith(table, "trace_id ")) << table.substr(0, 120);
+  EXPECT_NE(table.find(" dist "), std::string::npos) << table;
+  EXPECT_NE(table.find(" ping "), std::string::npos) << table;
+  EXPECT_TRUE(StartsWith(*client_.RoundTrip("TRACE LAST 0"), "ERR "));
+}
+
+TEST_F(TracingEndToEndTest, DegradedRequestsLandInDegradedHistogram) {
+  const uint64_t ok_before = server_->metrics().latency_histogram().count();
+  ASSERT_TRUE(StartsWith(*client_.RoundTrip("NOSUCH 1 2"), "ERR "));
+  ASSERT_TRUE(StartsWith(*client_.RoundTrip("DIST 0 999999"), "ERR "));
+  ASSERT_TRUE(WaitFor(
+      [&] { return server_->metrics().degraded_histogram().count() >= 2; }));
+  // Error answers never inflate the healthy latency distribution, and a
+  // parse error never lands in any verb histogram.
+  EXPECT_EQ(server_->metrics().latency_histogram().count(), ok_before);
+  ASSERT_TRUE(WaitFor([&] {
+    return server_->metrics().verb_histogram(RequestKind::kDist).count() >= 1;
+  }));
+}
+
+TEST_F(TracingEndToEndTest, StatsExportsBuildAndStageKeys) {
+  ASSERT_TRUE(StartsWith(*client_.RoundTrip("DIST 5 20"), "OK "));
+  ASSERT_TRUE(WaitFor(
+      [&] { return server_->metrics().execute_histogram().count() >= 1; }));
+  const std::string stats = *client_.RoundTrip("STATS");
+  for (const char* key :
+       {"uptime_seconds=", "build_git_sha=", "queue_wait_p99_us=",
+        "execute_p50_us=", "write_p99_us=", "degraded_p99_us=",
+        "slow_queries=", "traces_sampled="}) {
+    EXPECT_NE(stats.find(key), std::string::npos) << key << "\n" << stats;
+  }
+}
+
+TEST(SlowQueryLogTest, EmitsStructuredJsonLine) {
+  std::mutex mu;
+  std::vector<std::string> lines;
+  SetJsonLogSink([&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  });
+
+  ServerOptions options;
+  options.num_workers = 1;
+  options.slow_query_us = 1;  // every request overruns the budget
+  auto server = DistanceServer::Start(
+                    HopDbIndex::Build(TestGraph(100, /*seed=*/9)).ValueOrDie(),
+                    options)
+                    .ValueOrDie();
+  auto client =
+      DistanceClient::Connect("127.0.0.1", server->port()).ValueOrDie();
+  ASSERT_TRUE(StartsWith(*client.RoundTrip("DIST 3 7"), "OK "));
+
+  std::string slow_line;
+  ASSERT_TRUE(WaitFor([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const std::string& line : lines) {
+      if (line.find("\"event\":\"slow_query\"") != std::string::npos) {
+        slow_line = line;
+        return true;
+      }
+    }
+    return false;
+  }));
+  EXPECT_NE(slow_line.find("\"verb\":\"dist\""), std::string::npos)
+      << slow_line;
+  EXPECT_NE(slow_line.find("\"total_us\":"), std::string::npos) << slow_line;
+  EXPECT_NE(slow_line.find("\"queue_us\":"), std::string::npos) << slow_line;
+  ASSERT_TRUE(WaitFor([&] { return server->metrics().slow_queries() >= 1; }));
+
+  server->Stop();
+  SetJsonLogSink(nullptr);  // restore stderr for later tests
 }
 
 TEST(ServerLifecycleTest, BindToBusyPortFails) {

@@ -19,6 +19,9 @@
 5. v2 opcode drift: the V2Opcode enum in src/server/protocol.h and the
    opcode table in docs/PROTOCOL.md must agree on every value <-> verb
    pair.
+6. Metric family drift: every Prometheus family the METRICS verb emits
+   (the PromFamily call sites in src/server/server.cc) must appear in
+   the metric-family table of docs/OPERATIONS.md and vice versa.
 
 Exit status 0 = clean, 1 = at least one failure (each printed).
 """
@@ -50,8 +53,15 @@ DOC_MAGIC_ROW_RE = re.compile(r"^\|\s*`([A-Z0-9]{4})`\s*\|")
 # server.cc:  AppendStat(&payload, "key", ...) / AppendIndexStat(..., "key", ...)
 APPEND_STAT_RE = re.compile(r'AppendStat\(&payload,\s*"([a-z0-9_]+)"')
 APPEND_INDEX_STAT_RE = re.compile(r'AppendIndexStat\(&payload,[^,]+,\s*"([a-z0-9_]+)"')
-# OPERATIONS.md table rows: | `key` | ... |
-DOC_STAT_ROW_RE = re.compile(r"^\|\s*`((?:index\.<name>\.)?[a-z0-9_]+)`\s*\|")
+# OPERATIONS.md table rows: | `key` | ... |  (hopdb_* rows belong to the
+# Prometheus metric-family table, not the STATS key table)
+DOC_STAT_ROW_RE = re.compile(
+    r"^\|\s*`((?!hopdb_)(?:index\.<name>\.)?[a-z0-9_]+)`\s*\|"
+)
+# server.cc: PromFamily(&text, "hopdb_requests_total", ...)
+PROM_FAMILY_RE = re.compile(r'PromFamily\(&\w+,\s*"(hopdb_[a-z0-9_]+)"')
+# OPERATIONS.md metric table rows: | `hopdb_requests_total` | ... |
+DOC_METRIC_ROW_RE = re.compile(r"^\|\s*`(hopdb_[a-z0-9_]+)`")
 # protocol.h: enum class V2Opcode : uint8_t { kDist = 1, ... };
 V2_ENUM_RE = re.compile(
     r"enum\s+class\s+V2Opcode\s*:\s*uint8_t\s*\{([^}]*)\}", re.DOTALL
@@ -236,6 +246,39 @@ def check_stats_keys(root: pathlib.Path) -> list[str]:
     return failures
 
 
+def check_metric_families(root: pathlib.Path) -> list[str]:
+    """Every Prometheus family METRICS emits must be documented, and
+    vice versa."""
+    server_cc = root / "src" / "server" / "server.cc"
+    operations_md = root / "docs" / "OPERATIONS.md"
+    if not operations_md.exists():
+        return ["docs/OPERATIONS.md is missing (metrics reference is "
+                "required)"]
+    code_families = set(
+        PROM_FAMILY_RE.findall(server_cc.read_text(encoding="utf-8"))
+    )
+    doc_families = {
+        m.group(1)
+        for line in operations_md.read_text(encoding="utf-8").splitlines()
+        if (m := DOC_METRIC_ROW_RE.match(line.strip()))
+    }
+    failures = []
+    for family in sorted(code_families - doc_families):
+        failures.append(
+            f"server.cc emits metric family '{family}' but "
+            "docs/OPERATIONS.md does not document it"
+        )
+    for family in sorted(doc_families - code_families):
+        failures.append(
+            f"docs/OPERATIONS.md documents metric family '{family}' but "
+            "server.cc does not emit it"
+        )
+    if not code_families:
+        failures.append("no PromFamily call sites found in server.cc "
+                        "(parser drifted?)")
+    return failures
+
+
 def check_v2_opcodes(root: pathlib.Path) -> list[str]:
     """The V2Opcode enum and the PROTOCOL.md opcode table must agree."""
     protocol_h = root / "src" / "server" / "protocol.h"
@@ -295,6 +338,7 @@ def main() -> int:
     failures = check_links(root)
     failures += check_format_magics(root)
     failures += check_stats_keys(root)
+    failures += check_metric_families(root)
     failures += check_v2_opcodes(root)
     if args.cli_bin:
         failures += check_cli_help(root, args.cli_bin)
@@ -305,7 +349,7 @@ def main() -> int:
         checked = sum(1 for _ in iter_markdown_files(root))
         print(
             f"docs OK: {checked} markdown files, links resolve, format "
-            "magics + STATS keys + v2 opcodes in sync"
+            "magics + STATS keys + metric families + v2 opcodes in sync"
             + (", CLI help in sync" if args.cli_bin else "")
         )
     return 1 if failures else 0
