@@ -154,4 +154,15 @@ Result<EdgeList> ReadBinaryGraph(const std::string& path) {
   return out;
 }
 
+Result<EdgeList> LoadGraphFile(const std::string& path, bool directed,
+                               bool read_weights) {
+  if (EndsWith(path, ".hgr") || EndsWith(path, ".bin")) {
+    return ReadBinaryGraph(path);
+  }
+  TextGraphOptions options;
+  options.directed = directed;
+  options.read_weights = read_weights;
+  return ReadTextEdgeList(path, options);
+}
+
 }  // namespace hopdb

@@ -43,6 +43,13 @@ Status WriteTextEdgeList(const EdgeList& edges, const std::string& path);
 Status WriteBinaryGraph(const EdgeList& edges, const std::string& path);
 Result<EdgeList> ReadBinaryGraph(const std::string& path);
 
+/// Loads a graph by extension: .hgr/.bin read the self-describing HGR1
+/// binary (directed/weighted flags ignored); anything else reads a text
+/// edge list with the given options. The shared loader behind
+/// `hopdb_cli build/update` and the server's --graph registration.
+Result<EdgeList> LoadGraphFile(const std::string& path, bool directed,
+                               bool read_weights);
+
 }  // namespace hopdb
 
 #endif  // HOPDB_GRAPH_GRAPH_IO_H_

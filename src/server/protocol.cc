@@ -105,11 +105,47 @@ Result<Request> ParseTokens(const std::vector<std::string>& tokens,
     if (count == 2) request.path = token(1);
     return request;
   }
+  if (verb == "ADDEDGE") {
+    if (count != 3 && count != 4) {
+      return Status::InvalidArgument("usage: ADDEDGE <u> <v> [<w>]");
+    }
+    request.kind = RequestKind::kAddEdge;
+    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(token(1)));
+    request.targets.resize(1);
+    HOPDB_ASSIGN_OR_RETURN(request.targets[0], ParseVertex(token(2)));
+    request.k = 1;
+    if (count == 4) {
+      uint64_t w = 0;
+      if (!ParseUint64(token(3), &w) || w == 0 || w >= kInfDistance) {
+        return Status::InvalidArgument("bad edge weight '" + token(3) + "'");
+      }
+      request.k = static_cast<uint32_t>(w);
+    }
+    return request;
+  }
+  if (verb == "DELEDGE") {
+    if (count != 3) {
+      return Status::InvalidArgument("usage: DELEDGE <u> <v>");
+    }
+    request.kind = RequestKind::kDelEdge;
+    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(token(1)));
+    request.targets.resize(1);
+    HOPDB_ASSIGN_OR_RETURN(request.targets[0], ParseVertex(token(2)));
+    return request;
+  }
+  if (verb == "COMMIT") {
+    if (count != 1) {
+      return Status::InvalidArgument("usage: COMMIT");
+    }
+    request.kind = RequestKind::kCommit;
+    return request;
+  }
   if (routed) {
     // Everything below is whole-server scoped and must not carry a USE
     // prefix; nested USE is caught here too.
-    return Status::InvalidArgument("USE can only prefix DIST, BATCH, KNN, "
-                                   "or RELOAD (got '" + verb + "')");
+    return Status::InvalidArgument(
+        "USE can only prefix DIST, BATCH, KNN, RELOAD, ADDEDGE, DELEDGE, "
+        "or COMMIT (got '" + verb + "')");
   }
   if (verb == "USE") {
     if (count < 3) {
@@ -198,6 +234,12 @@ const char* RequestKindName(RequestKind kind) {
       return "metrics";
     case RequestKind::kTrace:
       return "trace";
+    case RequestKind::kAddEdge:
+      return "addedge";
+    case RequestKind::kDelEdge:
+      return "deledge";
+    case RequestKind::kCommit:
+      return "commit";
   }
   return "unknown";
 }
@@ -286,6 +328,20 @@ std::string FormatRequestV1(const Request& request) {
       break;
     case RequestKind::kPing:
       line += "PING";
+      break;
+    case RequestKind::kAddEdge:
+      line += "ADDEDGE " + std::to_string(request.src) + " " +
+              std::to_string(request.targets.empty() ? 0
+                                                     : request.targets[0]);
+      if (request.k != 1) line += " " + std::to_string(request.k);
+      break;
+    case RequestKind::kDelEdge:
+      line += "DELEDGE " + std::to_string(request.src) + " " +
+              std::to_string(request.targets.empty() ? 0
+                                                     : request.targets[0]);
+      break;
+    case RequestKind::kCommit:
+      line += "COMMIT";
       break;
   }
   return line;
@@ -448,6 +504,20 @@ void EncodeRequestV2(const Request& request, std::string* out) {
     case RequestKind::kTrace:
       opcode = V2Opcode::kTrace;
       arg = request.k;
+      break;
+    case RequestKind::kAddEdge:
+      opcode = V2Opcode::kAddEdge;
+      src = request.src;
+      arg = request.targets.empty() ? 0 : request.targets[0];
+      PutU32(&aux, request.k);  // edge weight
+      break;
+    case RequestKind::kDelEdge:
+      opcode = V2Opcode::kDelEdge;
+      src = request.src;
+      arg = request.targets.empty() ? 0 : request.targets[0];
+      break;
+    case RequestKind::kCommit:
+      opcode = V2Opcode::kCommit;
       break;
   }
   out->push_back(static_cast<char>(opcode));
@@ -616,6 +686,46 @@ FrameParse ParseRequestFrameV2(const char* data, size_t size,
       }
       request.kind = RequestKind::kTrace;
       request.k = arg;
+      break;
+    case V2Opcode::kAddEdge: {
+      if (aux_len != 4) {
+        *error = "v2 ADDEDGE frame: payload must be one u32 weight";
+        return FrameParse::kError;
+      }
+      if (src >= kInvalidVertex || arg >= kInvalidVertex) {
+        *error = "bad vertex id";
+        return FrameParse::kError;
+      }
+      const uint32_t weight = GetU32(aux);
+      if (weight == 0 || weight >= kInfDistance) {
+        *error = "v2 ADDEDGE frame: weight must be positive and finite";
+        return FrameParse::kError;
+      }
+      request.kind = RequestKind::kAddEdge;
+      request.src = src;
+      request.targets.assign(1, arg);
+      request.k = weight;
+      break;
+    }
+    case V2Opcode::kDelEdge:
+      if (aux_len != 0) {
+        *error = "v2 DELEDGE frame carries a payload";
+        return FrameParse::kError;
+      }
+      if (src >= kInvalidVertex || arg >= kInvalidVertex) {
+        *error = "bad vertex id";
+        return FrameParse::kError;
+      }
+      request.kind = RequestKind::kDelEdge;
+      request.src = src;
+      request.targets.assign(1, arg);
+      break;
+    case V2Opcode::kCommit:
+      if (aux_len != 0 || src != 0 || arg != 0) {
+        *error = "v2 COMMIT frame carries operands";
+        return FrameParse::kError;
+      }
+      request.kind = RequestKind::kCommit;
       break;
     default:
       *error = "unknown v2 opcode " + std::to_string(opcode);

@@ -12,7 +12,12 @@
 //   RELOAD [<path>]          hot-swap the index (default: reload source)
 //   ATTACH <name> <path>     load <path> and serve it as index <name>
 //   DETACH <name>            stop serving index <name>
-//   USE <name> <request>     route DIST/BATCH/KNN/RELOAD to index <name>
+//   ADDEDGE <u> <v> [<w>]    queue an edge insert/reweight (original ids)
+//   DELEDGE <u> <v>          queue an edge delete
+//   COMMIT                   repair labels for queued edits, publish a
+//                            new serving snapshot atomically
+//   USE <name> <request>     route DIST/BATCH/KNN/RELOAD/ADDEDGE/
+//                            DELEDGE/COMMIT to index <name>
 //   PING                     liveness probe
 // Responses:
 //   OK <payload>             success; payload shape depends on the verb
@@ -59,10 +64,13 @@ enum class RequestKind : uint8_t {
   kPing,
   kMetrics,
   kTrace,
+  kAddEdge,
+  kDelEdge,
+  kCommit,
 };
 
 /// Number of RequestKind enumerators (per-verb metrics arrays size).
-inline constexpr size_t kNumRequestKinds = 10;
+inline constexpr size_t kNumRequestKinds = 13;
 
 /// Lowercase verb name for metrics labels ("dist", "batch", ...).
 const char* RequestKindName(RequestKind kind);
@@ -73,7 +81,7 @@ struct Request {
   VertexId src = 0;
   /// BATCH target list (at least one entry).
   std::vector<VertexId> targets;
-  /// KNN neighbor count; TRACE LAST count.
+  /// KNN neighbor count; TRACE LAST count; ADDEDGE edge weight.
   uint32_t k = 0;
   /// RELOAD/ATTACH file path; for RELOAD, empty means "reload the path
   /// the index was loaded from".
@@ -168,13 +176,14 @@ std::string EncodeResponseV1(const WireResponse& response);
 //
 // Request frame: 16-byte header, then name_len bytes of index name
 // (USE-style routing; the ATTACH/DETACH operand), then aux_len payload
-// bytes (BATCH target ids / RELOAD-ATTACH path).
+// bytes (BATCH target ids / RELOAD-ATTACH path / ADDEDGE weight).
 //   u8  opcode      V2Opcode below
 //   u8  reserved    must be 0
 //   u16 name_len
 //   u32 aux_len
-//   u32 src         DIST/BATCH/KNN source vertex
-//   u32 arg         DIST: dst; BATCH: target count; KNN: k
+//   u32 src         DIST/BATCH/KNN source vertex; ADDEDGE/DELEDGE u
+//   u32 arg         DIST: dst; BATCH: target count; KNN: k;
+//                   ADDEDGE/DELEDGE: v
 //
 // Response frame: 12-byte header, then aux_len payload bytes.
 //   u8  status      WireStatus
@@ -202,6 +211,9 @@ enum class V2Opcode : uint8_t {
   kDetach = 8,
   kMetrics = 9,
   kTrace = 10,
+  kAddEdge = 11,
+  kDelEdge = 12,
+  kCommit = 13,
 };
 
 inline constexpr size_t kV2RequestHeaderBytes = 16;

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/graph_io.h"
 #include "labeling/query_kernel.h"
 #include "util/build_info.h"
 #include "util/log.h"
@@ -508,6 +509,12 @@ WireResponse DistanceServer::ExecuteWire(const Request& request) {
       return MetricsResponse();
     case RequestKind::kTrace:
       return TraceResponse(request.k);
+    case RequestKind::kAddEdge:
+      return HandleEdgeOp(request, /*is_delete=*/false);
+    case RequestKind::kDelEdge:
+      return HandleEdgeOp(request, /*is_delete=*/true);
+    case RequestKind::kCommit:
+      return HandleCommit(request.index_name);
     default:
       break;
   }
@@ -565,6 +572,9 @@ WireResponse DistanceServer::ExecuteOnWire(const Request& request,
     case RequestKind::kDetach:
     case RequestKind::kMetrics:
     case RequestKind::kTrace:
+    case RequestKind::kAddEdge:
+    case RequestKind::kDelEdge:
+    case RequestKind::kCommit:
       break;  // handled in ExecuteWire before snapshot resolution
   }
   return WireErr("unhandled request kind");
@@ -643,6 +653,11 @@ WireResponse DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
     AppendIndexStat(&payload, name, "mode", snap->map_mode());
     AppendIndexStat(&payload, name, "resident_bytes",
                     std::to_string(snap->ResidentBytes()));
+    const UpdateSessionInfo update = GetUpdateSessionInfo(name);
+    AppendIndexStat(&payload, name, "pending_updates",
+                    std::to_string(update.pending_updates));
+    AppendIndexStat(&payload, name, "last_commit_seconds",
+                    FormatDouble(update.last_commit_seconds, 3));
   }
   return WireOk(std::move(payload));
 }
@@ -846,6 +861,88 @@ WireResponse DistanceServer::HandleDetach(const std::string& name) {
   return WireOk("detached " + name);
 }
 
+WireResponse DistanceServer::HandleEdgeOp(const Request& request,
+                                          bool is_delete) {
+  const std::string resolved =
+      request.index_name.empty() ? kDefaultIndexName : request.index_name;
+  Result<std::shared_ptr<UpdateSession>> session_or =
+      GetUpdateSession(resolved);
+  if (!session_or.ok()) return WireErr(session_or.status().ToString());
+  const std::shared_ptr<UpdateSession> session =
+      std::move(session_or).value();
+  // Repair runs under the session mutex: its cost lands on the updating
+  // client while readers keep hitting the published snapshot lock-free.
+  std::lock_guard<std::mutex> lock(session->mu);
+  const Status loaded = EnsureSessionLoaded(resolved, session.get());
+  if (!loaded.ok()) return WireErr(loaded.ToString());
+  const RankMapping& ranking = session->index.ranking();
+  const VertexId n = ranking.size();
+  if (request.src >= n || request.targets[0] >= n) {
+    return ErrVertexOutOfRange(n);
+  }
+  UpdateOp op;
+  op.kind = is_delete ? UpdateOp::Kind::kDelEdge : UpdateOp::Kind::kAddEdge;
+  op.u = ranking.ToInternal(request.src);
+  op.v = ranking.ToInternal(request.targets[0]);
+  if (!is_delete) op.weight = static_cast<Distance>(request.k);
+  const Result<bool> changed = session->updater->Apply(op);
+  if (!changed.ok()) return WireErr(changed.status().ToString());
+  if (changed.value()) ++session->pending_updates;
+  return WireOk(std::string(changed.value() ? "applied" : "noop") +
+                " pending=" + std::to_string(session->pending_updates));
+}
+
+WireResponse DistanceServer::HandleCommit(const std::string& name) {
+  const std::string resolved =
+      name.empty() ? kDefaultIndexName : name;
+  std::shared_ptr<UpdateSession> session;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    auto it = update_sessions_.find(resolved);
+    if (it != update_sessions_.end()) session = it->second;
+  }
+  if (session == nullptr) return WireOk("nothing to commit");
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  if (!session->loaded || session->pending_updates == 0) {
+    return WireOk("nothing to commit");
+  }
+  Stopwatch commit_timer;
+  session->updater->Finalize();
+  // Deep-copy the repaired working index into the snapshot so later
+  // edge ops keep mutating the session copy, never a published one.
+  HopDbIndex published = session->index;
+  const uint64_t committed = session->pending_updates;
+  // Publish under the same per-name lock RELOAD uses, so a commit and a
+  // reload of one index serialize. Lock order is session->mu then the
+  // reload lock — InvalidateUpdateSession never takes session->mu, so
+  // the reverse order cannot arise.
+  std::lock_guard<std::mutex> reload_lock(*ReloadLockFor(resolved));
+  if (session->invalidated.load(std::memory_order_acquire)) {
+    return WireErr("index '" + resolved +
+                   "' was reloaded or detached; uncommitted updates were "
+                   "discarded");
+  }
+  const std::shared_ptr<const ServingSnapshot> current =
+      registry_.Find(resolved);
+  if (current == nullptr) return ErrNoSuchIndex(resolved);
+  auto snapshot = std::make_shared<ServingSnapshot>(
+      std::move(published), current->source_path(), options_.cache_capacity);
+  const VertexId vertices = snapshot->num_vertices();
+  const Status status = registry_.Publish(resolved, std::move(snapshot));
+  if (!status.ok()) return WireErr(status.ToString());
+  session->last_commit_seconds = commit_timer.Seconds();
+  session->commits++;
+  session->pending_updates = 0;
+  JsonLogLine(JsonLogLevel::kInfo, "index_commit")
+      .Str("name", resolved)
+      .Num("updates", committed)
+      .Fixed("seconds", session->last_commit_seconds, 3)
+      .Num("vertices", vertices);
+  return WireOk("committed updates=" + std::to_string(committed) +
+                " seconds=" + FormatDouble(session->last_commit_seconds, 3) +
+                " vertices=" + std::to_string(vertices));
+}
+
 Status DistanceServer::AttachInternal(
     const std::string& name, const std::string& path,
     std::shared_ptr<const ServingSnapshot>* published) {
@@ -871,6 +968,7 @@ Status DistanceServer::AttachInternal(
   if (published != nullptr) *published = snapshot;
   const Status status = registry_.Attach(name, snapshot);
   if (status.ok()) {
+    InvalidateUpdateSession(name);
     JsonLogLine(JsonLogLevel::kInfo, "index_attach")
         .Str("name", name)
         .Str("path", path)
@@ -883,6 +981,7 @@ Status DistanceServer::AttachInternal(
 Status DistanceServer::DetachIndex(const std::string& name) {
   const Status status = registry_.Detach(name);
   if (status.ok()) {
+    InvalidateUpdateSession(name);
     JsonLogLine(JsonLogLevel::kInfo, "index_detach").Str("name", name);
   }
   return status;
@@ -896,16 +995,9 @@ Status DistanceServer::ReloadInternal(
   // can't interleave their load-then-publish sequences (last publisher
   // would silently win with a torn view of "source_path") — but a slow
   // heap reload of one index never blocks another index's O(1) remap.
-  // Queries never take either lock. Lock entries are tiny and reused,
-  // so they are simply left in the map after a DETACH.
-  std::shared_ptr<std::mutex> name_mu;
-  {
-    std::lock_guard<std::mutex> lock(reload_mu_);
-    std::shared_ptr<std::mutex>& slot = reload_locks_[resolved];
-    if (slot == nullptr) slot = std::make_shared<std::mutex>();
-    name_mu = slot;
-  }
-  std::lock_guard<std::mutex> lock(*name_mu);
+  // Queries never take either lock. COMMIT publishes under the same
+  // per-name lock, so a reload and a commit of one index cannot race.
+  std::lock_guard<std::mutex> lock(*ReloadLockFor(resolved));
   std::string load_path = path;
   if (load_path.empty()) {
     const std::shared_ptr<const ServingSnapshot> current =
@@ -928,12 +1020,129 @@ Status DistanceServer::ReloadInternal(
   const VertexId vertices = snapshot->num_vertices();
   HOPDB_RETURN_NOT_OK(registry_.Publish(resolved, std::move(snapshot)));
   metrics_.RecordReload();
+  // Uncommitted edge updates patched the replaced snapshot; their base
+  // is gone, so the update session (if any) is discarded.
+  InvalidateUpdateSession(resolved);
   JsonLogLine(JsonLogLevel::kInfo, "index_reload")
       .Str("name", resolved)
       .Str("path", load_path)
       .Str("mode", mode)
       .Num("vertices", vertices);
   return Status::OK();
+}
+
+std::shared_ptr<std::mutex> DistanceServer::ReloadLockFor(
+    const std::string& resolved) {
+  // Lock entries are tiny and reused, so they are simply left in the
+  // map after a DETACH.
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  std::shared_ptr<std::mutex>& slot = reload_locks_[resolved];
+  if (slot == nullptr) slot = std::make_shared<std::mutex>();
+  return slot;
+}
+
+Status DistanceServer::RegisterUpdateGraph(const std::string& name,
+                                           const std::string& path) {
+  const std::string resolved = name.empty() ? kDefaultIndexName : name;
+  HOPDB_RETURN_NOT_OK(ValidateIndexName(resolved));
+  std::lock_guard<std::mutex> lock(update_mu_);
+  update_graphs_[resolved] = path;
+  return Status::OK();
+}
+
+DistanceServer::UpdateSessionInfo DistanceServer::GetUpdateSessionInfo(
+    const std::string& name) const {
+  const std::string resolved = name.empty() ? kDefaultIndexName : name;
+  std::shared_ptr<UpdateSession> session;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    auto it = update_sessions_.find(resolved);
+    if (it == update_sessions_.end()) return {};
+    session = it->second;
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  UpdateSessionInfo info;
+  info.pending_updates = session->pending_updates;
+  info.last_commit_seconds = session->last_commit_seconds;
+  info.commits = session->commits;
+  return info;
+}
+
+Result<std::shared_ptr<DistanceServer::UpdateSession>>
+DistanceServer::GetUpdateSession(const std::string& resolved) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  auto it = update_sessions_.find(resolved);
+  if (it != update_sessions_.end()) return it->second;
+  auto graph_it = update_graphs_.find(resolved);
+  if (graph_it == update_graphs_.end()) {
+    return Status::InvalidArgument(
+        "no graph registered for index '" + resolved +
+        "' (start serve with --graph [name=]path to enable updates)");
+  }
+  auto session = std::make_shared<UpdateSession>();
+  session->graph_path = graph_it->second;
+  update_sessions_[resolved] = session;
+  return session;
+}
+
+Status DistanceServer::EnsureSessionLoaded(const std::string& resolved,
+                                           UpdateSession* session) {
+  if (session->loaded) return Status::OK();
+  const std::shared_ptr<const ServingSnapshot> snap =
+      registry_.Find(resolved);
+  if (snap == nullptr) {
+    return Status::NotFound("no index named '" + resolved + "'");
+  }
+  if (snap->mapped()) {
+    return Status::InvalidArgument(
+        "index '" + resolved +
+        "' is mmap-served (HLI2) and read-only; serve the HLI1/HLC1 "
+        "form to enable online updates");
+  }
+  // The working copy starts as a deep copy of the published snapshot:
+  // readers keep the immutable snapshot, repairs mutate only the copy.
+  session->index = snap->index();
+  HOPDB_ASSIGN_OR_RETURN(
+      EdgeList edges,
+      LoadGraphFile(session->graph_path, session->index.directed(),
+                    /*read_weights=*/true));
+  edges.Normalize();
+  HOPDB_ASSIGN_OR_RETURN(CsrGraph graph, CsrGraph::FromEdgeList(edges));
+  if (graph.num_vertices() > session->index.num_vertices()) {
+    return Status::InvalidArgument(
+        "graph file '" + session->graph_path + "' has " +
+        std::to_string(graph.num_vertices()) + " vertices but index '" +
+        resolved + "' serves " +
+        std::to_string(session->index.num_vertices()));
+  }
+  HOPDB_ASSIGN_OR_RETURN(CsrGraph ranked,
+                         RelabelByRank(graph, session->index.ranking()));
+  session->graph = DynamicGraph::FromGraph(ranked);
+  session->updater = std::make_unique<IncrementalUpdater>(
+      &session->graph, &session->index.mutable_label_index());
+  session->loaded = true;
+  session->invalidated.store(false, std::memory_order_release);
+  JsonLogLine(JsonLogLevel::kInfo, "update_session_open")
+      .Str("name", resolved)
+      .Str("graph", session->graph_path)
+      .Num("vertices", session->index.num_vertices());
+  return Status::OK();
+}
+
+void DistanceServer::InvalidateUpdateSession(const std::string& resolved) {
+  std::shared_ptr<UpdateSession> session;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    auto it = update_sessions_.find(resolved);
+    if (it == update_sessions_.end()) return;
+    session = std::move(it->second);
+    update_sessions_.erase(it);
+  }
+  // Flag only — never session->mu here. COMMIT holds session->mu while
+  // taking the reload lock; a reload holding that lock must not wait on
+  // session->mu or the two deadlock. An in-flight edge op finishes on
+  // the orphaned session and the flag makes its COMMIT refuse.
+  session->invalidated.store(true, std::memory_order_release);
 }
 
 ResultCache::Stats DistanceServer::cache_stats() const {

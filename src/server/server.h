@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "hopdb.h"
+#include "labeling/incremental.h"
 #include "server/event_loop.h"
 #include "server/index_registry.h"
 #include "server/index_snapshot.h"
@@ -159,6 +160,24 @@ class DistanceServer : public RequestSink {
   /// Back-compat shorthand: reload the default index.
   Status Reload(const std::string& path) { return Reload("", path); }
 
+  /// Registers the graph file index `name` ("" = default) was built
+  /// from, enabling ADDEDGE/DELEDGE/COMMIT on that index (`serve
+  /// --graph [name=]path` funnels here). Updates without a registered
+  /// graph are refused — label repair needs the adjacency. Only
+  /// heap-served (HLI1/HLC1) indexes are updatable; the mmap check
+  /// happens lazily at the first edge op, after the index is attached.
+  Status RegisterUpdateGraph(const std::string& name,
+                             const std::string& path);
+
+  /// Uncommitted-transaction state for STATS (zeroes when the index has
+  /// no update session).
+  struct UpdateSessionInfo {
+    uint64_t pending_updates = 0;
+    double last_commit_seconds = 0;
+    uint64_t commits = 0;
+  };
+  UpdateSessionInfo GetUpdateSessionInfo(const std::string& name) const;
+
   const ServerMetrics& metrics() const { return metrics_; }
   /// Cache stats of the currently published default snapshot.
   ResultCache::Stats cache_stats() const;
@@ -222,6 +241,11 @@ class DistanceServer : public RequestSink {
   WireResponse HandleReload(const std::string& name, const std::string& path);
   WireResponse HandleAttach(const std::string& name, const std::string& path);
   WireResponse HandleDetach(const std::string& name);
+  /// ADDEDGE/DELEDGE: repair the session's working copy eagerly (under
+  /// the session mutex, so repair cost lands on the updating client,
+  /// not on readers); COMMIT publishes one new snapshot atomically.
+  WireResponse HandleEdgeOp(const Request& request, bool is_delete);
+  WireResponse HandleCommit(const std::string& name);
   /// The AttachIndex/Reload workhorses; on success `*published` (when
   /// non-null) receives the snapshot this operation installed, so
   /// response formatting reflects the operation's own outcome even if a
@@ -230,6 +254,45 @@ class DistanceServer : public RequestSink {
                         std::shared_ptr<const ServingSnapshot>* published);
   Status ReloadInternal(const std::string& name, const std::string& path,
                         std::shared_ptr<const ServingSnapshot>* published);
+
+  // -------------------------------------------------------------------
+  // Online updates (ADDEDGE/DELEDGE/COMMIT).
+  //
+  // One UpdateSession per index name holds a mutable working copy of
+  // the index plus the ranked dynamic graph; edge ops repair the copy
+  // in place while readers keep hitting the published (immutable)
+  // snapshot. COMMIT deep-copies the repaired index into a fresh
+  // ServingSnapshot and publishes it under the same per-name reload
+  // lock RELOAD uses, so the two can never interleave. RELOAD / ATTACH
+  // / DETACH invalidate the session: uncommitted updates are discarded
+  // (the base they patched is gone).
+  // -------------------------------------------------------------------
+  struct UpdateSession {
+    std::mutex mu;
+    /// Set (without mu; see Invalidate) when the underlying index was
+    /// republished; the session's working copy no longer descends from
+    /// the served snapshot and must not be committed.
+    std::atomic<bool> invalidated{false};
+    std::string graph_path;
+    bool loaded = false;
+    HopDbIndex index;        // working copy (deep copy of the snapshot)
+    DynamicGraph graph;      // rank-relabeled adjacency, kept in sync
+    std::unique_ptr<IncrementalUpdater> updater;
+    uint64_t pending_updates = 0;  // applied-but-uncommitted ops
+    double last_commit_seconds = 0;
+    uint64_t commits = 0;
+  };
+
+  /// Fetches (creating if absent) the session for `resolved`; fails
+  /// when no graph was registered for that name.
+  Result<std::shared_ptr<UpdateSession>> GetUpdateSession(
+      const std::string& resolved);
+  /// Loads the working copy on first use (must hold session->mu).
+  Status EnsureSessionLoaded(const std::string& resolved,
+                             UpdateSession* session);
+  /// Drops the session after a reload/attach/detach of `resolved`.
+  void InvalidateUpdateSession(const std::string& resolved);
+  std::shared_ptr<std::mutex> ReloadLockFor(const std::string& resolved);
 
   ServerOptions options_;
   IndexRegistry registry_;
@@ -255,6 +318,12 @@ class DistanceServer : public RequestSink {
   std::mutex reload_mu_;
   std::map<std::string, std::shared_ptr<std::mutex>> reload_locks_;
   std::once_flag stop_once_;
+
+  /// Guards the two update maps (never held while repairing; sessions
+  /// serialize on their own mutex).
+  mutable std::mutex update_mu_;
+  std::map<std::string, std::string> update_graphs_;
+  std::map<std::string, std::shared_ptr<UpdateSession>> update_sessions_;
 };
 
 }  // namespace hopdb

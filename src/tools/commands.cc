@@ -17,6 +17,7 @@
 #include "graph/ordering.h"
 #include "hopdb.h"
 #include "labeling/compressed_index.h"
+#include "labeling/incremental.h"
 #include "labeling/mapped_index.h"
 #include "server/client.h"
 #include "server/index_registry.h"
@@ -34,15 +35,6 @@ namespace {
 
 bool IsBinaryGraphPath(const std::string& path) {
   return EndsWith(path, ".hgr") || EndsWith(path, ".bin");
-}
-
-Result<EdgeList> LoadGraphFile(const std::string& path, bool directed,
-                               bool weighted) {
-  if (IsBinaryGraphPath(path)) return ReadBinaryGraph(path);
-  TextGraphOptions options;
-  options.directed = directed;
-  options.read_weights = weighted;
-  return ReadTextEdgeList(path, options);
 }
 
 Result<BuildMode> ParseMode(const std::string& name) {
@@ -380,6 +372,127 @@ Status CmdConvert(CliFlags* flags, int argc, char** argv, std::ostream& out) {
 }
 
 // ---------------------------------------------------------------------------
+// update
+// ---------------------------------------------------------------------------
+
+Status CmdUpdate(CliFlags* flags, int argc, char** argv, std::ostream& out) {
+  flags->Define("index", "", "index path (from hopdb_cli build)");
+  flags->Define("graph", "",
+                "edge-list file the index was built from (text or .hgr)");
+  flags->Define("ops", "",
+                "update script: one 'ADDEDGE u v [w]' / 'DELEDGE u v' per "
+                "line ('#' comments), ids in the graph's original space");
+  flags->Define("out", "",
+                "output index path (default: overwrite --index)");
+  flags->Define("out-graph", "",
+                "also write the updated graph here (so the next update "
+                "run starts from matching inputs)");
+  flags->Define("frontier-fraction", "0.5",
+                "fall back to a full rebuild when one op's affected "
+                "frontier exceeds this fraction of |V| (0 disables)");
+  HOPDB_RETURN_NOT_OK(flags->Parse(argc, argv));
+  if (flags->help_requested()) return Status::OK();
+
+  const std::string index_path = flags->GetString("index");
+  const std::string graph_path = flags->GetString("graph");
+  const std::string ops_path = flags->GetString("ops");
+  if (index_path.empty() || graph_path.empty() || ops_path.empty()) {
+    return Status::InvalidArgument(
+        "update requires --index, --graph, and --ops");
+  }
+  const std::string out_path =
+      flags->GetString("out").empty() ? index_path : flags->GetString("out");
+
+  HOPDB_ASSIGN_OR_RETURN(HopDbIndex index, HopDbIndex::Load(index_path));
+  HOPDB_ASSIGN_OR_RETURN(
+      EdgeList edges,
+      LoadGraphFile(graph_path, index.directed(), /*read_weights=*/true));
+  edges.Normalize();
+  HOPDB_ASSIGN_OR_RETURN(CsrGraph graph, CsrGraph::FromEdgeList(edges));
+  if (graph.num_vertices() > index.num_vertices()) {
+    return Status::InvalidArgument(
+        "graph has " + std::to_string(graph.num_vertices()) +
+        " vertices but the index serves " +
+        std::to_string(index.num_vertices()) +
+        " (vertex additions need a rebuild)");
+  }
+  const RankMapping& ranking = index.ranking();
+  HOPDB_ASSIGN_OR_RETURN(CsrGraph ranked, RelabelByRank(graph, ranking));
+  DynamicGraph dynamic = DynamicGraph::FromGraph(ranked);
+
+  // Parse the whole script up front (all-or-nothing on syntax errors),
+  // translating original ids into the index's internal rank space.
+  std::string script;
+  HOPDB_RETURN_NOT_OK(ReadFileToString(ops_path, &script));
+  std::vector<UpdateOp> ops;
+  size_t pos = 0, line_no = 0;
+  while (pos < script.size()) {
+    size_t end = script.find('\n', pos);
+    if (end == std::string::npos) end = script.size();
+    const std::string line = script.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    Result<UpdateOp> parsed = ParseUpdateOpLine(line);
+    if (parsed.status().code() == StatusCode::kNotFound) continue;
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("ops line " + std::to_string(line_no) +
+                                     ": " + parsed.status().message());
+    }
+    UpdateOp op = std::move(parsed).value();
+    if (op.u >= ranking.size() || op.v >= ranking.size()) {
+      return Status::InvalidArgument(
+          "ops line " + std::to_string(line_no) + ": vertex id out of "
+          "range (|V|=" + std::to_string(ranking.size()) + ")");
+    }
+    op.u = ranking.ToInternal(op.u);
+    op.v = ranking.ToInternal(op.v);
+    ops.push_back(op);
+  }
+
+  UpdateOptions options;
+  options.rebuild_frontier_fraction = flags->GetDouble("frontier-fraction");
+  Stopwatch watch;
+  IncrementalUpdater updater(&dynamic, &index.mutable_label_index(),
+                             options);
+  HOPDB_RETURN_NOT_OK(updater.ApplyBatch(ops));
+  const double seconds = watch.Seconds();
+  HOPDB_RETURN_NOT_OK(index.Save(out_path));
+
+  const std::string out_graph = flags->GetString("out-graph");
+  if (!out_graph.empty()) {
+    // ToEdgeList speaks internal ids; translate back before writing.
+    const EdgeList internal = dynamic.ToEdgeList();
+    EdgeList updated(internal.num_vertices(), internal.directed());
+    updated.set_weighted(internal.weighted());
+    for (const Edge& e : internal.edges()) {
+      updated.Add(ranking.ToOriginal(e.src), ranking.ToOriginal(e.dst),
+                  e.weight);
+    }
+    updated.Normalize();
+    HOPDB_RETURN_NOT_OK(IsBinaryGraphPath(out_graph)
+                            ? WriteBinaryGraph(updated, out_graph)
+                            : WriteTextEdgeList(updated, out_graph));
+  }
+
+  const UpdateStats& stats = updater.stats();
+  out << "applied " << stats.ops_applied << " updates ("
+      << stats.inserts << " inserts, " << stats.deletes << " deletes, "
+      << stats.reweights << " reweights, " << stats.ops_noop
+      << " no-ops)\n"
+      << "  repairs         " << stats.repairs << " (+"
+      << stats.full_rebuilds << " rebuild fallbacks)\n"
+      << "  entries         +" << stats.entries_added << " ~"
+      << stats.entries_updated << " -" << stats.entries_removed << "\n"
+      << "  label entries   " << index.label_index().TotalEntries() << "\n"
+      << "  update time     " << seconds << " s\n"
+      << "  saved to        " << out_path << " (+ .perm)\n";
+  if (!out_graph.empty()) {
+    out << "  updated graph   " << out_graph << "\n";
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // serve
 // ---------------------------------------------------------------------------
 
@@ -440,6 +553,11 @@ Status CmdServe(CliFlags* flags, int argc, char** argv, std::ostream& out) {
       "index",
       "index to serve: PATH (the default index) or NAME=PATH (additional "
       "named index; repeat for more). HLI2 files are mmap-served");
+  flags->DefineRepeatable(
+      "graph",
+      "edge-list file backing an index for online updates: PATH (the "
+      "default index) or NAME=PATH; repeat per index. Enables "
+      "ADDEDGE/DELEDGE/COMMIT on heap-served indexes");
   flags->Define("host", "127.0.0.1", "numeric IPv4 listen address");
   flags->Define("port", "0", "listen port (0 = pick an ephemeral port)");
   flags->Define("threads", "0", "query worker threads (0 = all cores)");
@@ -505,6 +623,18 @@ Status CmdServe(CliFlags* flags, int argc, char** argv, std::ostream& out) {
                          DistanceServer::Start(std::move(snapshot), options));
   for (size_t i = 1; i < specs.size(); ++i) {
     HOPDB_RETURN_NOT_OK(server->AttachIndex(specs[i].name, specs[i].path));
+  }
+  for (const std::string& value : flags->GetStrings("graph")) {
+    const size_t eq = value.find('=');
+    const std::string name =
+        eq == std::string::npos ? std::string() : value.substr(0, eq);
+    const std::string path =
+        eq == std::string::npos ? value : value.substr(eq + 1);
+    if (path.empty()) {
+      return Status::InvalidArgument("--graph '" + value +
+                                     "' has an empty path");
+    }
+    HOPDB_RETURN_NOT_OK(server->RegisterUpdateGraph(name, path));
   }
 
   const std::shared_ptr<const ServingSnapshot> def = server->snapshot();
@@ -623,15 +753,19 @@ void PrintUsage(std::ostream& out) {
          "  convert convert an index to the mmap-servable HLI2 format\n"
          "          (--in F --out F.hli2 [--verify true|false])\n"
          "  query   query an index (--index F --src S --dst T | --random N)\n"
+         "  update  apply edge updates to an index offline (--index F\n"
+         "          --graph F --ops F [--out F] [--out-graph F]); the ops\n"
+         "          file holds ADDEDGE u v [w] / DELEDGE u v lines\n"
          "  stats   label statistics of an index (--index F)\n"
          "  serve   serve indexes over TCP (--index F | --index NAME=F,\n"
-         "          repeatable; --port P --threads T (0 = all cores, the\n"
+         "          repeatable; --graph F | --graph NAME=F enables online\n"
+         "          updates; --port P --threads T (0 = all cores, the\n"
          "          default) --io-threads I --cache-capacity C --backlog B\n"
          "          --max-inflight M --trace-sample-rate R --slow-query-us\n"
          "          U); HLI2 files are served zero-copy from the page cache;\n"
          "          protocol: DIST/BATCH/KNN/STATS/METRICS/TRACE/RELOAD/\n"
-         "          ATTACH/DETACH/USE (ASCII lines, or the v2 binary\n"
-         "          framing after the magic)\n"
+         "          ATTACH/DETACH/USE/ADDEDGE/DELEDGE/COMMIT (ASCII lines,\n"
+         "          or the v2 binary framing after the magic)\n"
          "  client  connect to a server (--host H --port P [--cmd LINE]\n"
          "          [--protocol v1|v2])\n"
          "  help    this text\n"
@@ -665,6 +799,8 @@ int RunCli(int argc, char** argv, std::ostream& out, std::ostream& err) {
     status = CmdConvert(&flags, sub_argc, sub_argv, out);
   } else if (command == "query") {
     status = CmdQuery(&flags, sub_argc, sub_argv, out);
+  } else if (command == "update") {
+    status = CmdUpdate(&flags, sub_argc, sub_argv, out);
   } else if (command == "stats") {
     status = CmdStats(&flags, sub_argc, sub_argv, out);
   } else if (command == "serve") {

@@ -10,6 +10,7 @@
 #include "graph/graph_io.h"
 #include "io/temp_dir.h"
 #include "tools/commands.h"
+#include "util/serde.h"
 
 namespace hopdb {
 namespace {
@@ -124,6 +125,83 @@ TEST(CliTest, FullPipelineBinaryDirectedWeighted) {
                 &out),
             0);
   ASSERT_EQ(RunTool({"query", "--index", index, "--random", "100"}, &out), 0);
+}
+
+TEST(CliTest, UpdateAppliesOpsOffline) {
+  TempDir dir = TempDir::Create("cli_update").ValueOrDie();
+  const std::string graph = dir.File("g.hgr");
+  const std::string index = dir.File("g.hli");
+
+  std::string out;
+  ASSERT_EQ(RunTool({"gen", "--type", "glp", "--n", "300", "--avg-degree",
+                 "5", "--seed", "11", "--out", graph},
+                &out),
+            0);
+  ASSERT_EQ(RunTool({"build", "--graph", graph, "--out", index}, &out), 0);
+
+  // Insert edge {0, 1} (a no-op if the generator already placed it);
+  // either way the repaired index must answer dist(0, 1) = 1.
+  const std::string ops1 = dir.File("ops1.txt");
+  ASSERT_TRUE(WriteStringToFile(ops1,
+                                "# shortcut the pair\n"
+                                "ADDEDGE 0 1\n")
+                  .ok());
+  const std::string index2 = dir.File("g2.hli");
+  const std::string graph2 = dir.File("g2.hgr");
+  ASSERT_EQ(RunTool({"update", "--index", index, "--graph", graph, "--ops",
+                 ops1, "--out", index2, "--out-graph", graph2},
+                &out),
+            0);
+  EXPECT_NE(out.find("applied"), std::string::npos) << out;
+  EXPECT_NE(out.find("saved to"), std::string::npos);
+  ASSERT_EQ(RunTool({"query", "--index", index2, "--src", "0", "--dst", "1"},
+                &out),
+            0);
+  EXPECT_NE(out.find("dist(0, 1) = 1"), std::string::npos) << out;
+
+  // Chain a second run off the updated pair of files: the delete is
+  // guaranteed valid now, and the distance must grow past 1.
+  const std::string ops2 = dir.File("ops2.txt");
+  ASSERT_TRUE(WriteStringToFile(ops2, "DELEDGE 0 1\n").ok());
+  const std::string index3 = dir.File("g3.hli");
+  ASSERT_EQ(RunTool({"update", "--index", index2, "--graph", graph2, "--ops",
+                 ops2, "--out", index3},
+                &out),
+            0);
+  ASSERT_EQ(RunTool({"query", "--index", index3, "--src", "0", "--dst", "1"},
+                &out),
+            0);
+  EXPECT_EQ(out.find("dist(0, 1) = 1\n"), std::string::npos) << out;
+}
+
+TEST(CliTest, UpdateRequiresFlagsAndValidOps) {
+  TempDir dir = TempDir::Create("cli_update_err").ValueOrDie();
+  std::string err;
+  EXPECT_EQ(RunTool({"update"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("--ops"), std::string::npos);
+
+  const std::string graph = dir.File("g.hgr");
+  const std::string index = dir.File("g.hli");
+  ASSERT_EQ(RunTool({"gen", "--type", "glp", "--n", "100", "--avg-degree",
+                 "4", "--seed", "3", "--out", graph}),
+            0);
+  ASSERT_EQ(RunTool({"build", "--graph", graph, "--out", index}), 0);
+  // A syntax error reports its line number and applies nothing.
+  const std::string bad_ops = dir.File("bad.txt");
+  ASSERT_TRUE(WriteStringToFile(bad_ops, "ADDEDGE 1 2\nFROB 3 4\n").ok());
+  EXPECT_EQ(RunTool({"update", "--index", index, "--graph", graph, "--ops",
+                 bad_ops},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  // Out-of-range ids are caught before any op is applied.
+  const std::string oob_ops = dir.File("oob.txt");
+  ASSERT_TRUE(WriteStringToFile(oob_ops, "ADDEDGE 0 5000\n").ok());
+  EXPECT_EQ(RunTool({"update", "--index", index, "--graph", graph, "--ops",
+                 oob_ops},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("out of range"), std::string::npos) << err;
 }
 
 TEST(CliTest, QueryRejectsOutOfRangeVertex) {

@@ -1,0 +1,136 @@
+// Fuzz target for the v2 binary frame parsers (request and response).
+// Properties checked on every input:
+//   - the parser never reads out of bounds / crashes (sanitizers);
+//   - kDone consumes a sane byte count (1..size);
+//   - kDone output re-encodes to a frame the parser accepts again;
+//   - kError always carries a client-safe message.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz_common.h"
+#include "server/protocol.h"
+
+namespace {
+
+void CheckRequestSide(const char* data, size_t size) {
+  size_t consumed = 0;
+  hopdb::Request request;
+  std::string error;
+  const hopdb::FrameParse verdict =
+      hopdb::ParseRequestFrameV2(data, size, &consumed, &request, &error);
+  if (verdict == hopdb::FrameParse::kDone) {
+    if (consumed == 0 || consumed > size) __builtin_trap();
+    std::string wire;
+    hopdb::EncodeRequestV2(request, &wire);
+    size_t consumed2 = 0;
+    hopdb::Request again;
+    std::string error2;
+    if (hopdb::ParseRequestFrameV2(wire.data(), wire.size(), &consumed2,
+                                   &again, &error2) !=
+        hopdb::FrameParse::kDone) {
+      __builtin_trap();  // canonical re-encoding must stay parseable
+    }
+  } else if (verdict == hopdb::FrameParse::kError && error.empty()) {
+    __builtin_trap();  // errors must be reportable to the client
+  }
+}
+
+void CheckResponseSide(const char* data, size_t size) {
+  size_t consumed = 0;
+  hopdb::WireResponse response;
+  std::string error;
+  const hopdb::FrameParse verdict = hopdb::ParseResponseFrameV2(
+      data, size, &consumed, &response, &error);
+  if (verdict == hopdb::FrameParse::kDone) {
+    if (consumed == 0 || consumed > size) __builtin_trap();
+    std::string wire;
+    hopdb::EncodeResponseV2(response, &wire);
+    size_t consumed2 = 0;
+    hopdb::WireResponse again;
+    std::string error2;
+    if (hopdb::ParseResponseFrameV2(wire.data(), wire.size(), &consumed2,
+                                    &again, &error2) !=
+        hopdb::FrameParse::kDone) {
+      __builtin_trap();
+    }
+  } else if (verdict == hopdb::FrameParse::kError && error.empty()) {
+    __builtin_trap();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const char* bytes = reinterpret_cast<const char*>(data);
+  CheckRequestSide(bytes, size);
+  CheckResponseSide(bytes, size);
+  return 0;
+}
+
+namespace hopdb_fuzz {
+
+std::vector<std::string> SeedInputs() {
+  std::vector<std::string> seeds;
+
+  const auto add_request = [&seeds](const hopdb::Request& request) {
+    std::string wire;
+    hopdb::EncodeRequestV2(request, &wire);
+    seeds.push_back(std::move(wire));
+  };
+
+  hopdb::Request dist;
+  dist.kind = hopdb::RequestKind::kDist;
+  dist.src = 3;
+  dist.targets = {17};
+  add_request(dist);
+
+  hopdb::Request batch = dist;
+  batch.kind = hopdb::RequestKind::kBatch;
+  batch.targets = {1, 2, 3, 4};
+  batch.index_name = "road";
+  add_request(batch);
+
+  hopdb::Request add_edge;
+  add_edge.kind = hopdb::RequestKind::kAddEdge;
+  add_edge.src = 3;
+  add_edge.targets = {17};
+  add_edge.k = 5;  // edge weight
+  add_request(add_edge);
+
+  hopdb::Request del_edge;
+  del_edge.kind = hopdb::RequestKind::kDelEdge;
+  del_edge.src = 3;
+  del_edge.targets = {17};
+  del_edge.index_name = "road";
+  add_request(del_edge);
+
+  hopdb::Request commit;
+  commit.kind = hopdb::RequestKind::kCommit;
+  add_request(commit);
+
+  hopdb::Request attach;
+  attach.kind = hopdb::RequestKind::kAttach;
+  attach.index_name = "road";
+  attach.path = "/tmp/road.hli";
+  add_request(attach);
+
+  const auto add_response = [&seeds](const hopdb::WireResponse& response) {
+    std::string wire;
+    hopdb::EncodeResponseV2(response, &wire);
+    seeds.push_back(std::move(wire));
+  };
+
+  add_response(hopdb::WireDistanceResponse(42));
+  add_response(hopdb::WireDistancesResponse({1, 2, hopdb::kInfDistance}));
+  add_response(hopdb::WireNeighborsResponse({{4, 1}, {9, 2}}));
+  add_response(hopdb::WireOk("committed updates=3"));
+  add_response(hopdb::WireErr("no such index"));
+  add_response(hopdb::WireBlobResponse("line one\nline two\n"));
+
+  return seeds;
+}
+
+}  // namespace hopdb_fuzz

@@ -5,9 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <vector>
 
+#include "gen/glp.h"
+#include "graph/csr_graph.h"
+#include "graph/ranking.h"
+#include "labeling/builder.h"
+#include "labeling/incremental.h"
 #include "labeling/label_entry.h"
 #include "labeling/two_hop_index.h"
+#include "search/dijkstra.h"
 #include "util/random.h"
 
 namespace hopdb {
@@ -92,6 +99,66 @@ TEST_P(LabelQueryPropertyTest, LookupMatchesLinearScan) {
     }
     ASSERT_EQ(LookupPivot(l, probe), expect);
     ASSERT_EQ(UpperBoundPivot(l, probe), expect_ub);
+  }
+}
+
+// Update-stream property: after ANY prefix of a random insert/delete
+// stream applied through the incremental repairer, every queried
+// distance equals the BFS oracle on the graph as mutated so far. Unlike
+// the end-state differential tests, this checks the invariant holds at
+// every intermediate step, so a transiently-wrong repair cannot hide
+// behind a later op that happens to fix it.
+TEST_P(LabelQueryPropertyTest, UpdateStreamPrefixesMatchOracle) {
+  GlpOptions gopt;
+  gopt.num_vertices = 120;
+  gopt.target_avg_degree = 4.0;
+  gopt.seed = GetParam() * 1000 + 7;
+  auto edges = GenerateGlp(gopt);
+  ASSERT_TRUE(edges.ok()) << edges.status();
+  auto graph = CsrGraph::FromEdgeList(*edges);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  const RankMapping mapping = ComputeRanking(*graph, RankingPolicy::kDegree);
+  auto ranked = RelabelByRank(*graph, mapping);
+  ASSERT_TRUE(ranked.ok()) << ranked.status();
+  auto built = BuildHopLabeling(*ranked, BuildOptions());
+  ASSERT_TRUE(built.ok()) << built.status();
+
+  TwoHopIndex index = std::move(built->index);
+  DynamicGraph dyn = DynamicGraph::FromGraph(*ranked);
+  IncrementalUpdater updater(&dyn, &index);
+
+  const VertexId n = ranked->num_vertices();
+  Rng rng(DeriveSeed(GetParam(), 99));
+  int applied = 0;
+  while (applied < 40) {
+    const VertexId u = static_cast<VertexId>(rng.Below(n));
+    const VertexId v = static_cast<VertexId>(rng.Below(n));
+    if (u == v) continue;
+    UpdateOp op;
+    op.u = u;
+    op.v = v;
+    op.kind = dyn.ArcWeight(u, v) != kInfDistance && rng.Chance(0.5)
+                  ? UpdateOp::Kind::kDelEdge
+                  : UpdateOp::Kind::kAddEdge;
+    auto changed = updater.Apply(op);
+    ASSERT_TRUE(changed.ok()) << changed.status();
+    if (!*changed) continue;
+    ++applied;
+
+    // Check this prefix: repaired answers vs the oracle on the mutated
+    // graph, two full rows per step.
+    updater.Finalize();
+    auto csr = CsrGraph::FromEdgeList(dyn.ToEdgeList());
+    ASSERT_TRUE(csr.ok()) << csr.status();
+    for (int row = 0; row < 2; ++row) {
+      const VertexId s = static_cast<VertexId>(rng.Below(n));
+      const std::vector<Distance> truth = ExactDistances(*csr, s);
+      for (VertexId t = 0; t < n; ++t) {
+        ASSERT_EQ(index.Query(s, t), truth[t])
+            << "prefix " << applied << " mismatch at (" << s << ", " << t
+            << ")";
+      }
+    }
   }
 }
 

@@ -18,6 +18,7 @@
 #include "graph/csr_graph.h"
 #include "graph/ranking.h"
 #include "hopdb.h"
+#include "labeling/incremental.h"
 #include "labeling/query_kernel.h"
 #include "search/dijkstra.h"
 #include "util/random.h"
@@ -165,6 +166,81 @@ TEST(OracleCrossCheckTest, QueryKernelsMatchOracleGlpDirected) {
   auto edges = GenerateDirectedGlp(options);
   ASSERT_TRUE(edges.ok()) << edges.status();
   KernelSweep(*edges, /*seed=*/53);
+}
+
+// Update-stream leg: apply a random edge-update stream through the
+// incremental repairer, then cross-check the repaired index against the
+// BFS/Dijkstra oracle AND a PLL index built from scratch on the mutated
+// graph. Three independent answers (repair, fresh PLL, direct search)
+// can only agree everywhere if the repair is exact.
+void UpdateStreamCrossCheck(const EdgeList& edges, uint64_t seed,
+                            int num_ops) {
+  auto graph = CsrGraph::FromEdgeList(edges);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  auto hopdb = HopDbIndex::Build(*graph);
+  ASSERT_TRUE(hopdb.ok()) << hopdb.status();
+
+  // The updater works in internal (rank) ids on the relabeled graph.
+  const RankMapping& mapping = hopdb->ranking();
+  auto ranked = RelabelByRank(*graph, mapping);
+  ASSERT_TRUE(ranked.ok()) << ranked.status();
+  DynamicGraph dynamic = DynamicGraph::FromGraph(*ranked);
+  IncrementalUpdater updater(&dynamic, &hopdb->mutable_label_index());
+
+  const VertexId n = graph->num_vertices();
+  const bool weighted = edges.weighted();
+  Rng rng(seed);
+  int applied = 0;
+  while (applied < num_ops) {
+    const VertexId u = static_cast<VertexId>(rng.Below(n));
+    const VertexId v = static_cast<VertexId>(rng.Below(n));
+    if (u == v) continue;
+    UpdateOp op;
+    op.u = u;
+    op.v = v;
+    if (dynamic.ArcWeight(u, v) != kInfDistance && rng.NextDouble() < 0.5) {
+      op.kind = UpdateOp::Kind::kDelEdge;
+    } else {
+      op.kind = UpdateOp::Kind::kAddEdge;
+      op.weight = weighted ? static_cast<Distance>(rng.Uniform(1, 9)) : 1;
+    }
+    auto changed = updater.Apply(op);
+    ASSERT_TRUE(changed.ok()) << changed.status();
+    if (*changed) ++applied;
+  }
+  updater.Finalize();
+
+  // Freeze the mutated graph (internal ids) and rebuild the baselines.
+  auto mutated = CsrGraph::FromEdgeList(dynamic.ToEdgeList());
+  ASSERT_TRUE(mutated.ok()) << mutated.status();
+  auto pll = BuildPll(*mutated);
+  ASSERT_TRUE(pll.ok()) << pll.status();
+
+  Rng sample_rng(DeriveSeed(seed, 5));
+  for (VertexId i = 0; i < kSampleSources && i < n; ++i) {
+    const VertexId s_int = static_cast<VertexId>(sample_rng.Below(n));
+    const VertexId s = mapping.ToOriginal(s_int);
+    const std::vector<Distance> truth = ExactDistances(*mutated, s_int);
+    for (VertexId t_int = 0; t_int < n; ++t_int) {
+      const Distance want = truth[t_int];
+      ASSERT_EQ(hopdb->Query(s, mapping.ToOriginal(t_int)), want)
+          << "repaired HopDb mismatch at internal (" << s_int << ", "
+          << t_int << ")";
+      ASSERT_EQ(pll->index.Query(s_int, t_int), want)
+          << "PLL mismatch at internal (" << s_int << ", " << t_int << ")";
+    }
+  }
+}
+
+TEST(OracleCrossCheckTest, UpdateStreamUnweightedGlp) {
+  UpdateStreamCrossCheck(GlpGraph(300, 4.0, /*seed=*/61), /*seed=*/62,
+                         /*num_ops=*/120);
+}
+
+TEST(OracleCrossCheckTest, UpdateStreamWeightedBa) {
+  EdgeList edges = BaGraph(250, 2, /*seed=*/63);
+  AssignUniformWeights(&edges, 1, 9, /*seed=*/64);
+  UpdateStreamCrossCheck(edges, /*seed=*/65, /*num_ops=*/100);
 }
 
 // Different construction strategies must produce identical answers;

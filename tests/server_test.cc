@@ -17,6 +17,7 @@
 
 #include "gen/glp.h"
 #include "graph/csr_graph.h"
+#include "graph/graph_io.h"
 #include "hopdb.h"
 #include "labeling/mapped_index.h"
 #include "query/knn.h"
@@ -110,6 +111,50 @@ TEST(ProtocolTest, ParsesAttachDetachUse) {
   EXPECT_TRUE(ParseRequest("DIST 1 2")->index_name.empty());
 }
 
+TEST(ProtocolTest, ParsesEdgeUpdateVerbs) {
+  auto add = ParseRequest("ADDEDGE 3 17");
+  ASSERT_TRUE(add.ok()) << add.status();
+  EXPECT_EQ(add->kind, RequestKind::kAddEdge);
+  EXPECT_EQ(add->src, 3u);
+  ASSERT_EQ(add->targets.size(), 1u);
+  EXPECT_EQ(add->targets[0], 17u);
+  EXPECT_EQ(add->k, 1u);  // default weight
+
+  auto weighted = ParseRequest("ADDEDGE 3 17 5");
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_EQ(weighted->k, 5u);
+
+  auto del = ParseRequest("DELEDGE 3 17");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->kind, RequestKind::kDelEdge);
+  EXPECT_EQ(del->src, 3u);
+  EXPECT_EQ(del->targets[0], 17u);
+
+  auto commit = ParseRequest("COMMIT");
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->kind, RequestKind::kCommit);
+
+  // All three route through USE.
+  auto routed = ParseRequest("USE road ADDEDGE 1 2 9");
+  ASSERT_TRUE(routed.ok()) << routed.status();
+  EXPECT_EQ(routed->kind, RequestKind::kAddEdge);
+  EXPECT_EQ(routed->index_name, "road");
+  EXPECT_EQ(routed->k, 9u);
+  EXPECT_EQ(ParseRequest("USE road DELEDGE 1 2")->index_name, "road");
+  EXPECT_EQ(ParseRequest("USE road COMMIT")->index_name, "road");
+}
+
+TEST(ProtocolTest, RejectsMalformedEdgeUpdateVerbs) {
+  EXPECT_FALSE(ParseRequest("ADDEDGE 1").ok());
+  EXPECT_FALSE(ParseRequest("ADDEDGE 1 2 3 4").ok());
+  EXPECT_FALSE(ParseRequest("ADDEDGE 1 2 0").ok());  // zero weight
+  EXPECT_FALSE(ParseRequest("ADDEDGE 1 2 x").ok());
+  EXPECT_FALSE(ParseRequest("ADDEDGE a 2").ok());
+  EXPECT_FALSE(ParseRequest("DELEDGE 1").ok());
+  EXPECT_FALSE(ParseRequest("DELEDGE 1 2 3").ok());
+  EXPECT_FALSE(ParseRequest("COMMIT now").ok());
+}
+
 TEST(ProtocolTest, RejectsMalformedUseAttachDetach) {
   EXPECT_FALSE(ParseRequest("ATTACH road").ok());
   EXPECT_FALSE(ParseRequest("ATTACH road p q").ok());
@@ -166,7 +211,9 @@ TEST(ProtocolTest, FormatRequestV1RoundTrips) {
        {"DIST 3 17", "BATCH 5 1 2 3", "KNN 9 4", "STATS", "PING", "RELOAD",
         "RELOAD /tmp/x.hli", "ATTACH road /data/road.hli2", "DETACH road",
         "USE road DIST 3 17", "USE g2 BATCH 5 1 2", "USE g2 KNN 9 4",
-        "USE g2 RELOAD /x.hli2"}) {
+        "USE g2 RELOAD /x.hli2", "ADDEDGE 3 17", "ADDEDGE 3 17 5",
+        "DELEDGE 3 17", "COMMIT", "USE road ADDEDGE 1 2 9",
+        "USE road DELEDGE 1 2", "USE road COMMIT"}) {
     auto parsed = ParseRequest(line);
     ASSERT_TRUE(parsed.ok()) << line;
     EXPECT_EQ(FormatRequestV1(*parsed), line);
@@ -216,7 +263,9 @@ TEST(ProtocolV2Test, RequestFramesRoundTrip) {
        {"DIST 3 17", "BATCH 5 1 2 3", "KNN 9 4", "STATS", "PING", "RELOAD",
         "RELOAD /tmp/x.hli", "ATTACH road /data/road.hli2", "DETACH road",
         "USE road DIST 3 17", "USE g2 BATCH 5 1 2", "USE g2 KNN 9 4",
-        "USE g2 RELOAD /x.hli2"}) {
+        "USE g2 RELOAD /x.hli2", "ADDEDGE 3 17", "ADDEDGE 3 17 5",
+        "DELEDGE 3 17", "COMMIT", "USE road ADDEDGE 1 2 9",
+        "USE road DELEDGE 1 2", "USE road COMMIT"}) {
     const Request request = ParseRequest(line).ValueOrDie();
     const Request round = V2RequestRoundTrip(request);
     // The v1 rendering is a canonical form covering every field.
@@ -303,6 +352,33 @@ TEST(ProtocolV2Test, MalformedFramesAreRejected) {
   std::string bad_count = batch;
   bad_count[12] = '\x07';  // arg (target count) = 7, aux still 2 targets
   EXPECT_EQ(parse(bad_count), FrameParse::kError);
+  // ADDEDGE aux must be exactly the 4-byte weight.
+  std::string add;
+  EncodeRequestV2(ParseRequest("ADDEDGE 1 2 5").ValueOrDie(), &add);
+  std::string bad_add_aux = add;
+  bad_add_aux[4] = '\x00';  // aux_len = 0: weight missing
+  bad_add_aux.resize(kV2RequestHeaderBytes);
+  EXPECT_EQ(parse(bad_add_aux), FrameParse::kError);
+  // ...and a zero weight is rejected at the frame layer, like v1.
+  std::string bad_weight = add;
+  bad_weight[kV2RequestHeaderBytes + 0] = '\x00';
+  bad_weight[kV2RequestHeaderBytes + 1] = '\x00';
+  bad_weight[kV2RequestHeaderBytes + 2] = '\x00';
+  bad_weight[kV2RequestHeaderBytes + 3] = '\x00';
+  EXPECT_EQ(parse(bad_weight), FrameParse::kError);
+  // DELEDGE carries no aux payload.
+  std::string del;
+  EncodeRequestV2(ParseRequest("DELEDGE 1 2").ValueOrDie(), &del);
+  std::string bad_del = del;
+  bad_del[4] = '\x04';
+  bad_del += "????";
+  EXPECT_EQ(parse(bad_del), FrameParse::kError);
+  // COMMIT is bare: src/arg must be zero.
+  std::string commit;
+  EncodeRequestV2(ParseRequest("COMMIT").ValueOrDie(), &commit);
+  std::string bad_commit = commit;
+  bad_commit[8] = '\x01';  // src = 1
+  EXPECT_EQ(parse(bad_commit), FrameParse::kError);
   // A frame claiming more payload than the 1 MiB cap is rejected from
   // the header alone (nothing that large is ever buffered).
   std::string huge(kV2RequestHeaderBytes, '\0');
@@ -957,6 +1033,139 @@ TEST_F(ServerEndToEndTest, AttachRejectsBadNamesAndDuplicates) {
       *client_.RoundTrip("ATTACH g3 /nonexistent/index.hli2"), "ERR "));
   EXPECT_TRUE(StartsWith(*client_.RoundTrip("USE g3 DIST 0 1"), "ERR "));
   EXPECT_EQ(*client_.RoundTrip("DETACH g2"), "OK detached g2");
+}
+
+// ---------------------------------------------------------------------------
+// Online updates (ADDEDGE / DELEDGE / COMMIT)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerEndToEndTest, UpdateVerbsRepairAndCommit) {
+  auto tmp = TempDir::Create("server_update");
+  ASSERT_TRUE(tmp.ok());
+  // Binary graph: id-exact round-trip (text loading compacts ids).
+  const std::string graph_path = tmp->File("g.hgr");
+  ASSERT_TRUE(WriteBinaryGraph(edges_, graph_path).ok());
+  ASSERT_TRUE(server_->RegisterUpdateGraph("", graph_path).ok());
+
+  // A far-apart reachable pair: the inserted edge must shortcut it.
+  const std::vector<Distance> truth = ExactDistances(graph_, 0);
+  VertexId far = kInvalidVertex;
+  for (VertexId t = 1; t < graph_.num_vertices(); ++t) {
+    if (truth[t] != kInfDistance && truth[t] >= 3) {
+      far = t;
+      break;
+    }
+  }
+  ASSERT_NE(far, kInvalidVertex) << "test graph too dense";
+
+  // The edge op repairs the working copy; serving is unchanged until
+  // COMMIT publishes the repaired snapshot.
+  const std::string applied =
+      *client_.RoundTrip("ADDEDGE 0 " + std::to_string(far));
+  EXPECT_EQ(applied, "OK applied pending=1");
+  EXPECT_EQ(*client_.QueryDistance(0, far), truth[far]);
+  const std::string pending_stats = *client_.RoundTrip("STATS");
+  EXPECT_NE(pending_stats.find("index.default.pending_updates=1"),
+            std::string::npos)
+      << pending_stats;
+
+  const std::string committed = *client_.RoundTrip("COMMIT");
+  ASSERT_TRUE(StartsWith(committed, "OK committed updates=1 ")) << committed;
+  EXPECT_EQ(*client_.QueryDistance(0, far), 1u);
+
+  // Differential check: the published snapshot answers identically to a
+  // from-scratch build on the mutated graph.
+  EdgeList mutated = edges_;
+  mutated.Add(0, far);
+  mutated.Normalize();
+  const CsrGraph mutated_graph = CsrGraph::FromEdgeList(mutated).ValueOrDie();
+  const std::vector<Distance> mutated_truth = ExactDistances(mutated_graph, 0);
+  for (VertexId t = 0; t < 60; ++t) {
+    ASSERT_EQ(*client_.QueryDistance(0, t), mutated_truth[t]) << "t=" << t;
+  }
+
+  // Redundant insert is a no-op; deleting it and committing restores
+  // the original distances exactly.
+  EXPECT_EQ(*client_.RoundTrip("ADDEDGE 0 " + std::to_string(far)),
+            "OK noop pending=0");
+  EXPECT_EQ(*client_.RoundTrip("DELEDGE 0 " + std::to_string(far)),
+            "OK applied pending=1");
+  ASSERT_TRUE(StartsWith(*client_.RoundTrip("COMMIT"), "OK committed "));
+  for (VertexId t = 0; t < 60; ++t) {
+    ASSERT_EQ(*client_.QueryDistance(0, t), truth[t]) << "t=" << t;
+  }
+
+  // Post-commit STATS: drained transaction, recorded commit time.
+  const std::string stats = *client_.RoundTrip("STATS");
+  EXPECT_NE(stats.find("index.default.pending_updates=0"),
+            std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("index.default.last_commit_seconds="),
+            std::string::npos);
+
+  // Invalid ops answer ERR without disturbing the session.
+  EXPECT_TRUE(StartsWith(*client_.RoundTrip("DELEDGE 0 " +
+                                            std::to_string(far)),
+                         "ERR "));  // already deleted
+  EXPECT_TRUE(StartsWith(*client_.RoundTrip("ADDEDGE 4 4"), "ERR "));
+  EXPECT_TRUE(StartsWith(*client_.RoundTrip("ADDEDGE 0 999999"), "ERR "));
+  EXPECT_EQ(*client_.RoundTrip("COMMIT"), "OK nothing to commit");
+}
+
+TEST_F(ServerEndToEndTest, UpdateVerbsRequireRegisteredGraph) {
+  const std::string response = *client_.RoundTrip("ADDEDGE 0 1");
+  ASSERT_TRUE(StartsWith(response, "ERR ")) << response;
+  EXPECT_NE(response.find("--graph"), std::string::npos) << response;
+  // COMMIT without a session is a harmless no-op, not an error.
+  EXPECT_EQ(*client_.RoundTrip("COMMIT"), "OK nothing to commit");
+}
+
+TEST_F(ServerEndToEndTest, UpdatesRefusedOnMmapIndex) {
+  auto tmp = TempDir::Create("server_update_mmap");
+  ASSERT_TRUE(tmp.ok());
+  const std::string index_path = tmp->File("m.hli2");
+  ASSERT_TRUE(MappedIndex::Write(index_.label_index(), index_.ranking(),
+                                 index_path)
+                  .ok());
+  const std::string graph_path = tmp->File("g.hgr");
+  ASSERT_TRUE(WriteBinaryGraph(edges_, graph_path).ok());
+  ASSERT_TRUE(StartsWith(*client_.RoundTrip("ATTACH mm " + index_path),
+                         "OK "));
+  ASSERT_TRUE(server_->RegisterUpdateGraph("mm", graph_path).ok());
+  const std::string response = *client_.RoundTrip("USE mm ADDEDGE 0 1");
+  ASSERT_TRUE(StartsWith(response, "ERR ")) << response;
+  EXPECT_NE(response.find("read-only"), std::string::npos) << response;
+}
+
+TEST_F(ServerEndToEndTest, ReloadDiscardsUncommittedUpdates) {
+  auto tmp = TempDir::Create("server_update_reload");
+  ASSERT_TRUE(tmp.ok());
+  const std::string index_path = tmp->File("a.hli");
+  ASSERT_TRUE(index_.Save(index_path).ok());
+  const std::string graph_path = tmp->File("g.hgr");
+  ASSERT_TRUE(WriteBinaryGraph(edges_, graph_path).ok());
+  ASSERT_TRUE(server_->RegisterUpdateGraph("", graph_path).ok());
+
+  const std::vector<Distance> truth = ExactDistances(graph_, 0);
+  VertexId far = kInvalidVertex;
+  for (VertexId t = 1; t < graph_.num_vertices(); ++t) {
+    if (truth[t] != kInfDistance && truth[t] >= 3) {
+      far = t;
+      break;
+    }
+  }
+  ASSERT_NE(far, kInvalidVertex);
+  EXPECT_EQ(*client_.RoundTrip("ADDEDGE 0 " + std::to_string(far)),
+            "OK applied pending=1");
+  // RELOAD republishes from disk: the uncommitted transaction is gone.
+  ASSERT_TRUE(StartsWith(*client_.RoundTrip("RELOAD " + index_path), "OK "));
+  EXPECT_EQ(*client_.RoundTrip("COMMIT"), "OK nothing to commit");
+  EXPECT_EQ(*client_.QueryDistance(0, far), truth[far]);
+  // The session re-seeds from the reloaded snapshot; updates work again.
+  EXPECT_EQ(*client_.RoundTrip("ADDEDGE 0 " + std::to_string(far)),
+            "OK applied pending=1");
+  ASSERT_TRUE(StartsWith(*client_.RoundTrip("COMMIT"), "OK committed "));
+  EXPECT_EQ(*client_.QueryDistance(0, far), 1u);
 }
 
 TEST(ServerLifecycleTest, StopUnblocksConnectedClients) {

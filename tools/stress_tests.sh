@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Deflake loop runner: repeat the ctest suite (or a -R subset) until a
+# failure or the iteration budget runs out, keeping every failing log.
+#
+#   tools/stress_tests.sh                      # 20x full suite, build/
+#   tools/stress_tests.sh -n 100 -R 'server|concurrent'
+#   tools/stress_tests.sh -b build-tsan -n 50 -j 4
+#
+# Exit status: 0 = every iteration green, 1 = at least one failure (the
+# failing iteration's ctest log is left under $BUILD/Testing/stress/).
+# Use it to qualify timing-sensitive suites (server, concurrency,
+# update-stream) on loaded or few-core machines, where a single ctest
+# pass proves little.
+
+set -u
+
+iterations=20
+build_dir="build"
+test_regex=""
+jobs=""
+stop_on_fail=1
+
+while getopts "n:b:R:j:kh" opt; do
+  case "$opt" in
+    n) iterations="$OPTARG" ;;
+    b) build_dir="$OPTARG" ;;
+    R) test_regex="$OPTARG" ;;
+    j) jobs="$OPTARG" ;;
+    k) stop_on_fail=0 ;;  # keep looping after failures, count them all
+    h)
+      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) exit 2 ;;
+  esac
+done
+
+if [ ! -f "$build_dir/CTestTestfile.cmake" ]; then
+  echo "error: '$build_dir' is not a configured build tree" \
+       "(run: cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
+  exit 2
+fi
+
+log_dir="$build_dir/Testing/stress"
+mkdir -p "$log_dir"
+
+ctest_args=(--output-on-failure --timeout 600)
+[ -n "$test_regex" ] && ctest_args+=(-R "$test_regex")
+[ -n "$jobs" ] && ctest_args+=(-j "$jobs")
+
+failures=0
+for i in $(seq 1 "$iterations"); do
+  log="$log_dir/iter$i.log"
+  if (cd "$build_dir" && ctest "${ctest_args[@]}") >"$log" 2>&1; then
+    echo "iter $i/$iterations: ok"
+    rm -f "$log"
+  else
+    failures=$((failures + 1))
+    echo "iter $i/$iterations: FAILED (log: $log)"
+    grep -E '\*\*\*|The following tests FAILED' "$log" | head -20
+    [ "$stop_on_fail" = 1 ] && break
+  fi
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "stress: $failures failing iteration(s) out of $i"
+  exit 1
+fi
+echo "stress: $iterations/$iterations iterations green"
