@@ -9,6 +9,15 @@
 #include <sys/resource.h>
 #endif
 
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -157,6 +166,71 @@ std::string PhasesJson(const std::vector<PhaseTiming>& phases) {
   out += "}";
   return out;
 }
+
+#if defined(__linux__)
+namespace {
+
+int OpenHardwareCounter(uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // user-space only; also lowers the
+  attr.exclude_hv = 1;      // perf_event_paranoid bar in containers
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr,
+                                  /*pid=*/0, /*cpu=*/-1,
+                                  /*group_fd=*/-1, /*flags=*/0UL));
+}
+
+uint64_t ReadCounter(int fd) {
+  uint64_t value = 0;
+  if (read(fd, &value, sizeof(value)) != sizeof(value)) return 0;
+  return value;
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  cache_fd_ = OpenHardwareCounter(PERF_COUNT_HW_CACHE_MISSES);
+  branch_fd_ = OpenHardwareCounter(PERF_COUNT_HW_BRANCH_MISSES);
+  if (cache_fd_ < 0 || branch_fd_ < 0) {
+    // All-or-nothing: a half-available pair would skew comparisons.
+    if (cache_fd_ >= 0) close(cache_fd_);
+    if (branch_fd_ >= 0) close(branch_fd_);
+    cache_fd_ = branch_fd_ = -1;
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  if (cache_fd_ >= 0) close(cache_fd_);
+  if (branch_fd_ >= 0) close(branch_fd_);
+}
+
+void PerfCounters::Start() {
+  if (!available()) return;
+  ioctl(cache_fd_, PERF_EVENT_IOC_RESET, 0);
+  ioctl(branch_fd_, PERF_EVENT_IOC_RESET, 0);
+  ioctl(cache_fd_, PERF_EVENT_IOC_ENABLE, 0);
+  ioctl(branch_fd_, PERF_EVENT_IOC_ENABLE, 0);
+}
+
+PerfCounters::Reading PerfCounters::Stop() {
+  Reading reading;
+  if (!available()) return reading;
+  ioctl(cache_fd_, PERF_EVENT_IOC_DISABLE, 0);
+  ioctl(branch_fd_, PERF_EVENT_IOC_DISABLE, 0);
+  reading.cache_misses = ReadCounter(cache_fd_);
+  reading.branch_misses = ReadCounter(branch_fd_);
+  return reading;
+}
+#else
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::Start() {}
+PerfCounters::Reading PerfCounters::Stop() { return Reading(); }
+#endif
 
 }  // namespace bench
 }  // namespace hopdb

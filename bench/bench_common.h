@@ -95,6 +95,41 @@ struct PhaseTiming {
 /// comma or newline) for embedding in a bench's JSON output.
 std::string PhasesJson(const std::vector<PhaseTiming>& phases);
 
+/// Hardware cache-miss / branch-miss counters over perf_event_open,
+/// for attributing layout wins (cacheline blocking) to actual memory
+/// behavior rather than wall clock alone. Counting is per-thread
+/// (this thread), user-space only.
+///
+/// Gracefully degrades: available() is false — and Stop() returns
+/// zeros — when the kernel forbids the syscall (perf_event_paranoid,
+/// seccomp, containers without CAP_PERFMON) or on non-Linux builds.
+/// Callers must treat zero readings behind available()==false as "not
+/// measured", never as "no misses".
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  bool available() const { return cache_fd_ >= 0 && branch_fd_ >= 0; }
+
+  /// Resets both counters to zero and starts counting.
+  void Start();
+
+  struct Reading {
+    uint64_t cache_misses = 0;
+    uint64_t branch_misses = 0;
+  };
+  /// Stops counting and returns the deltas since Start(). Zeros when
+  /// unavailable.
+  Reading Stop();
+
+ private:
+  int cache_fd_ = -1;
+  int branch_fd_ = -1;
+};
+
 }  // namespace bench
 }  // namespace hopdb
 

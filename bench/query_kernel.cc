@@ -1,21 +1,34 @@
 // Query-kernel comparison: the old per-vertex-vector scalar path against
-// the flat SoA layout under every kernel this CPU supports, on one
-// GLP scale-free graph (default |V| = 100k — the acceptance setting).
+// the flat SoA layout — unblocked and cacheline-blocked — under every
+// kernel this CPU supports, on one GLP scale-free graph (default
+// |V| = 100k — the acceptance setting).
 //
 // Variants measured, all answering the same random point-query stream:
-//   aos/<kernel>    span-based QueryLabelHalves over vector<LabelVector>
-//                   ("aos/scalar" is the pre-flat-store hot path)
-//   flat/<kernel>   QueryFlatHalves over the FlatLabelStore arenas
-//   index/default   TwoHopIndex::Query as served (flat + default kernel)
+//   aos/<kernel>     span-based QueryLabelHalves over vector<LabelVector>
+//                    ("aos/scalar" is the pre-flat-store hot path)
+//   flat/<kernel>    QueryFlatHalves with the block sidecars stripped —
+//                    the pre-blocking flat layout
+//   blocked/<kernel> QueryFlatHalves over the blocked arenas (sidecar
+//                    skip-scan)
+//   hothub/<kernel>  HotHubCache (k=64) dense-table fold + suffix merge
+//   stream/<kernel>  CompressedIndex::Query — the kernel's varint
+//                    stream leg, no decompression pass
+//   index/default    TwoHopIndex::Query as served (blocked + default
+//                    kernel)
 // plus one OneToManyEngine row timing over the flat bucket arena.
 //
 // Every variant's distance checksum must agree — the bench doubles as an
 // end-to-end bit-identical check — and the JSON written to --out
 // (default BENCH_query_kernel.json) records ns/query per variant with
-// speedups relative to aos/scalar.
+// speedups relative to aos/scalar, plus hardware cache-miss and
+// branch-miss rates per query (perf_event_open; -1 when the kernel
+// forbids counting) so blocking wins are attributable to memory
+// behavior.
 //
 //   bench_query_kernel            # 100k-vertex GLP, ~200k queries
-//   bench_query_kernel --ci       # small graph, same JSON shape
+//   bench_query_kernel --ci       # small graph + regression gate:
+//                                 # exits nonzero unless checksums agree
+//                                 # and blocked is no slower than flat
 
 #include <cstdint>
 #include <fstream>
@@ -30,7 +43,9 @@
 #include "graph/csr_graph.h"
 #include "graph/ranking.h"
 #include "labeling/builder.h"
+#include "labeling/compressed_index.h"
 #include "labeling/flat_label_store.h"
+#include "labeling/hot_hub.h"
 #include "labeling/query_kernel.h"
 #include "labeling/two_hop_index.h"
 #include "query/batch.h"
@@ -46,6 +61,8 @@ struct VariantResult {
   std::string name;
   double ns_per_query = 0;
   uint64_t checksum = 0;
+  double cache_misses_per_query = -1;   // -1 = counters unavailable
+  double branch_misses_per_query = -1;
 };
 
 int Run(int argc, char** argv) {
@@ -55,13 +72,15 @@ int Run(int argc, char** argv) {
   flags.Define("seed", "7", "graph + workload seed");
   flags.Define("queries", "200000", "random point queries per variant");
   flags.Define("threads", "0", "builder threads (0 = all cores)");
+  flags.Define("hot-hub-k", "64", "hot-hub cache pivot count");
   flags.Define("out", "BENCH_query_kernel.json",
                "machine-readable output path");
-  flags.Define("ci", "false", "CI mode: small graph, short run");
+  flags.Define("ci", "false",
+               "CI mode: small graph, short run, blocked>=flat gate");
   if (!flags.Parse(argc, argv).ok() || flags.help_requested()) {
     std::cout << flags.Usage(
-        "bench_query_kernel — flat SIMD query kernel vs the old "
-        "per-vertex-vector scalar path");
+        "bench_query_kernel — blocked/flat/compressed SIMD query kernels "
+        "vs the old per-vertex-vector scalar path");
     return flags.help_requested() ? 0 : 1;
   }
 
@@ -70,6 +89,7 @@ int Run(int argc, char** argv) {
   const size_t num_queries =
       ci ? 50000 : static_cast<size_t>(flags.GetUint("queries"));
   const uint64_t seed = flags.GetUint("seed");
+  const uint32_t hot_hub_k = static_cast<uint32_t>(flags.GetUint("hot-hub-k"));
 
   GlpOptions glp;
   glp.num_vertices = n;
@@ -108,7 +128,25 @@ int Run(int argc, char** argv) {
   std::cout << " done in " << FormatDouble(build_seconds, 1) << "s, avg |label| "
             << FormatDouble(index.AvgLabelSize(), 1) << "\n";
 
+  // The same arenas through the pre-blocking lens: stripping the
+  // sidecars makes QueryFlatHalves take the unblocked merge leg.
+  const FlatLabelStore::LabelSetView blocked_view = flat.view();
+  FlatLabelStore::LabelSetView flat_view = blocked_view;
+  flat_view.block_min = nullptr;
+  flat_view.block_max = nullptr;
+
+  const HotHubCache hub = HotHubCache::Build(blocked_view, hot_hub_k);
+  auto compressed = CompressedIndex::FromIndex(index);
+  if (!compressed.ok()) {
+    std::cerr << "compression failed: " << compressed.status() << "\n";
+    return 1;
+  }
+
   const std::vector<QueryPair> pairs = RandomPairs(n, num_queries, seed + 1);
+  bench::PerfCounters counters;
+  if (!counters.available()) {
+    std::cout << "  (hardware counters unavailable — ns/query only)\n";
+  }
 
   // One warmup + one timed pass per variant; the checksum (sum of all
   // distances, inf counted as-is) must be identical across variants.
@@ -121,14 +159,29 @@ int Run(int argc, char** argv) {
       sink += query_fn(pairs[i].s, pairs[i].t);
     }
     sink = 0;
+    counters.Start();
     Stopwatch watch;
     for (const QueryPair& p : pairs) sink += query_fn(p.s, p.t);
     const double seconds = watch.Seconds();
-    result.ns_per_query =
-        seconds * 1e9 / static_cast<double>(pairs.size());
+    const bench::PerfCounters::Reading hw = counters.Stop();
+    const double per = static_cast<double>(pairs.size());
+    result.ns_per_query = seconds * 1e9 / per;
     result.checksum = sink;
-    std::cout << "  " << name << std::string(16 - std::min<size_t>(15, name.size()), ' ')
-              << FormatDouble(result.ns_per_query, 1) << " ns/query\n";
+    if (counters.available()) {
+      result.cache_misses_per_query =
+          static_cast<double>(hw.cache_misses) / per;
+      result.branch_misses_per_query =
+          static_cast<double>(hw.branch_misses) / per;
+    }
+    std::cout << "  " << name
+              << std::string(18 - std::min<size_t>(17, name.size()), ' ')
+              << FormatDouble(result.ns_per_query, 1) << " ns/query";
+    if (counters.available()) {
+      std::cout << "  cm/q " << FormatDouble(result.cache_misses_per_query, 2)
+                << "  bm/q "
+                << FormatDouble(result.branch_misses_per_query, 2);
+    }
+    std::cout << "\n";
     return result;
   };
 
@@ -142,10 +195,37 @@ int Run(int argc, char** argv) {
           return QueryLabelHalves(index.OutLabel(s), index.InLabel(t), s, t);
         }));
   }
+  double flat_total_ns = 0;
+  for (const QueryKernel* kernel : SupportedQueryKernels()) {
+    const VariantResult r = run_variant(
+        std::string("flat/") + kernel->name, [&](VertexId s, VertexId t) {
+          return QueryFlatHalves(flat_view.Out(s), flat_view.In(t), s, t,
+                                 *kernel);
+        });
+    flat_total_ns += r.ns_per_query;
+    results.push_back(r);
+  }
+  double blocked_total_ns = 0;
+  for (const QueryKernel* kernel : SupportedQueryKernels()) {
+    const VariantResult r = run_variant(
+        std::string("blocked/") + kernel->name, [&](VertexId s, VertexId t) {
+          return QueryFlatHalves(blocked_view.Out(s), blocked_view.In(t), s,
+                                 t, *kernel);
+        });
+    blocked_total_ns += r.ns_per_query;
+    results.push_back(r);
+  }
   for (const QueryKernel* kernel : SupportedQueryKernels()) {
     results.push_back(run_variant(
-        std::string("flat/") + kernel->name, [&](VertexId s, VertexId t) {
-          return QueryFlatHalves(flat.Out(s), flat.In(t), s, t, *kernel);
+        std::string("hothub/") + kernel->name, [&](VertexId s, VertexId t) {
+          return hub.Query(blocked_view, s, t, *kernel);
+        }));
+  }
+  for (const QueryKernel* kernel : SupportedQueryKernels()) {
+    SetActiveQueryKernel(kernel->name);
+    results.push_back(run_variant(
+        std::string("stream/") + kernel->name, [&](VertexId s, VertexId t) {
+          return compressed->Query(s, t);
         }));
   }
   SetActiveQueryKernel(default_kernel);
@@ -159,6 +239,22 @@ int Run(int argc, char** argv) {
   }
   if (!checksums_agree) {
     std::cerr << "FATAL: variants disagree on the distance checksum\n";
+  }
+
+  // The CI regression gate: blocking must never cost throughput
+  // (summed across kernels to damp single-variant noise).
+  const double blocked_vs_flat =
+      blocked_total_ns > 0 ? flat_total_ns / blocked_total_ns : 0;
+  bool gate_ok = true;
+  if (ci) {
+    if (blocked_vs_flat < 1.0) {
+      std::cerr << "CI gate FAILED: blocked/flat speedup "
+                << FormatDouble(blocked_vs_flat, 3) << " < 1.0\n";
+      gate_ok = false;
+    } else {
+      std::cout << "  CI gate: blocked/flat speedup "
+                << FormatDouble(blocked_vs_flat, 3) << " >= 1.0\n";
+    }
   }
 
   // One-to-many row over the flat bucket arena (kernel-independent).
@@ -200,7 +296,14 @@ int Run(int argc, char** argv) {
       << "  \"build_seconds\": " << FormatDouble(build_seconds, 2) << ",\n"
       << "  \"queries\": " << pairs.size() << ",\n"
       << "  \"default_kernel\": \"" << default_kernel << "\",\n"
+      << "  \"hot_hub_k\": " << hub.k() << ",\n"
+      << "  \"hot_hub_bytes\": " << hub.SizeBytes() << ",\n"
+      << "  \"compressed_bytes\": " << compressed->SizeBytes() << ",\n"
+      << "  \"perf_counters_available\": "
+      << (counters.available() ? "true" : "false") << ",\n"
       << "  \"checksums_agree\": " << (checksums_agree ? "true" : "false")
+      << ",\n"
+      << "  \"blocked_vs_flat_speedup\": " << FormatDouble(blocked_vs_flat, 3)
       << ",\n"
       << "  \"one_to_many_row_us\": " << FormatDouble(one_to_many_us, 2)
       << ",\n"
@@ -209,12 +312,16 @@ int Run(int argc, char** argv) {
     const VariantResult& r = results[i];
     out << "    {\"name\": \"" << r.name << "\", \"ns_per_query\": "
         << FormatDouble(r.ns_per_query, 1) << ", \"speedup_vs_aos_scalar\": "
-        << FormatDouble(base > 0 ? base / r.ns_per_query : 0, 3) << "}"
+        << FormatDouble(base > 0 ? base / r.ns_per_query : 0, 3)
+        << ", \"cache_misses_per_query\": "
+        << FormatDouble(r.cache_misses_per_query, 2)
+        << ", \"branch_misses_per_query\": "
+        << FormatDouble(r.branch_misses_per_query, 2) << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";
-  return checksums_agree ? 0 : 1;
+  return checksums_agree && gate_ok ? 0 : 1;
 }
 
 }  // namespace

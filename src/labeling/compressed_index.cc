@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "labeling/query_kernel.h"
 #include "util/serde.h"
 
 namespace hopdb {
@@ -112,38 +113,17 @@ Result<TwoHopIndex> CompressedIndex::Decompress() const {
 Distance CompressedIndex::Query(VertexId s, VertexId t) const {
   if (s >= num_vertices_ || t >= num_vertices_) return kInfDistance;
   if (s == t) return 0;
+  // The active kernel's stream leg merges the two delta-varint payloads
+  // directly — SIMD kernels decode register-width blocks on the fly, so
+  // compressed queries ride the same dispatch as flat ones. The trivial
+  // pivots (t in Lout(s), s in Lin(t)) are the kernel's direct probes.
   const auto* payload = reinterpret_cast<const uint8_t*>(payload_.data());
-  LabelCursor out_s(payload, offsets_[SlotOut(s)], offsets_[SlotOut(s) + 1]);
-  LabelCursor in_t(payload, offsets_[SlotIn(t)], offsets_[SlotIn(t) + 1]);
-
-  Distance best = kInfDistance;
-  VertexId pa = kInvalidVertex, pb = kInvalidVertex;
-  Distance da = kInfDistance, db = kInfDistance;
-  bool va = out_s.Next(&pa, &da);
-  bool vb = in_t.Next(&pb, &db);
-  // Sorted-merge intersection; the trivial pivots (t in Lout(s), s in
-  // Lin(t)) surface as direct hits on the opposite side's owner id.
-  while (va && vb) {
-    if (pa == pb) {
-      const Distance d = SaturatingAdd(da, db);
-      if (d < best) best = d;
-      va = out_s.Next(&pa, &da);
-      vb = in_t.Next(&pb, &db);
-    } else if (pa < pb) {
-      if (pa == t && da < best) best = da;
-      va = out_s.Next(&pa, &da);
-    } else {
-      if (pb == s && db < best) best = db;
-      vb = in_t.Next(&pb, &db);
-    }
-  }
-  for (; va; va = out_s.Next(&pa, &da)) {
-    if (pa == t && da < best) best = da;
-  }
-  for (; vb; vb = in_t.Next(&pb, &db)) {
-    if (pb == s && db < best) best = db;
-  }
-  return best;
+  const uint32_t a_off = offsets_[SlotOut(s)];
+  const uint32_t b_off = offsets_[SlotIn(t)];
+  return ActiveQueryKernel().intersect_stream(
+      payload + a_off, offsets_[SlotOut(s) + 1] - a_off, payload + b_off,
+      offsets_[SlotIn(t) + 1] - b_off,
+      /*direct_a=*/t, /*direct_b=*/s);
 }
 
 uint64_t CompressedIndex::SizeBytes() const {

@@ -1,5 +1,6 @@
 #include "labeling/flat_label_store.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -15,7 +16,53 @@ constexpr char kMagic[4] = {'H', 'F', 'S', '1'};
 constexpr uint8_t kFlagDirected = 1u << 0;
 constexpr uint8_t kFlagDeltaPivots = 1u << 1;
 
+uint64_t AlignUpBlock(uint64_t entries) {
+  return (entries + kLabelBlockEntries - 1) / kLabelBlockEntries *
+         kLabelBlockEntries;
+}
+
 }  // namespace
+
+void FlatLabelStore::InitBlockedLayout(std::vector<uint32_t> sizes) {
+  sizes_ = std::move(sizes);
+  const size_t slots = sizes_.size();
+  offsets_.assign(slots + 1, 0);
+  uint64_t total = 0;
+  uint64_t padded = 0;
+  for (size_t s = 0; s < slots; ++s) {
+    total += sizes_[s];
+    padded += AlignUpBlock(sizes_[s]);
+    offsets_[s + 1] = padded;
+  }
+  total_entries_ = total;
+  pivots_ = AlignedU32Array(padded);
+  dists_ = AlignedU32Array(padded);
+}
+
+void FlatLabelStore::FinalizeBlocks() {
+  const size_t slots = num_slots();
+  block_min_ = AlignedU32Array(pivots_.size() / kLabelBlockEntries);
+  block_max_ = AlignedU32Array(pivots_.size() / kLabelBlockEntries);
+  for (size_t s = 0; s < slots; ++s) {
+    const uint64_t begin = offsets_[s];
+    const uint32_t size = sizes_[s];
+    for (uint64_t i = begin + size; i < offsets_[s + 1]; ++i) {
+      pivots_[i] = kInvalidVertex;
+      dists_[i] = kInfDistance;
+    }
+    // Every block holds at least one real entry (padding only rounds a
+    // non-empty slot up), so the sidecar minima/maxima are always real
+    // pivots.
+    const uint64_t blocks = (offsets_[s + 1] - begin) / kLabelBlockEntries;
+    for (uint64_t g = 0; g < blocks; ++g) {
+      const uint64_t first = begin + g * kLabelBlockEntries;
+      const uint64_t last =
+          begin + std::min<uint64_t>(size, (g + 1) * kLabelBlockEntries) - 1;
+      block_min_[first / kLabelBlockEntries] = pivots_[first];
+      block_max_[first / kLabelBlockEntries] = pivots_[last];
+    }
+  }
+}
 
 FlatLabelStore FlatLabelStore::Build(const std::vector<LabelVector>& out,
                                      const std::vector<LabelVector>& in,
@@ -30,20 +77,18 @@ FlatLabelStore FlatLabelStore::Build(const std::vector<LabelVector>& out,
     HOPDB_CHECK(in.empty()) << "undirected store must not carry in-labels";
   }
 
-  const size_t slots = store.num_slots();
-  store.offsets_.assign(slots + 1, 0);
-  uint64_t total = 0;
-  auto count_side = [&](const std::vector<LabelVector>& side, size_t base) {
-    for (size_t v = 0; v < side.size(); ++v) {
-      total += side[v].size();
-      store.offsets_[base + v + 1] = total;
+  std::vector<uint32_t> sizes;
+  sizes.reserve(store.num_slots());
+  for (const LabelVector& label : out) {
+    sizes.push_back(static_cast<uint32_t>(label.size()));
+  }
+  if (directed) {
+    for (const LabelVector& label : in) {
+      sizes.push_back(static_cast<uint32_t>(label.size()));
     }
-  };
-  count_side(out, 0);
-  if (directed) count_side(in, out.size());
+  }
+  store.InitBlockedLayout(std::move(sizes));
 
-  store.pivots_ = AlignedU32Array(total);
-  store.dists_ = AlignedU32Array(total);
   auto fill_side = [&](const std::vector<LabelVector>& side, size_t base) {
     for (size_t v = 0; v < side.size(); ++v) {
       uint64_t pos = store.offsets_[base + v];
@@ -56,12 +101,14 @@ FlatLabelStore FlatLabelStore::Build(const std::vector<LabelVector>& out,
   };
   fill_side(out, 0);
   if (directed) fill_side(in, out.size());
+  store.FinalizeBlocks();
   return store;
 }
 
 uint64_t FlatLabelStore::SizeBytes() const {
-  return pivots_.SizeBytes() + dists_.SizeBytes() +
-         offsets_.size() * sizeof(uint64_t);
+  return pivots_.SizeBytes() + dists_.SizeBytes() + block_min_.SizeBytes() +
+         block_max_.SizeBytes() + offsets_.size() * sizeof(uint64_t) +
+         sizes_.size() * sizeof(uint32_t);
 }
 
 bool FlatLabelStore::MirrorsVectors(const std::vector<LabelVector>& out,
@@ -74,7 +121,7 @@ bool FlatLabelStore::MirrorsVectors(const std::vector<LabelVector>& out,
                           size_t base) {
     for (size_t v = 0; v < side.size(); ++v) {
       const uint64_t begin = offsets_[base + v];
-      if (offsets_[base + v + 1] - begin != side[v].size()) return false;
+      if (sizes_[base + v] != side[v].size()) return false;
       for (size_t i = 0; i < side[v].size(); ++i) {
         if (pivots_[begin + i] != side[v][i].pivot ||
             dists_[begin + i] != side[v][i].dist) {
@@ -100,22 +147,34 @@ void FlatLabelStore::AppendTo(std::string* dst, bool delta_pivots) const {
   PutU8(dst, flags);
   PutU32(dst, num_vertices_);
   PutU64(dst, TotalEntries());
+  // The streams carry only real entries in slot order — byte-identical
+  // to the pre-blocking format; padding never reaches disk.
   const size_t slots = num_slots();
-  for (size_t s = 0; s < slots; ++s) {
-    PutVarint64(dst, offsets_[s + 1] - offsets_[s]);
-  }
+  for (size_t s = 0; s < slots; ++s) PutVarint64(dst, sizes_[s]);
   if (delta_pivots) {
     for (size_t s = 0; s < slots; ++s) {
       uint64_t prev_plus_one = 0;  // pivot gaps relative to -1
-      for (uint64_t i = offsets_[s]; i < offsets_[s + 1]; ++i) {
+      for (uint64_t i = offsets_[s]; i < offsets_[s] + sizes_[s]; ++i) {
         PutVarint64(dst, pivots_[i] + 1 - prev_plus_one);
         prev_plus_one = static_cast<uint64_t>(pivots_[i]) + 1;
       }
     }
-    for (uint64_t i = 0; i < TotalEntries(); ++i) PutVarint64(dst, dists_[i]);
+    for (size_t s = 0; s < slots; ++s) {
+      for (uint64_t i = offsets_[s]; i < offsets_[s] + sizes_[s]; ++i) {
+        PutVarint64(dst, dists_[i]);
+      }
+    }
   } else {
-    for (uint64_t i = 0; i < TotalEntries(); ++i) PutU32(dst, pivots_[i]);
-    for (uint64_t i = 0; i < TotalEntries(); ++i) PutU32(dst, dists_[i]);
+    for (size_t s = 0; s < slots; ++s) {
+      for (uint64_t i = offsets_[s]; i < offsets_[s] + sizes_[s]; ++i) {
+        PutU32(dst, pivots_[i]);
+      }
+    }
+    for (size_t s = 0; s < slots; ++s) {
+      for (uint64_t i = offsets_[s]; i < offsets_[s] + sizes_[s]; ++i) {
+        PutU32(dst, dists_[i]);
+      }
+    }
   }
 }
 
@@ -136,25 +195,28 @@ Result<FlatLabelStore> FlatLabelStore::Parse(ByteReader* reader) {
   store.built_ = true;
   store.directed_ = (flags & kFlagDirected) != 0;
   store.num_vertices_ = nv;
-  const size_t slots = store.num_slots();
-  store.offsets_.assign(slots + 1, 0);
+  const size_t slots = store.directed_ ? 2 * static_cast<size_t>(nv) : nv;
+  std::vector<uint32_t> sizes(slots, 0);
   uint64_t running = 0;
   for (size_t s = 0; s < slots; ++s) {
     uint64_t len = 0;
     HOPDB_RETURN_NOT_OK(reader->ReadVarint64(&len));
+    if (len > nv) {
+      return Status::InvalidArgument("HFS1 slot length exceeds num_vertices");
+    }
     running += len;
-    store.offsets_[s + 1] = running;
+    sizes[s] = static_cast<uint32_t>(len);
   }
   if (running != total) {
     return Status::InvalidArgument(
         "HFS1 slot lengths disagree with total_entries");
   }
-  store.pivots_ = AlignedU32Array(total);
-  store.dists_ = AlignedU32Array(total);
+  store.InitBlockedLayout(std::move(sizes));
   if ((flags & kFlagDeltaPivots) != 0) {
     for (size_t s = 0; s < slots; ++s) {
       uint64_t prev_plus_one = 0;
-      for (uint64_t i = store.offsets_[s]; i < store.offsets_[s + 1]; ++i) {
+      const uint64_t begin = store.offsets_[s];
+      for (uint64_t i = begin; i < begin + store.sizes_[s]; ++i) {
         uint64_t gap = 0;
         HOPDB_RETURN_NOT_OK(reader->ReadVarint64(&gap));
         const uint64_t pivot = prev_plus_one + gap - 1;
@@ -165,13 +227,16 @@ Result<FlatLabelStore> FlatLabelStore::Parse(ByteReader* reader) {
         prev_plus_one = pivot + 1;
       }
     }
-    for (uint64_t i = 0; i < total; ++i) {
-      uint64_t d = 0;
-      HOPDB_RETURN_NOT_OK(reader->ReadVarint64(&d));
-      if (d > kInfDistance) {
-        return Status::InvalidArgument("HFS1 distance out of range");
+    for (size_t s = 0; s < slots; ++s) {
+      const uint64_t begin = store.offsets_[s];
+      for (uint64_t i = begin; i < begin + store.sizes_[s]; ++i) {
+        uint64_t d = 0;
+        HOPDB_RETURN_NOT_OK(reader->ReadVarint64(&d));
+        if (d > kInfDistance) {
+          return Status::InvalidArgument("HFS1 distance out of range");
+        }
+        store.dists_[i] = static_cast<uint32_t>(d);
       }
-      store.dists_[i] = static_cast<uint32_t>(d);
     }
   } else {
     // Raw mode: enforce the same invariants the gap encoding gets for
@@ -180,7 +245,8 @@ Result<FlatLabelStore> FlatLabelStore::Parse(ByteReader* reader) {
     // the binary-search/merge-join preconditions.
     for (size_t s = 0; s < slots; ++s) {
       uint64_t prev_plus_one = 0;
-      for (uint64_t i = store.offsets_[s]; i < store.offsets_[s + 1]; ++i) {
+      const uint64_t begin = store.offsets_[s];
+      for (uint64_t i = begin; i < begin + store.sizes_[s]; ++i) {
         HOPDB_RETURN_NOT_OK(reader->ReadU32(&store.pivots_[i]));
         if (store.pivots_[i] < prev_plus_one || store.pivots_[i] >= nv) {
           return Status::InvalidArgument("HFS1 raw pivot out of order or "
@@ -189,10 +255,14 @@ Result<FlatLabelStore> FlatLabelStore::Parse(ByteReader* reader) {
         prev_plus_one = static_cast<uint64_t>(store.pivots_[i]) + 1;
       }
     }
-    for (uint64_t i = 0; i < total; ++i) {
-      HOPDB_RETURN_NOT_OK(reader->ReadU32(&store.dists_[i]));
+    for (size_t s = 0; s < slots; ++s) {
+      const uint64_t begin = store.offsets_[s];
+      for (uint64_t i = begin; i < begin + store.sizes_[s]; ++i) {
+        HOPDB_RETURN_NOT_OK(reader->ReadU32(&store.dists_[i]));
+      }
     }
   }
+  store.FinalizeBlocks();
   return store;
 }
 

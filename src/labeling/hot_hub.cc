@@ -1,0 +1,93 @@
+#include "labeling/hot_hub.h"
+
+namespace hopdb {
+
+HotHubCache HotHubCache::Build(const LabelSetView& labels, uint32_t k) {
+  HotHubCache cache;
+  if (k == 0 || labels.num_vertices == 0) return cache;
+  if (k > labels.num_vertices) k = labels.num_vertices;
+  cache.k_ = k;
+  cache.num_vertices_ = labels.num_vertices;
+  cache.directed_ = labels.directed;
+  const size_t num_slots = labels.num_slots();
+  cache.table_.assign(num_slots * k, kInfDistance);
+  cache.skip_.assign(num_slots, 0);
+  for (size_t slot = 0; slot < num_slots; ++slot) {
+    const FlatLabelStore::View view = labels.Slot(slot);
+    Distance* row = cache.table_.data() + slot * k;
+    // Labels are sorted by pivot and hub pivots are the smallest
+    // internal ids, so the hub-covered entries are exactly a prefix.
+    uint32_t i = 0;
+    while (i < view.size && view.pivots[i] < k) {
+      row[view.pivots[i]] = view.dists[i];
+      ++i;
+    }
+    cache.skip_[slot] = i;
+  }
+  return cache;
+}
+
+Distance HotHubCache::Query(const LabelSetView& labels, VertexId s, VertexId t,
+                            const QueryKernel& kernel) const {
+  if (s >= num_vertices_ || t >= num_vertices_) return kInfDistance;
+  if (s == t) return 0;
+  const size_t out_slot = s;
+  const size_t in_slot =
+      directed_ ? static_cast<size_t>(num_vertices_) + t : t;
+
+  // Hub-covered pivots: one dense fold over 2k contiguous distances.
+  // Absent pivots hold kInfDistance; the branchless wraparound check
+  // keeps them infinite (inf + x wraps below inf for any real dist x,
+  // and inf + 0 never occurs — label distances are nonzero), letting
+  // the compiler turn the fold into straight-line cmov/SIMD code.
+  const Distance* ho = table_.data() + out_slot * k_;
+  const Distance* hi = table_.data() + in_slot * k_;
+  Distance best = kInfDistance;
+  for (uint32_t h = 0; h < k_; ++h) {
+    const Distance sum = ho[h] + hi[h];
+    const Distance d = sum < ho[h] ? kInfDistance : sum;
+    best = d < best ? d : best;
+  }
+
+  const FlatLabelStore::View out_s = labels.Out(s);
+  const FlatLabelStore::View in_t = labels.In(t);
+
+  // Trivial pivots over the FULL labels (t itself may be a hub pivot,
+  // in which case its entry lives inside the skipped prefix).
+  const Distance direct_out = LookupPivotFlat(out_s, t);
+  if (direct_out < best) best = direct_out;
+  const Distance direct_in = LookupPivotFlat(in_t, s);
+  if (direct_in < best) best = direct_in;
+
+  // Non-hub suffixes through the general merge-join. A common pivot
+  // >= k needs an entry past the skip prefix on BOTH sides, so if
+  // either suffix is empty the hub fold already covered everything.
+  const uint32_t skip_a = skip_[out_slot];
+  const uint32_t skip_b = skip_[in_slot];
+  if (skip_a < out_s.size && skip_b < in_t.size) {
+    Distance merged;
+    if (out_s.block_min != nullptr && in_t.block_min != nullptr) {
+      // Blocked arenas: start at each suffix's block floor so the
+      // sub-views stay 64-byte aligned with valid sidecars. Partial
+      // boundary blocks re-cover a few hub entries; the duplicates
+      // fold to the same minimum (idempotent), never a different one.
+      const uint32_t ba = skip_a / kLabelBlockEntries;
+      const uint32_t bb = skip_b / kLabelBlockEntries;
+      merged = kernel.intersect_blocked(
+          out_s.pivots + ba * kLabelBlockEntries,
+          out_s.dists + ba * kLabelBlockEntries, out_s.block_min + ba,
+          out_s.block_max + ba, out_s.size - ba * kLabelBlockEntries,
+          in_t.pivots + bb * kLabelBlockEntries,
+          in_t.dists + bb * kLabelBlockEntries, in_t.block_min + bb,
+          in_t.block_max + bb, in_t.size - bb * kLabelBlockEntries);
+    } else {
+      merged = kernel.intersect_flat(
+          out_s.pivots + skip_a, out_s.dists + skip_a, out_s.size - skip_a,
+          in_t.pivots + skip_b, in_t.dists + skip_b, in_t.size - skip_b);
+    }
+    if (merged < best) best = merged;
+  }
+  return best;
+}
+
+}  // namespace hopdb

@@ -325,6 +325,7 @@ Result<bool> IncrementalUpdater::Apply(const UpdateOp& op) {
     if (label.size() != before) {
       stats_.entries_removed += before - label.size();
       r_out_.push_back(x);
+      MarkTouched(out_, x);
     }
   }
   for (const VertexId y : t_) {
@@ -338,6 +339,7 @@ Result<bool> IncrementalUpdater::Apply(const UpdateOp& op) {
     if (label.size() != before) {
       stats_.entries_removed += before - label.size();
       r_in_.push_back(y);
+      MarkTouched(in_, y);
     }
   }
 
@@ -485,19 +487,23 @@ void IncrementalUpdater::OwnerRestore(VertexId v, bool out_side) {
   std::vector<LabelVector>* side = out_side ? out_ : in_;
   LabelVector& label = (*side)[v];
   size_t kept = 0;
+  bool changed = false;
   for (size_t k = 0; k < label.size(); ++k) {
     const Distance d = dist[label[k].pivot];
     if (d == kInfDistance) {
       ++stats_.entries_removed;
+      changed = true;
       continue;
     }
     if (label[k].dist != d) {
       label[k].dist = d;
       ++stats_.entries_updated;
+      changed = true;
     }
     label[kept++] = label[k];
   }
   label.resize(kept);
+  if (changed) MarkTouched(side, v);
   for (VertexId h = 0; h < v; ++h) {
     const Distance d = dist[h];
     if (d == kInfDistance) continue;
@@ -589,15 +595,51 @@ void IncrementalUpdater::UpsertEntry(std::vector<LabelVector>* side,
     if (it->dist != dist) {
       it->dist = dist;
       ++stats_.entries_updated;
+      MarkTouched(side, owner);
     }
   } else {
     label.insert(it, LabelEntry{pivot, dist});
     ++stats_.entries_added;
+    MarkTouched(side, owner);
   }
+}
+
+void IncrementalUpdater::MarkTouched(const std::vector<LabelVector>* side,
+                                     VertexId owner) {
+  const size_t n = graph_->num_vertices();
+  if (touched_out_mark_.size() != n) {
+    touched_out_mark_.assign(n, 0);
+    touched_in_mark_.assign(n, 0);
+  }
+  const bool shared = out_ == in_;
+  if ((side == out_ || shared) && touched_out_mark_[owner] == 0) {
+    touched_out_mark_[owner] = 1;
+    touched_out_.push_back(owner);
+  }
+  if ((side == in_ || shared) && touched_in_mark_[owner] == 0) {
+    touched_in_mark_[owner] = 1;
+    touched_in_.push_back(owner);
+  }
+}
+
+IncrementalUpdater::TouchedOwners IncrementalUpdater::TakeTouchedOwners() {
+  TouchedOwners result;
+  result.all = touched_all_;
+  result.out = std::move(touched_out_);
+  result.in = std::move(touched_in_);
+  std::sort(result.out.begin(), result.out.end());
+  std::sort(result.in.begin(), result.in.end());
+  touched_all_ = false;
+  touched_out_.clear();
+  touched_in_.clear();
+  for (const VertexId v : result.out) touched_out_mark_[v] = 0;
+  for (const VertexId v : result.in) touched_in_mark_[v] = 0;
+  return result;
 }
 
 Status IncrementalUpdater::RebuildFallback() {
   ++stats_.full_rebuilds;
+  touched_all_ = true;
   EdgeList edges = graph_->ToEdgeList();
   HOPDB_ASSIGN_OR_RETURN(CsrGraph csr, CsrGraph::FromEdgeList(edges));
   // The dynamic graph lives in internal (rank) ids, so the rebuild runs

@@ -238,6 +238,24 @@ class IncrementalUpdater {
   /// Rebuilds the flat query mirror after a run of Apply() calls.
   void Finalize();
 
+  /// Owners (INTERNAL ids) whose labels changed since construction or
+  /// the previous Take — the exact dependency set of a cached point
+  /// query: Query(s, t) reads only Lout(s) and Lin(t), so a cached
+  /// result is stale iff s's out-label or t's in-label is in here. The
+  /// server's COMMIT uses this to carry non-affected result-cache
+  /// entries into the snapshot it publishes instead of dropping the
+  /// cache wholesale.
+  struct TouchedOwners {
+    /// True when a fallback rebuild replaced every label; the lists are
+    /// empty and callers must treat every owner as touched.
+    bool all = false;
+    std::vector<VertexId> out;  // Lout(v) changed, ascending
+    std::vector<VertexId> in;   // Lin(v) changed (mirrors `out` when
+                                // undirected, where the sides alias)
+  };
+  /// Returns the accumulated set and resets the tracker.
+  TouchedOwners TakeTouchedOwners();
+
   const UpdateStats& stats() const { return stats_; }
 
  private:
@@ -278,6 +296,11 @@ class IncrementalUpdater {
   void UpsertEntry(std::vector<LabelVector>* side, VertexId owner,
                    VertexId pivot, Distance dist);
 
+  /// Records that `owner`'s label in `side` changed (for
+  /// TakeTouchedOwners). Undirected indexes alias the sides, so one
+  /// mutation marks both views. O(1) amortized; dedupes via byte marks.
+  void MarkTouched(const std::vector<LabelVector>* side, VertexId owner);
+
   Status RebuildFallback();
 
   DynamicGraph* graph_;
@@ -306,6 +329,14 @@ class IncrementalUpdater {
   // (|V|-sized byte marks, zeroed again before Apply returns).
   std::vector<uint8_t> strict_s_mark_;
   std::vector<uint8_t> strict_t_mark_;
+
+  // Touched-owner tracker (TakeTouchedOwners): byte marks dedupe, the
+  // id vectors accumulate across Apply calls until the next Take.
+  bool touched_all_ = false;
+  std::vector<uint8_t> touched_out_mark_;
+  std::vector<uint8_t> touched_in_mark_;
+  std::vector<VertexId> touched_out_;
+  std::vector<VertexId> touched_in_;
 };
 
 /// Parses one text op line: "ADDEDGE u v [w]" / "DELEDGE u v"

@@ -29,6 +29,15 @@ struct LabelEntry {
 /// Sorted-by-pivot label vector.
 using LabelVector = std::vector<LabelEntry>;
 
+/// Entries per cacheline block in blocked label arenas: 16 u32 pivots
+/// fill one 64-byte cache line. Blocked stores pad every slot to a
+/// multiple of this, keep per-block pivot minima/maxima sidecars, and
+/// fill padding lanes with kInfDistance in both arenas (a padding
+/// "match" sums to a wrapping value the kernels' overflow mask kills,
+/// and a padding pivot can never equal a real pivot, which is always
+/// < num_vertices <= 0xFFFFFFFE).
+inline constexpr uint32_t kLabelBlockEntries = 16;
+
 /// Binary-searches `label` (sorted by pivot) for `pivot`; returns the
 /// stored distance or kInfDistance when absent.
 inline Distance LookupPivot(std::span<const LabelEntry> label,

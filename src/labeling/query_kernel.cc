@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/serde.h"
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define HOPDB_X86_KERNELS 1
@@ -101,9 +102,216 @@ bool HasWitnessFlatScalar(const uint32_t* ap, const uint32_t* ad, uint32_t an,
   return ScalarTailWitness(ap, ad, an, bp, bd, bn, 0, 0, beta, d);
 }
 
-constexpr QueryKernel kScalarKernel{"scalar", &IntersectFlatScalar,
-                                    &IntersectEntriesScalar,
-                                    &HasWitnessFlatScalar};
+// ---------------------------------------------------------------------------
+// Blocked merge, scalar. The outer loop walks the per-block pivot
+// min/max sidecars and advances past a block as soon as its range
+// cannot overlap the other side's current block (strict per-slot
+// sortedness makes block ranges disjoint and ascending, so a skipped
+// block can never match a later block either). Overlapping blocks fall
+// back to a bounded two-pointer merge over their real entries. The
+// block-advance rule — advance whichever block's maximum real pivot is
+// smaller, both on equal — is the same exhaustiveness argument as the
+// SIMD all-pairs merge.
+// ---------------------------------------------------------------------------
+
+inline uint32_t NumBlocks(uint32_t size) {
+  return (size + kLabelBlockEntries - 1) / kLabelBlockEntries;
+}
+
+Distance IntersectBlockedScalar(const uint32_t* ap, const uint32_t* ad,
+                                const uint32_t* abmin, const uint32_t* abmax,
+                                uint32_t an, const uint32_t* bp,
+                                const uint32_t* bd, const uint32_t* bbmin,
+                                const uint32_t* bbmax, uint32_t bn) {
+  const uint32_t nba = NumBlocks(an);
+  const uint32_t nbb = NumBlocks(bn);
+  Distance best = kInfDistance;
+  uint32_t ba = 0, bb = 0;
+  while (ba < nba && bb < nbb) {
+    const uint32_t amax = abmax[ba];
+    const uint32_t bmax = bbmax[bb];
+    if (amax < bbmin[bb]) {
+      ++ba;
+      continue;
+    }
+    if (bmax < abmin[ba]) {
+      ++bb;
+      continue;
+    }
+    const size_t i0 = static_cast<size_t>(ba) * kLabelBlockEntries;
+    const size_t j0 = static_cast<size_t>(bb) * kLabelBlockEntries;
+    size_t i = i0, j = j0;
+    const size_t ie = std::min<size_t>(an, i0 + kLabelBlockEntries);
+    const size_t je = std::min<size_t>(bn, j0 + kLabelBlockEntries);
+    while (i < ie && j < je) {
+      if (ap[i] == bp[j]) {
+        const Distance d = SaturatingAdd(ad[i], bd[j]);
+        if (d < best) best = d;
+        ++i;
+        ++j;
+      } else if (ap[i] < bp[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    if (amax <= bmax) ++ba;
+    if (bmax <= amax) ++bb;
+  }
+  return best;
+}
+
+bool HasWitnessBlockedScalar(const uint32_t* ap, const uint32_t* ad,
+                             const uint32_t* abmin, const uint32_t* abmax,
+                             uint32_t an, const uint32_t* bp,
+                             const uint32_t* bd, const uint32_t* bbmin,
+                             const uint32_t* bbmax, uint32_t bn,
+                             VertexId beta, Distance d) {
+  if (beta == 0) return false;
+  const uint32_t nba = NumBlocks(an);
+  const uint32_t nbb = NumBlocks(bn);
+  uint32_t ba = 0, bb = 0;
+  while (ba < nba && bb < nbb) {
+    // All remaining real pivots on a side are >= its current block
+    // minimum, so reaching the beta bound here ends the whole probe.
+    if (abmin[ba] >= beta || bbmin[bb] >= beta) return false;
+    const uint32_t amax = abmax[ba];
+    const uint32_t bmax = bbmax[bb];
+    if (amax < bbmin[bb]) {
+      ++ba;
+      continue;
+    }
+    if (bmax < abmin[ba]) {
+      ++bb;
+      continue;
+    }
+    const size_t i0 = static_cast<size_t>(ba) * kLabelBlockEntries;
+    const size_t j0 = static_cast<size_t>(bb) * kLabelBlockEntries;
+    size_t i = i0, j = j0;
+    const size_t ie = std::min<size_t>(an, i0 + kLabelBlockEntries);
+    const size_t je = std::min<size_t>(bn, j0 + kLabelBlockEntries);
+    while (i < ie && j < je) {
+      const uint32_t pa = ap[i];
+      const uint32_t pb = bp[j];
+      // Within this block pair every later pivot is larger, so nothing
+      // below beta remains in the pair — but later PAIRS restart at the
+      // other side's next block, so this only ends the pair, not the
+      // probe (unlike the sidecar check above).
+      if (pa >= beta || pb >= beta) break;
+      if (pa == pb) {
+        if (SaturatingAdd(ad[i], bd[j]) <= d) return true;
+        ++i;
+        ++j;
+      } else if (pa < pb) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    if (amax <= bmax) ++ba;
+    if (bmax <= amax) ++bb;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Compressed-stream merge, scalar — the HLC1 delta-varint payload
+// decoded entry-at-a-time into a sorted merge, with the trivial-pivot
+// direct hits folded in (the exact semantics CompressedIndex::Query has
+// always had). The SIMD variants below decode register-width blocks
+// instead but keep the identical match/direct-hit set.
+// ---------------------------------------------------------------------------
+
+struct StreamCursor {
+  const uint8_t* data;
+  size_t pos;
+  size_t end;
+  /// 1 + previous pivot, so the first entry's gap is pivot + 1 (gap 0
+  /// never occurs: pivots strictly increase).
+  uint64_t prev = 0;
+
+  bool Next(uint32_t* pivot, uint32_t* dist) {
+    if (pos >= end) return false;
+    uint64_t gap = 0, d = 0;
+    if (!GetVarint64(data, end, &pos, &gap)) return false;
+    if (!GetVarint64(data, end, &pos, &d)) return false;
+    prev += gap;
+    *pivot = static_cast<uint32_t>(prev - 1);
+    *dist = static_cast<uint32_t>(d);
+    return true;
+  }
+};
+
+Distance IntersectStreamScalar(const uint8_t* a, size_t a_len,
+                               const uint8_t* b, size_t b_len,
+                               VertexId direct_a, VertexId direct_b) {
+  StreamCursor ca{a, 0, a_len};
+  StreamCursor cb{b, 0, b_len};
+  Distance best = kInfDistance;
+  uint32_t pa = kInvalidVertex, pb = kInvalidVertex;
+  uint32_t da = kInfDistance, db = kInfDistance;
+  bool va = ca.Next(&pa, &da);
+  bool vb = cb.Next(&pb, &db);
+  while (va && vb) {
+    if (pa == pb) {
+      const Distance d = SaturatingAdd(da, db);
+      if (d < best) best = d;
+      va = ca.Next(&pa, &da);
+      vb = cb.Next(&pb, &db);
+    } else if (pa < pb) {
+      if (pa == direct_a && da < best) best = da;
+      va = ca.Next(&pa, &da);
+    } else {
+      if (pb == direct_b && db < best) best = db;
+      vb = cb.Next(&pb, &db);
+    }
+  }
+  for (; va; va = ca.Next(&pa, &da)) {
+    if (pa == direct_a && da < best) best = da;
+  }
+  for (; vb; vb = cb.Next(&pb, &db)) {
+    if (pb == direct_b && db < best) best = db;
+  }
+  return best;
+}
+
+/// Register-width decode buffer for the SIMD stream kernels. Unused
+/// lanes are padded with 0xFFFFFFFF pivots/dists, which the all-pairs
+/// folds treat as inert (label_entry.h).
+struct StreamBlock {
+  alignas(64) uint32_t p[16];
+  alignas(64) uint32_t d[16];
+  uint32_t n = 0;
+};
+
+/// Decodes up to `width` entries into `blk`, folding any direct-pivot
+/// hit into the returned running minimum — every decoded entry passes
+/// through here exactly once, so the direct-hit set matches the scalar
+/// stream merge's.
+inline Distance RefillStream(StreamCursor* cur, StreamBlock* blk,
+                             uint32_t width, VertexId direct,
+                             Distance best) {
+  uint32_t n = 0;
+  while (n < width && cur->Next(&blk->p[n], &blk->d[n])) {
+    if (blk->p[n] == direct && blk->d[n] < best) best = blk->d[n];
+    ++n;
+  }
+  for (uint32_t k = n; k < width; ++k) {
+    blk->p[k] = kInvalidVertex;
+    blk->d[k] = kInfDistance;
+  }
+  blk->n = n;
+  return best;
+}
+
+constexpr QueryKernel kScalarKernel{
+    "scalar",
+    &IntersectFlatScalar,
+    &IntersectEntriesScalar,
+    &HasWitnessFlatScalar,
+    &IntersectBlockedScalar,
+    &HasWitnessBlockedScalar,
+    &IntersectStreamScalar};
 
 #if HOPDB_X86_KERNELS
 
@@ -264,9 +472,162 @@ HasWitnessFlatAvx2(const uint32_t* ap, const uint32_t* ad, uint32_t an,
   return ScalarTailWitness(ap, ad, a_n, bp, bd, b_n, i, j, beta, d);
 }
 
-constexpr QueryKernel kAvx2Kernel{"avx2", &IntersectFlatAvx2,
-                                  &IntersectEntriesAvx2,
-                                  &HasWitnessFlatAvx2};
+// ---------------------------------------------------------------------------
+// Blocked merge, AVX2: sidecar-driven outer loop, 16x16 all-pairs inner
+// fold as a 2x2 tile of 8-lane folds with a cheap sub-block range check
+// to skip tiles whose pivot ranges are disjoint. Padding lanes are
+// inert, so the fold always runs at full width — no scalar tail at all.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) Distance
+IntersectBlockedAvx2(const uint32_t* ap, const uint32_t* ad,
+                     const uint32_t* abmin, const uint32_t* abmax,
+                     uint32_t an, const uint32_t* bp, const uint32_t* bd,
+                     const uint32_t* bbmin, const uint32_t* bbmax,
+                     uint32_t bn) {
+  const uint32_t nba = NumBlocks(an);
+  const uint32_t nbb = NumBlocks(bn);
+  __m256i best = _mm256_set1_epi32(-1);
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  uint32_t ba = 0, bb = 0;
+  while (ba < nba && bb < nbb) {
+    const uint32_t amax = abmax[ba];
+    const uint32_t bmax = bbmax[bb];
+    if (amax < bbmin[bb]) {
+      ++ba;
+      continue;
+    }
+    if (bmax < abmin[ba]) {
+      ++bb;
+      continue;
+    }
+    const uint32_t* pa = ap + static_cast<size_t>(ba) * kLabelBlockEntries;
+    const uint32_t* da = ad + static_cast<size_t>(ba) * kLabelBlockEntries;
+    const uint32_t* pb = bp + static_cast<size_t>(bb) * kLabelBlockEntries;
+    const uint32_t* db = bd + static_cast<size_t>(bb) * kLabelBlockEntries;
+    for (int sa = 0; sa < 2; ++sa) {
+      const uint32_t alo = pa[8 * sa];
+      const uint32_t ahi = pa[8 * sa + 7];
+      __m256i va_p, va_d;
+      bool loaded = false;
+      for (int sb = 0; sb < 2; ++sb) {
+        if (ahi < pb[8 * sb] || pb[8 * sb + 7] < alo) continue;
+        if (!loaded) {
+          va_p = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(pa + 8 * sa));
+          va_d = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(da + 8 * sa));
+          loaded = true;
+        }
+        const __m256i vb_p = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(pb + 8 * sb));
+        const __m256i vb_d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(db + 8 * sb));
+        best = FoldMatches8(va_p, va_d, vb_p, vb_d, best, rot1);
+      }
+    }
+    if (amax <= bmax) ++ba;
+    if (bmax <= amax) ++bb;
+  }
+  return HorizontalMinU32(best);
+}
+
+__attribute__((target("avx2"))) bool
+HasWitnessBlockedAvx2(const uint32_t* ap, const uint32_t* ad,
+                      const uint32_t* abmin, const uint32_t* abmax,
+                      uint32_t an, const uint32_t* bp, const uint32_t* bd,
+                      const uint32_t* bbmin, const uint32_t* bbmax,
+                      uint32_t bn, VertexId beta, Distance d) {
+  if (beta == 0) return false;
+  const uint32_t nba = NumBlocks(an);
+  const uint32_t nbb = NumBlocks(bn);
+  uint32_t ba = 0, bb = 0;
+  while (ba < nba && bb < nbb) {
+    if (abmin[ba] >= beta || bbmin[bb] >= beta) return false;
+    const uint32_t amax = abmax[ba];
+    const uint32_t bmax = bbmax[bb];
+    if (amax < bbmin[bb]) {
+      ++ba;
+      continue;
+    }
+    if (bmax < abmin[ba]) {
+      ++bb;
+      continue;
+    }
+    // Probe the two padded blocks with the flat 8-lane kernel: padding
+    // pivots are >= beta, so the in-bound mask discards them.
+    if (HasWitnessFlatAvx2(
+            ap + static_cast<size_t>(ba) * kLabelBlockEntries,
+            ad + static_cast<size_t>(ba) * kLabelBlockEntries,
+            kLabelBlockEntries,
+            bp + static_cast<size_t>(bb) * kLabelBlockEntries,
+            bd + static_cast<size_t>(bb) * kLabelBlockEntries,
+            kLabelBlockEntries, beta, d)) {
+      return true;
+    }
+    if (amax <= bmax) ++ba;
+    if (bmax <= amax) ++bb;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Compressed-stream merge, AVX2: decode 8-entry blocks per side into
+// stack buffers (direct hits folded at decode time), then run the same
+// all-pairs fold/advance scheme as the flat kernel. Partial end blocks
+// are sentinel-padded, so the fold needs no tail handling.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) Distance
+IntersectStreamAvx2(const uint8_t* a, size_t a_len, const uint8_t* b,
+                    size_t b_len, VertexId direct_a, VertexId direct_b) {
+  StreamCursor ca{a, 0, a_len};
+  StreamCursor cb{b, 0, b_len};
+  StreamBlock blk_a, blk_b;
+  Distance direct_best = kInfDistance;
+  direct_best = RefillStream(&ca, &blk_a, 8, direct_a, direct_best);
+  direct_best = RefillStream(&cb, &blk_b, 8, direct_b, direct_best);
+  __m256i best = _mm256_set1_epi32(-1);
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  while (blk_a.n > 0 && blk_b.n > 0) {
+    const __m256i va_p =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(blk_a.p));
+    const __m256i va_d =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(blk_a.d));
+    const __m256i vb_p =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(blk_b.p));
+    const __m256i vb_d =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(blk_b.d));
+    best = FoldMatches8(va_p, va_d, vb_p, vb_d, best, rot1);
+    const uint32_t amax = blk_a.p[blk_a.n - 1];
+    const uint32_t bmax = blk_b.p[blk_b.n - 1];
+    const bool adv_a = amax <= bmax;
+    const bool adv_b = bmax <= amax;
+    if (adv_a) direct_best = RefillStream(&ca, &blk_a, 8, direct_a,
+                                          direct_best);
+    if (adv_b) direct_best = RefillStream(&cb, &blk_b, 8, direct_b,
+                                          direct_best);
+  }
+  // One side is exhausted: nothing left to match, but the other side's
+  // remaining entries still owe their direct-hit checks (done inside
+  // RefillStream).
+  while (blk_a.n > 0) {
+    direct_best = RefillStream(&ca, &blk_a, 8, direct_a, direct_best);
+  }
+  while (blk_b.n > 0) {
+    direct_best = RefillStream(&cb, &blk_b, 8, direct_b, direct_best);
+  }
+  return std::min(direct_best, HorizontalMinU32(best));
+}
+
+constexpr QueryKernel kAvx2Kernel{
+    "avx2",
+    &IntersectFlatAvx2,
+    &IntersectEntriesAvx2,
+    &HasWitnessFlatAvx2,
+    &IntersectBlockedAvx2,
+    &HasWitnessBlockedAvx2,
+    &IntersectStreamAvx2};
 
 // ---------------------------------------------------------------------------
 // Blocked all-pairs merge, SSE4.2 (4 lanes). Same scheme with immediate
@@ -351,9 +712,353 @@ HasWitnessFlatSse42(const uint32_t* ap, const uint32_t* ad, uint32_t an,
   return ScalarTailWitness(ap, ad, a_n, bp, bd, b_n, i, j, beta, d);
 }
 
-constexpr QueryKernel kSse42Kernel{"sse4.2", &IntersectFlatSse42,
-                                   &IntersectEntriesScalar,
-                                   &HasWitnessFlatSse42};
+// Blocked variants, SSE4.2: the sidecar-driven outer loop is the win;
+// overlapping block pairs reuse the 4-lane flat kernels over the two
+// padded 16-entry spans (padding is inert to both).
+
+__attribute__((target("sse4.2"))) Distance
+IntersectBlockedSse42(const uint32_t* ap, const uint32_t* ad,
+                      const uint32_t* abmin, const uint32_t* abmax,
+                      uint32_t an, const uint32_t* bp, const uint32_t* bd,
+                      const uint32_t* bbmin, const uint32_t* bbmax,
+                      uint32_t bn) {
+  const uint32_t nba = NumBlocks(an);
+  const uint32_t nbb = NumBlocks(bn);
+  Distance best = kInfDistance;
+  uint32_t ba = 0, bb = 0;
+  while (ba < nba && bb < nbb) {
+    const uint32_t amax = abmax[ba];
+    const uint32_t bmax = bbmax[bb];
+    if (amax < bbmin[bb]) {
+      ++ba;
+      continue;
+    }
+    if (bmax < abmin[ba]) {
+      ++bb;
+      continue;
+    }
+    const Distance pair = IntersectFlatSse42(
+        ap + static_cast<size_t>(ba) * kLabelBlockEntries,
+        ad + static_cast<size_t>(ba) * kLabelBlockEntries, kLabelBlockEntries,
+        bp + static_cast<size_t>(bb) * kLabelBlockEntries,
+        bd + static_cast<size_t>(bb) * kLabelBlockEntries,
+        kLabelBlockEntries);
+    if (pair < best) best = pair;
+    if (amax <= bmax) ++ba;
+    if (bmax <= amax) ++bb;
+  }
+  return best;
+}
+
+__attribute__((target("sse4.2"))) bool
+HasWitnessBlockedSse42(const uint32_t* ap, const uint32_t* ad,
+                       const uint32_t* abmin, const uint32_t* abmax,
+                       uint32_t an, const uint32_t* bp, const uint32_t* bd,
+                       const uint32_t* bbmin, const uint32_t* bbmax,
+                       uint32_t bn, VertexId beta, Distance d) {
+  if (beta == 0) return false;
+  const uint32_t nba = NumBlocks(an);
+  const uint32_t nbb = NumBlocks(bn);
+  uint32_t ba = 0, bb = 0;
+  while (ba < nba && bb < nbb) {
+    if (abmin[ba] >= beta || bbmin[bb] >= beta) return false;
+    const uint32_t amax = abmax[ba];
+    const uint32_t bmax = bbmax[bb];
+    if (amax < bbmin[bb]) {
+      ++ba;
+      continue;
+    }
+    if (bmax < abmin[ba]) {
+      ++bb;
+      continue;
+    }
+    if (HasWitnessFlatSse42(
+            ap + static_cast<size_t>(ba) * kLabelBlockEntries,
+            ad + static_cast<size_t>(ba) * kLabelBlockEntries,
+            kLabelBlockEntries,
+            bp + static_cast<size_t>(bb) * kLabelBlockEntries,
+            bd + static_cast<size_t>(bb) * kLabelBlockEntries,
+            kLabelBlockEntries, beta, d)) {
+      return true;
+    }
+    if (amax <= bmax) ++ba;
+    if (bmax <= amax) ++bb;
+  }
+  return false;
+}
+
+constexpr QueryKernel kSse42Kernel{
+    "sse4.2",
+    &IntersectFlatSse42,
+    &IntersectEntriesScalar,
+    &HasWitnessFlatSse42,
+    &IntersectBlockedSse42,
+    &HasWitnessBlockedSse42,
+    &IntersectStreamScalar};
+
+// ---------------------------------------------------------------------------
+// AVX-512F kernels (16 lanes): the same all-pairs scheme with mask
+// registers — compare masks replace blend arithmetic, and one 16-lane
+// fold covers an entire cacheline block, so the blocked merge is a
+// single fold per overlapping block pair.
+// ---------------------------------------------------------------------------
+
+// gcc 12 expands several AVX-512 intrinsics (permutexvar, reductions)
+// through _mm512_undefined_epi32(), whose deliberately-uninitialized
+// value trips -W(maybe-)uninitialized under -Werror (GCC PR 105593).
+// The lanes are architecturally dead — full-mask ops ignore the
+// passthrough operand — so silence the false positive for this section.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+__attribute__((target("avx512f"))) inline __m512i
+FoldMatches16(__m512i va_p, __m512i va_d, __m512i vb_p, __m512i vb_d,
+              __m512i best, __m512i rot1) {
+  for (int r = 0; r < 16; ++r) {
+    const __mmask16 eq = _mm512_cmpeq_epi32_mask(va_p, vb_p);
+    const __m512i sum = _mm512_add_epi32(va_d, vb_d);
+    const __mmask16 no_ovf = _mm512_cmpge_epu32_mask(sum, va_d);
+    best = _mm512_mask_min_epu32(
+        best, static_cast<__mmask16>(eq & no_ovf), best, sum);
+    vb_p = _mm512_permutexvar_epi32(rot1, vb_p);
+    vb_d = _mm512_permutexvar_epi32(rot1, vb_d);
+  }
+  return best;
+}
+
+/// Manual 16-lane horizontal min. gcc's _mm512_reduce_min_epu32 expands
+/// through _mm256_undefined_si256 and trips -Werror=uninitialized, so we
+/// spill and fold — the compiler vectorizes the fold anyway.
+__attribute__((target("avx512f"))) inline Distance
+HorizontalMin16(__m512i v) {
+  alignas(64) uint32_t lanes[16];
+  _mm512_store_si512(lanes, v);
+  Distance best = lanes[0];
+  for (int k = 1; k < 16; ++k) best = std::min(best, lanes[k]);
+  return best;
+}
+
+__attribute__((target("avx512f"))) inline __m512i
+Rot1Index16() {
+  return _mm512_setr_epi32(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+                           15, 0);
+}
+
+__attribute__((target("avx512f"))) Distance
+IntersectFlatAvx512(const uint32_t* ap, const uint32_t* ad, uint32_t an,
+                    const uint32_t* bp, const uint32_t* bd, uint32_t bn) {
+  size_t i = 0, j = 0;
+  const size_t a_n = an, b_n = bn;
+  __m512i best = _mm512_set1_epi32(-1);
+  const __m512i rot1 = Rot1Index16();
+  while (i + 16 <= a_n && j + 16 <= b_n) {
+    const uint32_t amax = ap[i + 15];
+    const uint32_t bmax = bp[j + 15];
+    const __m512i va_p = _mm512_loadu_si512(ap + i);
+    const __m512i va_d = _mm512_loadu_si512(ad + i);
+    const __m512i vb_p = _mm512_loadu_si512(bp + j);
+    const __m512i vb_d = _mm512_loadu_si512(bd + j);
+    best = FoldMatches16(va_p, va_d, vb_p, vb_d, best, rot1);
+    if (amax <= bmax) i += 16;
+    if (bmax <= amax) j += 16;
+  }
+  return ScalarTailFlat(ap, ad, a_n, bp, bd, b_n, i, j,
+                        HorizontalMin16(best));
+}
+
+/// Deinterleaves 16 consecutive (pivot, dist) entries with one
+/// two-source permute per output vector; lanes stay in entry order.
+__attribute__((target("avx512f"))) inline void
+LoadEntries16(const LabelEntry* e, __m512i* pivots, __m512i* dists) {
+  const __m512i lo = _mm512_loadu_si512(e);
+  const __m512i hi = _mm512_loadu_si512(e + 8);
+  const __m512i idx_p = _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18,
+                                          20, 22, 24, 26, 28, 30);
+  const __m512i idx_d = _mm512_setr_epi32(1, 3, 5, 7, 9, 11, 13, 15, 17, 19,
+                                          21, 23, 25, 27, 29, 31);
+  *pivots = _mm512_permutex2var_epi32(lo, idx_p, hi);
+  *dists = _mm512_permutex2var_epi32(lo, idx_d, hi);
+}
+
+__attribute__((target("avx512f"))) Distance
+IntersectEntriesAvx512(const LabelEntry* a, uint32_t an, const LabelEntry* b,
+                       uint32_t bn) {
+  size_t i = 0, j = 0;
+  const size_t a_n = an, b_n = bn;
+  __m512i best = _mm512_set1_epi32(-1);
+  const __m512i rot1 = Rot1Index16();
+  while (i + 16 <= a_n && j + 16 <= b_n) {
+    const uint32_t amax = a[i + 15].pivot;
+    const uint32_t bmax = b[j + 15].pivot;
+    __m512i va_p, va_d, vb_p, vb_d;
+    LoadEntries16(a + i, &va_p, &va_d);
+    LoadEntries16(b + j, &vb_p, &vb_d);
+    best = FoldMatches16(va_p, va_d, vb_p, vb_d, best, rot1);
+    if (amax <= bmax) i += 16;
+    if (bmax <= amax) j += 16;
+  }
+  return ScalarTailEntries(a, a_n, b, b_n, i, j,
+                           HorizontalMin16(best));
+}
+
+__attribute__((target("avx512f"))) bool
+HasWitnessFlatAvx512(const uint32_t* ap, const uint32_t* ad, uint32_t an,
+                     const uint32_t* bp, const uint32_t* bd, uint32_t bn,
+                     VertexId beta, Distance d) {
+  if (beta == 0) return false;
+  size_t i = 0, j = 0;
+  const size_t a_n = an, b_n = bn;
+  const __m512i rot1 = Rot1Index16();
+  const __m512i vbeta = _mm512_set1_epi32(static_cast<int>(beta));
+  const __m512i vd = _mm512_set1_epi32(static_cast<int>(d));
+  const bool inf_budget = d == kInfDistance;
+  while (i + 16 <= a_n && j + 16 <= b_n) {
+    if (ap[i] >= beta || bp[j] >= beta) return false;
+    const uint32_t amax = ap[i + 15];
+    const uint32_t bmax = bp[j + 15];
+    const __m512i va_p = _mm512_loadu_si512(ap + i);
+    const __m512i va_d = _mm512_loadu_si512(ad + i);
+    __m512i vb_p = _mm512_loadu_si512(bp + j);
+    __m512i vb_d = _mm512_loadu_si512(bd + j);
+    const __mmask16 a_in_bound = _mm512_cmplt_epu32_mask(va_p, vbeta);
+    __mmask16 hit = 0;
+    for (int r = 0; r < 16; ++r) {
+      const __mmask16 eq = _mm512_cmpeq_epi32_mask(va_p, vb_p);
+      const __m512i sum = _mm512_add_epi32(va_d, vb_d);
+      const __mmask16 no_ovf = _mm512_cmpge_epu32_mask(sum, va_d);
+      const __mmask16 le_d = _mm512_cmple_epu32_mask(sum, vd);
+      const __mmask16 ok =
+          inf_budget ? static_cast<__mmask16>(0xFFFF)
+                     : static_cast<__mmask16>(no_ovf & le_d);
+      hit = static_cast<__mmask16>(hit | (ok & eq & a_in_bound));
+      vb_p = _mm512_permutexvar_epi32(rot1, vb_p);
+      vb_d = _mm512_permutexvar_epi32(rot1, vb_d);
+    }
+    if (hit != 0) return true;
+    if (amax <= bmax) i += 16;
+    if (bmax <= amax) j += 16;
+  }
+  return ScalarTailWitness(ap, ad, a_n, bp, bd, b_n, i, j, beta, d);
+}
+
+__attribute__((target("avx512f"))) Distance
+IntersectBlockedAvx512(const uint32_t* ap, const uint32_t* ad,
+                       const uint32_t* abmin, const uint32_t* abmax,
+                       uint32_t an, const uint32_t* bp, const uint32_t* bd,
+                       const uint32_t* bbmin, const uint32_t* bbmax,
+                       uint32_t bn) {
+  const uint32_t nba = NumBlocks(an);
+  const uint32_t nbb = NumBlocks(bn);
+  __m512i best = _mm512_set1_epi32(-1);
+  const __m512i rot1 = Rot1Index16();
+  uint32_t ba = 0, bb = 0;
+  while (ba < nba && bb < nbb) {
+    const uint32_t amax = abmax[ba];
+    const uint32_t bmax = bbmax[bb];
+    if (amax < bbmin[bb]) {
+      ++ba;
+      continue;
+    }
+    if (bmax < abmin[ba]) {
+      ++bb;
+      continue;
+    }
+    const size_t i0 = static_cast<size_t>(ba) * kLabelBlockEntries;
+    const size_t j0 = static_cast<size_t>(bb) * kLabelBlockEntries;
+    const __m512i va_p = _mm512_loadu_si512(ap + i0);
+    const __m512i va_d = _mm512_loadu_si512(ad + i0);
+    const __m512i vb_p = _mm512_loadu_si512(bp + j0);
+    const __m512i vb_d = _mm512_loadu_si512(bd + j0);
+    best = FoldMatches16(va_p, va_d, vb_p, vb_d, best, rot1);
+    if (amax <= bmax) ++ba;
+    if (bmax <= amax) ++bb;
+  }
+  return HorizontalMin16(best);
+}
+
+__attribute__((target("avx512f"))) bool
+HasWitnessBlockedAvx512(const uint32_t* ap, const uint32_t* ad,
+                        const uint32_t* abmin, const uint32_t* abmax,
+                        uint32_t an, const uint32_t* bp, const uint32_t* bd,
+                        const uint32_t* bbmin, const uint32_t* bbmax,
+                        uint32_t bn, VertexId beta, Distance d) {
+  if (beta == 0) return false;
+  const uint32_t nba = NumBlocks(an);
+  const uint32_t nbb = NumBlocks(bn);
+  uint32_t ba = 0, bb = 0;
+  while (ba < nba && bb < nbb) {
+    if (abmin[ba] >= beta || bbmin[bb] >= beta) return false;
+    const uint32_t amax = abmax[ba];
+    const uint32_t bmax = bbmax[bb];
+    if (amax < bbmin[bb]) {
+      ++ba;
+      continue;
+    }
+    if (bmax < abmin[ba]) {
+      ++bb;
+      continue;
+    }
+    if (HasWitnessFlatAvx512(
+            ap + static_cast<size_t>(ba) * kLabelBlockEntries,
+            ad + static_cast<size_t>(ba) * kLabelBlockEntries,
+            kLabelBlockEntries,
+            bp + static_cast<size_t>(bb) * kLabelBlockEntries,
+            bd + static_cast<size_t>(bb) * kLabelBlockEntries,
+            kLabelBlockEntries, beta, d)) {
+      return true;
+    }
+    if (amax <= bmax) ++ba;
+    if (bmax <= amax) ++bb;
+  }
+  return false;
+}
+
+__attribute__((target("avx512f"))) Distance
+IntersectStreamAvx512(const uint8_t* a, size_t a_len, const uint8_t* b,
+                      size_t b_len, VertexId direct_a, VertexId direct_b) {
+  StreamCursor ca{a, 0, a_len};
+  StreamCursor cb{b, 0, b_len};
+  StreamBlock blk_a, blk_b;
+  Distance direct_best = kInfDistance;
+  direct_best = RefillStream(&ca, &blk_a, 16, direct_a, direct_best);
+  direct_best = RefillStream(&cb, &blk_b, 16, direct_b, direct_best);
+  __m512i best = _mm512_set1_epi32(-1);
+  const __m512i rot1 = Rot1Index16();
+  while (blk_a.n > 0 && blk_b.n > 0) {
+    const __m512i va_p = _mm512_load_si512(blk_a.p);
+    const __m512i va_d = _mm512_load_si512(blk_a.d);
+    const __m512i vb_p = _mm512_load_si512(blk_b.p);
+    const __m512i vb_d = _mm512_load_si512(blk_b.d);
+    best = FoldMatches16(va_p, va_d, vb_p, vb_d, best, rot1);
+    const uint32_t amax = blk_a.p[blk_a.n - 1];
+    const uint32_t bmax = blk_b.p[blk_b.n - 1];
+    const bool adv_a = amax <= bmax;
+    const bool adv_b = bmax <= amax;
+    if (adv_a) direct_best = RefillStream(&ca, &blk_a, 16, direct_a,
+                                          direct_best);
+    if (adv_b) direct_best = RefillStream(&cb, &blk_b, 16, direct_b,
+                                          direct_best);
+  }
+  while (blk_a.n > 0) {
+    direct_best = RefillStream(&ca, &blk_a, 16, direct_a, direct_best);
+  }
+  while (blk_b.n > 0) {
+    direct_best = RefillStream(&cb, &blk_b, 16, direct_b, direct_best);
+  }
+  return std::min(direct_best, HorizontalMin16(best));
+}
+
+constexpr QueryKernel kAvx512Kernel{
+    "avx512",
+    &IntersectFlatAvx512,
+    &IntersectEntriesAvx512,
+    &HasWitnessFlatAvx512,
+    &IntersectBlockedAvx512,
+    &HasWitnessBlockedAvx512,
+    &IntersectStreamAvx512};
+
+#pragma GCC diagnostic pop
 
 #endif  // HOPDB_X86_KERNELS
 
@@ -368,6 +1073,9 @@ const QueryKernel* ResolveDefaultKernel() {
                           "auto-selecting";
   }
 #if HOPDB_X86_KERNELS
+  // avx512 is deliberately NOT the auto default: on many parts wide-512
+  // execution drops the core frequency license, taxing the non-query
+  // work sharing the socket. Opt in via HOPDB_QUERY_KERNEL=avx512.
   if (__builtin_cpu_supports("avx2")) return &kAvx2Kernel;
   if (__builtin_cpu_supports("sse4.2")) return &kSse42Kernel;
 #endif
@@ -381,6 +1089,7 @@ std::vector<const QueryKernel*> SupportedQueryKernels() {
 #if HOPDB_X86_KERNELS
   if (__builtin_cpu_supports("sse4.2")) kernels.push_back(&kSse42Kernel);
   if (__builtin_cpu_supports("avx2")) kernels.push_back(&kAvx2Kernel);
+  if (__builtin_cpu_supports("avx512f")) kernels.push_back(&kAvx512Kernel);
 #endif
   return kernels;
 }
@@ -427,9 +1136,15 @@ Distance QueryFlatHalves(FlatLabelStore::View out_s,
                          FlatLabelStore::View in_t, VertexId s, VertexId t,
                          const QueryKernel& kernel) {
   if (s == t) return 0;
-  Distance best = kernel.intersect_flat(out_s.pivots, out_s.dists,
-                                        out_s.size, in_t.pivots, in_t.dists,
-                                        in_t.size);
+  const bool blocked =
+      out_s.block_min != nullptr && in_t.block_min != nullptr;
+  Distance best =
+      blocked ? kernel.intersect_blocked(
+                    out_s.pivots, out_s.dists, out_s.block_min,
+                    out_s.block_max, out_s.size, in_t.pivots, in_t.dists,
+                    in_t.block_min, in_t.block_max, in_t.size)
+              : kernel.intersect_flat(out_s.pivots, out_s.dists, out_s.size,
+                                      in_t.pivots, in_t.dists, in_t.size);
   // Implicit trivial pivots: (s, 0) in Lout(s) and (t, 0) in Lin(t).
   const Distance direct_t = LookupPivotFlat(out_s, t);
   if (direct_t < best) best = direct_t;

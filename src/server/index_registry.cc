@@ -26,7 +26,7 @@ Status ValidateIndexName(const std::string& name) {
 }
 
 Result<std::shared_ptr<const ServingSnapshot>> LoadServingSnapshot(
-    const std::string& path, size_t cache_capacity) {
+    const std::string& path, size_t cache_capacity, uint32_t hot_hub_k) {
   // Sniff the magic; the mapped path must not pay a whole-file read.
   char magic[4] = {0, 0, 0, 0};
   {
@@ -38,11 +38,11 @@ Result<std::shared_ptr<const ServingSnapshot>> LoadServingSnapshot(
   if (std::string_view(magic, 4) == "HLI2") {
     HOPDB_ASSIGN_OR_RETURN(MappedIndex mapped, MappedIndex::Open(path));
     return std::make_shared<const ServingSnapshot>(std::move(mapped), path,
-                                                   cache_capacity);
+                                                   cache_capacity, hot_hub_k);
   }
   HOPDB_ASSIGN_OR_RETURN(HopDbIndex index, HopDbIndex::Load(path));
   return std::make_shared<const ServingSnapshot>(std::move(index), path,
-                                                 cache_capacity);
+                                                 cache_capacity, hot_hub_k);
 }
 
 Status IndexRegistry::Attach(const std::string& name,

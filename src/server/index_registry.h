@@ -41,9 +41,10 @@ Status ValidateIndexName(const std::string& name);
 /// the file magic: "HLI2" opens a zero-copy MappedIndex (O(|V|)
 /// metadata validation, no deserialization), anything else goes through
 /// HopDbIndex::Load (HLI1/HLC1 + .perm sidecar, O(total entries)).
-/// The returned snapshot records `path` as its reload source.
+/// The returned snapshot records `path` as its reload source and builds
+/// a hot-hub cache over the top `hot_hub_k` pivots (0 disables).
 Result<std::shared_ptr<const ServingSnapshot>> LoadServingSnapshot(
-    const std::string& path, size_t cache_capacity);
+    const std::string& path, size_t cache_capacity, uint32_t hot_hub_k = 0);
 
 class IndexRegistry {
  public:

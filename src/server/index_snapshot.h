@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "hopdb.h"
+#include "labeling/hot_hub.h"
 #include "labeling/mapped_index.h"
 #include "query/knn.h"
 #include "server/result_cache.h"
@@ -42,20 +43,27 @@ class ServingSnapshot {
   /// Heap-backed snapshot. `source_path` is the file RELOAD-without-
   /// argument re-reads; may be empty for in-memory indexes (RELOAD then
   /// requires an explicit path). `cache_capacity` sizes this snapshot's
-  /// result cache (0 disables).
+  /// result cache (0 disables). `hot_hub_k` sizes the snapshot's dense
+  /// top-k pivot table (labeling/hot_hub.h; 0 disables) — built here,
+  /// at publish time, so readers never see a partially built cache.
   ServingSnapshot(HopDbIndex index, std::string source_path,
-                  size_t cache_capacity)
+                  size_t cache_capacity, uint32_t hot_hub_k = 0)
       : index_(std::move(index)),
         source_path_(std::move(source_path)),
-        cache_(cache_capacity) {}
+        cache_(cache_capacity) {
+    InitHotHub(hot_hub_k);
+  }
 
   /// Mmap-backed snapshot over an opened HLI2 index. Same contract;
-  /// RELOAD on this snapshot is an O(1) remap of source_path.
+  /// RELOAD on this snapshot is an O(1) remap of source_path (plus the
+  /// one-pass hot-hub build when enabled).
   ServingSnapshot(MappedIndex index, std::string source_path,
-                  size_t cache_capacity)
+                  size_t cache_capacity, uint32_t hot_hub_k = 0)
       : mapped_(std::make_unique<MappedIndex>(std::move(index))),
         source_path_(std::move(source_path)),
-        cache_(cache_capacity) {}
+        cache_(cache_capacity) {
+    InitHotHub(hot_hub_k);
+  }
 
   /// True for mmap-backed snapshots.
   bool mapped() const { return mapped_ != nullptr; }
@@ -77,11 +85,16 @@ class ServingSnapshot {
   uint64_t ResidentBytes() const;
 
   /// Exact distance between ORIGINAL vertex ids — the single-pair query
-  /// entry point every DIST funnels through. Const and lock-free for
-  /// concurrent callers on either backing.
-  Distance Query(VertexId s, VertexId t) const {
-    return mapped() ? mapped_->Query(s, t) : index_.Query(s, t);
-  }
+  /// entry point every DIST funnels through. Hub-first when the hot-hub
+  /// cache is enabled (dense top-k fold, then only the non-hub label
+  /// suffixes through the merge-join); the plain kernel path otherwise.
+  /// Bit-identical either way. Const and lock-free for concurrent
+  /// callers on either backing.
+  Distance Query(VertexId s, VertexId t) const;
+
+  /// The snapshot's hot-hub cache (disabled when hot_hub_k was 0 or the
+  /// backing has no flat label view). STATS reads k/SizeBytes off it.
+  const HotHubCache& hot_hub() const { return hub_; }
 
   /// One-to-many distances from s to every target (ORIGINAL ids, all of
   /// which must be < num_vertices()), answered by one pivot-bucket join
@@ -117,8 +130,15 @@ class ServingSnapshot {
   /// engine itself is read-only after construction.
   const KnnEngine& knn_engine() const;
 
+  /// Builds hub_ from the backing's label view when k > 0 and the
+  /// backing exposes one (mmap always; heap when its flat mirror is
+  /// built). Called from the constructors only — hub_ is immutable
+  /// afterwards, like everything else in a snapshot.
+  void InitHotHub(uint32_t k);
+
   HopDbIndex index_;                      // heap backing (when !mapped_)
   std::unique_ptr<MappedIndex> mapped_;   // mmap backing (when set)
+  HotHubCache hub_;
   std::string source_path_;
   mutable ResultCache cache_;
   mutable std::once_flag knn_once_;

@@ -54,6 +54,23 @@ class ResultCache {
   /// Drops every entry (hot-swap invalidation). Counters survive.
   void Clear();
 
+  /// Visits every live entry as fn(s, t, dist), shard by shard under
+  /// each shard's lock, least-recently-used first within a shard — so
+  /// replaying the visit order through Insert on another cache
+  /// reproduces the recency order. COMMIT's selective invalidation uses
+  /// this to carry unaffected entries into the next snapshot's cache.
+  /// `fn` must not call back into this cache (the shard lock is held).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+        fn(static_cast<VertexId>(it->key >> 32),
+           static_cast<VertexId>(it->key & 0xffffffffull), it->dist);
+      }
+    }
+  }
+
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstring>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -216,7 +217,7 @@ Result<std::unique_ptr<DistanceServer>> DistanceServer::Start(
     HopDbIndex index, const ServerOptions& options) {
   return Start(std::make_shared<const ServingSnapshot>(
                    std::move(index), options.source_path,
-                   options.cache_capacity),
+                   options.cache_capacity, options.hot_hub_k),
                options);
 }
 
@@ -637,6 +638,9 @@ WireResponse DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
   AppendStat(&payload, "open_connections",
              std::to_string(open_connections()));
   AppendStat(&payload, "kernel", ActiveQueryKernel().name);
+  AppendStat(&payload, "hot_hub_k", std::to_string(snapshot.hot_hub().k()));
+  AppendStat(&payload, "hot_hub_bytes",
+             std::to_string(snapshot.hot_hub().SizeBytes()));
   AppendStat(&payload, "reloads", std::to_string(metrics_.reloads()));
   AppendStat(&payload, "connections", std::to_string(connections_accepted()));
   AppendStat(&payload, "vertices", std::to_string(snapshot.num_vertices()));
@@ -926,7 +930,46 @@ WireResponse DistanceServer::HandleCommit(const std::string& name) {
       registry_.Find(resolved);
   if (current == nullptr) return ErrNoSuchIndex(resolved);
   auto snapshot = std::make_shared<ServingSnapshot>(
-      std::move(published), current->source_path(), options_.cache_capacity);
+      std::move(published), current->source_path(), options_.cache_capacity,
+      options_.hot_hub_k);
+  // Carry forward result-cache entries this commit cannot have changed:
+  // Query(s, t) reads only Lout(s) and Lin(t), so a cached pair is
+  // stale iff the repair touched either of those labels. When the
+  // repair touched a large fraction of the graph (or fell back to a
+  // full rebuild) filtering approaches "drop everything" at full scan
+  // cost, so revert to the wholesale drop (the new snapshot's cache
+  // simply starts empty, the pre-selective behavior).
+  uint64_t cache_carried = 0;
+  uint64_t cache_dropped = 0;
+  {
+    const IncrementalUpdater::TouchedOwners touched =
+        session->updater->TakeTouchedOwners();
+    const size_t n = session->index.num_vertices();
+    const bool wholesale =
+        touched.all || !snapshot->cache().enabled() ||
+        4 * (touched.out.size() + touched.in.size()) >= n;
+    if (!wholesale) {
+      const RankMapping& ranking = session->index.ranking();
+      std::unordered_set<VertexId> out_orig;
+      std::unordered_set<VertexId> in_orig;
+      out_orig.reserve(touched.out.size());
+      in_orig.reserve(touched.in.size());
+      for (const VertexId v : touched.out) {
+        out_orig.insert(ranking.ToOriginal(v));
+      }
+      for (const VertexId v : touched.in) {
+        in_orig.insert(ranking.ToOriginal(v));
+      }
+      current->cache().ForEach([&](VertexId s, VertexId t, Distance d) {
+        if (out_orig.count(s) != 0 || in_orig.count(t) != 0) {
+          ++cache_dropped;
+        } else {
+          snapshot->cache().Insert(s, t, d);
+          ++cache_carried;
+        }
+      });
+    }
+  }
   const VertexId vertices = snapshot->num_vertices();
   const Status status = registry_.Publish(resolved, std::move(snapshot));
   if (!status.ok()) return WireErr(status.ToString());
@@ -937,10 +980,14 @@ WireResponse DistanceServer::HandleCommit(const std::string& name) {
       .Str("name", resolved)
       .Num("updates", committed)
       .Fixed("seconds", session->last_commit_seconds, 3)
-      .Num("vertices", vertices);
+      .Num("vertices", vertices)
+      .Num("cache_carried", cache_carried)
+      .Num("cache_dropped", cache_dropped);
   return WireOk("committed updates=" + std::to_string(committed) +
                 " seconds=" + FormatDouble(session->last_commit_seconds, 3) +
-                " vertices=" + std::to_string(vertices));
+                " vertices=" + std::to_string(vertices) +
+                " cache_carried=" + std::to_string(cache_carried) +
+                " cache_dropped=" + std::to_string(cache_dropped));
 }
 
 Status DistanceServer::AttachInternal(
@@ -964,7 +1011,8 @@ Status DistanceServer::AttachInternal(
   }
   HOPDB_ASSIGN_OR_RETURN(
       std::shared_ptr<const ServingSnapshot> snapshot,
-      LoadServingSnapshot(path, options_.cache_capacity));
+      LoadServingSnapshot(path, options_.cache_capacity,
+                          options_.hot_hub_k));
   if (published != nullptr) *published = snapshot;
   const Status status = registry_.Attach(name, snapshot);
   if (status.ok()) {
@@ -1014,7 +1062,8 @@ Status DistanceServer::ReloadInternal(
   }
   HOPDB_ASSIGN_OR_RETURN(
       std::shared_ptr<const ServingSnapshot> snapshot,
-      LoadServingSnapshot(load_path, options_.cache_capacity));
+      LoadServingSnapshot(load_path, options_.cache_capacity,
+                          options_.hot_hub_k));
   if (published != nullptr) *published = snapshot;
   const std::string mode = snapshot->map_mode();
   const VertexId vertices = snapshot->num_vertices();

@@ -11,6 +11,7 @@
 #include "io/temp_dir.h"
 #include "labeling/builder.h"
 #include "labeling/compressed_index.h"
+#include "labeling/query_kernel.h"
 #include "util/random.h"
 #include "util/serde.h"
 
@@ -133,6 +134,38 @@ INSTANTIATE_TEST_SUITE_P(
                       CompCase{"er", false, false, 34},
                       CompCase{"er", true, true, 35}),
     CompCaseName);
+
+// Satellite: the compressed-stream kernels (which merge the delta-varint
+// payloads directly, without a decompression pass) must answer identically
+// to decompress-then-query, for EVERY supported kernel on this machine.
+TEST(CompressedIndexTest, StreamKernelsMatchDecompressThenQueryOnAllKernels) {
+  GlpOptions glp;
+  glp.num_vertices = 220;
+  glp.seed = 91;
+  Fixture fix = BuildFixture(GenerateDirectedGlp(glp).ValueOrDie());
+  auto compressed = CompressedIndex::FromIndex(fix.index);
+  ASSERT_TRUE(compressed.ok());
+  auto restored = compressed->Decompress();
+  ASSERT_TRUE(restored.ok());
+
+  const std::string original = ActiveQueryKernel().name;
+  const VertexId n = fix.index.num_vertices();
+  for (const QueryKernel* kernel : SupportedQueryKernels()) {
+    ASSERT_TRUE(SetActiveQueryKernel(kernel->name));
+    Rng rng(DeriveSeed(91, 7));
+    for (int i = 0; i < 4000; ++i) {
+      const VertexId s = rng.Below(n);
+      const VertexId t = rng.Below(n);
+      ASSERT_EQ(compressed->Query(s, t), restored->Query(s, t))
+          << kernel->name << " " << s << "->" << t;
+    }
+    // Degenerate endpoints: s == t and out-of-range ids.
+    EXPECT_EQ(compressed->Query(3, 3), 0u) << kernel->name;
+    EXPECT_EQ(compressed->Query(n, 0), kInfDistance) << kernel->name;
+    EXPECT_EQ(compressed->Query(0, n + 5), kInfDistance) << kernel->name;
+  }
+  ASSERT_TRUE(SetActiveQueryKernel(original));
+}
 
 TEST(CompressedIndexTest, CompressesBelowPaperAccountingOnUnweighted) {
   GlpOptions glp;

@@ -417,5 +417,120 @@ TEST(IncrementalTest, ParseUpdateOpLine) {
   EXPECT_FALSE(ParseUpdateOpLine("ADDEDGE a b").ok());
 }
 
+// Deep copies of every label vector, for diffing after a repair.
+std::vector<std::vector<LabelEntry>> SnapshotLabels(
+    const TwoHopIndex& index, bool out_side) {
+  std::vector<std::vector<LabelEntry>> copy(index.num_vertices());
+  for (VertexId v = 0; v < index.num_vertices(); ++v) {
+    const auto label = out_side ? index.OutLabel(v) : index.InLabel(v);
+    copy[v].assign(label.begin(), label.end());
+  }
+  return copy;
+}
+
+bool LabelDiffers(std::span<const LabelEntry> now,
+                  const std::vector<LabelEntry>& before) {
+  if (now.size() != before.size()) return true;
+  for (size_t i = 0; i < now.size(); ++i) {
+    if (now[i].pivot != before[i].pivot || now[i].dist != before[i].dist) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The COMMIT selective-invalidation contract: every owner whose label
+// vector actually changed during a repair MUST appear in the touched
+// set TakeTouchedOwners returns (a superset is fine — false positives
+// only cost cache entries, false negatives serve stale distances).
+void RunTouchedOwnersStream(EdgeList edges, uint64_t seed) {
+  Fixture fix = MakeFixture(edges, BuildOptions());
+  IncrementalUpdater updater(&fix.dyn, &fix.index);
+  const VertexId n = fix.dyn.num_vertices();
+  Rng rng(seed);
+  for (int round = 0; round < 8; ++round) {
+    const auto out_before = SnapshotLabels(fix.index, /*out_side=*/true);
+    const auto in_before = SnapshotLabels(fix.index, /*out_side=*/false);
+    // A small mixed batch per round: one insert of an absent edge, one
+    // delete of a present edge.
+    UpdateOp add;
+    add.kind = UpdateOp::Kind::kAddEdge;
+    do {
+      add.u = static_cast<VertexId>(rng.Below(n));
+      add.v = static_cast<VertexId>(rng.Below(n));
+    } while (add.u == add.v ||
+             fix.dyn.ArcWeight(add.u, add.v) != kInfDistance);
+    ASSERT_TRUE(updater.Apply(add).ok());
+    const EdgeList current = fix.dyn.ToEdgeList();
+    ASSERT_FALSE(current.edges().empty());
+    const Edge& pick = current.edges()[rng.Below(current.edges().size())];
+    UpdateOp del{UpdateOp::Kind::kDelEdge, pick.src, pick.dst, 1};
+    ASSERT_TRUE(updater.Apply(del).ok());
+    updater.Finalize();
+
+    const IncrementalUpdater::TouchedOwners touched =
+        updater.TakeTouchedOwners();
+    EXPECT_TRUE(std::is_sorted(touched.out.begin(), touched.out.end()));
+    EXPECT_TRUE(std::is_sorted(touched.in.begin(), touched.in.end()));
+    if (!fix.dyn.directed()) {
+      EXPECT_EQ(touched.out, touched.in);
+    }
+    if (touched.all) continue;  // fallback rebuild: everything is fair game
+    for (VertexId v = 0; v < n; ++v) {
+      if (LabelDiffers(fix.index.OutLabel(v), out_before[v])) {
+        EXPECT_TRUE(std::binary_search(touched.out.begin(),
+                                       touched.out.end(), v))
+            << "Lout(" << v << ") changed but was not reported touched";
+      }
+      if (LabelDiffers(fix.index.InLabel(v), in_before[v])) {
+        EXPECT_TRUE(std::binary_search(touched.in.begin(),
+                                       touched.in.end(), v))
+            << "Lin(" << v << ") changed but was not reported touched";
+      }
+    }
+
+    // Take resets: an immediate second call reports nothing.
+    const auto empty = updater.TakeTouchedOwners();
+    EXPECT_FALSE(empty.all);
+    EXPECT_TRUE(empty.out.empty());
+    EXPECT_TRUE(empty.in.empty());
+  }
+}
+
+TEST(IncrementalTest, TouchedOwnersCoverChangedLabelsUndirected) {
+  RunTouchedOwnersStream(GlpGraph(200, 4.0, /*seed=*/120), /*seed=*/320);
+}
+
+TEST(IncrementalTest, TouchedOwnersCoverChangedLabelsDirected) {
+  GlpOptions options;
+  options.num_vertices = 180;
+  options.target_avg_degree = 4.0;
+  options.seed = 121;
+  auto edges = GenerateDirectedGlp(options);
+  ASSERT_TRUE(edges.ok()) << edges.status();
+  RunTouchedOwnersStream(*edges, /*seed=*/321);
+}
+
+TEST(IncrementalTest, TouchedOwnersAllAfterRebuildFallback) {
+  EdgeList edges = BaGraph(120, 2, /*seed=*/122);
+  Fixture fix = MakeFixture(edges, BuildOptions());
+  UpdateOptions options;
+  options.rebuild_frontier_fraction = 1e-9;
+  IncrementalUpdater updater(&fix.dyn, &fix.index, options);
+  Rng rng(222);
+  while (updater.stats().full_rebuilds == 0) {
+    const EdgeList current = fix.dyn.ToEdgeList();
+    ASSERT_FALSE(current.edges().empty());
+    const Edge& pick = current.edges()[rng.Below(current.edges().size())];
+    UpdateOp op{UpdateOp::Kind::kDelEdge, pick.src, pick.dst, 1};
+    ASSERT_TRUE(updater.Apply(op).ok());
+  }
+  updater.Finalize();
+  const auto touched = updater.TakeTouchedOwners();
+  EXPECT_TRUE(touched.all);
+  // The reset clears the all flag too.
+  EXPECT_FALSE(updater.TakeTouchedOwners().all);
+}
+
 }  // namespace
 }  // namespace hopdb

@@ -79,6 +79,35 @@ class MappedIndexTest : public ::testing::Test {
   Result<TempDir> tmp_ = Status::Internal("not set up");
 };
 
+/// Mirror of the canonical v2 section layout (derived offsets, 64-byte
+/// aligned, in fixed order) so corruption tests can aim at a specific
+/// section. Kept in lockstep with docs/FORMATS.md.
+struct V2Layout {
+  uint64_t offsets_off, sizes_off, pivots_off, dists_off, block_min_off,
+      block_max_off, rank_to_orig_off, orig_to_rank_off, file_size;
+};
+
+V2Layout ComputeV2Layout(const std::string& data) {
+  const uint8_t* hd = reinterpret_cast<const uint8_t*>(data.data());
+  const uint64_t flags = DecodeU64(hd + 8);
+  const uint64_t n = DecodeU32(hd + 16);
+  const uint64_t slots = (flags & 1) != 0 ? 2 * n : n;
+  const uint64_t padded = DecodeU64(hd + 32);
+  const uint64_t blocks = padded / 16;
+  auto align = [](uint64_t off) { return (off + 63) & ~uint64_t{63}; };
+  V2Layout l;
+  l.offsets_off = align(128);
+  l.sizes_off = align(l.offsets_off + (slots + 1) * 8);
+  l.pivots_off = align(l.sizes_off + slots * 4);
+  l.dists_off = align(l.pivots_off + padded * 4);
+  l.block_min_off = align(l.dists_off + padded * 4);
+  l.block_max_off = align(l.block_min_off + blocks * 4);
+  l.rank_to_orig_off = align(l.block_max_off + blocks * 4);
+  l.orig_to_rank_off = align(l.rank_to_orig_off + n * 4);
+  l.file_size = l.orig_to_rank_off + n * 4;
+  return l;
+}
+
 TEST_F(MappedIndexTest, RoundTripIsQueryIdenticalToHeapIndex) {
   for (const bool directed : {false, true}) {
     for (const bool weighted : {false, true}) {
@@ -228,8 +257,7 @@ TEST_F(MappedIndexTest, OutOfRangePivotsInArenaCannotCrashEngines) {
   // num_vertices. The arenas are unhashed at open, and the batch/KNN
   // engines index arrays by pivot, so these must be skipped, not
   // followed (ASan enforces the "never OOB" half of the contract).
-  const uint64_t pivots_off =
-      DecodeU64(reinterpret_cast<const uint8_t*>(data.data()) + 40);
+  const uint64_t pivots_off = ComputeV2Layout(data).pivots_off;
   for (size_t i = 0; i < 16; ++i) {
     data[pivots_off + i] = static_cast<char>(0xff);
   }
@@ -251,15 +279,56 @@ TEST_F(MappedIndexTest, OutOfRangePivotsInArenaCannotCrashEngines) {
   EXPECT_FALSE(mapped->VerifyArenas().ok());
 }
 
-TEST_F(MappedIndexTest, CraftedSectionReorderingIsRejected) {
+TEST_F(MappedIndexTest, V1FilesStayReadableAndQueryIdentical) {
+  // Back compat: the version-gated Open must keep serving v1 files
+  // (packed arenas, no sidecars) through the unblocked kernel paths.
+  auto [index, hli2] = BuildBoth(180, 41, true, true, "v1compat");
+  const std::string v1 = tmp_->path() + "/v1compat.v1.hli2";
+  ASSERT_TRUE(MappedIndex::WriteVersion(index.label_index(), index.ranking(),
+                                        v1, 1)
+                  .ok());
+  MappedIndex::OpenOptions options;
+  options.verify_arenas = true;
+  auto old_file = MappedIndex::Open(v1, options);
+  ASSERT_TRUE(old_file.ok()) << old_file.status();
+  EXPECT_EQ(old_file->format_version(), 1u);
+  EXPECT_EQ(old_file->PaddedEntries(), old_file->TotalEntries());
+  MappedIndex current = MappedIndex::Open(hli2).ValueOrDie();
+  EXPECT_EQ(current.format_version(), 2u);
+  for (VertexId s = 0; s < 180; s += 7) {
+    for (VertexId t = 0; t < 180; t += 3) {
+      ASSERT_EQ(old_file->Query(s, t), index.Query(s, t));
+      ASSERT_EQ(current.Query(s, t), index.Query(s, t));
+    }
+  }
+  // Engines accept the sidecar-less v1 view too.
+  OneToManyEngine engine(old_file->labels(), {0, 3, 9, 44});
+  (void)engine.Query(2);
+  EXPECT_FALSE(
+      MappedIndex::WriteVersion(index.label_index(), index.ranking(),
+                                tmp_->path() + "/v0.hli2", 0)
+          .ok());
+  EXPECT_FALSE(
+      MappedIndex::WriteVersion(index.label_index(), index.ranking(),
+                                tmp_->path() + "/v3.hli2", 3)
+          .ok());
+}
+
+TEST_F(MappedIndexTest, CraftedSectionReorderingIsRejectedOnV1) {
   auto [index, hli2] = BuildBoth(150, 7, false, false, "reorder");
-  std::string data = ReadFile(hli2);
+  const std::string v1 = tmp_->path() + "/reorder.v1.hli2";
+  ASSERT_TRUE(MappedIndex::WriteVersion(index.label_index(), index.ranking(),
+                                        v1, 1)
+                  .ok());
+  std::string data = ReadFile(v1);
   uint8_t* bytes = reinterpret_cast<uint8_t*>(data.data());
   // Swap the claimed offsets/pivots section positions (both 64-aligned
   // and individually inside the file) and re-seal the header checksum.
   // Pairwise size arithmetic like `pivots_off - offsets_off` would
   // underflow to ~2^64 and checksum far past the mapping; the canonical
   // layout check must reject this before any section byte is touched.
+  // (v2 headers no longer store section offsets at all, so the attack
+  // surface only exists on v1 files.)
   const uint64_t offsets_off = DecodeU64(bytes + 32);
   const uint64_t pivots_off = DecodeU64(bytes + 40);
   EncodeU64(pivots_off, bytes + 32);
@@ -283,13 +352,93 @@ TEST_F(MappedIndexTest, CraftedHugeTotalEntriesIsRejected) {
   // mapping. Re-seal the header checksum so only the overflow guard
   // can reject the file.
   EncodeU64((1ull << 62) + 1, bytes + 24);
-  EncodeU64(Fnv1a64(bytes, 96), bytes + 96);
+  EncodeU64(Fnv1a64(bytes, 64), bytes + 64);
   const std::string path = tmp_->path() + "/hugetotal_bad.hli2";
   WriteFile(path, data);
   auto mapped = MappedIndex::Open(path);
   ASSERT_FALSE(mapped.ok());
   EXPECT_NE(mapped.status().message().find("total_entries"),
             std::string::npos)
+      << mapped.status();
+  // Same for a crafted padded_entries (huge, unaligned, or smaller than
+  // total_entries).
+  for (const uint64_t bad :
+       {(uint64_t{1} << 62) + 16, uint64_t{8}, uint64_t{0}}) {
+    std::string crafted = ReadFile(hli2);
+    uint8_t* cb = reinterpret_cast<uint8_t*>(crafted.data());
+    EncodeU64(bad, cb + 32);
+    EncodeU64(Fnv1a64(cb, 64), cb + 64);
+    const std::string p =
+        tmp_->path() + "/hugepadded_" + std::to_string(bad) + ".hli2";
+    WriteFile(p, crafted);
+    EXPECT_FALSE(MappedIndex::Open(p).ok()) << bad;
+  }
+}
+
+TEST_F(MappedIndexTest, BlockSidecarCorruptionIsBoundsSafeAndDetectable) {
+  // The block min/max sidecars steer which 64-byte blocks the skip-scan
+  // kernels visit. Corrupt sidecars (non-monotone minima, garbage
+  // maxima) may mis-answer but must never read out of the mapped
+  // arenas, and VerifyArenas must flag the file.
+  auto [index, hli2] = BuildBoth(200, 17, false, false, "sidecar");
+  std::string data = ReadFile(hli2);
+  const V2Layout l = ComputeV2Layout(data);
+  ASSERT_LT(l.block_min_off, l.block_max_off);
+  // Non-monotone block minima: descending garbage across the section.
+  for (uint64_t off = l.block_min_off; off + 4 <= l.block_max_off; off += 4) {
+    EncodeU32(static_cast<uint32_t>(0xFFFFFFF0u - off),
+              reinterpret_cast<uint8_t*>(data.data()) + off);
+  }
+  // And a few zeroed maxima, so max < min within single blocks too.
+  for (uint64_t off = l.block_max_off; off < l.block_max_off + 32; off += 4) {
+    EncodeU32(0, reinterpret_cast<uint8_t*>(data.data()) + off);
+  }
+  const std::string path = tmp_->path() + "/sidecar_bad.hli2";
+  WriteFile(path, data);
+
+  auto mapped = MappedIndex::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  Rng rng(47);
+  for (int i = 0; i < 500; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.Below(200));
+    const VertexId t = static_cast<VertexId>(rng.Below(200));
+    (void)mapped->Query(s, t);  // ASan enforces "never OOB"
+  }
+  EXPECT_FALSE(mapped->VerifyArenas().ok());
+  MappedIndex::OpenOptions options;
+  options.verify_arenas = true;
+  EXPECT_FALSE(MappedIndex::Open(path, options).ok());
+
+  // Truncating inside the sidecar sections must fail cleanly at open.
+  for (const uint64_t cut : {l.block_min_off + 2, l.block_max_off + 2}) {
+    const std::string p = tmp_->path() + "/cutside" + std::to_string(cut);
+    WriteFile(p, data.substr(0, cut));
+    EXPECT_FALSE(MappedIndex::Open(p).ok()) << cut;
+  }
+}
+
+TEST_F(MappedIndexTest, CraftedSlotSizeInconsistencyIsRejected) {
+  // v2 stores per-slot real sizes next to padded block offsets; a size
+  // that disagrees with its slot's block span (or with total_entries)
+  // must be rejected at open — it would let size > padded span walk the
+  // kernels past the slot's arena range.
+  auto [index, hli2] = BuildBoth(150, 7, false, false, "slotsize");
+  std::string data = ReadFile(hli2);
+  uint8_t* bytes = reinterpret_cast<uint8_t*>(data.data());
+  const V2Layout l = ComputeV2Layout(data);
+  const uint32_t size0 = DecodeU32(bytes + l.sizes_off);
+  // Bump slot 0's size past its padded block span.
+  EncodeU32(size0 + 16, bytes + l.sizes_off);
+  // Re-seal the metadata checksum so only the structural check fires.
+  uint64_t meta = Fnv1a64(bytes + l.offsets_off, l.pivots_off - l.offsets_off);
+  meta ^= Fnv1a64(bytes + l.rank_to_orig_off, l.file_size - l.rank_to_orig_off);
+  EncodeU64(meta, bytes + 48);
+  EncodeU64(Fnv1a64(bytes, 64), bytes + 64);
+  const std::string path = tmp_->path() + "/slotsize_bad.hli2";
+  WriteFile(path, data);
+  auto mapped = MappedIndex::Open(path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_NE(mapped.status().message().find("slot sizes"), std::string::npos)
       << mapped.status();
 }
 

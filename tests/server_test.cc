@@ -1112,6 +1112,71 @@ TEST_F(ServerEndToEndTest, UpdateVerbsRepairAndCommit) {
   EXPECT_EQ(*client_.RoundTrip("COMMIT"), "OK nothing to commit");
 }
 
+// COMMIT's selective invalidation: cached pairs whose source Lout and
+// target Lin both survived the repair untouched must carry over into
+// the new snapshot's cache — and every carried answer must still be
+// exact on the mutated graph.
+TEST_F(ServerEndToEndTest, CommitCarriesUnaffectedCacheEntries) {
+  auto tmp = TempDir::Create("server_commit_cache");
+  ASSERT_TRUE(tmp.ok());
+  const std::string graph_path = tmp->File("g.hgr");
+  ASSERT_TRUE(WriteBinaryGraph(edges_, graph_path).ok());
+  ASSERT_TRUE(server_->RegisterUpdateGraph("", graph_path).ok());
+
+  // A nearby pair: an edge between vertices at distance 2 keeps the
+  // repair (and its touched-owner set) local, so the commit stays below
+  // the wholesale-invalidation threshold.
+  const std::vector<Distance> truth = ExactDistances(graph_, 5);
+  VertexId near = kInvalidVertex;
+  for (VertexId t = 0; t < graph_.num_vertices(); ++t) {
+    if (truth[t] == 2) {
+      near = t;
+      break;
+    }
+  }
+  ASSERT_NE(near, kInvalidVertex) << "test graph too sparse";
+
+  // Warm the serving cache with a block of pairs (capacity 512, so the
+  // survivors are the most recently asked).
+  for (VertexId s = 0; s < 40; ++s) {
+    for (VertexId t = 0; t < 40; ++t) {
+      ASSERT_TRUE(client_.QueryDistance(s, t).ok());
+    }
+  }
+
+  EXPECT_EQ(*client_.RoundTrip("ADDEDGE 5 " + std::to_string(near)),
+            "OK applied pending=1");
+  const std::string committed = *client_.RoundTrip("COMMIT");
+  ASSERT_TRUE(StartsWith(committed, "OK committed updates=1 ")) << committed;
+
+  const auto ParseCounter = [&committed](const std::string& key) {
+    const size_t pos = committed.find(" " + key + "=");
+    EXPECT_NE(pos, std::string::npos) << committed;
+    return static_cast<uint64_t>(
+        std::stoull(committed.substr(pos + key.size() + 2)));
+  };
+  const uint64_t carried = ParseCounter("cache_carried");
+  const uint64_t dropped = ParseCounter("cache_dropped");
+  EXPECT_GT(carried, 0u) << committed;
+  // Carried + dropped covers exactly the live entries of the old cache
+  // (<= capacity 512 after LRU eviction of the 1600 warmed pairs).
+  EXPECT_LE(carried + dropped, 512u) << committed;
+
+  // Every warmed pair — carried or re-computed — must answer with the
+  // mutated graph's exact distance. A stale carried entry fails here.
+  EdgeList mutated = edges_;
+  mutated.Add(5, near);
+  mutated.Normalize();
+  const CsrGraph mutated_graph = CsrGraph::FromEdgeList(mutated).ValueOrDie();
+  for (VertexId s = 0; s < 40; ++s) {
+    const std::vector<Distance> want = ExactDistances(mutated_graph, s);
+    for (VertexId t = 0; t < 40; ++t) {
+      ASSERT_EQ(*client_.QueryDistance(s, t), want[t])
+          << s << "->" << t;
+    }
+  }
+}
+
 TEST_F(ServerEndToEndTest, UpdateVerbsRequireRegisteredGraph) {
   const std::string response = *client_.RoundTrip("ADDEDGE 0 1");
   ASSERT_TRUE(StartsWith(response, "ERR ")) << response;
