@@ -29,6 +29,12 @@
 // execute / write) histograms the server keeps for every request are
 // reported in the JSON as "stages".
 //
+// A second paired run drives Zipfian degree-ranked traffic (the skewed
+// source mix scale-free query logs actually show; --skew turns the same
+// mix on for the sweep) at two servers differing only in the hot-hub
+// cache, recording the client p99 and server execute p50 with the cache
+// off vs on under "hot_hub_skew" in the JSON.
+//
 //   bench_serve_load            # full run, tiers 100,1000,4000
 //   bench_serve_load --ci       # seconds-long CI mode, tiers 100,1000
 
@@ -44,6 +50,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <deque>
@@ -94,6 +101,54 @@ struct TierResult {
   double p50 = 0, p90 = 0, p99 = 0, max_us = 0;
 };
 
+// Zipfian vertex sampler over a degree-ranked order: rank r is drawn
+// with probability ∝ 1/(r+1)^alpha, so the highest-degree vertices —
+// the hubs whose labels the HotHubCache densifies — dominate the
+// stream, the way query traffic concentrates on scale-free networks.
+// Exact inverse-CDF sampling (binary search over the cumulative
+// weights); no Zipf approximation needed at bench-scale |V|.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::vector<VertexId> degree_order, double alpha)
+      : order_(std::move(degree_order)) {
+    cdf_.reserve(order_.size());
+    double total = 0;
+    for (size_t rank = 0; rank < order_.size(); ++rank) {
+      total += std::pow(static_cast<double>(rank + 1), -alpha);
+      cdf_.push_back(total);
+    }
+  }
+
+  bool empty() const { return order_.empty(); }
+
+  VertexId Sample(Rng* rng) const {
+    const double u = rng->NextDouble() * cdf_.back();
+    const size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    return order_[std::min(rank, order_.size() - 1)];
+  }
+
+ private:
+  std::vector<VertexId> order_;  // vertex ids, descending degree
+  std::vector<double> cdf_;
+};
+
+/// Vertex ids sorted by descending degree in `edges` (ties by id, so
+/// the order — and thus the whole skewed schedule — is deterministic).
+std::vector<VertexId> DegreeOrder(const EdgeList& edges) {
+  std::vector<uint64_t> degree(edges.num_vertices(), 0);
+  for (const Edge& e : edges.edges()) {
+    degree[e.src]++;
+    degree[e.dst]++;
+  }
+  std::vector<VertexId> order(edges.num_vertices());
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&degree](VertexId a, VertexId b) {
+    return degree[a] != degree[b] ? degree[a] > degree[b] : a < b;
+  });
+  return order;
+}
+
 // One generator-side connection: pending output, buffered input, and
 // the scheduled injection time of every request still awaiting its
 // (in-order) response.
@@ -108,11 +163,13 @@ struct GenConn {
 
 class OpenLoopGenerator {
  public:
+  /// `zipf` (may be null) switches source/target draws from the
+  /// uniform + hot-pair mix to degree-ranked Zipfian sampling.
   OpenLoopGenerator(uint16_t port, bool v2, VertexId n, uint64_t seed,
                     double hot_fraction, uint32_t hot_pairs,
-                    uint64_t batch_every)
+                    uint64_t batch_every, const ZipfSampler* zipf = nullptr)
       : port_(port), v2_(v2), n_(n), rng_(DeriveSeed(seed, 100)),
-        hot_fraction_(hot_fraction), batch_every_(batch_every) {
+        hot_fraction_(hot_fraction), batch_every_(batch_every), zipf_(zipf) {
     Rng hot_rng(DeriveSeed(seed, 7));
     hot_.reserve(hot_pairs);
     for (uint32_t i = 0; i < hot_pairs; ++i) {
@@ -242,10 +299,21 @@ class OpenLoopGenerator {
     conn->fd = -1;
   }
 
+  VertexId RandomVertex() {
+    if (zipf_ != nullptr && !zipf_->empty()) return zipf_->Sample(&rng_);
+    return static_cast<VertexId>(rng_.Below(n_));
+  }
+
   void AppendRequest(GenConn* conn, double scheduled_us) {
     Request request;
     VertexId s, t;
-    if (static_cast<double>(rng_.Below(1000)) < hot_fraction_ * 1000.0) {
+    if (zipf_ != nullptr && !zipf_->empty()) {
+      // Skew mode: every endpoint is a degree-ranked Zipf draw; the
+      // artificial hot-pair set is irrelevant (skew IS the hotness).
+      s = RandomVertex();
+      t = RandomVertex();
+    } else if (static_cast<double>(rng_.Below(1000)) <
+               hot_fraction_ * 1000.0) {
       const auto& pair = hot_[rng_.Below(hot_.size())];
       s = pair.first;
       t = pair.second;
@@ -257,7 +325,7 @@ class OpenLoopGenerator {
       request.kind = RequestKind::kBatch;
       request.src = s;
       for (int j = 0; j < 8; ++j) {
-        request.targets.push_back(static_cast<VertexId>(rng_.Below(n_)));
+        request.targets.push_back(RandomVertex());
       }
     } else {
       request.kind = RequestKind::kDist;
@@ -377,6 +445,7 @@ class OpenLoopGenerator {
   Rng rng_;
   const double hot_fraction_;
   const uint64_t batch_every_;
+  const ZipfSampler* zipf_;
   uint64_t request_counter_ = 0;
   std::vector<std::pair<VertexId, VertexId>> hot_;
   std::vector<GenConn> conns_;
@@ -404,6 +473,12 @@ int Run(int argc, char** argv) {
   flags.Define("hot-pairs", "128", "size of the hot pair set");
   flags.Define("batch-every", "16",
                "every k-th request is a BATCH of 8 (0 = never)");
+  flags.Define("skew", "0",
+               "Zipf exponent for degree-ranked source/target draws in "
+               "the tier sweep (0 = uniform + hot pairs)");
+  flags.Define("hot-hub-k", "1024",
+               "hot-hub cache size for the skew comparison pair "
+               "(0 skips the pair)");
   flags.Define("out", "BENCH_serve.json", "machine-readable output path");
   flags.Define("ci", "false", "CI mode: small graph, short run, tiers "
                               "100,1000");
@@ -530,6 +605,66 @@ int Run(int argc, char** argv) {
             << FormatDouble(p99_on, 1) << " us on ("
             << (overhead_ok ? "within" : "OVER") << " budget)\n";
 
+  // --- Hot-hub skew pair: Zipfian degree-ranked traffic against two
+  // servers that differ only in the hot-hub cache (off vs k). The
+  // result cache is disabled on both so repeated hub pairs cannot mask
+  // the label-scan cost the dense top-k fold is meant to cut — this is
+  // the cache-microarchitecture win the skewed workload exists to show.
+  // Same interleaved min-of-3 discipline as the tracing pair; the
+  // server-side execute p50 is the direct kernel-level signal, client
+  // p99 the end-to-end one. Recorded in the JSON, not gated: loopback
+  // perf deltas are machine-dependent.
+  const double skew = flags.GetDouble("skew");
+  const double pair_alpha = skew > 0 ? skew : 0.99;
+  const uint32_t hot_hub_k = static_cast<uint32_t>(
+      std::min<uint64_t>(flags.GetUint("hot-hub-k"), n));
+  const std::vector<VertexId> degree_order = DegreeOrder(*edges);
+  const ZipfSampler pair_zipf(degree_order, pair_alpha);
+  double hub_p99[2] = {0, 0};      // [0] = hub off, [1] = hub on
+  double hub_exec_p50[2] = {0, 0};
+  if (hot_hub_k > 0) {
+    std::unique_ptr<DistanceServer> hub_servers[2];
+    for (int pass = 0; pass < 2; ++pass) {
+      auto hub_index = HopDbIndex::Build(*edges);
+      if (!hub_index.ok()) {
+        std::cerr << "index build failed: " << hub_index.status() << "\n";
+        return 1;
+      }
+      auto hub_snapshot = std::make_shared<const ServingSnapshot>(
+          std::move(*hub_index), "", /*cache_capacity=*/0,
+          pass == 0 ? 0 : hot_hub_k);
+      auto hub_server = DistanceServer::Start(hub_snapshot, options);
+      if (!hub_server.ok()) {
+        std::cerr << "server start failed: " << hub_server.status() << "\n";
+        return 1;
+      }
+      hub_servers[pass] = std::move(*hub_server);
+    }
+    for (int rep = 0; rep < 3; ++rep) {
+      for (int pass = 0; pass < 2; ++pass) {
+        OpenLoopGenerator hub_gen(
+            hub_servers[pass]->port(), v2, n, seed,
+            flags.GetDouble("hot-fraction"),
+            static_cast<uint32_t>(flags.GetUint("hot-pairs")),
+            flags.GetUint("batch-every"), &pair_zipf);
+        const TierResult r =
+            hub_gen.RunTier(overhead_tier, rate, overhead_seconds);
+        if (rep == 0 || r.p99 < hub_p99[pass]) hub_p99[pass] = r.p99;
+      }
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+      hub_exec_p50[pass] = static_cast<double>(
+          hub_servers[pass]->metrics().execute_histogram().PercentileUs(50));
+      hub_servers[pass]->Stop();
+    }
+    std::cout << "hot-hub skew pair (zipf " << FormatDouble(pair_alpha, 2)
+              << ", k=" << hot_hub_k << ") @ tier " << overhead_tier
+              << ": p99 " << FormatDouble(hub_p99[0], 1) << " us off, "
+              << FormatDouble(hub_p99[1], 1) << " us on; execute p50 "
+              << FormatDouble(hub_exec_p50[0], 1) << " -> "
+              << FormatDouble(hub_exec_p50[1], 1) << " us\n";
+  }
+
   auto server = DistanceServer::Start(snapshot, options);
   if (!server.ok()) {
     std::cerr << "server start failed: " << server.status() << "\n";
@@ -542,7 +677,8 @@ int Run(int argc, char** argv) {
 
   OpenLoopGenerator generator(port, v2, n, seed, flags.GetDouble("hot-fraction"),
                               static_cast<uint32_t>(flags.GetUint("hot-pairs")),
-                              flags.GetUint("batch-every"));
+                              flags.GetUint("batch-every"),
+                              skew > 0 ? &pair_zipf : nullptr);
   std::vector<TierResult> results;
   for (const size_t tier : tiers) {
     TierResult result = generator.RunTier(tier, rate, seconds);
@@ -604,6 +740,7 @@ int Run(int argc, char** argv) {
       << ", \"build_seconds\": " << FormatDouble(build_seconds, 3) << "},\n"
       << "  \"rate\": " << FormatDouble(rate, 1) << ",\n"
       << "  \"seconds_per_tier\": " << FormatDouble(seconds, 2) << ",\n"
+      << "  \"skew\": " << FormatDouble(skew, 2) << ",\n"
       << "  \"tiers\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const TierResult& r = results[i];
@@ -622,6 +759,14 @@ int Run(int argc, char** argv) {
       << ", \"p99_us_sampling_off\": " << FormatDouble(p99_off, 1)
       << ", \"p99_us_sampling_on\": " << FormatDouble(p99_on, 1)
       << ", \"within_budget\": " << (overhead_ok ? "true" : "false")
+      << "},\n"
+      << "  \"hot_hub_skew\": {\"alpha\": " << FormatDouble(pair_alpha, 2)
+      << ", \"hot_hub_k\": " << hot_hub_k
+      << ", \"connections\": " << overhead_tier
+      << ", \"p99_us_hub_off\": " << FormatDouble(hub_p99[0], 1)
+      << ", \"p99_us_hub_on\": " << FormatDouble(hub_p99[1], 1)
+      << ", \"execute_p50_us_hub_off\": " << FormatDouble(hub_exec_p50[0], 1)
+      << ", \"execute_p50_us_hub_on\": " << FormatDouble(hub_exec_p50[1], 1)
       << "},\n"
       << "  \"stages\": {";
   for (size_t i = 0; i < 3; ++i) {

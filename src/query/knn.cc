@@ -108,6 +108,40 @@ std::vector<KnnEngine::Neighbor> KnnEngine::Query(VertexId s, uint32_t k,
   return result;
 }
 
+std::vector<KnnEngine::Neighbor> KnnEngine::QueryWithin(
+    VertexId s, Distance radius, bool include_source) const {
+  std::vector<Neighbor> result;
+  if (s >= num_vertices_) return result;
+
+  std::vector<LabelEntry> seeds;
+  CollectSeeds(s, &seeds);
+
+  // Min label sum per vertex over the in-radius prefix of every seed
+  // pivot's inverted list. Sums never undershoot the true distance, so
+  // the per-vertex minimum filtered at <= radius is exact.
+  std::vector<Distance> best(num_vertices_, kInfDistance);
+  for (const LabelEntry& seed : seeds) {
+    if (seed.dist > radius) continue;
+    for (const InvEntry& entry : inv_[seed.pivot]) {
+      const Distance total = SaturatingAdd(seed.dist, entry.dist);
+      if (total > radius) break;  // sorted by dist: prefix is complete
+      if (total < best[entry.owner]) best[entry.owner] = total;
+    }
+  }
+
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (best[v] == kInfDistance) continue;
+    if (v == s && !include_source) continue;
+    result.push_back({v, best[v]});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.dist != b.dist ? a.dist < b.dist
+                                      : a.vertex < b.vertex;
+            });
+  return result;
+}
+
 uint64_t KnnEngine::TotalInvertedEntries() const {
   uint64_t total = 0;
   for (const auto& list : inv_) total += list.size();

@@ -64,6 +64,17 @@ class KnnEngine {
   std::vector<Neighbor> Query(VertexId s, uint32_t k,
                               bool include_source = false) const;
 
+  /// Every vertex v with dist(s, v) <= radius (dist(v, s) for backward
+  /// engines), in non-decreasing (distance, vertex) order; `s` itself is
+  /// excluded unless include_source is set. Exact by the cover property:
+  /// the certifying pivot pair of any in-radius vertex sums to its true
+  /// distance, so the radius-bounded prefix scan of each seed pivot's
+  /// sorted inverted list reaches it, and no label sum ever
+  /// underestimates. Cost: the in-radius prefixes of |Lout(s)| + 1
+  /// inverted lists plus an O(|V|) collect pass.
+  std::vector<Neighbor> QueryWithin(VertexId s, Distance radius,
+                                    bool include_source = false) const;
+
   Direction direction() const { return direction_; }
 
   /// Total inverted entries (equals index entries + |V| trivial entries).

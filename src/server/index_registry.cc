@@ -4,6 +4,7 @@
 #include <string_view>
 #include <utility>
 
+#include "graph/graph_io.h"
 #include "labeling/mapped_index.h"
 
 namespace hopdb {
@@ -26,7 +27,8 @@ Status ValidateIndexName(const std::string& name) {
 }
 
 Result<std::shared_ptr<const ServingSnapshot>> LoadServingSnapshot(
-    const std::string& path, size_t cache_capacity, uint32_t hot_hub_k) {
+    const std::string& path, size_t cache_capacity, uint32_t hot_hub_k,
+    const std::string& graph_path) {
   // Sniff the magic; the mapped path must not pay a whole-file read.
   char magic[4] = {0, 0, 0, 0};
   {
@@ -41,8 +43,20 @@ Result<std::shared_ptr<const ServingSnapshot>> LoadServingSnapshot(
                                                    cache_capacity, hot_hub_k);
   }
   HOPDB_ASSIGN_OR_RETURN(HopDbIndex index, HopDbIndex::Load(path));
+  std::shared_ptr<const CsrGraph> path_graph;
+  if (!graph_path.empty()) {
+    // A bad graph file must fail the load loudly, not surface later as
+    // a confusing per-request PATH error.
+    HOPDB_ASSIGN_OR_RETURN(
+        EdgeList edges,
+        LoadGraphFile(graph_path, index.directed(), /*read_weights=*/true));
+    edges.Normalize();
+    HOPDB_ASSIGN_OR_RETURN(CsrGraph graph, CsrGraph::FromEdgeList(edges));
+    path_graph = std::make_shared<const CsrGraph>(std::move(graph));
+  }
   return std::make_shared<const ServingSnapshot>(std::move(index), path,
-                                                 cache_capacity, hot_hub_k);
+                                                 cache_capacity, hot_hub_k,
+                                                 std::move(path_graph));
 }
 
 Status IndexRegistry::Attach(const std::string& name,

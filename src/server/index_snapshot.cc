@@ -1,5 +1,6 @@
 #include "server/index_snapshot.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -72,6 +73,51 @@ std::vector<std::pair<VertexId, Distance>> ServingSnapshot::QueryKnn(
     result.emplace_back(orig, nb.dist);
   }
   return result;
+}
+
+std::vector<std::pair<VertexId, Distance>> ServingSnapshot::QueryWithin(
+    VertexId s, Distance radius) const {
+  const KnnEngine& engine = knn_engine();
+  const VertexId internal_s =
+      mapped() ? mapped_->ToInternal(s) : index_.ranking().ToInternal(s);
+  const std::vector<KnnEngine::Neighbor> neighbors =
+      engine.QueryWithin(internal_s, radius);
+  std::vector<std::pair<VertexId, Distance>> result;
+  result.reserve(neighbors.size());
+  for (const KnnEngine::Neighbor& nb : neighbors) {
+    const VertexId orig = mapped() ? mapped_->ToOriginal(nb.vertex)
+                                   : index_.ranking().ToOriginal(nb.vertex);
+    result.emplace_back(orig, nb.dist);
+  }
+  // The engine orders by (distance, internal id); re-sort the vertex
+  // tiebreak into original-id space so the wire answer is deterministic
+  // in the ids clients actually see.
+  std::sort(result.begin(), result.end(),
+            [](const std::pair<VertexId, Distance>& a,
+               const std::pair<VertexId, Distance>& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  return result;
+}
+
+Result<std::vector<VertexId>> ServingSnapshot::QueryPath(VertexId s,
+                                                         VertexId t) const {
+  if (!HasPathGraph()) {
+    return Status::FailedPrecondition(
+        "PATH needs the build graph; serve this index with --graph "
+        "(heap-backed indexes only)");
+  }
+  std::call_once(path_once_, [this] {
+    auto querier = HopDbPathQuerier::Create(index_, *path_graph_);
+    if (querier.ok()) {
+      path_ = std::make_unique<HopDbPathQuerier>(std::move(*querier));
+    } else {
+      path_status_ = querier.status();
+    }
+  });
+  if (path_ == nullptr) return path_status_;
+  return path_->ShortestPath(s, t);
 }
 
 const KnnEngine& ServingSnapshot::knn_engine() const {

@@ -46,9 +46,13 @@ class ServingSnapshot {
   /// result cache (0 disables). `hot_hub_k` sizes the snapshot's dense
   /// top-k pivot table (labeling/hot_hub.h; 0 disables) — built here,
   /// at publish time, so readers never see a partially built cache.
+  /// `path_graph` (ORIGINAL ids, the graph the index was built from)
+  /// enables PATH queries; the path engine is built lazily on first use.
   ServingSnapshot(HopDbIndex index, std::string source_path,
-                  size_t cache_capacity, uint32_t hot_hub_k = 0)
+                  size_t cache_capacity, uint32_t hot_hub_k = 0,
+                  std::shared_ptr<const CsrGraph> path_graph = nullptr)
       : index_(std::move(index)),
+        path_graph_(std::move(path_graph)),
         source_path_(std::move(source_path)),
         cache_(cache_capacity) {
     InitHotHub(hot_hub_k);
@@ -109,6 +113,32 @@ class ServingSnapshot {
   std::vector<std::pair<VertexId, Distance>> QueryKnn(VertexId s,
                                                       uint32_t k) const;
 
+  /// Every vertex within distance `radius` of s (ORIGINAL ids, s itself
+  /// excluded), in non-decreasing (distance, vertex) order, via the same
+  /// lazily built engine. Exact: the cover property certifies every
+  /// in-radius vertex at its true distance (query/knn.h).
+  std::vector<std::pair<VertexId, Distance>> QueryWithin(
+      VertexId s, Distance radius) const;
+
+  /// True iff dist(s, t) <= bound in the index's metric (hops on
+  /// unweighted graphs, weight sums otherwise). One label intersection.
+  bool QueryReach(VertexId s, VertexId t, Distance bound) const {
+    const Distance d = Query(s, t);
+    return d != kInfDistance && d <= bound;
+  }
+
+  /// True when this snapshot can answer PATH: heap-backed with the
+  /// build graph registered (serve --graph, or a COMMIT-republished
+  /// update session).
+  bool HasPathGraph() const { return !mapped() && path_graph_ != nullptr; }
+
+  /// One shortest-path vertex sequence s -> t (ORIGINAL ids, both
+  /// endpoints inclusive; {s} when s == t). NotFound when unreachable;
+  /// FailedPrecondition when HasPathGraph() is false. The path engine
+  /// (a rank-relabeled copy of the graph + greedy label descent) is
+  /// built on first use and shared by subsequent PATH requests.
+  Result<std::vector<VertexId>> QueryPath(VertexId s, VertexId t) const;
+
   /// The heap index. Only valid for !mapped() snapshots (checked);
   /// in-process embedders that need the full HopDbIndex API should gate
   /// on mapped() first.
@@ -139,10 +169,15 @@ class ServingSnapshot {
   HopDbIndex index_;                      // heap backing (when !mapped_)
   std::unique_ptr<MappedIndex> mapped_;   // mmap backing (when set)
   HotHubCache hub_;
+  /// ORIGINAL-id build graph backing PATH queries (heap snapshots only).
+  std::shared_ptr<const CsrGraph> path_graph_;
   std::string source_path_;
   mutable ResultCache cache_;
   mutable std::once_flag knn_once_;
   mutable std::unique_ptr<KnnEngine> knn_;
+  mutable std::once_flag path_once_;
+  mutable std::unique_ptr<HopDbPathQuerier> path_;
+  mutable Status path_status_;
 };
 
 /// The swappable pointer. A plain mutex guards the shared_ptr itself

@@ -101,6 +101,15 @@ class ServerMetrics {
   }
   void RecordBatch() { batch_requests_.fetch_add(1, std::memory_order_relaxed); }
   void RecordKnn() { knn_requests_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordWithin() {
+    within_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordReach() {
+    reach_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordPath() {
+    path_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
   void RecordReload() { reloads_.fetch_add(1, std::memory_order_relaxed); }
   void RecordMicroBatch(uint64_t batched_queries) {
     micro_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -127,6 +136,15 @@ class ServerMetrics {
   }
   uint64_t knn_requests() const {
     return knn_requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t within_requests() const {
+    return within_requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t reach_requests() const {
+    return reach_requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t path_requests() const {
+    return path_requests_.load(std::memory_order_relaxed);
   }
   uint64_t reloads() const { return reloads_.load(std::memory_order_relaxed); }
   uint64_t micro_batches() const {
@@ -160,6 +178,9 @@ class ServerMetrics {
   std::atomic<uint64_t> dist_queries_{0};
   std::atomic<uint64_t> batch_requests_{0};
   std::atomic<uint64_t> knn_requests_{0};
+  std::atomic<uint64_t> within_requests_{0};
+  std::atomic<uint64_t> reach_requests_{0};
+  std::atomic<uint64_t> path_requests_{0};
   std::atomic<uint64_t> reloads_{0};
   std::atomic<uint64_t> micro_batches_{0};
   std::atomic<uint64_t> micro_batched_queries_{0};

@@ -97,6 +97,46 @@ Result<Request> ParseTokens(const std::vector<std::string>& tokens,
     request.k = static_cast<uint32_t>(k);
     return request;
   }
+  if (verb == "WITHIN") {
+    if (count != 3) {
+      return Status::InvalidArgument("usage: WITHIN <src> <radius>");
+    }
+    request.kind = RequestKind::kWithin;
+    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(token(1)));
+    uint64_t r = 0;
+    if (!ParseUint64(token(2), &r) ||
+        r > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("bad radius '" + token(2) + "'");
+    }
+    request.k = static_cast<uint32_t>(r);
+    return request;
+  }
+  if (verb == "REACH") {
+    if (count != 4) {
+      return Status::InvalidArgument("usage: REACH <src> <dst> <bound>");
+    }
+    request.kind = RequestKind::kReach;
+    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(token(1)));
+    request.targets.resize(1);
+    HOPDB_ASSIGN_OR_RETURN(request.targets[0], ParseVertex(token(2)));
+    uint64_t bound = 0;
+    if (!ParseUint64(token(3), &bound) ||
+        bound > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("bad distance bound '" + token(3) + "'");
+    }
+    request.k = static_cast<uint32_t>(bound);
+    return request;
+  }
+  if (verb == "PATH") {
+    if (count != 3) {
+      return Status::InvalidArgument("usage: PATH <src> <dst>");
+    }
+    request.kind = RequestKind::kPath;
+    HOPDB_ASSIGN_OR_RETURN(request.src, ParseVertex(token(1)));
+    request.targets.resize(1);
+    HOPDB_ASSIGN_OR_RETURN(request.targets[0], ParseVertex(token(2)));
+    return request;
+  }
   if (verb == "RELOAD") {
     if (count > 2) {
       return Status::InvalidArgument("usage: RELOAD [<path>]");
@@ -144,8 +184,8 @@ Result<Request> ParseTokens(const std::vector<std::string>& tokens,
     // Everything below is whole-server scoped and must not carry a USE
     // prefix; nested USE is caught here too.
     return Status::InvalidArgument(
-        "USE can only prefix DIST, BATCH, KNN, RELOAD, ADDEDGE, DELEDGE, "
-        "or COMMIT (got '" + verb + "')");
+        "USE can only prefix DIST, BATCH, KNN, WITHIN, REACH, PATH, "
+        "RELOAD, ADDEDGE, DELEDGE, or COMMIT (got '" + verb + "')");
   }
   if (verb == "USE") {
     if (count < 3) {
@@ -240,6 +280,12 @@ const char* RequestKindName(RequestKind kind) {
       return "deledge";
     case RequestKind::kCommit:
       return "commit";
+    case RequestKind::kWithin:
+      return "within";
+    case RequestKind::kReach:
+      return "reach";
+    case RequestKind::kPath:
+      return "path";
   }
   return "unknown";
 }
@@ -342,6 +388,21 @@ std::string FormatRequestV1(const Request& request) {
       break;
     case RequestKind::kCommit:
       line += "COMMIT";
+      break;
+    case RequestKind::kWithin:
+      line += "WITHIN " + std::to_string(request.src) + " " +
+              std::to_string(request.k);
+      break;
+    case RequestKind::kReach:
+      line += "REACH " + std::to_string(request.src) + " " +
+              std::to_string(request.targets.empty() ? 0
+                                                     : request.targets[0]) +
+              " " + std::to_string(request.k);
+      break;
+    case RequestKind::kPath:
+      line += "PATH " + std::to_string(request.src) + " " +
+              std::to_string(request.targets.empty() ? 0
+                                                     : request.targets[0]);
       break;
   }
   return line;
@@ -518,6 +579,22 @@ void EncodeRequestV2(const Request& request, std::string* out) {
       break;
     case RequestKind::kCommit:
       opcode = V2Opcode::kCommit;
+      break;
+    case RequestKind::kWithin:
+      opcode = V2Opcode::kWithin;
+      src = request.src;
+      arg = request.k;  // radius
+      break;
+    case RequestKind::kReach:
+      opcode = V2Opcode::kReach;
+      src = request.src;
+      arg = request.targets.empty() ? 0 : request.targets[0];
+      PutU32(&aux, request.k);  // distance bound
+      break;
+    case RequestKind::kPath:
+      opcode = V2Opcode::kPath;
+      src = request.src;
+      arg = request.targets.empty() ? 0 : request.targets[0];
       break;
   }
   out->push_back(static_cast<char>(opcode));
@@ -726,6 +803,46 @@ FrameParse ParseRequestFrameV2(const char* data, size_t size,
         return FrameParse::kError;
       }
       request.kind = RequestKind::kCommit;
+      break;
+    case V2Opcode::kWithin:
+      if (aux_len != 0) {
+        *error = "v2 WITHIN frame carries a payload";
+        return FrameParse::kError;
+      }
+      if (src >= kInvalidVertex) {
+        *error = "bad vertex id";
+        return FrameParse::kError;
+      }
+      request.kind = RequestKind::kWithin;
+      request.src = src;
+      request.k = arg;  // radius
+      break;
+    case V2Opcode::kReach:
+      if (aux_len != 4) {
+        *error = "v2 REACH frame: payload must be one u32 bound";
+        return FrameParse::kError;
+      }
+      if (src >= kInvalidVertex || arg >= kInvalidVertex) {
+        *error = "bad vertex id";
+        return FrameParse::kError;
+      }
+      request.kind = RequestKind::kReach;
+      request.src = src;
+      request.targets.assign(1, arg);
+      request.k = GetU32(aux);
+      break;
+    case V2Opcode::kPath:
+      if (aux_len != 0) {
+        *error = "v2 PATH frame carries a payload";
+        return FrameParse::kError;
+      }
+      if (src >= kInvalidVertex || arg >= kInvalidVertex) {
+        *error = "bad vertex id";
+        return FrameParse::kError;
+      }
+      request.kind = RequestKind::kPath;
+      request.src = src;
+      request.targets.assign(1, arg);
       break;
     default:
       *error = "unknown v2 opcode " + std::to_string(opcode);

@@ -6,6 +6,9 @@
 //   DIST <s> <t>             exact distance from s to t
 //   BATCH <s> <t1> ... <tk>  distances from s to every listed target
 //   KNN <s> <k>              the k nearest vertices reachable from s
+//   WITHIN <s> <r>           every vertex within distance r of s
+//   REACH <s> <t> <k>        1 iff dist(s, t) <= k, else 0
+//   PATH <s> <t>             one shortest-path vertex sequence s -> t
 //   STATS                    server counters (key=value pairs)
 //   METRICS                  Prometheus text exposition (blob response)
 //   TRACE LAST <n>           span breakdowns of recent sampled requests
@@ -16,8 +19,8 @@
 //   DELEDGE <u> <v>          queue an edge delete
 //   COMMIT                   repair labels for queued edits, publish a
 //                            new serving snapshot atomically
-//   USE <name> <request>     route DIST/BATCH/KNN/RELOAD/ADDEDGE/
-//                            DELEDGE/COMMIT to index <name>
+//   USE <name> <request>     route DIST/BATCH/KNN/WITHIN/REACH/PATH/
+//                            RELOAD/ADDEDGE/DELEDGE/COMMIT to <name>
 //   PING                     liveness probe
 // Responses:
 //   OK <payload>             success; payload shape depends on the verb
@@ -67,10 +70,13 @@ enum class RequestKind : uint8_t {
   kAddEdge,
   kDelEdge,
   kCommit,
+  kWithin,
+  kReach,
+  kPath,
 };
 
 /// Number of RequestKind enumerators (per-verb metrics arrays size).
-inline constexpr size_t kNumRequestKinds = 13;
+inline constexpr size_t kNumRequestKinds = 16;
 
 /// Lowercase verb name for metrics labels ("dist", "batch", ...).
 const char* RequestKindName(RequestKind kind);
@@ -79,9 +85,10 @@ const char* RequestKindName(RequestKind kind);
 struct Request {
   RequestKind kind = RequestKind::kPing;
   VertexId src = 0;
-  /// BATCH target list (at least one entry).
+  /// BATCH target list (at least one entry); REACH/PATH destination.
   std::vector<VertexId> targets;
-  /// KNN neighbor count; TRACE LAST count; ADDEDGE edge weight.
+  /// KNN neighbor count; TRACE LAST count; ADDEDGE edge weight;
+  /// WITHIN radius; REACH distance bound.
   uint32_t k = 0;
   /// RELOAD/ATTACH file path; for RELOAD, empty means "reload the path
   /// the index was loaded from".
@@ -181,9 +188,10 @@ std::string EncodeResponseV1(const WireResponse& response);
 //   u8  reserved    must be 0
 //   u16 name_len
 //   u32 aux_len
-//   u32 src         DIST/BATCH/KNN source vertex; ADDEDGE/DELEDGE u
-//   u32 arg         DIST: dst; BATCH: target count; KNN: k;
-//                   ADDEDGE/DELEDGE: v
+//   u32 src         DIST/BATCH/KNN/WITHIN/REACH/PATH source vertex;
+//                   ADDEDGE/DELEDGE u
+//   u32 arg         DIST/PATH: dst; BATCH: target count; KNN: k;
+//                   WITHIN: radius; REACH: dst; ADDEDGE/DELEDGE: v
 //
 // Response frame: 12-byte header, then aux_len payload bytes.
 //   u8  status      WireStatus
@@ -214,6 +222,9 @@ enum class V2Opcode : uint8_t {
   kAddEdge = 11,
   kDelEdge = 12,
   kCommit = 13,
+  kWithin = 14,
+  kReach = 15,
+  kPath = 16,
 };
 
 inline constexpr size_t kV2RequestHeaderBytes = 16;

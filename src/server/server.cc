@@ -433,7 +433,10 @@ void DistanceServer::ExecuteWorkBatch(std::vector<WorkItem>* items) {
         pending.push_back(PendingDist{i, std::move(snap), s, t});
       }
     } else if (req.kind == RequestKind::kBatch ||
-               req.kind == RequestKind::kKnn) {
+               req.kind == RequestKind::kKnn ||
+               req.kind == RequestKind::kWithin ||
+               req.kind == RequestKind::kReach ||
+               req.kind == RequestKind::kPath) {
       // The other routed verbs share the memoized resolution so the
       // whole drain sees one snapshot per name and pays the registry
       // mutex once, same as DIST.
@@ -568,6 +571,35 @@ WireResponse DistanceServer::ExecuteOnWire(const Request& request,
       metrics_.RecordKnn();
       return WireNeighborsResponse(snapshot.QueryKnn(s, request.k));
     }
+    case RequestKind::kWithin: {
+      const VertexId s = request.src;
+      if (s >= n) return ErrVertexOutOfRange(n);
+      metrics_.RecordWithin();
+      return WireNeighborsResponse(snapshot.QueryWithin(s, request.k));
+    }
+    case RequestKind::kReach: {
+      const VertexId s = request.src;
+      const VertexId t = request.targets[0];
+      if (s >= n || t >= n) return ErrVertexOutOfRange(n);
+      metrics_.RecordReach();
+      return WireDistanceResponse(snapshot.QueryReach(s, t, request.k) ? 1
+                                                                       : 0);
+    }
+    case RequestKind::kPath: {
+      const VertexId s = request.src;
+      const VertexId t = request.targets[0];
+      if (s >= n || t >= n) return ErrVertexOutOfRange(n);
+      metrics_.RecordPath();
+      Result<std::vector<VertexId>> path = snapshot.QueryPath(s, t);
+      if (!path.ok()) {
+        // Unreachable is an answer, not a fault: an empty sequence (a
+        // bare "OK" line in v1), so clients need not parse error text.
+        if (path.status().IsNotFound()) return WireDistancesResponse({});
+        return WireErr(path.status().ToString());
+      }
+      std::vector<Distance> ids(path.value().begin(), path.value().end());
+      return WireDistancesResponse(std::move(ids));
+    }
     case RequestKind::kReload:
     case RequestKind::kAttach:
     case RequestKind::kDetach:
@@ -622,6 +654,12 @@ WireResponse DistanceServer::StatsResponse(const ServingSnapshot& snapshot) {
              std::to_string(metrics_.batch_requests()));
   AppendStat(&payload, "knn_requests",
              std::to_string(metrics_.knn_requests()));
+  AppendStat(&payload, "within_requests",
+             std::to_string(metrics_.within_requests()));
+  AppendStat(&payload, "reach_requests",
+             std::to_string(metrics_.reach_requests()));
+  AppendStat(&payload, "path_requests",
+             std::to_string(metrics_.path_requests()));
   AppendStat(&payload, "micro_batches",
              std::to_string(metrics_.micro_batches()));
   AppendStat(&payload, "micro_batched_queries",
@@ -741,6 +779,18 @@ WireResponse DistanceServer::MetricsResponse() {
              "KNN requests executed.");
   PromSample(&text, "hopdb_knn_requests_total", "",
              std::to_string(metrics_.knn_requests()));
+  PromFamily(&text, "hopdb_within_requests_total", "counter",
+             "WITHIN (radius) requests executed.");
+  PromSample(&text, "hopdb_within_requests_total", "",
+             std::to_string(metrics_.within_requests()));
+  PromFamily(&text, "hopdb_reach_requests_total", "counter",
+             "REACH (bounded reachability) requests executed.");
+  PromSample(&text, "hopdb_reach_requests_total", "",
+             std::to_string(metrics_.reach_requests()));
+  PromFamily(&text, "hopdb_path_requests_total", "counter",
+             "PATH (shortest-path unfolding) requests executed.");
+  PromSample(&text, "hopdb_path_requests_total", "",
+             std::to_string(metrics_.path_requests()));
   PromFamily(&text, "hopdb_micro_batches_total", "counter",
              "Same-source DIST groups answered by one one-to-many scan.");
   PromSample(&text, "hopdb_micro_batches_total", "",
@@ -929,9 +979,31 @@ WireResponse DistanceServer::HandleCommit(const std::string& name) {
   const std::shared_ptr<const ServingSnapshot> current =
       registry_.Find(resolved);
   if (current == nullptr) return ErrNoSuchIndex(resolved);
+  // PATH must keep answering against the committed adjacency, so the
+  // new snapshot's path graph is frozen from the session's (updated)
+  // dynamic graph — not re-read from the on-disk file, which still
+  // describes the pre-update graph. ToEdgeList is in rank space; remap
+  // to the original ids snapshots serve.
+  std::shared_ptr<const CsrGraph> path_graph;
+  {
+    const RankMapping& ranking = session->index.ranking();
+    const EdgeList ranked = session->graph.ToEdgeList();
+    EdgeList original(ranked.num_vertices(), ranked.directed());
+    original.set_weighted(ranked.weighted());
+    for (const Edge& e : ranked.edges()) {
+      original.Add(ranking.ToOriginal(e.src), ranking.ToOriginal(e.dst),
+                   e.weight);
+    }
+    original.Normalize();
+    Result<CsrGraph> frozen = CsrGraph::FromEdgeList(original);
+    if (frozen.ok()) {
+      path_graph =
+          std::make_shared<const CsrGraph>(std::move(frozen).value());
+    }
+  }
   auto snapshot = std::make_shared<ServingSnapshot>(
       std::move(published), current->source_path(), options_.cache_capacity,
-      options_.hot_hub_k);
+      options_.hot_hub_k, std::move(path_graph));
   // Carry forward result-cache entries this commit cannot have changed:
   // Query(s, t) reads only Lout(s) and Lin(t), so a cached pair is
   // stale iff the repair touched either of those labels. When the
@@ -1011,8 +1083,8 @@ Status DistanceServer::AttachInternal(
   }
   HOPDB_ASSIGN_OR_RETURN(
       std::shared_ptr<const ServingSnapshot> snapshot,
-      LoadServingSnapshot(path, options_.cache_capacity,
-                          options_.hot_hub_k));
+      LoadServingSnapshot(path, options_.cache_capacity, options_.hot_hub_k,
+                          RegisteredGraphPath(name)));
   if (published != nullptr) *published = snapshot;
   const Status status = registry_.Attach(name, snapshot);
   if (status.ok()) {
@@ -1063,7 +1135,7 @@ Status DistanceServer::ReloadInternal(
   HOPDB_ASSIGN_OR_RETURN(
       std::shared_ptr<const ServingSnapshot> snapshot,
       LoadServingSnapshot(load_path, options_.cache_capacity,
-                          options_.hot_hub_k));
+                          options_.hot_hub_k, RegisteredGraphPath(resolved)));
   if (published != nullptr) *published = snapshot;
   const std::string mode = snapshot->map_mode();
   const VertexId vertices = snapshot->num_vertices();
@@ -1097,6 +1169,13 @@ Status DistanceServer::RegisterUpdateGraph(const std::string& name,
   std::lock_guard<std::mutex> lock(update_mu_);
   update_graphs_[resolved] = path;
   return Status::OK();
+}
+
+std::string DistanceServer::RegisteredGraphPath(
+    const std::string& resolved) const {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  const auto it = update_graphs_.find(resolved);
+  return it == update_graphs_.end() ? std::string() : it->second;
 }
 
 DistanceServer::UpdateSessionInfo DistanceServer::GetUpdateSessionInfo(

@@ -260,6 +260,11 @@ class DistanceServer : public RequestSink {
                         std::shared_ptr<const ServingSnapshot>* published);
   Status ReloadInternal(const std::string& name, const std::string& path,
                         std::shared_ptr<const ServingSnapshot>* published);
+  /// The --graph path registered for `resolved` (already
+  /// default-resolved), or "" when none. Freshly loaded heap snapshots
+  /// of graph-registered indexes get that graph attached so they can
+  /// answer PATH.
+  std::string RegisteredGraphPath(const std::string& resolved) const;
 
   // -------------------------------------------------------------------
   // Online updates (ADDEDGE/DELEDGE/COMMIT).

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "eval/harness.h"
 #include "gen/barabasi_albert.h"
 #include "gen/erdos_renyi.h"
 #include "gen/glp.h"
@@ -618,17 +619,11 @@ Status CmdServe(CliFlags* flags, int argc, char** argv, std::ostream& out) {
   // attach/detach/reload) on stderr, not just warnings.
   SetJsonLogMinLevel(JsonLogLevel::kInfo);
 
-  // The default index loads by file magic: HLI2 maps zero-copy, HLI1 /
-  // HLC1 deserialize onto the heap.
-  HOPDB_ASSIGN_OR_RETURN(
-      std::shared_ptr<const ServingSnapshot> snapshot,
-      LoadServingSnapshot(specs[0].path, options.cache_capacity,
-                          options.hot_hub_k));
-  HOPDB_ASSIGN_OR_RETURN(std::unique_ptr<DistanceServer> server,
-                         DistanceServer::Start(std::move(snapshot), options));
-  for (size_t i = 1; i < specs.size(); ++i) {
-    HOPDB_RETURN_NOT_OK(server->AttachIndex(specs[i].name, specs[i].path));
-  }
+  // --graph values are parsed up front: the startup snapshot loads need
+  // to know their build graphs so heap-backed indexes answer PATH from
+  // the first request, not only after a RELOAD.
+  std::vector<std::pair<std::string, std::string>> graphs;
+  std::string default_graph;
   for (const std::string& value : flags->GetStrings("graph")) {
     const size_t eq = value.find('=');
     const std::string name =
@@ -639,7 +634,25 @@ Status CmdServe(CliFlags* flags, int argc, char** argv, std::ostream& out) {
       return Status::InvalidArgument("--graph '" + value +
                                      "' has an empty path");
     }
+    if (name.empty() || name == kDefaultIndexName) default_graph = path;
+    graphs.emplace_back(name, path);
+  }
+
+  // The default index loads by file magic: HLI2 maps zero-copy, HLI1 /
+  // HLC1 deserialize onto the heap.
+  HOPDB_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ServingSnapshot> snapshot,
+      LoadServingSnapshot(specs[0].path, options.cache_capacity,
+                          options.hot_hub_k, default_graph));
+  HOPDB_ASSIGN_OR_RETURN(std::unique_ptr<DistanceServer> server,
+                         DistanceServer::Start(std::move(snapshot), options));
+  // Graphs register before the secondary attaches so those snapshots
+  // pick up their path graphs too.
+  for (const auto& [name, path] : graphs) {
     HOPDB_RETURN_NOT_OK(server->RegisterUpdateGraph(name, path));
+  }
+  for (size_t i = 1; i < specs.size(); ++i) {
+    HOPDB_RETURN_NOT_OK(server->AttachIndex(specs[i].name, specs[i].path));
   }
 
   const std::shared_ptr<const ServingSnapshot> def = server->snapshot();
@@ -744,6 +757,81 @@ Status CmdClient(CliFlags* flags, int argc, char** argv, std::ostream& out) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// eval
+// ---------------------------------------------------------------------------
+
+Status CmdEval(CliFlags* flags, int argc, char** argv, std::ostream& out) {
+  flags->Define("spec", "",
+                "workload spec file (see src/eval/harness.h for the "
+                "grammar); default: built-in graph-family sweep");
+  flags->Define("ci", "false",
+                "CI mode: shrink the built-in spec, and exit non-zero "
+                "when an expectation fails");
+  flags->Define("report", "", "write the Markdown report to this path");
+  flags->Define("json", "", "write the JSON report to this path");
+  flags->Define("work-dir", ".hopdb_eval",
+                "scratch directory for on-disk index variants");
+  flags->Define("data-dir", "",
+                "directory searched for real '<name>.txt' edge lists");
+  flags->Define("scale", "1", "extra |V| multiplier over the spec");
+  flags->Define("print-spec", "false",
+                "print the effective spec text and exit");
+  HOPDB_RETURN_NOT_OK(flags->Parse(argc, argv));
+  if (flags->help_requested()) return Status::OK();
+
+  const bool ci = flags->GetBool("ci");
+  std::string spec_text;
+  const std::string spec_path = flags->GetString("spec");
+  if (spec_path.empty()) {
+    spec_text = DefaultEvalSpecText(ci);
+  } else {
+    HOPDB_RETURN_NOT_OK(ReadFileToString(spec_path, &spec_text));
+  }
+  if (flags->GetBool("print-spec")) {
+    out << spec_text;
+    return Status::OK();
+  }
+  HOPDB_ASSIGN_OR_RETURN(EvalSpec spec, ParseEvalSpec(spec_text));
+
+  EvalOptions options;
+  options.work_dir = flags->GetString("work-dir");
+  options.data_dir = flags->GetString("data-dir");
+  options.scale = flags->GetDouble("scale");
+  if (!(options.scale > 0)) {
+    return Status::InvalidArgument("--scale must be positive");
+  }
+
+  HOPDB_ASSIGN_OR_RETURN(EvalReport report, RunEval(spec, options));
+
+  const std::string markdown = RenderEvalMarkdown(report);
+  const std::string report_path = flags->GetString("report");
+  if (!report_path.empty()) {
+    HOPDB_RETURN_NOT_OK(WriteStringToFile(report_path, markdown));
+    out << "report -> " << report_path << "\n";
+  } else {
+    out << markdown;
+  }
+  const std::string json_path = flags->GetString("json");
+  if (!json_path.empty()) {
+    HOPDB_RETURN_NOT_OK(WriteStringToFile(json_path, RenderEvalJson(report)));
+    out << "json -> " << json_path << "\n";
+  }
+  for (const EvalExpectation& e : report.expectations) {
+    out << (e.pass ? "PASS " : "FAIL ") << e.name << " = "
+        << FormatDouble(e.value, 2) << " (expect [" +
+               FormatDouble(e.min_value, 0) + ", " +
+               FormatDouble(e.max_value, 0) + "])\n";
+  }
+  if (!report.AllPass()) {
+    // --ci turns an out-of-band number into a hard failure; interactive
+    // runs still see the FAIL lines but keep their report.
+    if (ci) return Status::FailedPrecondition("eval expectations failed");
+    out << "warning: expectations failed (use --ci to make this fatal)\n";
+  }
+  return Status::OK();
+}
+
 void PrintUsage(std::ostream& out) {
   out << "hopdb_cli — hop-doubling 2-hop distance index tool\n"
          "\n"
@@ -773,6 +861,12 @@ void PrintUsage(std::ostream& out) {
          "          or the v2 binary framing after the magic)\n"
          "  client  connect to a server (--host H --port P [--cmd LINE]\n"
          "          [--protocol v1|v2])\n"
+         "  eval    run the unified eval harness: build every index\n"
+         "          variant (heap/hli2/blocked/compressed) over the spec's\n"
+         "          graphs, time the query workloads (dist/batch/knn/\n"
+         "          within/reach/path), oracle-verify, and report\n"
+         "          ([--spec F] [--ci] [--report F.md] [--json F.json]\n"
+         "          [--work-dir D] [--data-dir D] [--scale X])\n"
          "  help    this text\n"
          "\n"
          "Run 'hopdb_cli <command> --help' for the full flag list.\n";
@@ -812,6 +906,8 @@ int RunCli(int argc, char** argv, std::ostream& out, std::ostream& err) {
     status = CmdServe(&flags, sub_argc, sub_argv, out);
   } else if (command == "client") {
     status = CmdClient(&flags, sub_argc, sub_argv, out);
+  } else if (command == "eval") {
+    status = CmdEval(&flags, sub_argc, sub_argv, out);
   } else {
     err << "unknown command '" << command << "'\n";
     PrintUsage(err);

@@ -111,6 +111,26 @@ std::vector<std::string> SeedInputs() {
   commit.kind = hopdb::RequestKind::kCommit;
   add_request(commit);
 
+  hopdb::Request within;
+  within.kind = hopdb::RequestKind::kWithin;
+  within.src = 7;
+  within.k = 3;  // radius
+  add_request(within);
+
+  hopdb::Request reach;
+  reach.kind = hopdb::RequestKind::kReach;
+  reach.src = 7;
+  reach.targets = {23};
+  reach.k = 4;  // bound, carried in the 4-byte aux payload
+  reach.index_name = "road";
+  add_request(reach);
+
+  hopdb::Request path;
+  path.kind = hopdb::RequestKind::kPath;
+  path.src = 7;
+  path.targets = {23};
+  add_request(path);
+
   hopdb::Request attach;
   attach.kind = hopdb::RequestKind::kAttach;
   attach.index_name = "road";

@@ -20,6 +20,8 @@
 #include "graph/csr_graph.h"
 #include "graph/ranking.h"
 #include "labeling/builder.h"
+#include "query/knn.h"
+#include "query/path.h"
 #include "search/dijkstra.h"
 #include "util/random.h"
 
@@ -91,6 +93,95 @@ void CheckEquivalence(const DynamicGraph& dyn, const TwoHopIndex& repaired,
           << "rebuilt index wrong at (" << s << ", " << t << ")";
     }
   }
+}
+
+// WITHIN / PATH after an update stream: once the stream is finalized
+// (the serving layer's COMMIT), the repaired labels must answer the
+// richer verbs identically to a from-scratch rebuild on the mutated
+// graph — WITHIN as the exact radius set (distances included), PATH as
+// a real shortest path on the mutated adjacency. This is the dynamic
+// counterpart of the static verb-oracle sweep in oracle_cross_check.
+void CheckVerbsAfterStream(EdgeList edges, uint64_t seed, int num_ops,
+                           Distance radius) {
+  Fixture fix = MakeFixture(edges, BuildOptions());
+  IncrementalUpdater updater(&fix.dyn, &fix.index);
+
+  const VertexId n = fix.dyn.num_vertices();
+  Rng rng(seed);
+  int applied = 0;
+  while (applied < num_ops) {
+    const VertexId u = static_cast<VertexId>(rng.Below(n));
+    const VertexId v = static_cast<VertexId>(rng.Below(n));
+    if (u == v) continue;
+    UpdateOp op;
+    op.u = u;
+    op.v = v;
+    if (fix.dyn.ArcWeight(u, v) != kInfDistance && rng.Chance(0.5)) {
+      op.kind = UpdateOp::Kind::kDelEdge;
+    } else {
+      op.kind = UpdateOp::Kind::kAddEdge;
+      op.weight =
+          edges.weighted() ? static_cast<Distance>(rng.Uniform(1, 9)) : 1;
+    }
+    auto changed = updater.Apply(op);
+    ASSERT_TRUE(changed.ok()) << changed.status();
+    if (*changed) ++applied;
+  }
+  updater.Finalize();
+
+  auto mutated = CsrGraph::FromEdgeList(fix.dyn.ToEdgeList());
+  ASSERT_TRUE(mutated.ok()) << mutated.status();
+  auto rebuilt = BuildHopLabeling(*mutated, BuildOptions());
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+
+  KnnEngine repaired_knn(fix.index, KnnEngine::Direction::kForward);
+  KnnEngine rebuilt_knn(rebuilt->index, KnnEngine::Direction::kForward);
+  PathReconstructor paths(*mutated, fix.index);
+
+  const auto by_vertex = [](const KnnEngine::Neighbor& a,
+                            const KnnEngine::Neighbor& b) {
+    return a.vertex < b.vertex;
+  };
+  for (int i = 0; i < 8; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.Below(n));
+    const std::vector<Distance> truth = ExactDistances(*mutated, s);
+
+    std::vector<KnnEngine::Neighbor> got = repaired_knn.QueryWithin(s, radius);
+    std::vector<KnnEngine::Neighbor> want = rebuilt_knn.QueryWithin(s, radius);
+    std::sort(got.begin(), got.end(), by_vertex);
+    std::sort(want.begin(), want.end(), by_vertex);
+    ASSERT_EQ(got.size(), want.size()) << "WITHIN(" << s << ") size";
+    for (size_t j = 0; j < want.size(); ++j) {
+      ASSERT_EQ(got[j].vertex, want[j].vertex) << "WITHIN(" << s << ")";
+      ASSERT_EQ(got[j].dist, want[j].dist) << "WITHIN(" << s << ")";
+      ASSERT_EQ(got[j].dist, truth[got[j].vertex]) << "WITHIN(" << s << ")";
+    }
+
+    for (int j = 0; j < 16; ++j) {
+      const VertexId t = static_cast<VertexId>(rng.Below(n));
+      auto path = paths.ShortestPath(s, t);
+      if (truth[t] == kInfDistance) {
+        ASSERT_FALSE(path.ok())
+            << "PATH(" << s << ", " << t << ") on unreachable pair";
+        continue;
+      }
+      ASSERT_TRUE(path.ok()) << "PATH(" << s << ", " << t
+                             << "): " << path.status();
+      ASSERT_EQ(PathLength(*mutated, *path), truth[t])
+          << "PATH(" << s << ", " << t << ") not shortest after repair";
+    }
+  }
+}
+
+TEST(IncrementalTest, WithinAndPathMatchRebuildUnweighted) {
+  CheckVerbsAfterStream(GlpGraph(200, 4.0, /*seed=*/301), /*seed=*/302,
+                        /*num_ops=*/80, /*radius=*/3);
+}
+
+TEST(IncrementalTest, WithinAndPathMatchRebuildWeighted) {
+  EdgeList edges = BaGraph(180, 2, /*seed=*/303);
+  AssignUniformWeights(&edges, 1, 9, /*seed=*/304);
+  CheckVerbsAfterStream(edges, /*seed=*/305, /*num_ops=*/70, /*radius=*/7);
 }
 
 // Random op stream: inserts of absent edges, deletes of present edges,

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "gen/glp.h"
@@ -14,6 +16,7 @@
 #include "labeling/incremental.h"
 #include "labeling/label_entry.h"
 #include "labeling/two_hop_index.h"
+#include "query/knn.h"
 #include "search/dijkstra.h"
 #include "util/random.h"
 
@@ -99,6 +102,60 @@ TEST_P(LabelQueryPropertyTest, LookupMatchesLinearScan) {
     }
     ASSERT_EQ(LookupPivot(l, probe), expect);
     ASSERT_EQ(UpperBoundPivot(l, probe), expect_ub);
+  }
+}
+
+// WITHIN / REACH over arbitrary random labels (no graph, no cover
+// property): the engine's radius-bounded inverted-list scan must equal
+// the brute-force per-pair sweep {v != s : Query(s, v) <= r} of the SAME
+// index, distances included — a pure label-machinery property, so a
+// failure localizes to the inverted-list construction or the prefix
+// break, never to a builder.
+TEST_P(LabelQueryPropertyTest, WithinMatchesPerPairSweep) {
+  Rng rng(GetParam() ^ 0x5EED);
+  for (const bool directed : {false, true}) {
+    constexpr VertexId kN = 60;
+    std::vector<LabelVector> out(kN), in;
+    for (VertexId v = 0; v < kN; ++v) out[v] = RandomLabel(&rng, kN, 10);
+    if (directed) {
+      in.resize(kN);
+      for (VertexId v = 0; v < kN; ++v) in[v] = RandomLabel(&rng, kN, 10);
+    }
+    TwoHopIndex index(std::move(out), std::move(in), directed);
+    KnnEngine engine(index, KnnEngine::Direction::kForward);
+    for (int round = 0; round < 40; ++round) {
+      const VertexId s = static_cast<VertexId>(rng.Below(kN));
+      const Distance radius = static_cast<Distance>(rng.Uniform(1, 60));
+      std::vector<KnnEngine::Neighbor> got = engine.QueryWithin(s, radius);
+      std::sort(got.begin(), got.end(),
+                [](const KnnEngine::Neighbor& a, const KnnEngine::Neighbor& b) {
+                  return a.vertex < b.vertex;
+                });
+      std::vector<std::pair<VertexId, Distance>> want;
+      for (VertexId v = 0; v < kN; ++v) {
+        const Distance d = index.Query(s, v);
+        if (v != s && d <= radius) want.emplace_back(v, d);
+      }
+      ASSERT_EQ(got.size(), want.size())
+          << "directed=" << directed << " s=" << s << " r=" << radius;
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got[i].vertex, want[i].first) << "s=" << s;
+        ASSERT_EQ(got[i].dist, want[i].second) << "s=" << s;
+      }
+      // REACH is DIST + a comparison; assert the equivalence the server
+      // arm relies on, for sampled targets.
+      const VertexId t = static_cast<VertexId>(rng.Below(kN));
+      const Distance d = index.Query(s, t);
+      const bool reach = d != kInfDistance && d <= radius;
+      const bool in_within =
+          s == t ||  // d(s, s) == 0 <= radius always
+          std::any_of(got.begin(), got.end(),
+                      [t](const KnnEngine::Neighbor& nb) {
+                        return nb.vertex == t;
+                      });
+      ASSERT_EQ(reach, in_within)
+          << "REACH/WITHIN disagree at s=" << s << " t=" << t;
+    }
   }
 }
 

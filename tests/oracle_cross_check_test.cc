@@ -7,7 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/is_label.h"
@@ -18,8 +22,13 @@
 #include "graph/csr_graph.h"
 #include "graph/ranking.h"
 #include "hopdb.h"
+#include "io/temp_dir.h"
+#include "labeling/compressed_index.h"
 #include "labeling/incremental.h"
+#include "labeling/mapped_index.h"
 #include "labeling/query_kernel.h"
+#include "query/knn.h"
+#include "query/path.h"
 #include "search/dijkstra.h"
 #include "util/random.h"
 
@@ -241,6 +250,169 @@ TEST(OracleCrossCheckTest, UpdateStreamWeightedBa) {
   EdgeList edges = BaGraph(250, 2, /*seed=*/63);
   AssignUniformWeights(&edges, 1, 9, /*seed=*/64);
   UpdateStreamCrossCheck(edges, /*seed=*/65, /*num_ops=*/100);
+}
+
+// -----------------------------------------------------------------------
+// Richer query verbs: WITHIN / REACH / PATH against the same oracles,
+// swept over the serving backings (heap labels, HLI2 v1 + v2 mmap files,
+// HLC1 compressed). Every backing re-expresses one build's labels, so
+// one verb disagreeing on one backing pinpoints that backing's decode.
+// -----------------------------------------------------------------------
+
+// One backing's labels as an engine-compatible view plus a point-query
+// function in internal (rank) ids.
+struct Backing {
+  std::string name;
+  std::function<Distance(VertexId, VertexId)> query;  // internal ids
+  std::unique_ptr<KnnEngine> knn;                     // null: no flat view
+};
+
+void VerbOracleSweep(const EdgeList& edges, uint64_t seed) {
+  auto graph = CsrGraph::FromEdgeList(edges);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  auto hopdb = HopDbIndex::Build(*graph);
+  ASSERT_TRUE(hopdb.ok()) << hopdb.status();
+  const RankMapping& mapping = hopdb->ranking();
+
+  auto tmp = TempDir::Create("verbs");
+  ASSERT_TRUE(tmp.ok()) << tmp.status();
+
+  // Materialize the backings. The mmap files and the compressed form all
+  // come from the one heap build.
+  std::vector<MappedIndex> mapped;
+  for (uint32_t version : {1u, 2u}) {
+    const std::string path =
+        tmp->File("labels.v" + std::to_string(version) + ".hli2");
+    ASSERT_TRUE(MappedIndex::WriteVersion(hopdb->label_index(),
+                                          hopdb->ranking(), path, version)
+                    .ok());
+    auto opened = MappedIndex::Open(path);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    mapped.push_back(std::move(opened).value());
+  }
+  auto compressed = CompressedIndex::FromIndex(hopdb->label_index());
+  ASSERT_TRUE(compressed.ok()) << compressed.status();
+  // The compressed backing has no flat label view; its WITHIN leg runs
+  // over the decompressed labels (exact round trip is its own test).
+  auto expanded = compressed->Decompress();
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+
+  std::vector<Backing> backings;
+  backings.push_back(
+      {"heap",
+       [&](VertexId s, VertexId t) {
+         return hopdb->Query(mapping.ToOriginal(s), mapping.ToOriginal(t));
+       },
+       std::make_unique<KnnEngine>(hopdb->label_index(),
+                                   KnnEngine::Direction::kForward)});
+  for (size_t i = 0; i < mapped.size(); ++i) {
+    const MappedIndex* m = &mapped[i];
+    backings.push_back(
+        {i == 0 ? "hli2-v1" : "hli2-v2",
+         [&mapping, m](VertexId s, VertexId t) {
+           return m->Query(mapping.ToOriginal(s), mapping.ToOriginal(t));
+         },
+         std::make_unique<KnnEngine>(m->labels(),
+                                     KnnEngine::Direction::kForward)});
+  }
+  backings.push_back(
+      {"compressed",
+       [&](VertexId s, VertexId t) { return compressed->Query(s, t); },
+       std::make_unique<KnnEngine>(*expanded,
+                                   KnnEngine::Direction::kForward)});
+
+  // PATH runs on the heap index only (it needs the build graph).
+  auto querier = HopDbPathQuerier::Create(*hopdb, *graph);
+  ASSERT_TRUE(querier.ok()) << querier.status();
+
+  const VertexId n = graph->num_vertices();
+  const Distance radius = edges.weighted() ? 6 : 3;
+  const Distance bound = edges.weighted() ? 8 : 4;
+  Rng rng(seed);
+  for (VertexId i = 0; i < kSampleSources && i < n; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.Below(n));
+    const VertexId s_int = mapping.ToInternal(s);
+    const std::vector<Distance> truth = ExactDistances(*graph, s);
+
+    for (const Backing& backing : backings) {
+      // WITHIN == {v : d(s, v) <= r}, distances included.
+      std::vector<KnnEngine::Neighbor> within =
+          backing.knn->QueryWithin(s_int, radius);
+      std::vector<std::pair<VertexId, Distance>> got;
+      for (const KnnEngine::Neighbor& nb : within) {
+        got.emplace_back(mapping.ToOriginal(nb.vertex), nb.dist);
+      }
+      std::sort(got.begin(), got.end());
+      std::vector<std::pair<VertexId, Distance>> want;
+      for (VertexId v = 0; v < n; ++v) {
+        if (v != s && truth[v] <= radius) want.emplace_back(v, truth[v]);
+      }
+      ASSERT_EQ(got, want) << backing.name << " WITHIN(" << s << ", r="
+                           << radius << ") disagrees with the oracle";
+
+      // REACH == bounded-BFS/Dijkstra verdict, on sampled targets.
+      for (int j = 0; j < 24; ++j) {
+        const VertexId t = static_cast<VertexId>(rng.Below(n));
+        const Distance d = backing.query(s_int, mapping.ToInternal(t));
+        const bool got_reach = d != kInfDistance && d <= bound;
+        const bool want_reach = truth[t] != kInfDistance && truth[t] <= bound;
+        ASSERT_EQ(got_reach, want_reach)
+            << backing.name << " REACH(" << s << ", " << t << ", k=" << bound
+            << ")";
+      }
+    }
+
+    // PATH: weight sum == DIST and every consecutive pair is an arc
+    // (PathLength returns kInfDistance otherwise); NotFound iff
+    // unreachable.
+    for (int j = 0; j < 24; ++j) {
+      const VertexId t = static_cast<VertexId>(rng.Below(n));
+      auto path = querier->ShortestPath(s, t);
+      if (truth[t] == kInfDistance) {
+        ASSERT_FALSE(path.ok()) << "PATH(" << s << ", " << t
+                                << ") found a path to an unreachable vertex";
+        ASSERT_TRUE(path.status().IsNotFound()) << path.status();
+        continue;
+      }
+      ASSERT_TRUE(path.ok()) << "PATH(" << s << ", " << t
+                             << "): " << path.status();
+      ASSERT_EQ(PathLength(*graph, *path), truth[t])
+          << "PATH(" << s << ", " << t << ") is not a shortest path";
+      ASSERT_EQ(path->front(), s);
+      ASSERT_EQ(path->back(), t);
+    }
+  }
+}
+
+TEST(OracleCrossCheckTest, VerbsUndirectedUnweighted) {
+  VerbOracleSweep(GlpGraph(300, 4.0, /*seed=*/71), /*seed=*/81);
+}
+
+TEST(OracleCrossCheckTest, VerbsUndirectedWeighted) {
+  EdgeList edges = GlpGraph(250, 3.0, /*seed=*/72);
+  AssignUniformWeights(&edges, 1, 9, /*seed=*/73);
+  VerbOracleSweep(edges, /*seed=*/82);
+}
+
+TEST(OracleCrossCheckTest, VerbsDirectedUnweighted) {
+  GlpOptions options;
+  options.num_vertices = 300;
+  options.target_avg_degree = 4.0;
+  options.seed = 74;
+  auto edges = GenerateDirectedGlp(options);
+  ASSERT_TRUE(edges.ok()) << edges.status();
+  VerbOracleSweep(*edges, /*seed=*/83);
+}
+
+TEST(OracleCrossCheckTest, VerbsDirectedWeighted) {
+  GlpOptions options;
+  options.num_vertices = 250;
+  options.target_avg_degree = 3.0;
+  options.seed = 75;
+  auto edges = GenerateDirectedGlp(options);
+  ASSERT_TRUE(edges.ok()) << edges.status();
+  AssignUniformWeights(&*edges, 1, 9, /*seed=*/76);
+  VerbOracleSweep(*edges, /*seed=*/84);
 }
 
 // Different construction strategies must produce identical answers;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -21,6 +22,7 @@
 #include "hopdb.h"
 #include "labeling/mapped_index.h"
 #include "query/knn.h"
+#include "query/path.h"
 #include "search/dijkstra.h"
 #include "server/client.h"
 #include "server/metrics.h"
@@ -70,6 +72,46 @@ TEST(ProtocolTest, ParsesBatchAndKnnAndControl) {
   EXPECT_EQ(reload->kind, RequestKind::kReload);
   EXPECT_EQ(reload->path, "/tmp/x.hli");
   EXPECT_TRUE(ParseRequest("RELOAD")->path.empty());
+}
+
+TEST(ProtocolTest, ParsesWithinReachPath) {
+  auto within = ParseRequest("WITHIN 5 3");
+  ASSERT_TRUE(within.ok());
+  EXPECT_EQ(within->kind, RequestKind::kWithin);
+  EXPECT_EQ(within->src, 5u);
+  EXPECT_EQ(within->k, 3u);  // radius rides the k field
+
+  auto reach = ParseRequest("REACH 5 9 4");
+  ASSERT_TRUE(reach.ok());
+  EXPECT_EQ(reach->kind, RequestKind::kReach);
+  EXPECT_EQ(reach->src, 5u);
+  ASSERT_EQ(reach->targets.size(), 1u);
+  EXPECT_EQ(reach->targets[0], 9u);
+  EXPECT_EQ(reach->k, 4u);  // bound rides the k field
+
+  auto path = ParseRequest("PATH 5 9");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->kind, RequestKind::kPath);
+  EXPECT_EQ(path->src, 5u);
+  ASSERT_EQ(path->targets.size(), 1u);
+  EXPECT_EQ(path->targets[0], 9u);
+
+  // Routed forms.
+  auto routed = ParseRequest("USE road WITHIN 1 2");
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed->index_name, "road");
+  EXPECT_EQ(ParseRequest("USE road REACH 1 2 3")->index_name, "road");
+  EXPECT_EQ(ParseRequest("USE road PATH 1 2")->index_name, "road");
+
+  // Arity and token errors are client-safe InvalidArgument lines.
+  EXPECT_FALSE(ParseRequest("WITHIN 5").ok());
+  EXPECT_FALSE(ParseRequest("WITHIN 5 3 4").ok());
+  EXPECT_FALSE(ParseRequest("WITHIN a 3").ok());
+  EXPECT_FALSE(ParseRequest("REACH 5 9").ok());
+  EXPECT_FALSE(ParseRequest("REACH 5 9 4 1").ok());
+  EXPECT_FALSE(ParseRequest("REACH 5 x 4").ok());
+  EXPECT_FALSE(ParseRequest("PATH 5").ok());
+  EXPECT_FALSE(ParseRequest("PATH 5 9 2").ok());
 }
 
 TEST(ProtocolTest, ParsesAttachDetachUse) {
@@ -813,6 +855,175 @@ TEST_F(ServerEndToEndTest, KnnMatchesEngine) {
   }
 }
 
+TEST_F(ServerEndToEndTest, WithinMatchesOracleSet) {
+  const VertexId s = 11;
+  const Distance radius = 3;
+  const std::string response =
+      *client_.RoundTrip("WITHIN " + std::to_string(s) + " " +
+                         std::to_string(radius));
+  ASSERT_TRUE(StartsWith(response, "OK")) << response;
+
+  // The wire answer is the exact radius set {v : d(s, v) <= r}, s
+  // excluded, as v:d tokens in (distance, vertex) order.
+  const std::vector<Distance> truth = ExactDistances(graph_, s);
+  std::vector<std::pair<VertexId, Distance>> got;
+  if (response.size() > 3) {
+    for (const std::string& token : SplitString(response.substr(3), ' ')) {
+      const size_t colon = token.find(':');
+      ASSERT_NE(colon, std::string::npos) << token;
+      uint64_t v = 0;
+      ASSERT_TRUE(ParseUint64(token.substr(0, colon), &v));
+      got.emplace_back(static_cast<VertexId>(v),
+                       *ParseDistanceToken(token.substr(colon + 1)));
+    }
+  }
+  std::vector<std::pair<VertexId, Distance>> want;
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    if (v != s && truth[v] <= radius) want.emplace_back(v, truth[v]);
+  }
+  auto by_vertex = [](const std::pair<VertexId, Distance>& a,
+                      const std::pair<VertexId, Distance>& b) {
+    return a.first < b.first;
+  };
+  std::sort(got.begin(), got.end(), by_vertex);
+  std::sort(want.begin(), want.end(), by_vertex);
+  EXPECT_EQ(got, want);
+
+  // Radius 0 excludes everything but the (excluded) source itself.
+  EXPECT_EQ(*client_.RoundTrip("WITHIN " + std::to_string(s) + " 0"), "OK");
+  EXPECT_TRUE(StartsWith(*client_.RoundTrip("WITHIN 999999 3"), "ERR "));
+}
+
+TEST_F(ServerEndToEndTest, ReachMatchesOracleVerdict) {
+  const VertexId s = 4;
+  const std::vector<Distance> truth = ExactDistances(graph_, s);
+  for (VertexId t = 0; t < 30; ++t) {
+    for (const Distance bound : {Distance{1}, Distance{3}, Distance{6}}) {
+      const std::string response = *client_.RoundTrip(
+          "REACH " + std::to_string(s) + " " + std::to_string(t) + " " +
+          std::to_string(bound));
+      const bool want = truth[t] != kInfDistance && truth[t] <= bound;
+      ASSERT_EQ(response, want ? "OK 1" : "OK 0")
+          << "t=" << t << " bound=" << bound;
+    }
+  }
+  EXPECT_TRUE(StartsWith(*client_.RoundTrip("REACH 0 999999 3"), "ERR "));
+}
+
+TEST_F(ServerEndToEndTest, PathWithoutGraphIsPreconditionError) {
+  const std::string response = *client_.RoundTrip("PATH 0 5");
+  ASSERT_TRUE(StartsWith(response, "ERR ")) << response;
+  // The error must tell the operator the fix.
+  EXPECT_NE(response.find("--graph"), std::string::npos) << response;
+}
+
+// A server whose snapshot carries the build graph (serve --graph at
+// startup funnels into the same snapshot constructor) answers PATH with
+// real shortest paths on every framing.
+TEST_F(ServerEndToEndTest, PathMatchesOracleWhenGraphAttached) {
+  ServerOptions options;
+  options.num_workers = 2;
+  auto with_graph =
+      DistanceServer::Start(
+          std::make_shared<ServingSnapshot>(
+              HopDbIndex::Build(graph_).ValueOrDie(), "", 128, 0,
+              std::make_shared<const CsrGraph>(graph_)),
+          options)
+          .ValueOrDie();
+  auto v1 = DistanceClient::Connect("127.0.0.1", with_graph->port())
+                .ValueOrDie();
+  auto v2 = DistanceClient::Connect("127.0.0.1", with_graph->port(),
+                                    DistanceClient::Protocol::kV2)
+                .ValueOrDie();
+
+  const VertexId s = 3;
+  const std::vector<Distance> truth = ExactDistances(graph_, s);
+  for (VertexId t = 0; t < 40; ++t) {
+    const std::string line = "PATH " + std::to_string(s) + " " +
+                             std::to_string(t);
+    const std::string response = *v1.RoundTrip(line);
+    if (truth[t] == kInfDistance) {
+      // Unreachable is an answer: a bare OK (empty sequence), not ERR.
+      ASSERT_EQ(response, "OK") << "t=" << t;
+      continue;
+    }
+    ASSERT_TRUE(StartsWith(response, "OK")) << response;
+    std::vector<VertexId> path;
+    if (response.size() > 3) {
+      for (const std::string& token : SplitString(response.substr(3), ' ')) {
+        uint64_t v = 0;
+        ASSERT_TRUE(ParseUint64(token, &v)) << token;
+        path.push_back(static_cast<VertexId>(v));
+      }
+    }
+    ASSERT_FALSE(path.empty()) << "t=" << t;
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), t);
+    // Real and tight: every hop an arc, weight sum == the distance.
+    EXPECT_EQ(PathLength(graph_, path), truth[t]) << "t=" << t;
+
+    // v2 carries the same vertex sequence in a kDistances payload.
+    const WireResponse frame = *v2.Call(ParseRequest(line).ValueOrDie());
+    EXPECT_EQ(EncodeResponseV1(frame), response) << line;
+  }
+}
+
+// After ADDEDGE + COMMIT, PATH answers on the committed adjacency: the
+// republished snapshot freezes its path graph from the update session,
+// so the new edge shows up in paths without any file reload.
+TEST_F(ServerEndToEndTest, PathFollowsCommittedEdits) {
+  auto tmp = TempDir::Create("server_path_commit");
+  ASSERT_TRUE(tmp.ok());
+  const std::string graph_path = tmp->File("g.hgr");
+  ASSERT_TRUE(WriteBinaryGraph(edges_, graph_path).ok());
+  ASSERT_TRUE(server_->RegisterUpdateGraph("", graph_path).ok());
+
+  const std::vector<Distance> truth = ExactDistances(graph_, 0);
+  VertexId far = kInvalidVertex;
+  for (VertexId t = 1; t < graph_.num_vertices(); ++t) {
+    if (truth[t] != kInfDistance && truth[t] >= 3) {
+      far = t;
+      break;
+    }
+  }
+  ASSERT_NE(far, kInvalidVertex) << "test graph too dense";
+
+  ASSERT_EQ(*client_.RoundTrip("ADDEDGE 0 " + std::to_string(far)),
+            "OK applied pending=1");
+  ASSERT_TRUE(StartsWith(*client_.RoundTrip("COMMIT"), "OK committed "));
+
+  // The shortcut edge IS the shortest path now.
+  const std::string response =
+      *client_.RoundTrip("PATH 0 " + std::to_string(far));
+  ASSERT_TRUE(StartsWith(response, "OK ")) << response;
+  EXPECT_EQ(response, "OK 0 " + std::to_string(far));
+
+  // And paths elsewhere remain valid on the mutated graph.
+  EdgeList mutated = edges_;
+  mutated.Add(0, far);
+  mutated.Normalize();
+  const CsrGraph mutated_graph = CsrGraph::FromEdgeList(mutated).ValueOrDie();
+  const std::vector<Distance> mutated_truth =
+      ExactDistances(mutated_graph, 0);
+  for (VertexId t = 0; t < 30; ++t) {
+    if (mutated_truth[t] == kInfDistance) continue;
+    const std::string line = *client_.RoundTrip("PATH 0 " +
+                                                std::to_string(t));
+    ASSERT_TRUE(StartsWith(line, "OK")) << line;
+    std::vector<VertexId> path;
+    if (line.size() > 3) {
+      for (const std::string& token : SplitString(line.substr(3), ' ')) {
+        uint64_t v = 0;
+        ASSERT_TRUE(ParseUint64(token, &v)) << token;
+        path.push_back(static_cast<VertexId>(v));
+      }
+    }
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(PathLength(mutated_graph, path), mutated_truth[t])
+        << "t=" << t;
+  }
+}
+
 TEST_F(ServerEndToEndTest, ErrorsComeBackAsErrLines) {
   EXPECT_TRUE(StartsWith(*client_.RoundTrip("DIST 0 999999"), "ERR "));
   EXPECT_TRUE(StartsWith(*client_.RoundTrip("NOSUCH 1 2"), "ERR "));
@@ -852,7 +1063,11 @@ TEST_F(ServerEndToEndTest, V2ServesIdenticalAnswersToV1) {
   }
   const std::vector<std::string> lines = {
       "PING",          "DIST 5 20", "BATCH 9 1 2",          "DIST 20 5",
-      "DIST 0 999999", big_batch,   "USE nosuch DIST 1 2",  "KNN 7 6"};
+      "DIST 0 999999", big_batch,   "USE nosuch DIST 1 2",  "KNN 7 6",
+      "WITHIN 7 3",    "WITHIN 7 0", "REACH 5 20 4",        "REACH 5 20 1",
+      "REACH 0 999999 3",
+      // PATH has no graph on this fixture: the ERR must also match.
+      "PATH 5 20"};
   for (const std::string& line : lines) {
     const std::string v1_answer = *client_.RoundTrip(line);
     const WireResponse v2_answer =

@@ -22,6 +22,10 @@
 6. Metric family drift: every Prometheus family the METRICS verb emits
    (the PromFamily call sites in src/server/server.cc) must appear in
    the metric-family table of docs/OPERATIONS.md and vice versa.
+7. Eval report section drift: every section header the eval harness
+   renders (kEvalReportSections in src/eval/harness.h) must be listed —
+   backticked — in the eval runbook of docs/OPERATIONS.md, so the
+   runbook's description of the report cannot silently go stale.
 
 Exit status 0 = clean, 1 = at least one failure (each printed).
 """
@@ -72,6 +76,11 @@ V2_ENUM_RE = re.compile(
 V2_ENUMERATOR_RE = re.compile(r"k([A-Za-z]+)\s*=\s*(\d+)")
 # PROTOCOL.md opcode table rows: | 1 | DIST | ... |
 DOC_OPCODE_ROW_RE = re.compile(r"^\|\s*(\d+)\s*\|\s*([A-Z]+)\s*\|")
+# harness.h: constexpr const char* kEvalReportSections[] = {"## ...", ...};
+EVAL_SECTIONS_RE = re.compile(
+    r"kEvalReportSections\[\]\s*=\s*\{([^}]*)\}", re.DOTALL
+)
+EVAL_SECTION_LITERAL_RE = re.compile(r'"(## [^"]+)"')
 
 
 def iter_markdown_files(root: pathlib.Path):
@@ -332,6 +341,32 @@ def check_v2_opcodes(root: pathlib.Path) -> list[str]:
     return failures
 
 
+def check_eval_sections(root: pathlib.Path) -> list[str]:
+    """Every eval report section header must be listed in OPERATIONS.md."""
+    harness_h = root / "src" / "eval" / "harness.h"
+    operations_md = root / "docs" / "OPERATIONS.md"
+    if not operations_md.exists():
+        return ["docs/OPERATIONS.md is missing (eval runbook is required)"]
+    block = EVAL_SECTIONS_RE.search(harness_h.read_text(encoding="utf-8"))
+    if block is None:
+        return ["kEvalReportSections not found in src/eval/harness.h "
+                "(parser drifted?)"]
+    headers = EVAL_SECTION_LITERAL_RE.findall(block.group(1))
+    if not headers:
+        return ["kEvalReportSections in src/eval/harness.h is empty "
+                "(parser drifted?)"]
+    doc_text = operations_md.read_text(encoding="utf-8")
+    failures = []
+    for header in headers:
+        if f"`{header}`" not in doc_text:
+            failures.append(
+                f"eval report section '{header}' (kEvalReportSections in "
+                "src/eval/harness.h) is not listed in the "
+                "docs/OPERATIONS.md eval runbook"
+            )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -354,6 +389,7 @@ def main() -> int:
     failures += check_stats_keys(root)
     failures += check_metric_families(root)
     failures += check_v2_opcodes(root)
+    failures += check_eval_sections(root)
     if args.cli_bin:
         failures += check_cli_help(root, args.cli_bin)
 
@@ -363,7 +399,8 @@ def main() -> int:
         checked = sum(1 for _ in iter_markdown_files(root))
         print(
             f"docs OK: {checked} markdown files, links resolve, format "
-            "magics + STATS keys + metric families + v2 opcodes in sync"
+            "magics + STATS keys + metric families + v2 opcodes + eval "
+            "report sections in sync"
             + (", CLI help in sync" if args.cli_bin else "")
         )
     return 1 if failures else 0

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Independent gate over the eval harness JSON report (the CI eval job).
+
+`hopdb_cli eval --ci` already exits nonzero when an expectation fails;
+this script re-derives the verdict from the archived JSON so a gate
+regression in the harness itself (an expectation silently dropped, a
+band silently widened past the paper's order of magnitude) is caught by
+a second, trivially auditable implementation.
+
+Checks:
+1. Every expectation named in REQUIRED_EXPECTATIONS is present, its
+   band has not widened beyond the ceiling hard-coded here, and its
+   measured value passes its band.
+2. The report's own "pass" flags and "all_pass" agree with the bands
+   (no harness/report disagreement).
+3. Every dataset was verified ("pass", never "failed:..." or an
+   unexpected skip) and every supported workload row ran queries and
+   agrees on the per-workload checksum across variants.
+
+Usage: tools/eval_gate.py eval.json
+Exit status 0 = clean, 1 = at least one failure (each printed).
+"""
+
+import json
+import sys
+
+# name -> (min_floor, max_ceiling): the harness may tighten its band
+# inside these, never widen past them. The ceilings are the
+# order-of-magnitude expectations from the paper's experiments: point
+# queries in microseconds (band generous to 2 ms for slow CI), average
+# label sizes in the tens-to-hundreds, builds in seconds at harness
+# scale.
+REQUIRED_EXPECTATIONS = {
+    "dist_avg_us_max": (0.0, 2000.0),
+    "avg_label_size_max": (1.0, 1024.0),
+    "build_seconds_max": (0.0, 300.0),
+    "variant_checksums_agree": (1.0, 1.0),
+    "oracle_verified": (1.0, 1.0),
+}
+
+
+def gate(doc: dict) -> list[str]:
+    failures = []
+
+    expectations = {e["name"]: e for e in doc.get("expectations", [])}
+    for name, (floor, ceiling) in REQUIRED_EXPECTATIONS.items():
+        exp = expectations.get(name)
+        if exp is None:
+            failures.append(f"expectation '{name}' missing from the report")
+            continue
+        if exp["min"] < floor or exp["max"] > ceiling:
+            failures.append(
+                f"expectation '{name}' band [{exp['min']}, "
+                f"{exp['max']}] widened past the gate's "
+                f"[{floor}, {ceiling}]"
+            )
+        in_band = exp["min"] <= exp["value"] <= exp["max"]
+        if not in_band:
+            failures.append(
+                f"expectation '{name}' out of band: value {exp['value']} "
+                f"not in [{exp['min']}, {exp['max']}]"
+            )
+        if bool(exp["pass"]) != in_band:
+            failures.append(
+                f"expectation '{name}': report says pass={exp['pass']} but "
+                f"the band says {in_band}"
+            )
+    if bool(doc.get("all_pass")) != all(
+        bool(e["pass"]) for e in doc.get("expectations", [])
+    ):
+        failures.append("report all_pass disagrees with its expectations")
+
+    datasets = doc.get("datasets", [])
+    if not datasets:
+        failures.append("report contains no datasets")
+    for ds in datasets:
+        name = ds.get("name", "?")
+        if ds.get("verify") != "pass":
+            failures.append(
+                f"dataset '{name}': verify is '{ds.get('verify')}', "
+                "expected 'pass'"
+            )
+        checksums: dict[str, set] = {}
+        for row in ds.get("workloads", []):
+            wl, variant = row.get("workload", "?"), row.get("variant", "?")
+            if not row.get("supported", False):
+                continue
+            if row.get("queries", 0) <= 0:
+                failures.append(
+                    f"dataset '{name}' {wl}/{variant}: supported but ran "
+                    "no queries"
+                )
+            checksums.setdefault(wl, set()).add(row.get("checksum"))
+        for wl, sums in checksums.items():
+            if len(sums) != 1:
+                failures.append(
+                    f"dataset '{name}' workload '{wl}': variants disagree "
+                    f"on checksum ({sorted(sums)})"
+                )
+    return failures
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    with open(sys.argv[1], encoding="utf-8") as f:
+        doc = json.load(f)
+    failures = gate(doc)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        n_ds = len(doc.get("datasets", []))
+        n_rows = sum(len(d.get("workloads", [])) for d in doc.get("datasets", []))
+        print(
+            f"eval gate OK: {n_ds} datasets, {n_rows} workload rows, "
+            f"{len(REQUIRED_EXPECTATIONS)} expectations in band"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
